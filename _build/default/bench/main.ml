@@ -1,0 +1,387 @@
+(* Reproduction harness + microbenchmarks.
+
+   Running this executable:
+   1. regenerates every figure of the paper (the same series the paper
+      plots), printing the numeric rows;
+   2. runs the qualitative shape checks (who wins, what's monotone, where
+      the crossover lies) — the pass/fail table recorded in EXPERIMENTS.md;
+   3. regenerates the extension experiments (Ext A-F of DESIGN.md);
+   4. times every generator with Bechamel (one Test.make per figure /
+      experiment). *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+let hr title =
+  Printf.printf "\n=== %s %s\n" title (String.make (max 0 (66 - String.length title)) '=')
+
+(* ---------- part 1: figure regeneration ---------- *)
+
+let print_figures () =
+  hr "Paper figures (regenerated series)";
+  List.iter
+    (fun (_, fig) ->
+       print_newline ();
+       print_string (Gnrflash.Report.series_table fig ~max_rows:6))
+    (Gnrflash.Figures.all ())
+
+let print_checks () =
+  hr "Shape checks (paper vs model)";
+  print_string (Gnrflash.Report.render (Gnrflash.Report.all_checks ()))
+
+(* Ablations of design choices called out in DESIGN.md. *)
+let print_ablations () =
+  hr "Ablation: image-force barrier lowering";
+  let phi = 3.2 *. Gnrflash_physics.Constants.ev in
+  let m = 0.42 *. Gnrflash_physics.Constants.m0 in
+  List.iter
+    (fun field_mv ->
+       let field = field_mv *. 1e8 in
+       let bare = Gnrflash_quantum.Barrier.triangular ~phi_b:phi ~field ~m_eff:m in
+       let rounded = Gnrflash_quantum.Barrier.with_image_force ~eps_r:3.9 bare in
+       let e = 0.05 *. Gnrflash_physics.Constants.ev in
+       let t_bare = Gnrflash_quantum.Wkb.transmission bare ~energy:e in
+       let t_img = Gnrflash_quantum.Wkb.transmission rounded ~energy:e in
+       Printf.printf "  %5.1f MV/cm: T_bare=%.3e  T_image=%.3e  boost=%.1fx\n" field_mv
+         t_bare t_img (t_img /. t_bare))
+    [ 8.; 12.; 16. ];
+  hr "Ablation: eq(3) divider vs 1D Poisson";
+  let stack = Gnrflash_device.Electrostatics.of_fgt (Gnrflash.Params.device ()) in
+  List.iter
+    (fun sigma ->
+       match Gnrflash_device.Electrostatics.solve stack ~vgs:15. ~vs:0. ~sigma_fg:sigma with
+       | Ok s ->
+         let divider =
+           Gnrflash_device.Electrostatics.vfg_divider stack ~vgs:15. ~vs:0.
+             ~sigma_fg:sigma
+         in
+         Printf.printf "  sigma=%9.2e C/m^2: VFG poisson=%.4f V divider=%.4f V\n" sigma
+           s.Gnrflash_device.Electrostatics.vfg divider
+       | Error e -> Printf.printf "  poisson failed: %s\n" e)
+    [ 0.; -0.005; -0.02 ];
+  hr "Ablation: SILC (trap-assisted) retention multiplier";
+  let fn = Gnrflash.Params.fn () in
+  List.iter
+    (fun nt ->
+       let r =
+         Gnrflash_quantum.Trap_assisted.silc_ratio fn ~trap_density:nt ~v_ox:1.2
+           ~thickness:5e-9
+       in
+       Printf.printf "  N_t=%8.1e /m^2: J_TAT/J_direct = %.3e\n" nt r)
+    [ 1e13; 1e14; 1e15 ];
+  hr "Ablation: transfer-matrix staircase convergence";
+  let barrier = Gnrflash_quantum.Barrier.triangular ~phi_b:phi ~field:1.2e9 ~m_eff:m in
+  let e = 0.2 *. Gnrflash_physics.Constants.ev in
+  let reference =
+    Gnrflash_quantum.Transfer_matrix.transmission ~steps:3200 barrier ~energy:e
+  in
+  List.iter
+    (fun steps ->
+       let t = Gnrflash_quantum.Transfer_matrix.transmission ~steps barrier ~energy:e in
+       Printf.printf "  %5d steps: T=%.6e (vs 3200-step ref: %+.2f%%)\n" steps t
+         (100. *. ((t /. reference) -. 1.)))
+    [ 50; 100; 200; 400; 800 ];
+  hr "System: FN vs CHE page energy";
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-22s %.4e\n" k v)
+    (Gnrflash_memory.Energy.page_program_comparison ~cells:4096);
+  hr "System: FTL write amplification";
+  let module F = Gnrflash_memory.Ftl in
+  let module W = Gnrflash_memory.Workload in
+  List.iter
+    (fun (name, pattern) ->
+       let ftl = F.create F.default_config in
+       let trace =
+         W.generate ~seed:2014 pattern ~pages:(F.logical_capacity ftl) ~strings:1
+           ~ops:8000 ~read_fraction:0.
+       in
+       match F.run_trace ftl trace with
+       | Error e -> Printf.printf "  %-12s failed: %s\n" name e
+       | Ok ftl ->
+         let s = F.stats ftl in
+         Printf.printf "  %-12s WA=%.3f gc=%d wear-spread=%.0f\n" name
+           s.F.write_amplification s.F.gc_runs (F.wear_spread ftl))
+    [ ("sequential", W.Sequential); ("uniform", W.Uniform); ("zipf-1.3", W.Zipf 1.3) ];
+  hr "Ext K: retention after cycling (SILC)";
+  List.iter
+    (fun (cycles, traps, mult) ->
+       Printf.printf "  %6d cycles: N_t=%9.2e /m^2  leakage x%.3f\n" cycles traps mult)
+    (Gnrflash.Extensions.retention_after_cycling ());
+  hr "Ext L: MLC error budget (variation -> BER -> ECC)";
+  List.iter
+    (fun (a : Gnrflash_memory.Ber.analysis) ->
+       Printf.printf "  sigma=%.2f V: raw BER=%.3e page-fail=%.3e %s\n"
+         a.Gnrflash_memory.Ber.sigma_dvt a.Gnrflash_memory.Ber.raw_ber
+         a.Gnrflash_memory.Ber.page_failure
+         (if a.Gnrflash_memory.Ber.acceptable then "OK" else "FAIL"))
+    (Gnrflash.Extensions.mlc_error_budget ());
+  Printf.printf "  max tolerable sigma: %.3f V\n"
+    (Gnrflash_memory.Ber.max_tolerable_sigma ());
+  hr "Ablation: square vs ramped program pulse";
+  (* same total time; the ramp reaches nearly the same dVT while the peak
+     tunnel-oxide field (the oxide-wear driver) is much lower *)
+  let device = Gnrflash.Params.device () in
+  let peak_field_of segments =
+    (* peak field occurs at each segment start, before charge accumulates *)
+    let q = ref 0. and peak = ref 0. in
+    List.iter
+      (fun (s : Gnrflash_memory.Waveform.segment) ->
+         if s.Gnrflash_memory.Waveform.vgs <> 0. then begin
+           peak :=
+             max !peak
+               (abs_float
+                  (Gnrflash_device.Fgt.tunnel_field device
+                     ~vgs:s.Gnrflash_memory.Waveform.vgs ~qfg:!q));
+           match
+             Gnrflash_device.Transient.run ~qfg0:!q device
+               ~vgs:s.Gnrflash_memory.Waveform.vgs
+               ~duration:s.Gnrflash_memory.Waveform.duration
+           with
+           | Ok r -> q := r.Gnrflash_device.Transient.qfg_final
+           | Error _ -> ()
+         end)
+      segments;
+    (!peak, Gnrflash_device.Fgt.threshold_shift device ~qfg:!q)
+  in
+  let square = [ { Gnrflash_memory.Waveform.vgs = 15.; duration = 100e-6 } ] in
+  let ramp =
+    Gnrflash_memory.Waveform.staircase ~v0:11. ~step:0.5 ~width:(100e-6 /. 9.) ~count:9
+  in
+  let peak_sq, dvt_sq = peak_field_of square in
+  let peak_rp, dvt_rp = peak_field_of ramp in
+  Printf.printf "  square 15 V/100 us: peak field %.1f MV/cm, dVT = %.2f V\n"
+    (peak_sq /. 1e8) dvt_sq;
+  Printf.printf "  ramp 11->15 V:      peak field %.1f MV/cm, dVT = %.2f V\n"
+    (peak_rp /. 1e8) dvt_rp;
+  hr "Ablation: dynamic MLGNR quantum-capacitance feedback";
+  List.iter
+    (fun layers ->
+       let stack =
+         Gnrflash_materials.Mlgnr.make
+           (Gnrflash_materials.Gnr.make Gnrflash_materials.Gnr.Armchair 12)
+           ~layers
+       in
+       match Gnrflash_device.Qcap.run ~stack (Gnrflash.Params.device ()) ~vgs:15.
+               ~duration:1e-2 with
+       | Ok r ->
+         Printf.printf
+           "  %d-layer FG: dVT %.3f V (metal ref %.3f V), window shrink %.1f%%, EF %.3f eV\n"
+           layers r.Gnrflash_device.Qcap.dvt_final
+           r.Gnrflash_device.Qcap.dvt_final_metal
+           (100. *. r.Gnrflash_device.Qcap.window_shrink)
+           r.Gnrflash_device.Qcap.ef_final_ev
+       | Error e -> Printf.printf "  %d-layer FG: failed (%s)\n" layers e)
+    [ 1; 3; 8 ];
+  hr "Ext M: temperature bake (Arrhenius)";
+  let bake_rows, ea = Gnrflash.Extensions.bake_test () in
+  List.iter
+    (fun (temp, time) ->
+       Printf.printf "  T=%3.0f K (%3.0f C): t(80%% charge) = %s\n" temp (temp -. 273.)
+         (if Float.is_finite time then Printf.sprintf "%.3e s" time else ">100 years"))
+    bake_rows;
+  Printf.printf "  extracted Ea = %.3f eV (model: 0.300 eV)\n" ea;
+  hr "Ext N: weibull oxide reliability";
+  let module Rs = Gnrflash_device.Reliability_stats in
+  let w = { Rs.beta = 2.0; eta = 630. } in
+  let qs = Rs.sample ~seed:2014 w ~n:2000 in
+  (match Rs.fit qs with
+   | Ok (fitted, r2) ->
+     Printf.printf "  2000-device Q_BD sample: fitted beta=%.2f eta=%.0f C/m^2 (R^2=%.4f)\n"
+       fitted.Rs.beta fitted.Rs.eta r2
+   | Error e -> Printf.printf "  fit failed: %s\n" e);
+  Printf.printf "  100-ppm endurance at 0.08 C/m^2 per cycle: %.0f cycles\n"
+    (Rs.population_endurance ~seed:2014 w ~charge_per_cycle_per_area:0.08 ~n:100_000
+       ~ppm_target:100.);
+  hr "System: process variation";
+  let module V = Gnrflash_device.Variation in
+  let base = Gnrflash.Params.device () in
+  let s = V.summarize (V.sample_devices ~seed:2014 ~base ~n:100 ()) in
+  Printf.printf
+    "  100 devices: t_med=%.2e s, p95/p5=%.1fx, sigma(dVT)=%.3f V, dXTO sens=%.2f dec/nm\n"
+    s.V.t_prog_median s.V.t_prog_spread s.V.dvt_sigma (V.sensitivity_xto base)
+
+let print_extensions () =
+  hr "Ext A: JFN model comparison";
+  List.iter
+    (fun (name, pts) ->
+       Printf.printf "  %-24s" name;
+       Array.iter (fun (e, j) -> Printf.printf " %8.1f->%9.2e" e j)
+         (Array.sub pts 0 (min 4 (Array.length pts)));
+       print_newline ())
+    (Gnrflash.Extensions.model_comparison ~fields_mv_cm:[| 8.; 11.; 14.; 17. |] ());
+  hr "Ext B: design optimization";
+  let best, points = Gnrflash.Extensions.optimize_design () in
+  Printf.printf "  evaluated %d design points\n" (List.length points);
+  Printf.printf "  best feasible: GCR=%.2f XTO=%.1fnm t_prog=%.3e s E=%.1f MV/cm endurance=%.2e\n"
+    best.Gnrflash.Extensions.gcr best.Gnrflash.Extensions.xto_nm
+    best.Gnrflash.Extensions.program_time
+    (best.Gnrflash.Extensions.peak_field /. 1e8)
+    best.Gnrflash.Extensions.endurance;
+  hr "Ext C: retention";
+  let _, loss = Gnrflash.Extensions.retention_curve () in
+  Printf.printf "  10-year charge loss at dVT0 = 2 V: %.4f %%\n" loss;
+  hr "Ext D: endurance";
+  let _, survived = Gnrflash.Extensions.endurance_curve ~cycles:2000 () in
+  Printf.printf "  cycles survived (budget 2000): %d\n" survived;
+  hr "Ext E: quantum-capacitance correction";
+  List.iter
+    (fun (n, g0, g_eff) ->
+       Printf.printf "  %d-layer FG: geometric GCR %.3f -> effective %.3f\n" n g0 g_eff)
+    (Gnrflash.Extensions.qcap_comparison ~layers:[ 1; 2; 3; 5; 10 ]);
+  hr "Ext F: NAND page program";
+  match Gnrflash.Extensions.nand_page_demo () with
+  | Error e -> Printf.printf "  FAILED: %s\n" e
+  | Ok s ->
+    Printf.printf "  pages=%d verify_failures=%d max_disturb_dVT=%.4f V mean_pulses=%.1f\n"
+      s.Gnrflash.Extensions.pages_written s.Gnrflash.Extensions.verify_failures
+      s.Gnrflash.Extensions.disturb_dvt_max s.Gnrflash.Extensions.mean_pulses
+
+(* ---------- part 2: bechamel timing ---------- *)
+
+let stage f = Staged.stage f
+
+let figure_tests =
+  [
+    Test.make ~name:"fig2-band-diagram"
+      (stage (fun () -> ignore (Gnrflash.Figures.fig2_band_diagram ())));
+    Test.make ~name:"fig4-initial-currents"
+      (stage (fun () -> ignore (Gnrflash.Figures.fig4_initial_currents ())));
+    Test.make ~name:"fig5-transient"
+      (stage (fun () -> ignore (Gnrflash.Figures.fig5_transient ())));
+    Test.make ~name:"fig6-program-gcr"
+      (stage (fun () -> ignore (Gnrflash.Figures.fig6_program_gcr ())));
+    Test.make ~name:"fig7-program-xto"
+      (stage (fun () -> ignore (Gnrflash.Figures.fig7_program_xto ())));
+    Test.make ~name:"fig8-erase-gcr"
+      (stage (fun () -> ignore (Gnrflash.Figures.fig8_erase_gcr ())));
+    Test.make ~name:"fig9-erase-xto"
+      (stage (fun () -> ignore (Gnrflash.Figures.fig9_erase_xto ())));
+  ]
+
+let extension_tests =
+  [
+    Test.make ~name:"ext-a-model-ablation"
+      (stage (fun () ->
+           ignore
+             (Gnrflash.Extensions.model_comparison ~fields_mv_cm:[| 10.; 14. |] ())));
+    Test.make ~name:"ext-b-design-point"
+      (stage (fun () -> ignore (Gnrflash.Extensions.evaluate_design ~gcr:0.6 ~xto_nm:5.)));
+    Test.make ~name:"ext-c-retention"
+      (stage (fun () -> ignore (Gnrflash.Extensions.retention_curve ())));
+    Test.make ~name:"ext-d-endurance-100"
+      (stage (fun () -> ignore (Gnrflash.Extensions.endurance_curve ~cycles:100 ())));
+    Test.make ~name:"ext-e-qcap"
+      (stage (fun () -> ignore (Gnrflash.Extensions.qcap_comparison ~layers:[ 1; 5 ])));
+    Test.make ~name:"ext-f-nand-page"
+      (stage (fun () -> ignore (Gnrflash.Extensions.nand_page_demo ~pages:1 ~strings:4 ())));
+  ]
+
+let kernel_tests =
+  let fn = Gnrflash.Params.fn () in
+  let phi = 3.2 *. Gnrflash_physics.Constants.ev in
+  let m = 0.42 *. Gnrflash_physics.Constants.m0 in
+  let barrier = Gnrflash_quantum.Barrier.triangular ~phi_b:phi ~field:1.2e9 ~m_eff:m in
+  [
+    Test.make ~name:"kernel-fn-closed-form"
+      (stage (fun () -> ignore (Gnrflash_quantum.Fn.current_density fn ~field:1.2e9)));
+    Test.make ~name:"kernel-wkb-quadrature"
+      (stage (fun () ->
+           ignore (Gnrflash_quantum.Wkb.transmission barrier ~energy:1e-21)));
+    Test.make ~name:"kernel-transfer-matrix-400"
+      (stage (fun () ->
+           ignore
+             (Gnrflash_quantum.Transfer_matrix.transmission ~steps:400 barrier
+                ~energy:(0.1 *. Gnrflash_physics.Constants.ev))));
+    Test.make ~name:"kernel-airy-exact"
+      (stage (fun () ->
+           ignore
+             (Gnrflash_quantum.Triangular_exact.transmission_fn ~phi_b:phi ~field:1.2e9
+                ~thickness:5e-9 ~m_b:m ~m_e:Gnrflash_physics.Constants.m0
+                ~energy:(0.1 *. Gnrflash_physics.Constants.ev))));
+    Test.make ~name:"kernel-program-transient"
+      (stage (fun () ->
+           ignore
+             (Gnrflash_device.Transient.run Gnrflash_device.Fgt.paper_default ~vgs:15.
+                ~duration:10.)));
+  ]
+
+let system_tests =
+  [
+    Test.make ~name:"system-poisson-solve"
+      (stage (fun () ->
+           let stack =
+             Gnrflash_device.Electrostatics.of_fgt Gnrflash_device.Fgt.paper_default
+           in
+           ignore
+             (Gnrflash_device.Electrostatics.solve stack ~vgs:15. ~vs:0.
+                ~sigma_fg:(-0.01))));
+    Test.make ~name:"system-mlc-program-4-levels"
+      (stage (fun () ->
+           for level = 1 to 3 do
+             ignore
+               (Gnrflash_memory.Mlc.program_level Gnrflash_device.Fgt.paper_default
+                  ~qfg0:0. ~level)
+           done));
+    Test.make ~name:"system-ecc-encode-decode-64"
+      (stage
+         (let data = Array.init 64 (fun i -> i land 1) in
+          fun () ->
+            match Gnrflash_memory.Ecc.decode ~k:64 (Gnrflash_memory.Ecc.encode data) with
+            | Gnrflash_memory.Ecc.Clean _ -> ()
+            | _ -> failwith "ecc"));
+    Test.make ~name:"system-ftl-1000-writes"
+      (stage (fun () ->
+           let ftl = Gnrflash_memory.Ftl.create Gnrflash_memory.Ftl.default_config in
+           let rec go ftl n =
+             if n = 0 then ()
+             else
+               match Gnrflash_memory.Ftl.write ftl ~lpn:(n mod 100) with
+               | Ok ftl -> go ftl (n - 1)
+               | Error _ -> ()
+           in
+           go ftl 1000));
+    Test.make ~name:"system-variation-10-devices"
+      (stage (fun () ->
+           ignore
+             (Gnrflash_device.Variation.sample_devices
+                ~base:Gnrflash_device.Fgt.paper_default ~n:10 ())));
+  ]
+
+let run_benchmarks () =
+  hr "Bechamel microbenchmarks";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~kde:(Some 100) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let all_tests = figure_tests @ extension_tests @ kernel_tests @ system_tests in
+  Printf.printf "  %-28s %14s %10s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun test ->
+       List.iter
+         (fun (name, result) ->
+            let est = Analyze.one ols Instance.monotonic_clock result in
+            let ns =
+              match Analyze.OLS.estimates est with
+              | Some [ e ] -> e
+              | _ -> nan
+            in
+            let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
+            let time_str =
+              if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+              else Printf.sprintf "%.1f ns" ns
+            in
+            Printf.printf "  %-28s %14s %10.4f\n" name time_str r2)
+         (Benchmark.all cfg instances test |> Hashtbl.to_seq |> List.of_seq
+          |> List.sort compare))
+    all_tests
+
+let () =
+  print_figures ();
+  print_checks ();
+  print_extensions ();
+  print_ablations ();
+  run_benchmarks ();
+  hr "Done"

@@ -1,0 +1,280 @@
+(* gnrflash command-line interface: regenerate the paper's figures and run
+   the extension experiments from the shell. *)
+
+open Cmdliner
+
+let out_formats = [ ("ascii", `Ascii); ("svg", `Svg); ("csv", `Csv) ]
+
+let format_arg =
+  let doc = "Output format: ascii (terminal), svg, or csv." in
+  Arg.(value & opt (enum out_formats) `Ascii & info [ "format"; "f" ] ~doc)
+
+let out_dir_arg =
+  let doc = "Directory for svg/csv output files." in
+  Arg.(value & opt string "figures" & info [ "out"; "o" ] ~doc)
+
+let emit ~format ~out_dir ~name fig =
+  match format with
+  | `Ascii -> Gnrflash_plot.Ascii.print fig
+  | `Svg ->
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    let path = Filename.concat out_dir (name ^ ".svg") in
+    Gnrflash_plot.Svg.save ~path fig;
+    Printf.printf "wrote %s\n" path
+  | `Csv ->
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    let path = Filename.concat out_dir (name ^ ".csv") in
+    Gnrflash_plot.Csv.save_figure ~path fig;
+    Printf.printf "wrote %s\n" path
+
+(* ---- fig command ---- *)
+
+let fig_ids =
+  [ "2"; "4"; "5"; "6"; "7"; "8"; "9"; "models"; "qcap"; "idvg"; "all" ]
+
+let fig_cmd =
+  let id_arg =
+    let doc =
+      "Figure to regenerate: a paper figure (2, 4, 5, 6, 7, 8, 9), an \
+       extension figure (models, qcap, idvg), or all."
+    in
+    Arg.(value & pos 0 (enum (List.map (fun s -> (s, s)) fig_ids)) "all"
+         & info [] ~docv:"FIGURE" ~doc)
+  in
+  let extension_figures () =
+    [
+      ("ext_models", Gnrflash.Extensions.model_figure ());
+      ("ext_qcap", Gnrflash.Extensions.qcap_jv_figure ());
+      ("ext_idvg", Gnrflash.Extensions.id_vg_figure ());
+    ]
+  in
+  let run id format out_dir =
+    let wanted =
+      match id with
+      | "all" -> Gnrflash.Figures.all () @ extension_figures ()
+      | "models" | "qcap" | "idvg" ->
+        List.filter (fun (n, _) -> n = "ext_" ^ id) (extension_figures ())
+      | id -> List.filter (fun (n, _) -> n = "fig" ^ id) (Gnrflash.Figures.all ())
+    in
+    List.iter (fun (name, fig) -> emit ~format ~out_dir ~name fig) wanted
+  in
+  let doc = "Regenerate a paper or extension figure." in
+  Cmd.v (Cmd.info "fig" ~doc) Term.(const run $ id_arg $ format_arg $ out_dir_arg)
+
+(* ---- check command ---- *)
+
+let check_cmd =
+  let run () =
+    let checks = Gnrflash.Report.all_checks () in
+    print_string (Gnrflash.Report.render checks);
+    if List.exists (fun c -> not c.Gnrflash.Report.passed) checks then exit 1
+  in
+  let doc = "Run the paper-shape validation checks." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ const ())
+
+(* ---- transient command ---- *)
+
+let transient_cmd =
+  let vgs_arg =
+    Arg.(value & opt float 15. & info [ "vgs" ] ~doc:"Control-gate bias [V].")
+  in
+  let duration_arg =
+    Arg.(value & opt float 10. & info [ "duration" ] ~doc:"Integration horizon [s].")
+  in
+  let run vgs duration =
+    let t = Gnrflash.Params.device () in
+    match Gnrflash_device.Transient.run t ~vgs ~duration with
+    | Error e ->
+      prerr_endline ("transient failed: " ^ e);
+      exit 1
+    | Ok r ->
+      Printf.printf "%-12s %-12s %-10s %-12s %-12s\n" "time[s]" "QFG[C]" "VFG[V]"
+        "Jin[A/cm2]" "Jout[A/cm2]";
+      let samples = r.Gnrflash_device.Transient.samples in
+      let n = Array.length samples in
+      let stride = max 1 (n / 24) in
+      Array.iteri
+        (fun i s ->
+           if i mod stride = 0 || i = n - 1 then
+             Printf.printf "%-12.4e %-12.4e %-10.4f %-12.4e %-12.4e\n"
+               s.Gnrflash_device.Transient.time s.Gnrflash_device.Transient.qfg
+               s.Gnrflash_device.Transient.vfg
+               (s.Gnrflash_device.Transient.j_in /. 1e4)
+               (s.Gnrflash_device.Transient.j_out /. 1e4))
+        samples;
+      (match r.Gnrflash_device.Transient.tsat with
+       | Some t -> Printf.printf "tsat = %.4e s\n" t
+       | None -> print_endline "no saturation within horizon");
+      Printf.printf "final dVT = %.3f V\n" r.Gnrflash_device.Transient.dvt_final
+  in
+  let doc = "Integrate one program/erase transient and print the trajectory." in
+  Cmd.v (Cmd.info "transient" ~doc) Term.(const run $ vgs_arg $ duration_arg)
+
+(* ---- retention command ---- *)
+
+let retention_cmd =
+  let dvt_arg =
+    Arg.(value & opt float 2.0 & info [ "dvt" ] ~doc:"Programmed threshold shift [V].")
+  in
+  let run dvt format out_dir =
+    let fig, loss = Gnrflash.Extensions.retention_curve ~dvt0:dvt () in
+    emit ~format ~out_dir ~name:"ext_retention" fig;
+    Printf.printf "10-year charge loss: %.3f %%\n" loss
+  in
+  let doc = "Retention (charge loss vs log time) experiment." in
+  Cmd.v (Cmd.info "retention" ~doc)
+    Term.(const run $ dvt_arg $ format_arg $ out_dir_arg)
+
+(* ---- endurance command ---- *)
+
+let endurance_cmd =
+  let cycles_arg =
+    Arg.(value & opt int 10_000 & info [ "cycles" ] ~doc:"P/E cycle budget.")
+  in
+  let run cycles format out_dir =
+    let fig, survived = Gnrflash.Extensions.endurance_curve ~cycles () in
+    emit ~format ~out_dir ~name:"ext_endurance" fig;
+    Printf.printf "cycles survived: %d / %d\n" survived cycles
+  in
+  let doc = "Endurance cycling experiment." in
+  Cmd.v (Cmd.info "endurance" ~doc)
+    Term.(const run $ cycles_arg $ format_arg $ out_dir_arg)
+
+(* ---- models command (Ext A) ---- *)
+
+let models_cmd =
+  let run format out_dir =
+    emit ~format ~out_dir ~name:"ext_models" (Gnrflash.Extensions.model_figure ());
+    let rows = Gnrflash.Extensions.model_comparison () in
+    Printf.printf "%-24s %-14s %-14s\n" "model" "J@10MV/cm" "J@15MV/cm";
+    List.iter
+      (fun (name, pts) ->
+         let at target =
+           Array.fold_left
+             (fun acc (e, j) -> if abs_float (e -. target) < 0.51 then j else acc)
+             nan pts
+         in
+         Printf.printf "%-24s %-14.4e %-14.4e\n" name (at 10.) (at 15.))
+      rows
+  in
+  let doc = "Compare FN closed form with WKB/TMM/Airy Tsu-Esaki models (Ext A)." in
+  Cmd.v (Cmd.info "models" ~doc) Term.(const run $ format_arg $ out_dir_arg)
+
+(* ---- optimize command (Ext B) ---- *)
+
+let optimize_cmd =
+  let run () =
+    let best, points = Gnrflash.Extensions.optimize_design () in
+    Printf.printf "%-6s %-8s %-14s %-14s %-12s %s\n" "GCR" "XTO[nm]" "t_prog[s]"
+      "E_peak[MV/cm]" "endurance" "feasible";
+    List.iter
+      (fun (p : Gnrflash.Extensions.design_point) ->
+         Printf.printf "%-6.2f %-8.1f %-14.4e %-14.2f %-12.3e %b\n"
+           p.Gnrflash.Extensions.gcr p.Gnrflash.Extensions.xto_nm
+           p.Gnrflash.Extensions.program_time
+           (p.Gnrflash.Extensions.peak_field /. 1e8)
+           p.Gnrflash.Extensions.endurance p.Gnrflash.Extensions.feasible)
+      points;
+    Printf.printf
+      "\nbest: GCR=%.2f XTO=%.1fnm t_prog=%.3e s E=%.1f MV/cm endurance=%.2e\n"
+      best.Gnrflash.Extensions.gcr best.Gnrflash.Extensions.xto_nm
+      best.Gnrflash.Extensions.program_time
+      (best.Gnrflash.Extensions.peak_field /. 1e8)
+      best.Gnrflash.Extensions.endurance
+  in
+  let doc = "Design-space optimization over (GCR, XTO) (Ext B)." in
+  Cmd.v (Cmd.info "optimize" ~doc) Term.(const run $ const ())
+
+(* ---- variation command ---- *)
+
+let variation_cmd =
+  let n_arg = Arg.(value & opt int 200 & info [ "n" ] ~doc:"Ensemble size.") in
+  let seed_arg = Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run n seed =
+    let module V = Gnrflash_device.Variation in
+    let base = Gnrflash.Params.device () in
+    let samples = V.sample_devices ~seed ~base ~n () in
+    let s = V.summarize samples in
+    Printf.printf "ensemble of %d devices around the paper point:\n" s.V.n;
+    Printf.printf "  t_prog median  %.3e s\n" s.V.t_prog_median;
+    Printf.printf "  t_prog p95     %.3e s\n" s.V.t_prog_p95;
+    Printf.printf "  p95/p5 spread  %.1fx\n" s.V.t_prog_spread;
+    Printf.printf "  dVT sigma      %.3f V (fixed 100 ns pulse)\n" s.V.dvt_sigma;
+    Printf.printf "  XTO sensitivity %.2f decades/nm\n" (V.sensitivity_xto base)
+  in
+  let doc = "Monte-Carlo process-variation analysis." in
+  Cmd.v (Cmd.info "variation" ~doc) Term.(const run $ n_arg $ seed_arg)
+
+(* ---- ftl command ---- *)
+
+let ftl_cmd =
+  let ops_arg = Arg.(value & opt int 20000 & info [ "ops" ] ~doc:"Write operations.") in
+  let run ops =
+    let module F = Gnrflash_memory.Ftl in
+    let module W = Gnrflash_memory.Workload in
+    Printf.printf "%-12s %-8s %-8s %-8s %s\n" "workload" "WA" "gc" "erases" "wear spread";
+    List.iter
+      (fun (name, pattern) ->
+         let ftl = F.create F.default_config in
+         let trace =
+           W.generate ~seed:2014 pattern ~pages:(F.logical_capacity ftl) ~strings:1
+             ~ops ~read_fraction:0.
+         in
+         match F.run_trace ftl trace with
+         | Error e -> Printf.printf "%-12s failed: %s\n" name e
+         | Ok ftl ->
+           let s = F.stats ftl in
+           Printf.printf "%-12s %-8.3f %-8d %-8d %.0f\n" name s.F.write_amplification
+             s.F.gc_runs s.F.erases (F.wear_spread ftl))
+      [
+        ("sequential", W.Sequential);
+        ("uniform", W.Uniform);
+        ("zipf-0.9", W.Zipf 0.9);
+        ("zipf-1.3", W.Zipf 1.3);
+      ]
+  in
+  let doc = "Flash-translation-layer workload study." in
+  Cmd.v (Cmd.info "ftl" ~doc) Term.(const run $ ops_arg)
+
+(* ---- energy command ---- *)
+
+let energy_cmd =
+  let cells_arg = Arg.(value & opt int 4096 & info [ "cells" ] ~doc:"Page size in cells.") in
+  let run cells =
+    let rows = Gnrflash_memory.Energy.page_program_comparison ~cells in
+    Printf.printf "page of %d cells:\n" cells;
+    List.iter (fun (k, v) -> Printf.printf "  %-22s %.4e\n" k v) rows
+  in
+  let doc = "FN vs channel-hot-electron page-programming energy." in
+  Cmd.v (Cmd.info "energy" ~doc) Term.(const run $ cells_arg)
+
+(* ---- ber command ---- *)
+
+let ber_cmd =
+  let sigma_arg =
+    Arg.(value & opt (some float) None
+         & info [ "sigma" ] ~doc:"Threshold placement spread [V]; omit for a sweep.")
+  in
+  let run sigma =
+    let module B = Gnrflash_memory.Ber in
+    let show (a : B.analysis) =
+      Printf.printf "  sigma=%.3f V: raw BER=%.3e  codeword-fail=%.3e  page-fail=%.3e %s\n"
+        a.B.sigma_dvt a.B.raw_ber a.B.codeword_failure a.B.page_failure
+        (if a.B.acceptable then "OK" else "FAIL")
+    in
+    (match sigma with
+     | Some s -> show (B.analyze ~sigma_dvt:s ())
+     | None -> List.iter show (Gnrflash.Extensions.mlc_error_budget ()));
+    Printf.printf "max tolerable sigma for 1e-12 page failure: %.3f V\n"
+      (B.max_tolerable_sigma ())
+  in
+  let doc = "MLC bit-error-rate and ECC budget analysis." in
+  Cmd.v (Cmd.info "ber" ~doc) Term.(const run $ sigma_arg)
+
+let main =
+  let doc = "MLGNR-CNT floating-gate flash memory model (SOCC 2014 reproduction)" in
+  Cmd.group (Cmd.info "gnrflash" ~version:"1.0.0" ~doc)
+    [ fig_cmd; check_cmd; transient_cmd; retention_cmd; endurance_cmd; models_cmd;
+      optimize_cmd; variation_cmd; ftl_cmd; energy_cmd; ber_cmd ]
+
+let () = exit (Cmd.eval main)

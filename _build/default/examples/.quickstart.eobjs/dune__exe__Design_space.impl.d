@@ -1,0 +1,1 @@
+examples/design_space.ml: Array Float Gnrflash Gnrflash_numerics List Printf

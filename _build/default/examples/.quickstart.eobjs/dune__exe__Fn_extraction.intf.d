@@ -1,0 +1,1 @@
+examples/fn_extraction.mli:

@@ -1,0 +1,1 @@
+examples/ftl_simulation.ml: Gnrflash_memory Printf

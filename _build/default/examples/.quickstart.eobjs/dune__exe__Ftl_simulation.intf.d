@@ -1,0 +1,1 @@
+examples/ftl_simulation.mli:

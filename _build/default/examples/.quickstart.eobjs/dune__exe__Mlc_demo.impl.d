@@ -1,0 +1,1 @@
+examples/mlc_demo.ml: Array Gnrflash_device Gnrflash_memory Printf

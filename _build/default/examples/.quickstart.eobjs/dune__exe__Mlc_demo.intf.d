@@ -1,0 +1,1 @@
+examples/mlc_demo.mli:

@@ -1,0 +1,1 @@
+examples/nand_page_program.ml: Array Gnrflash_device Gnrflash_memory List Printf String

@@ -1,0 +1,1 @@
+examples/nand_page_program.mli:

@@ -1,0 +1,1 @@
+examples/program_erase_cycle.ml: Array Gnrflash_device Gnrflash_memory List Printf

@@ -1,0 +1,1 @@
+examples/program_erase_cycle.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gnrflash Gnrflash_device Gnrflash_plot Gnrflash_quantum Printf

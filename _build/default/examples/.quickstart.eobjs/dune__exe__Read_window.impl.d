@@ -1,0 +1,1 @@
+examples/read_window.ml: Gnrflash Gnrflash_device Gnrflash_memory Gnrflash_plot Printf

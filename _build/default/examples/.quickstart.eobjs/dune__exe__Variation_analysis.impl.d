@@ -1,0 +1,1 @@
+examples/variation_analysis.ml: Array Gnrflash_device Gnrflash_numerics Printf String

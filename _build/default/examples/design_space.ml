@@ -1,0 +1,48 @@
+(* The paper's future-work item: "optimizing the supply voltage, tunneling
+   current density and oxide thickness for optimum performance". This
+   example scans the (GCR, XTO) design space for the fastest programming
+   that stays under the oxide breakdown field with adequate endurance, then
+   polishes the best point with Nelder-Mead.
+
+   Run with: dune exec examples/design_space.exe *)
+
+module E = Gnrflash.Extensions
+module Opt = Gnrflash_numerics.Optimize
+
+let () =
+  let best, points = E.optimize_design () in
+  Printf.printf "design grid (%d points):\n" (List.length points);
+  Printf.printf "  %-6s %-8s %-13s %-14s %-12s %s\n" "GCR" "XTO[nm]" "t_prog[s]"
+    "E_peak[MV/cm]" "endurance" "ok";
+  List.iter
+    (fun (p : E.design_point) ->
+       Printf.printf "  %-6.2f %-8.1f %-13.3e %-14.2f %-12.2e %b\n" p.E.gcr p.E.xto_nm
+         p.E.program_time (p.E.peak_field /. 1e8) p.E.endurance p.E.feasible)
+    points;
+  Printf.printf "\ngrid best: GCR=%.2f, XTO=%.1f nm, t_prog=%.3e s\n" best.E.gcr
+    best.E.xto_nm best.E.program_time;
+
+  (* Local refinement: minimize log program time with a penalty for
+     breaking the field / endurance constraints. *)
+  let objective x =
+    let gcr = x.(0) and xto_nm = x.(1) in
+    if gcr <= 0.3 || gcr >= 0.8 || xto_nm <= 3.5 || xto_nm >= 10. then 1e6
+    else begin
+      let p = E.evaluate_design ~gcr ~xto_nm in
+      let base =
+        if Float.is_finite p.E.program_time then log10 p.E.program_time else 6.
+      in
+      let penalty =
+        (if p.E.feasible then 0. else 100.)
+        +. if p.E.endurance < 1e4 then 50. else 0.
+      in
+      base +. penalty
+    end
+  in
+  let x, fx = Opt.nelder_mead ~scale:0.08 objective [| best.E.gcr; best.E.xto_nm |] in
+  let refined = E.evaluate_design ~gcr:x.(0) ~xto_nm:x.(1) in
+  Printf.printf
+    "refined:   GCR=%.3f, XTO=%.2f nm, t_prog=%.3e s (log10 objective %.2f)\n" x.(0)
+    x.(1) refined.E.program_time fx;
+  Printf.printf "  peak field %.2f MV/cm, predicted endurance %.2e cycles\n"
+    (refined.E.peak_field /. 1e8) refined.E.endurance

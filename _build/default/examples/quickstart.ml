@@ -1,0 +1,39 @@
+(* Quickstart: build the paper's device, compute the worked example of
+   Section III, and regenerate one evaluation figure.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module D = Gnrflash_device
+module Q = Gnrflash_quantum
+
+let () =
+  (* The paper's floating-gate transistor: GCR = 0.6, 5 nm tunnel oxide,
+     10 nm control oxide, 3.2 eV barrier. *)
+  let fgt = D.Fgt.paper_default in
+
+  (* Equation (3): with VGS = 15 V and no stored charge, VFG = 9 V. *)
+  let vfg = D.Fgt.vfg fgt ~vgs:15. ~qfg:0. in
+  Printf.printf "VFG at VGS=15V, QFG=0: %.2f V (paper: 9 V)\n" vfg;
+
+  (* The two tunneling currents at the start of programming. *)
+  let jin, jout = D.Transient.initial_currents fgt ~vgs:15. ~qfg:0. in
+  Printf.printf "Jin  = %.3e A/cm^2 (channel -> floating gate)\n" (jin /. 1e4);
+  Printf.printf "Jout = %.3e A/cm^2 (floating gate -> control gate)\n" (jout /. 1e4);
+
+  (* Program the cell for 100 us and look at the threshold shift. *)
+  (match D.Transient.run fgt ~vgs:15. ~duration:100e-6 with
+   | Error e -> prerr_endline ("transient failed: " ^ e)
+   | Ok r ->
+     Printf.printf "after 100 us: QFG = %.3e C, dVT = %.2f V%s\n"
+       r.D.Transient.qfg_final r.D.Transient.dvt_final
+       (match r.D.Transient.tsat with
+        | Some t -> Printf.sprintf " (saturated at %.2e s)" t
+        | None -> ""));
+
+  (* FN coefficients behind all of this. *)
+  let p = Q.Fn.coefficients ~phi_b_ev:3.2 ~m_ox_rel:0.42 in
+  Printf.printf "FN coefficients: A = %.3e A/V^2, B = %.3e V/m\n" p.Q.Fn.a p.Q.Fn.b;
+
+  (* Figure 6, as the paper draws it. *)
+  print_newline ();
+  Gnrflash_plot.Ascii.print ~width:64 ~height:16 (Gnrflash.Figures.fig6_program_gcr ())

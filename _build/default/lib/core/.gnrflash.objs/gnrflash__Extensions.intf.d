@@ -1,0 +1,1 @@
+lib/core/extensions.mli: Gnrflash_memory Gnrflash_plot

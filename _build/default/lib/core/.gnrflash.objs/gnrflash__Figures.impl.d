@@ -1,0 +1,1 @@
+lib/core/figures.ml: Array Gnrflash_device Gnrflash_numerics Gnrflash_physics Gnrflash_plot Gnrflash_quantum List Params Printf

@@ -1,0 +1,1 @@
+lib/core/params.mli: Gnrflash_device Gnrflash_quantum

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Figures Gnrflash_plot List Printf String

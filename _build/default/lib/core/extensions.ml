@@ -1,0 +1,312 @@
+module Plot = Gnrflash_plot
+module D = Gnrflash_device
+module Q = Gnrflash_quantum
+module M = Gnrflash_memory
+module Mat = Gnrflash_materials
+module U = Gnrflash_physics.Units
+module C = Gnrflash_physics.Constants
+module Grid = Gnrflash_numerics.Grid
+
+(* ---------- Ext A: model accuracy ---------- *)
+
+let default_fields = Grid.linspace 6. 18. 13
+
+let model_comparison ?(fields_mv_cm = default_fields) () =
+  let phi_b = U.ev_to_joule Params.phi_b_ev in
+  let m_b = Params.m_ox_rel *. C.m0 in
+  let thickness = U.nm Params.xto_default_nm in
+  let ef = U.ev_to_joule 0.1 in
+  let fn = Params.fn () in
+  let models =
+    [
+      ("fn-closed-form", fun field -> Q.Fn.current_density fn ~field);
+      ( "tsu-esaki/wkb",
+        fun field ->
+          Q.Tsu_esaki.current_density ~model:Q.Tsu_esaki.Wkb_model ~phi_b ~field
+            ~thickness ~m_b ~ef () );
+      ( "tsu-esaki/tmm",
+        fun field ->
+          Q.Tsu_esaki.current_density ~model:(Q.Tsu_esaki.Transfer_matrix_model 300)
+            ~phi_b ~field ~thickness ~m_b ~ef () );
+      ( "tsu-esaki/exact-airy",
+        fun field ->
+          Q.Tsu_esaki.current_density ~model:Q.Tsu_esaki.Exact_airy ~phi_b ~field
+            ~thickness ~m_b ~ef () );
+    ]
+  in
+  List.map
+    (fun (name, j_of) ->
+       ( name,
+         Array.map
+           (fun e_mv -> (e_mv, U.to_a_per_cm2 (j_of (U.mv_per_cm e_mv))))
+           fields_mv_cm ))
+    models
+
+let model_figure () =
+  let rows = model_comparison () in
+  Plot.Figure.make ~title:"Ext A: JFN model comparison (phi_B=3.2eV, 5nm oxide)"
+    ~xlabel:"oxide field [MV/cm]" ~ylabel:"J [A/cm^2]" ~yscale:Plot.Scale.Log10
+    (List.map (fun (name, pts) -> Plot.Series.make ~label:name pts) rows)
+
+(* ---------- Ext B: design-space optimization ---------- *)
+
+type design_point = {
+  gcr : float;
+  xto_nm : float;
+  program_time : float;
+  peak_field : float;
+  endurance : float;
+  feasible : bool;
+}
+
+let evaluate_design ~gcr ~xto_nm =
+  let base = Params.device () in
+  let t = D.Fgt.with_xto (D.Fgt.with_gcr base gcr) (U.nm xto_nm) in
+  let vgs = Params.vgs_program in
+  let peak_field = D.Fgt.tunnel_field t ~vgs ~qfg:0. in
+  let program_time =
+    match D.Transient.time_to_threshold_shift t ~vgs ~dvt:2.0 ~max_time:1.0 with
+    | Ok (Some time) -> time
+    | Ok None | Error _ -> infinity
+  in
+  let endurance = M.Endurance.predicted_endurance t ~vgs in
+  let breakdown = Mat.Oxide.sio2.Mat.Oxide.breakdown_field in
+  {
+    gcr;
+    xto_nm;
+    program_time;
+    peak_field;
+    endurance;
+    feasible = peak_field < breakdown && Float.is_finite program_time;
+  }
+
+let optimize_design ?(gcr_range = (0.45, 0.7)) ?(xto_range_nm = (4., 9.)) () =
+  let g0, g1 = gcr_range and x0, x1 = xto_range_nm in
+  let gcrs = Grid.linspace g0 g1 6 in
+  let xtos = Grid.linspace x0 x1 6 in
+  let points =
+    Array.to_list gcrs
+    |> List.concat_map (fun gcr ->
+        Array.to_list xtos |> List.map (fun xto_nm -> evaluate_design ~gcr ~xto_nm))
+  in
+  let viable =
+    List.filter (fun p -> p.feasible && p.endurance >= 1e4) points
+  in
+  let best =
+    match viable with
+    | [] ->
+      (* fall back to the fastest feasible point regardless of endurance *)
+      List.fold_left
+        (fun acc p -> if p.program_time < acc.program_time then p else acc)
+        (List.hd points) points
+    | hd :: tl ->
+      List.fold_left
+        (fun acc p -> if p.program_time < acc.program_time then p else acc)
+        hd tl
+  in
+  (best, points)
+
+(* ---------- Ext C: retention ---------- *)
+
+let retention_curve ?(dvt0 = 2.0) () =
+  let t = Params.device () in
+  let qfg0 = D.Fgt.qfg_for_threshold_shift t ~dvt:dvt0 in
+  let ten_years = U.years 10. in
+  let samples = D.Retention.simulate t ~qfg0 ~t_start:1e-3 ~t_end:ten_years in
+  let series =
+    Plot.Series.make ~label:(Printf.sprintf "dVT0 = %.1f V" dvt0)
+      (Array.map (fun s -> (s.D.Retention.time, s.D.Retention.dvt)) samples)
+  in
+  let fig =
+    Plot.Figure.make ~title:"Ext C: retention (threshold shift vs time)"
+      ~xlabel:"time [s]" ~ylabel:"remaining dVT [V]" ~xscale:Plot.Scale.Log10
+      [ series ]
+  in
+  (fig, D.Retention.charge_loss_percent t ~qfg0 ~after:ten_years)
+
+(* ---------- Ext D: endurance ---------- *)
+
+let endurance_curve ?(cycles = 10_000) () =
+  let t = Params.device () in
+  let short_pulse v = { D.Program_erase.vgs = v; duration = 100e-6 } in
+  let run =
+    M.Endurance.cycle_cell ~program_pulse:(short_pulse 15.)
+      ~erase_pulse:(short_pulse (-15.)) t ~cycles
+  in
+  let pts label f =
+    Plot.Series.make ~label
+      (Array.of_list
+         (List.map (fun s -> (float_of_int s.M.Endurance.cycle, f s)) run.M.Endurance.samples))
+  in
+  let fig =
+    Plot.Figure.make ~title:"Ext D: P/E window vs cycling" ~xlabel:"cycles"
+      ~ylabel:"VT [V]" ~xscale:Plot.Scale.Log10
+      [
+        pts "VT programmed" (fun s -> s.M.Endurance.vt_programmed);
+        pts "VT erased" (fun s -> s.M.Endurance.vt_erased);
+        pts "window" (fun s -> s.M.Endurance.window);
+      ]
+  in
+  (fig, run.M.Endurance.cycles_survived)
+
+(* ---------- Ext E: quantum capacitance ---------- *)
+
+let stack layers =
+  Mat.Mlgnr.make (Mat.Gnr.make Mat.Gnr.Armchair 12) ~layers
+
+let effective_gcr t ~layers =
+  let cq_per_area = Mat.Mlgnr.quantum_capacitance (stack layers) ~ef_ev:0.2 ~temp:300. in
+  let cq = cq_per_area *. t.D.Fgt.area in
+  let caps = D.Capacitance.with_quantum_capacitance t.D.Fgt.caps ~cq in
+  D.Capacitance.gcr caps
+
+let qcap_comparison ~layers =
+  let t = Params.device () in
+  List.map (fun n -> (n, D.Fgt.gcr t, effective_gcr t ~layers:n)) layers
+
+let qcap_jv_figure () =
+  let t = Params.device () in
+  let curve ~label ~gcr =
+    let pts =
+      Figures.jv_sweep_gcr ~polarity:`Program ~gcr ~xto_nm:Params.xto_default_nm
+        ~vgs_range:Params.vgs_program_range ~points:Params.sweep_points
+    in
+    Plot.Series.make ~label pts
+  in
+  let g0 = D.Fgt.gcr t in
+  Plot.Figure.make ~title:"Ext E: quantum-capacitance correction to the J-V"
+    ~xlabel:"VGS [V]" ~ylabel:"JFN [A/cm^2]" ~yscale:Plot.Scale.Log10
+    [
+      curve ~label:"geometric GCR (no Cq)" ~gcr:g0;
+      curve ~label:"1-layer FG (with Cq)" ~gcr:(effective_gcr t ~layers:1);
+      curve ~label:"5-layer FG (with Cq)" ~gcr:(effective_gcr t ~layers:5);
+    ]
+
+(* ---------- Ext F: NAND block demo ---------- *)
+
+(* ---------- Ext K: retention after cycling ---------- *)
+
+let retention_after_cycling ?(cycles_list = [ 0; 100; 1_000; 10_000 ]) () =
+  let t = Params.device () in
+  let fn = Params.fn () in
+  let rel = D.Reliability.default in
+  (* per-cycle fluence at the paper bias *)
+  let per_cycle =
+    match D.Transient.saturation_charge t ~vgs:Params.vgs_program with
+    | Ok q -> 2. *. abs_float q /. t.D.Fgt.area /. C.q  (* electrons/m^2 *)
+    | Error _ -> 0.
+  in
+  (* self-field of a 2 V-programmed cell, the retention bias point *)
+  let qfg0 = D.Fgt.qfg_for_threshold_shift t ~dvt:2. in
+  let v_ox = -.D.Fgt.vfg t ~vgs:0. ~qfg:qfg0 in
+  let j_fresh =
+    Q.Direct_tunneling.current_density fn ~v_ox ~thickness:t.D.Fgt.xto
+  in
+  List.map
+    (fun cycles ->
+       let traps = rel.D.Reliability.trap_per_charge *. per_cycle *. float_of_int cycles in
+       let j_tat =
+         if traps <= 0. then 0.
+         else Q.Trap_assisted.current_density fn ~trap_density:traps ~v_ox
+             ~thickness:t.D.Fgt.xto
+       in
+       let multiplier = (j_fresh +. j_tat) /. j_fresh in
+       (cycles, traps, multiplier))
+    cycles_list
+
+(* ---------- Ext L: MLC error budget ---------- *)
+
+let mlc_error_budget ?(sigma_list = [ 0.05; 0.1; 0.2; 0.3; 0.45; 0.6 ]) () =
+  List.map (fun sigma -> M.Ber.analyze ~sigma_dvt:sigma ()) sigma_list
+
+(* ---------- Ext M: temperature bake ---------- *)
+
+let bake_test ?(temps = [ 300.; 358.; 398.; 438. ]) ?(dvt0 = 2.0) () =
+  let t = Params.device () in
+  let qfg0 = D.Fgt.qfg_for_threshold_shift t ~dvt:dvt0 in
+  let rows =
+    List.map
+      (fun temp -> (temp, D.Retention.retention_time ~temp t ~qfg0 ~criterion:0.8))
+      temps
+  in
+  (* Arrhenius: ln t = Ea/kT + const, restricted to finite times *)
+  let finite = List.filter (fun (_, time) -> Float.is_finite time) rows in
+  let ea =
+    if List.length finite < 2 then nan
+    else begin
+      let xs =
+        Array.of_list (List.map (fun (temp, _) -> 1. /. (C.k_b *. temp)) finite)
+      in
+      let ys = Array.of_list (List.map (fun (_, time) -> log time) finite) in
+      match Gnrflash_numerics.Regression.ols xs ys with
+      | Ok fit -> fit.Gnrflash_numerics.Regression.slope /. C.ev
+      | Error _ -> nan
+    end
+  in
+  (rows, ea)
+
+(* ---------- Ext N: ID-VG read window ---------- *)
+
+let id_vg_figure ?(dvt_programmed = 5.0) () =
+  let fet = D.Fet.default in
+  let vgs = Grid.linspace 0. 8. 120 in
+  let curve ~label ~dvt =
+    Plot.Series.make ~label (D.Fet.transfer_curve fet ~dvt ~vds:0.05 ~vgs)
+  in
+  Plot.Figure.make ~title:"Ext N: read-transistor transfer curves"
+    ~xlabel:"VGS [V]" ~ylabel:"ID [A]" ~yscale:Plot.Scale.Log10
+    [
+      curve ~label:"erased (dVT = 0)" ~dvt:0.;
+      curve ~label:(Printf.sprintf "programmed (dVT = %.1f V)" dvt_programmed)
+        ~dvt:dvt_programmed;
+    ]
+
+type nand_summary = {
+  pages_written : int;
+  verify_failures : int;
+  disturb_dvt_max : float;
+  mean_pulses : float;
+}
+
+let nand_page_demo ?(pages = 4) ?(strings = 8) () =
+  let block = M.Array_model.make (Params.device ()) ~pages ~strings in
+  let ctrl = M.Controller.make block in
+  let checkerboard p = Array.init strings (fun s -> (p + s) mod 2) in
+  let rec write ctrl p =
+    if p >= pages then Ok ctrl
+    else
+      match M.Controller.program_page ctrl ~page:p ~data:(checkerboard p) with
+      | Error e -> Error e
+      | Ok ctrl -> write ctrl (p + 1)
+  in
+  match write ctrl 0 with
+  | Error e -> Error e
+  | Ok ctrl ->
+    let fails = ref 0 in
+    for p = 0 to pages - 1 do
+      if not (M.Controller.verify_page ctrl ~page:p ~data:(checkerboard p)) then incr fails
+    done;
+    (* worst drift among cells that were meant to stay erased *)
+    let disturb_dvt_max = ref 0. in
+    for p = 0 to pages - 1 do
+      let data = checkerboard p in
+      Array.iteri
+        (fun s bit ->
+           if bit = 1 then begin
+             let c = M.Array_model.get ctrl.M.Controller.block ~page:p ~string_:s in
+             disturb_dvt_max := max !disturb_dvt_max (M.Cell.dvt c)
+           end)
+        data
+    done;
+    let stats = ctrl.M.Controller.stats in
+    Ok
+      {
+        pages_written = stats.M.Controller.programs;
+        verify_failures = !fails;
+        disturb_dvt_max = !disturb_dvt_max;
+        mean_pulses =
+          (if stats.M.Controller.programs = 0 then 0.
+           else
+             float_of_int stats.M.Controller.disturb_events
+             /. float_of_int stats.M.Controller.programs);
+      }

@@ -1,0 +1,46 @@
+(** Regeneration of every figure in the paper's evaluation. Each function
+    returns a ready-to-render {!Gnrflash_plot.Figure.t}; the underlying
+    numeric series are accessible through the figure's series list.
+
+    Current densities are reported in A/cm² (the natural device unit);
+    voltages in volts; times in seconds. *)
+
+val fig2_band_diagram : unit -> Gnrflash_plot.Figure.t
+(** The FN band diagram: tunnel-oxide barrier profiles at three fields
+    (5, 10, 15 MV/cm) showing the triangular thinning, plus the
+    image-force-rounded profile at 10 MV/cm. *)
+
+val fig4_initial_currents : unit -> Gnrflash_plot.Figure.t * (float * float)
+(** [Jin] vs [Jout] at t = 0 under the worked-example bias (VGS = 15 V,
+    GCR = 0.6): the early-time portion of the transient on a log-log
+    scale, plus the raw [(Jin, Jout)] pair at t = 0. *)
+
+val fig5_transient : unit -> Gnrflash_plot.Figure.t * float option
+(** [Jin(t)] and [Jout(t)] over the full programming transient (log-log),
+    and the saturation time [tsat]. *)
+
+val fig6_program_gcr : unit -> Gnrflash_plot.Figure.t
+(** [JFN(VGS)] for the four GCR values, programming polarity,
+    VGS ∈ [8, 17] V, XTO = 5 nm, semilog-y. *)
+
+val fig7_program_xto : unit -> Gnrflash_plot.Figure.t
+(** [JFN(VGS)] for the five XTO values at GCR = 60 %, VGS ∈ [10, 17] V. *)
+
+val fig8_erase_gcr : unit -> Gnrflash_plot.Figure.t
+(** Erase polarity of Fig 6: VGS ∈ [−17, −8] V, XTO = 5 nm. |J| plotted
+    against VGS (negative axis). *)
+
+val fig9_erase_xto : unit -> Gnrflash_plot.Figure.t
+(** Erase polarity of Fig 7. *)
+
+val all : unit -> (string * Gnrflash_plot.Figure.t) list
+(** Every paper figure, labelled ["fig2" … "fig9"]. *)
+
+(** {1 Raw series helpers (used by benches and tests)} *)
+
+val jv_sweep_gcr :
+  polarity:[ `Program | `Erase ] -> gcr:float -> xto_nm:float ->
+  vgs_range:(float * float) -> points:int -> (float * float) array
+(** One J–V curve: [(VGS, |J| in A/cm²)] from paper equations (3) + (7)
+    with QFG = 0 (the paper's figures are drawn at the start of the
+    operation). *)

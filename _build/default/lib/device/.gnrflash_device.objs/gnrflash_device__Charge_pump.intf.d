@@ -1,0 +1,1 @@
+lib/device/charge_pump.mli:

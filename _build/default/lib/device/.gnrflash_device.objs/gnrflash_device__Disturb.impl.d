@@ -1,0 +1,1 @@
+lib/device/disturb.ml: Fgt Transient

@@ -1,0 +1,1 @@
+lib/device/disturb.mli: Fgt

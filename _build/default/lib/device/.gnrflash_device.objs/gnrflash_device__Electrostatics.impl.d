@@ -1,0 +1,1 @@
+lib/device/electrostatics.ml: Array Fgt Gnrflash_numerics Gnrflash_physics

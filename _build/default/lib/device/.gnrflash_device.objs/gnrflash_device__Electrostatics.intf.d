@@ -1,0 +1,1 @@
+lib/device/electrostatics.mli: Fgt

@@ -1,0 +1,1 @@
+lib/device/fet.ml: Array Gnrflash_materials

@@ -1,0 +1,1 @@
+lib/device/fet.mli: Gnrflash_materials

@@ -1,0 +1,1 @@
+lib/device/fgt.ml: Capacitance Gnrflash_materials Gnrflash_quantum

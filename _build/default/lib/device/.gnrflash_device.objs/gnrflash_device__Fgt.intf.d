@@ -1,0 +1,1 @@
+lib/device/fgt.mli: Capacitance Gnrflash_materials Gnrflash_quantum

@@ -1,0 +1,1 @@
+lib/device/ispp.ml: List Program_erase

@@ -1,0 +1,1 @@
+lib/device/ispp.mli: Fgt Stdlib

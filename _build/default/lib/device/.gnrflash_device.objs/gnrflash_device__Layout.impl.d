@@ -1,0 +1,1 @@
+lib/device/layout.ml: Array Capacitance Fgt

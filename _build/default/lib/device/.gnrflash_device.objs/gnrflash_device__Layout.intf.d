@@ -1,0 +1,1 @@
+lib/device/layout.mli: Capacitance Fgt

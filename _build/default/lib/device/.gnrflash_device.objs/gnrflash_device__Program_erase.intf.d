@@ -1,0 +1,1 @@
+lib/device/program_erase.mli: Fgt

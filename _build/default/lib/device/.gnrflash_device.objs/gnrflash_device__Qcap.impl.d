@@ -1,0 +1,1 @@
+lib/device/qcap.ml: Fgt Gnrflash_materials Gnrflash_numerics Gnrflash_physics Gnrflash_quantum Transient

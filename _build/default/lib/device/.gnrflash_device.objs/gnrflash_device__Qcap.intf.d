@@ -1,0 +1,1 @@
+lib/device/qcap.mli: Fgt Gnrflash_materials Stdlib

@@ -1,0 +1,1 @@
+lib/device/readout.ml: Fgt Gnrflash_materials

@@ -1,0 +1,1 @@
+lib/device/readout.mli: Fgt Gnrflash_materials

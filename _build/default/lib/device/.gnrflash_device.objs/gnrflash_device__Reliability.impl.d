@@ -1,0 +1,1 @@
+lib/device/reliability.ml: Gnrflash_physics

@@ -1,0 +1,1 @@
+lib/device/reliability_stats.ml: Array Gnrflash_numerics Random

@@ -1,0 +1,1 @@
+lib/device/retention.ml: Array Fgt Gnrflash_numerics Gnrflash_physics Gnrflash_quantum

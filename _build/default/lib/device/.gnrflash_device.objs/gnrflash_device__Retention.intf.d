@@ -1,0 +1,1 @@
+lib/device/retention.mli: Fgt

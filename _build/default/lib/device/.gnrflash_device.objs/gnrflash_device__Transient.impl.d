@@ -1,0 +1,1 @@
+lib/device/transient.ml: Array Fgt Gnrflash_numerics

@@ -1,0 +1,1 @@
+lib/device/transient.mli: Fgt Stdlib

@@ -1,0 +1,1 @@
+lib/device/variation.ml: Array Fgt Float Gnrflash_numerics Gnrflash_quantum List Random Transient

@@ -1,0 +1,33 @@
+module C = Gnrflash_physics.Constants
+
+type t = {
+  cfc : float;
+  cfs : float;
+  cfb : float;
+  cfd : float;
+}
+
+let make ~cfc ~cfs ~cfb ~cfd =
+  if cfc < 0. || cfs < 0. || cfb < 0. || cfd < 0. then
+    invalid_arg "Capacitance.make: negative component";
+  if cfc +. cfs +. cfb +. cfd <= 0. then invalid_arg "Capacitance.make: zero total";
+  { cfc; cfs; cfb; cfd }
+
+let total t = t.cfc +. t.cfs +. t.cfb +. t.cfd
+
+let gcr t = t.cfc /. total t
+
+let of_gcr ~gcr ~cfc =
+  if gcr <= 0. || gcr > 1. then invalid_arg "Capacitance.of_gcr: gcr out of (0, 1]";
+  if cfc <= 0. then invalid_arg "Capacitance.of_gcr: cfc <= 0";
+  let rest = cfc *. ((1. /. gcr) -. 1.) in
+  make ~cfc ~cfs:(0.25 *. rest) ~cfb:(0.5 *. rest) ~cfd:(0.25 *. rest)
+
+let parallel_plate ~eps_r ~area ~thickness =
+  if thickness <= 0. then invalid_arg "Capacitance.parallel_plate: thickness <= 0";
+  if area <= 0. then invalid_arg "Capacitance.parallel_plate: area <= 0";
+  C.eps0 *. eps_r *. area /. thickness
+
+let with_quantum_capacitance t ~cq =
+  if cq <= 0. then invalid_arg "Capacitance.with_quantum_capacitance: cq <= 0";
+  { t with cfc = t.cfc *. cq /. (t.cfc +. cq) }

@@ -1,0 +1,36 @@
+(** The floating-gate capacitance network of paper equation (2):
+    [CT = CFC + CFS + CFB + CFD] and the gate-coupling ratio
+    [GCR = CFC / CT]. All capacitances in farads (per cell). *)
+
+type t = {
+  cfc : float;  (** floating gate ↔ control gate *)
+  cfs : float;  (** floating gate ↔ source *)
+  cfb : float;  (** floating gate ↔ body *)
+  cfd : float;  (** floating gate ↔ drain *)
+}
+
+val make : cfc:float -> cfs:float -> cfb:float -> cfd:float -> t
+(** Build a network. @raise Invalid_argument on a negative component or a
+    zero total. *)
+
+val total : t -> float
+(** Equation (2). *)
+
+val gcr : t -> float
+(** Gate-coupling ratio [CFC/CT], in (0, 1]. *)
+
+val of_gcr : gcr:float -> cfc:float -> t
+(** Synthesize a network with the given [gcr] and control capacitance: the
+    remaining capacitance [cfc·(1/gcr − 1)] is split between source, body
+    and drain in the conventional 25/50/25 proportion. The split does not
+    affect any paper quantity (only CT and CFC enter equations (2)–(3));
+    it is recorded for completeness.
+    @raise Invalid_argument unless [0 < gcr <= 1] and [cfc > 0]. *)
+
+val parallel_plate : eps_r:float -> area:float -> thickness:float -> float
+(** [ε₀·εᵣ·A/t] — helper to derive components from geometry. *)
+
+val with_quantum_capacitance : t -> cq:float -> t
+(** Ext E: the MLGNR floating gate's quantum capacitance [cq] (farads) in
+    series with the control-gate coupling — returns a network whose [cfc]
+    is [cfc·cq/(cfc + cq)], lowering the effective GCR. *)

@@ -1,0 +1,43 @@
+(** Dickson charge pump — the on-chip high-voltage generator that produces
+    the 15–20 V programming bias from the chip supply (the SoC integration
+    cost of FN programming the paper's venue cares about).
+
+    Ideal-switch model with per-stage capacitor [c_stage], clock frequency
+    [f_clk], diode drop [v_d] and load current [i_load]:
+    [V_out = V_dd + N·(V_dd − V_d − I_load/(f·C)) − V_d]. *)
+
+type t = {
+  v_dd : float;       (** supply voltage [V] *)
+  v_diode : float;    (** per-stage diode/switch drop [V] *)
+  c_stage : float;    (** per-stage pump capacitance [F] *)
+  f_clk : float;      (** pump clock [Hz] *)
+  stages : int;
+}
+
+val make :
+  ?v_diode:float -> ?c_stage:float -> ?f_clk:float ->
+  v_dd:float -> stages:int -> unit -> t
+(** Defaults: 0.3 V drop, 1 pF stages, 20 MHz clock.
+    @raise Invalid_argument for non-positive parameters. *)
+
+val output_voltage : t -> i_load:float -> float
+(** Open-circuit-to-loaded output voltage at the given DC load. *)
+
+val stages_for : ?margin:float -> t -> v_target:float -> i_load:float -> int
+(** Minimum stage count reaching [v_target·(1+margin)] (margin default
+    0.05) at the load, using the same per-stage parameters.
+    @raise Invalid_argument if unreachable (per-stage gain <= 0). *)
+
+val efficiency : t -> i_load:float -> float
+(** Power efficiency [P_out/P_in]: ideal Dickson input current is
+    [(N+1)·I_load] from [V_dd] (plus nothing else in this lossless-clock
+    model), so η = V_out/((N+1)·V_dd). In (0, 1]. *)
+
+val energy_per_program :
+  t -> i_load:float -> pulse_width:float -> float
+(** Energy drawn from the supply for one programming pulse [J]. *)
+
+val ramp_time : t -> load_capacitance:float -> v_target:float -> float
+(** Time to charge a capacitive load to [v_target] with the pump's output
+    current capability [f·C·(V_dd − V_d)] per stage-step (single-slope
+    estimate). *)

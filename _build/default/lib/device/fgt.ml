@@ -1,0 +1,77 @@
+module Fn = Gnrflash_quantum.Fn
+module Oxide = Gnrflash_materials.Oxide
+module Wf = Gnrflash_materials.Workfunction
+
+type t = {
+  caps : Capacitance.t;
+  area : float;
+  xto : float;
+  xco : float;
+  tunnel_fn : Fn.params;
+  control_fn : Fn.params;
+  vs : float;
+}
+
+(* The paper quotes the canonical Si/SiO2 numbers (phi_B = 3.2 eV,
+   m_ox = 0.42 m0) for its J-V analysis; a work function of 4.1 eV against
+   SiO2's 0.9 eV affinity reproduces that barrier. *)
+let paper_electrode = Wf.Custom ("paper-default", 4.1)
+
+let make ?(vs = 0.) ?(tunnel_oxide = Oxide.sio2) ?(channel = paper_electrode)
+    ?(gate = paper_electrode) ~gcr ~xto ~xco ~area () =
+  if xto <= 0. || xco <= 0. then invalid_arg "Fgt.make: non-positive oxide thickness";
+  if area <= 0. then invalid_arg "Fgt.make: non-positive area";
+  if xco < xto then invalid_arg "Fgt.make: control oxide thinner than tunnel oxide";
+  let cfc =
+    Capacitance.parallel_plate ~eps_r:tunnel_oxide.Oxide.eps_r ~area ~thickness:xco
+  in
+  let caps = Capacitance.of_gcr ~gcr ~cfc in
+  {
+    caps;
+    area;
+    xto;
+    xco;
+    tunnel_fn = Fn.of_interface channel tunnel_oxide;
+    control_fn = Fn.of_interface gate tunnel_oxide;
+    vs;
+  }
+
+let paper_default =
+  make ~gcr:0.6 ~xto:5e-9 ~xco:10e-9 ~area:(32e-9 *. 32e-9) ()
+
+let with_gcr t g =
+  let caps = Capacitance.of_gcr ~gcr:g ~cfc:t.caps.Capacitance.cfc in
+  { t with caps }
+
+let with_xto t xto =
+  if xto <= 0. then invalid_arg "Fgt.with_xto: non-positive thickness";
+  { t with xto }
+
+let gcr t = Capacitance.gcr t.caps
+let ct t = Capacitance.total t.caps
+
+let vfg t ~vgs ~qfg = (gcr t *. vgs) +. (qfg /. ct t)
+
+let tunnel_field t ~vgs ~qfg = (vfg t ~vgs ~qfg -. t.vs) /. t.xto
+
+let control_field t ~vgs ~qfg = (vgs -. vfg t ~vgs ~qfg) /. t.xco
+
+let j_in t ~vgs ~qfg =
+  let et = tunnel_field t ~vgs ~qfg in
+  let ec = control_field t ~vgs ~qfg in
+  let from_channel = if et > 0. then Fn.current_density t.tunnel_fn ~field:et else 0. in
+  let from_gate = if ec < 0. then Fn.current_density t.control_fn ~field:(-.ec) else 0. in
+  from_channel +. from_gate
+
+let j_out t ~vgs ~qfg =
+  let et = tunnel_field t ~vgs ~qfg in
+  let ec = control_field t ~vgs ~qfg in
+  let to_gate = if ec > 0. then Fn.current_density t.control_fn ~field:ec else 0. in
+  let to_channel = if et < 0. then Fn.current_density t.tunnel_fn ~field:(-.et) else 0. in
+  to_gate +. to_channel
+
+let dqfg_dt t ~vgs ~qfg = -.t.area *. (j_in t ~vgs ~qfg -. j_out t ~vgs ~qfg)
+
+let threshold_shift t ~qfg = -.qfg /. t.caps.Capacitance.cfc
+
+let qfg_for_threshold_shift t ~dvt = -.dvt *. t.caps.Capacitance.cfc

@@ -1,0 +1,55 @@
+type t = {
+  gate_length : float;
+  gate_width : float;
+  xto : float;
+  xco : float;
+  eps_r : float;
+  overlap : float;
+  fringe_factor : float;
+  wrap_factor : float;
+}
+
+let paper_layout =
+  {
+    gate_length = 32e-9;
+    gate_width = 32e-9;
+    xto = 5e-9;
+    xco = 10e-9;
+    eps_r = 3.9;
+    overlap = 4e-9;
+    fringe_factor = 1.5;
+    wrap_factor = 3.5;
+  }
+
+let capacitances l =
+  if l.overlap *. 2. >= l.gate_length then
+    invalid_arg "Layout.capacitances: overlaps exceed the gate";
+  if l.gate_length <= 0. || l.gate_width <= 0. then
+    invalid_arg "Layout.capacitances: non-positive dimensions";
+  let plate ~area ~thickness =
+    Capacitance.parallel_plate ~eps_r:l.eps_r ~area ~thickness
+  in
+  let gate_area = l.gate_length *. l.gate_width in
+  let overlap_area = l.overlap *. l.gate_width in
+  let body_area = (l.gate_length -. (2. *. l.overlap)) *. l.gate_width in
+  let cfc = l.wrap_factor *. plate ~area:gate_area ~thickness:l.xco in
+  let cfb = plate ~area:body_area ~thickness:l.xto in
+  let cfs = l.fringe_factor *. plate ~area:overlap_area ~thickness:l.xto in
+  let cfd = cfs in
+  Capacitance.make ~cfc ~cfs ~cfb ~cfd
+
+let gcr l = Capacitance.gcr (capacitances l)
+
+let device ?(vs = 0.) l =
+  let caps = capacitances l in
+  let base = Fgt.make ~vs ~gcr:(Capacitance.gcr caps) ~xto:l.xto ~xco:l.xco
+      ~area:(l.gate_length *. l.gate_width) () in
+  (* replace the synthesized network with the layout-derived one *)
+  { base with Fgt.caps }
+
+let gcr_vs_control_oxide l ~xco_nm =
+  Array.map
+    (fun nm ->
+       let l' = { l with xco = nm *. 1e-9 } in
+       (nm, gcr l'))
+    xco_nm

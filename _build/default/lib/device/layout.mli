@@ -1,0 +1,39 @@
+(** Physical cell layout → capacitance network: derives the four
+    equation-(2) capacitances from the geometry of paper Figure 1 (control
+    gate over the floating gate, source/drain contacts flanking the
+    channel) instead of postulating a GCR. Parallel-plate terms plus a
+    fixed fringing fraction for the source/drain sidewall coupling. *)
+
+type t = {
+  gate_length : float;     (** channel / gate length [m] *)
+  gate_width : float;      (** device width [m] *)
+  xto : float;             (** tunnel-oxide thickness [m] *)
+  xco : float;             (** control-oxide thickness [m] *)
+  eps_r : float;           (** oxide relative permittivity *)
+  overlap : float;         (** source/drain underlap beneath the FG [m] *)
+  fringe_factor : float;   (** sidewall fringing multiplier for CFS/CFD *)
+  wrap_factor : float;     (** control-gate area multiplier from wrapping the
+                               FG sidewalls (ONO-style); how real cells reach
+                               GCR ≈ 0.6 despite the thinner tunnel oxide *)
+}
+
+val paper_layout : t
+(** 32 nm × 32 nm gate, 5/10 nm oxides, 4 nm overlaps, 3.5× control-gate
+    wrap, SiO₂ — chosen so the derived GCR lands near the paper's 0.6. *)
+
+val capacitances : t -> Capacitance.t
+(** The derived network: CFC from the full gate plate through the control
+    oxide; CFB from the non-overlapped channel region through the tunnel
+    oxide; CFS/CFD from the overlap regions (with fringing).
+    @raise Invalid_argument when the overlaps exceed half the gate
+    length. *)
+
+val gcr : t -> float
+(** Gate-coupling ratio of the derived network. *)
+
+val device : ?vs:float -> t -> Fgt.t
+(** A full {!Fgt.t} built from the layout (same FN interfaces as
+    {!Fgt.paper_default}). *)
+
+val gcr_vs_control_oxide : t -> xco_nm:float array -> (float * float) array
+(** [(XCO in nm, GCR)] sweep — how the designer actually tunes GCR. *)

@@ -1,0 +1,43 @@
+type pulse = {
+  vgs : float;
+  duration : float;
+}
+
+type outcome = {
+  qfg_before : float;
+  qfg_after : float;
+  dvt_after : float;
+  injected_charge : float;
+  saturated : bool;
+}
+
+let default_program_pulse = { vgs = 15.; duration = 1e-3 }
+let default_erase_pulse = { vgs = -15.; duration = 1e-3 }
+
+let apply_pulse t ~qfg pulse =
+  if pulse.duration <= 0. then Error "Program_erase.apply_pulse: duration <= 0"
+  else
+    match Transient.run ~qfg0:qfg t ~vgs:pulse.vgs ~duration:pulse.duration with
+    | Error e -> Error e
+    | Ok r ->
+      Ok
+        {
+          qfg_before = qfg;
+          qfg_after = r.Transient.qfg_final;
+          dvt_after = r.Transient.dvt_final;
+          injected_charge = abs_float (r.Transient.qfg_final -. qfg);
+          saturated = r.Transient.tsat <> None;
+        }
+
+let program ?(pulse = default_program_pulse) t ~qfg = apply_pulse t ~qfg pulse
+
+let erase ?(pulse = default_erase_pulse) t ~qfg = apply_pulse t ~qfg pulse
+
+let cycle ?(program_pulse = default_program_pulse) ?(erase_pulse = default_erase_pulse)
+    t ~qfg =
+  match program ~pulse:program_pulse t ~qfg with
+  | Error e -> Error e
+  | Ok p ->
+    (match erase ~pulse:erase_pulse t ~qfg:p.qfg_after with
+     | Error e -> Error e
+     | Ok e -> Ok (p, e))

@@ -1,0 +1,33 @@
+(** Pulse-level program and erase operations built on {!Transient}. *)
+
+type pulse = {
+  vgs : float;       (** control-gate bias during the pulse [V] *)
+  duration : float;  (** pulse width [s] *)
+}
+
+type outcome = {
+  qfg_before : float;
+  qfg_after : float;
+  dvt_after : float;      (** threshold shift after the pulse [V] *)
+  injected_charge : float;(** |ΔQFG| [C] — feeds the reliability model *)
+  saturated : bool;       (** the Jin = Jout event fired inside the pulse *)
+}
+
+val apply_pulse : Fgt.t -> qfg:float -> pulse -> (outcome, string) result
+(** Run one bias pulse from the given initial charge. *)
+
+val program :
+  ?pulse:pulse -> Fgt.t -> qfg:float -> (outcome, string) result
+(** One programming pulse; defaults to the paper's VGS = 15 V for 1 ms. *)
+
+val erase :
+  ?pulse:pulse -> Fgt.t -> qfg:float -> (outcome, string) result
+(** One erase pulse; defaults to VGS = −15 V for 1 ms. *)
+
+val default_program_pulse : pulse
+val default_erase_pulse : pulse
+
+val cycle :
+  ?program_pulse:pulse -> ?erase_pulse:pulse -> Fgt.t -> qfg:float ->
+  ((outcome * outcome), string) result
+(** One full program-then-erase cycle; returns both outcomes. *)

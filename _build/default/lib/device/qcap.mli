@@ -1,0 +1,35 @@
+(** Self-consistent quantum-capacitance transient: a nanoscale MLGNR
+    floating gate has a finite density of states, so every stored electron
+    also lifts the gate's Fermi level — an extra voltage term
+    [ΔE_F(σ)/q] that a metal floating gate does not have. This module
+    re-runs the programming transient with that band-filling feedback and
+    quantifies how much it slows charging and shrinks the stored window
+    (the dynamic version of extension experiment Ext E). *)
+
+type result = {
+  qfg_final : float;          (** stored charge with feedback [C] *)
+  qfg_final_metal : float;    (** reference metal-gate (eq-3) result [C] *)
+  dvt_final : float;          (** threshold shift with feedback [V] *)
+  dvt_final_metal : float;
+  window_shrink : float;      (** 1 − dvt/dvt_metal, ≥ 0 for electron storage *)
+  ef_final_ev : float;        (** floating-gate Fermi shift at the end [eV] *)
+}
+
+val fermi_shift :
+  stack:Gnrflash_materials.Mlgnr.t -> area:float -> qfg:float -> float
+(** Fermi-level rise [J] of the stack holding charge [qfg] (negative =
+    electrons), by inverting the stack's charge-vs-EF relation. [0.] for
+    non-negative charge (hole filling treated symmetrically). *)
+
+val vfg_effective :
+  Fgt.t -> stack:Gnrflash_materials.Mlgnr.t -> vgs:float -> qfg:float -> float
+(** Equation (3) corrected by the band-filling term:
+    [VFG_geom − sign(σ)·ΔE_F/q] — stored electrons make the gate look less
+    negative to further injection. *)
+
+val run :
+  ?stack:Gnrflash_materials.Mlgnr.t ->
+  Fgt.t -> vgs:float -> duration:float -> (result, string) Stdlib.result
+(** Integrate the charge balance with the feedback (forward stepping with
+    adaptive sub-steps) and compare against the metal-gate reference.
+    Defaults to a 3-layer 12-AGNR stack. *)

@@ -1,0 +1,58 @@
+module Reg = Gnrflash_numerics.Regression
+
+type weibull = {
+  beta : float;
+  eta : float;
+}
+
+let sample ?(seed = 7) w ~n =
+  if w.beta <= 0. || w.eta <= 0. then invalid_arg "Reliability_stats.sample: bad weibull";
+  if n < 1 then invalid_arg "Reliability_stats.sample: n < 1";
+  let state = Random.State.make [| seed |] in
+  Array.init n (fun _ ->
+      let u = Random.State.float state 1. in
+      let u = min (max u 1e-12) (1. -. 1e-12) in
+      w.eta *. ((-.log (1. -. u)) ** (1. /. w.beta)))
+
+let fit qs =
+  let n = Array.length qs in
+  if n < 3 then Error "Reliability_stats.fit: need >= 3 points"
+  else begin
+    let sorted = Array.copy qs in
+    Array.sort compare sorted;
+    if sorted.(0) <= 0. then Error "Reliability_stats.fit: non-positive Q_BD"
+    else begin
+      (* median ranks (Bernard's approximation) *)
+      let xs = Array.map log sorted in
+      let ys =
+        Array.init n (fun i ->
+            let f = (float_of_int (i + 1) -. 0.3) /. (float_of_int n +. 0.4) in
+            log (-.log (1. -. f)))
+      in
+      match Reg.ols xs ys with
+      | Error e -> Error e
+      | Ok r ->
+        let beta = r.Reg.slope in
+        let eta = exp (-.r.Reg.intercept /. beta) in
+        Ok ({ beta; eta }, r.Reg.r_squared)
+    end
+  end
+
+let quantile w ~f =
+  if f <= 0. || f >= 1. then invalid_arg "Reliability_stats.quantile: f out of (0, 1)";
+  w.eta *. ((-.log (1. -. f)) ** (1. /. w.beta))
+
+let failure_fraction w ~q =
+  if q <= 0. then 0. else 1. -. exp (-.((q /. w.eta) ** w.beta))
+
+let population_endurance ?seed w ~charge_per_cycle_per_area ~n ~ppm_target =
+  if charge_per_cycle_per_area <= 0. then
+    invalid_arg "Reliability_stats.population_endurance: non-positive fluence";
+  if ppm_target <= 0. then
+    invalid_arg "Reliability_stats.population_endurance: non-positive target";
+  let qbds = sample ?seed w ~n in
+  Array.sort compare qbds;
+  (* the ppm-th weakest device sets the qualification point *)
+  let rank = max 0 (int_of_float (ppm_target /. 1e6 *. float_of_int n) - 1) in
+  let rank = min rank (n - 1) in
+  qbds.(rank) /. charge_per_cycle_per_area

@@ -1,0 +1,35 @@
+(** Statistical oxide reliability: charge-to-breakdown is Weibull
+    distributed across a cell population; this module samples Q_BD
+    ensembles (deterministic seed) and extracts the Weibull parameters
+    from the classic [ln(−ln(1−F))] vs [ln Q] plot — the analysis behind
+    every oxide-reliability qualification. *)
+
+type weibull = {
+  beta : float;    (** shape (slope) — intrinsic oxides: β ≈ 1.5–3 *)
+  eta : float;     (** scale (63.2 % quantile) [C/m²] *)
+}
+
+val sample :
+  ?seed:int -> weibull -> n:int -> float array
+(** [n] Q_BD draws by inverse-CDF sampling,
+    [Q = η·(−ln(1−U))^{1/β}]. @raise Invalid_argument for non-positive
+    parameters or [n < 1]. *)
+
+val fit : float array -> (weibull * float, string) result
+(** Weibull fit of a sample by median-rank regression on the Weibull plot;
+    returns the parameters and the plot's R². Needs ≥ 3 points. *)
+
+val quantile : weibull -> f:float -> float
+(** The Q_BD below which a fraction [f] of devices fail.
+    @raise Invalid_argument for [f] outside (0, 1). *)
+
+val failure_fraction : weibull -> q:float -> float
+(** CDF: fraction failed by fluence [q]. *)
+
+val population_endurance :
+  ?seed:int -> weibull -> charge_per_cycle_per_area:float -> n:int ->
+  ppm_target:float -> float
+(** Cycle count at which the failed fraction reaches [ppm_target] (parts
+    per million) for a population of [n] sampled cells at a constant
+    per-cycle areal fluence — the qualification number (e.g. "10 k cycles
+    at < 100 ppm"). *)

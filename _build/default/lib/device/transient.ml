@@ -1,0 +1,101 @@
+module Ode = Gnrflash_numerics.Ode
+module Roots = Gnrflash_numerics.Roots
+
+type sample = {
+  time : float;
+  qfg : float;
+  vfg : float;
+  j_in : float;
+  j_out : float;
+}
+
+type result = {
+  samples : sample array;
+  tsat : float option;
+  qfg_final : float;
+  dvt_final : float;
+}
+
+let sample_of (t : Fgt.t) ~vgs ~time ~qfg =
+  {
+    time;
+    qfg;
+    vfg = Fgt.vfg t ~vgs ~qfg;
+    j_in = Fgt.j_in t ~vgs ~qfg;
+    j_out = Fgt.j_out t ~vgs ~qfg;
+  }
+
+let initial_currents t ~vgs ~qfg = (Fgt.j_in t ~vgs ~qfg, Fgt.j_out t ~vgs ~qfg)
+
+let imbalance t ~vgs ~qfg ~threshold =
+  let ji = Fgt.j_in t ~vgs ~qfg and jo = Fgt.j_out t ~vgs ~qfg in
+  let s = ji +. jo in
+  if s <= 0. then -1. (* nothing flowing: saturated by definition *)
+  else (abs_float (ji -. jo) /. s) -. threshold
+
+let run ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs ~duration =
+  if duration <= 0. then Error "Transient.run: duration <= 0"
+  else begin
+    (* absolute tolerance scaled to the natural charge magnitude CT·VGS so
+       the controller resolves attocoulomb states *)
+    let atol = 1e-10 *. Fgt.ct t *. (1. +. abs_float vgs) in
+    let f _time y = [| Fgt.dqfg_dt t ~vgs ~qfg:y.(0) |] in
+    let event _time y = imbalance t ~vgs ~qfg:y.(0) ~threshold:imbalance_threshold in
+    (* If the device starts already balanced (e.g. vgs = 0) the event
+       function is negative at t0; integrate without the event. *)
+    let already_balanced = event 0. [| qfg0 |] <= 0. in
+    let finish times states tsat =
+      let samples =
+        Array.mapi
+          (fun i time -> sample_of t ~vgs ~time ~qfg:states.(i).(0))
+          times
+      in
+      let qfg_final = states.(Array.length states - 1).(0) in
+      Ok
+        {
+          samples;
+          tsat;
+          qfg_final;
+          dvt_final = Fgt.threshold_shift t ~qfg:qfg_final;
+        }
+    in
+    if already_balanced then
+      match Ode.rkf45 ~rtol ~atol ~f ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
+      | Error e -> Error e
+      | Ok { Ode.times; states } -> finish times states (Some 0.)
+    else
+      match Ode.rkf45_event ~rtol ~atol ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
+      | Error e -> Error e
+      | Ok { Ode.trajectory = { Ode.times; states }; event_time; _ } ->
+        finish times states event_time
+  end
+
+let saturation_charge t ~vgs =
+  let f q = Fgt.j_in t ~vgs ~qfg:q -. Fgt.j_out t ~vgs ~qfg:q in
+  (* Bracket between q = 0 and the charge that pins VFG to the balanced
+     voltage divider point: VFGstar with VFG*/xto = (vgs - VFGstar)/xco for
+     programming (mirrored for erase). *)
+  let vfg_star = vgs *. t.Fgt.xto /. (t.Fgt.xto +. t.Fgt.xco) in
+  let q_star = (vfg_star -. (Fgt.gcr t *. vgs)) *. Fgt.ct t in
+  if f 0. = 0. then Ok 0.
+  else begin
+    (* expand slightly beyond the divider point to guarantee a sign change *)
+    let q_hi = q_star *. 1.05 in
+    match Roots.brent f 0. q_hi with
+    | Ok q -> Ok q
+    | Error _ ->
+      (match Roots.bracket_root f 0. q_star with
+       | Error e -> Error e
+       | Ok (lo, hi) -> Roots.brent f lo hi)
+  end
+
+let time_to_threshold_shift ?(qfg0 = 0.) t ~vgs ~dvt ~max_time =
+  if max_time <= 0. then Error "Transient.time_to_threshold_shift: max_time <= 0"
+  else begin
+    let q_target = Fgt.qfg_for_threshold_shift t ~dvt in
+    let f _time y = [| Fgt.dqfg_dt t ~vgs ~qfg:y.(0) |] in
+    let event _time y = (y.(0) -. q_target) *. (if dvt >= 0. then 1. else -1.) in
+    match Ode.rkf45_event ~atol:(1e-10 *. Fgt.ct t *. (1. +. abs_float vgs)) ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:max_time () with
+    | Error e -> Error e
+    | Ok { Ode.event_time; _ } -> Ok event_time
+  end

@@ -1,0 +1,46 @@
+(** Program/erase charge-balance transient (paper Figures 4 and 5).
+
+    The stored charge obeys [dQFG/dt = −A·(Jin − Jout)] with both current
+    densities re-evaluated from equation (3) as the charge builds up. The
+    dynamics approach the fixed point [Jin = Jout] asymptotically; following
+    the paper we report [tsat] as the time where the normalized imbalance
+    [(Jin − Jout)/(Jin + Jout)] first falls below a threshold (default 1 %). *)
+
+type sample = {
+  time : float;   (** s *)
+  qfg : float;    (** stored charge [C] *)
+  vfg : float;    (** floating-gate potential [V] *)
+  j_in : float;   (** electron injection [A/m²] *)
+  j_out : float;  (** electron extraction [A/m²] *)
+}
+
+type result = {
+  samples : sample array;      (** trajectory, increasing time *)
+  tsat : float option;         (** saturation time, if reached *)
+  qfg_final : float;           (** charge at the end of integration *)
+  dvt_final : float;           (** threshold shift at the end *)
+}
+
+val run :
+  ?qfg0:float -> ?imbalance_threshold:float -> ?rtol:float ->
+  Fgt.t -> vgs:float -> duration:float -> (result, string) Stdlib.result
+(** Integrate the charge balance for [duration] seconds at constant [vgs]
+    (positive = programming, negative = erase) from initial charge [qfg0]
+    (default 0, the paper's assumption). Integration stops early at the
+    saturation event. [rtol] defaults to [1e-8]. *)
+
+val initial_currents : Fgt.t -> vgs:float -> qfg:float -> float * float
+(** [(Jin, Jout)] at a single operating point — the t = 0 comparison of
+    Figure 4. *)
+
+val saturation_charge : Fgt.t -> vgs:float -> (float, string) Stdlib.result
+(** The fixed-point charge solving [Jin(q) = Jout(q)] directly by root
+    finding — the "maximum charge that can be accumulated" of the paper,
+    without running the transient. *)
+
+val time_to_threshold_shift :
+  ?qfg0:float -> Fgt.t -> vgs:float -> dvt:float -> max_time:float ->
+  (float option, string) Stdlib.result
+(** Programming time needed to move the threshold by [dvt] volts: the event
+    time where [ΔVT(t) = dvt], or [None] if the target exceeds what the
+    bias can reach within [max_time]. *)

@@ -1,0 +1,103 @@
+module Stats = Gnrflash_numerics.Stats
+
+type spread = {
+  sigma_xto : float;
+  sigma_phi : float;
+  sigma_gcr : float;
+}
+
+let default_spread = { sigma_xto = 0.1e-9; sigma_phi = 0.05; sigma_gcr = 0.01 }
+
+type sample = {
+  xto : float;
+  phi_b_ev : float;
+  gcr : float;
+  program_time : float;
+  dvt_fixed_pulse : float;
+}
+
+let gaussian state =
+  (* Box-Muller *)
+  let u1 = Random.State.float state 1. in
+  let u2 = Random.State.float state 1. in
+  sqrt (-2. *. log (max u1 1e-300)) *. cos (2. *. Float.pi *. u2)
+
+let perturbed_device ~base ~spread state =
+  let base_fn = base.Fgt.tunnel_fn in
+  let xto = max 1e-9 (base.Fgt.xto +. (spread.sigma_xto *. gaussian state)) in
+  let phi =
+    max 1. (base_fn.Gnrflash_quantum.Fn.phi_b_ev +. (spread.sigma_phi *. gaussian state))
+  in
+  let gcr =
+    min 0.95 (max 0.05 (Fgt.gcr base +. (spread.sigma_gcr *. gaussian state)))
+  in
+  let fn =
+    Gnrflash_quantum.Fn.coefficients ~phi_b_ev:phi
+      ~m_ox_rel:base_fn.Gnrflash_quantum.Fn.m_ox_rel
+  in
+  let t = Fgt.with_xto (Fgt.with_gcr base gcr) xto in
+  ({ t with Fgt.tunnel_fn = fn; control_fn = fn }, xto, phi, gcr)
+
+let evaluate device =
+  let program_time =
+    match Transient.time_to_threshold_shift device ~vgs:15. ~dvt:2. ~max_time:1. with
+    | Ok (Some t) -> t
+    | Ok None | Error _ -> infinity
+  in
+  let dvt_fixed_pulse =
+    match Transient.run device ~vgs:15. ~duration:100e-9 with
+    | Ok r -> r.Transient.dvt_final
+    | Error _ -> nan
+  in
+  (program_time, dvt_fixed_pulse)
+
+let sample_devices ?(spread = default_spread) ?(seed = 2014) ~base ~n () =
+  if n < 1 then invalid_arg "Variation.sample_devices: n < 1";
+  let state = Random.State.make [| seed |] in
+  Array.init n (fun _ ->
+      let device, xto, phi_b_ev, gcr = perturbed_device ~base ~spread state in
+      let program_time, dvt_fixed_pulse = evaluate device in
+      { xto; phi_b_ev; gcr; program_time; dvt_fixed_pulse })
+
+type summary = {
+  n : int;
+  t_prog_median : float;
+  t_prog_p95 : float;
+  t_prog_spread : float;
+  dvt_mean : float;
+  dvt_sigma : float;
+}
+
+let summarize samples =
+  let times =
+    Array.of_list
+      (List.filter_map
+         (fun s -> if Float.is_finite s.program_time then Some s.program_time else None)
+         (Array.to_list samples))
+  in
+  if Array.length times = 0 then invalid_arg "Variation.summarize: no successful samples";
+  let dvts =
+    Array.of_list
+      (List.filter_map
+         (fun s -> if Float.is_nan s.dvt_fixed_pulse then None else Some s.dvt_fixed_pulse)
+         (Array.to_list samples))
+  in
+  {
+    n = Array.length samples;
+    t_prog_median = Stats.median times;
+    t_prog_p95 = Stats.percentile 95. times;
+    t_prog_spread = Stats.percentile 95. times /. Stats.percentile 5. times;
+    dvt_mean = Stats.mean dvts;
+    dvt_sigma = Stats.std dvts;
+  }
+
+let sensitivity_xto ?(delta = 0.05e-9) base =
+  let time xto =
+    let t = Fgt.with_xto base xto in
+    match Transient.time_to_threshold_shift t ~vgs:15. ~dvt:2. ~max_time:10. with
+    | Ok (Some time) -> time
+    | Ok None | Error _ -> nan
+  in
+  let t_plus = time (base.Fgt.xto +. delta) in
+  let t_minus = time (base.Fgt.xto -. delta) in
+  (log10 t_plus -. log10 t_minus) /. (2. *. delta *. 1e9)

@@ -1,0 +1,46 @@
+(** Process-variation analysis: Monte-Carlo sampling of device parameters
+    (tunnel-oxide thickness, barrier height, coupling ratio) and their
+    impact on programming speed and threshold placement. Deterministic
+    given the seed. The exponential field dependence of FN tunneling makes
+    the cell extremely sensitive to XTO — quantified here. *)
+
+type spread = {
+  sigma_xto : float;    (** oxide-thickness σ [m], e.g. 1–2 Å *)
+  sigma_phi : float;    (** barrier-height σ [eV] *)
+  sigma_gcr : float;    (** coupling-ratio σ (absolute) *)
+}
+
+val default_spread : spread
+(** σ(XTO) = 0.1 nm, σ(Φ_B) = 0.05 eV, σ(GCR) = 0.01. *)
+
+type sample = {
+  xto : float;
+  phi_b_ev : float;
+  gcr : float;
+  program_time : float;   (** time to ΔVT = 2 V at 15 V [s]; [infinity] if unreached *)
+  dvt_fixed_pulse : float;(** ΔVT after a fixed 100 ns pulse [V] *)
+}
+
+val sample_devices :
+  ?spread:spread -> ?seed:int -> base:Fgt.t -> n:int -> unit -> sample array
+(** Draw [n] devices around [base] with independent Gaussian parameter
+    perturbations (Box–Muller from a seeded PRNG) and evaluate each.
+    @raise Invalid_argument if [n < 1]. *)
+
+type summary = {
+  n : int;
+  t_prog_median : float;
+  t_prog_p95 : float;      (** 95th percentile programming time *)
+  t_prog_spread : float;   (** p95 / p5 ratio — decades of speed spread *)
+  dvt_mean : float;
+  dvt_sigma : float;       (** σ of the fixed-pulse threshold placement *)
+}
+
+val summarize : sample array -> summary
+(** Robust statistics over the ensemble (failed programming samples are
+    excluded from timing percentiles; at least one must succeed). *)
+
+val sensitivity_xto : ?delta:float -> Fgt.t -> float
+(** d(log10 t_prog)/d(XTO) in decades per nm at the base point — the
+    headline sensitivity (one ångström of oxide moves programming time by
+    [~0.1×this] decades). *)

@@ -1,0 +1,1 @@
+lib/materials/cnt.ml: Float Gnrflash_physics Workfunction

@@ -1,0 +1,1 @@
+lib/materials/gnr.ml: Float Gnrflash_physics

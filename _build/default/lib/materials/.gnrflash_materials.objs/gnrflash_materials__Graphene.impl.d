@@ -1,0 +1,1 @@
+lib/materials/graphene.ml: Float Gnrflash_numerics Gnrflash_physics

@@ -1,0 +1,1 @@
+lib/materials/graphene.mli:

@@ -1,0 +1,1 @@
+lib/materials/mlgnr.ml: Float Gnr Gnrflash_physics Graphene

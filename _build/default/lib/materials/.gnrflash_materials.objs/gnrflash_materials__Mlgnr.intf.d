@@ -1,0 +1,1 @@
+lib/materials/mlgnr.mli: Gnr

@@ -1,0 +1,1 @@
+lib/materials/oxide.ml: Gnrflash_physics List String

@@ -1,0 +1,1 @@
+lib/materials/silicon.ml: Gnrflash_physics

@@ -1,0 +1,1 @@
+lib/materials/workfunction.ml: Oxide Printf

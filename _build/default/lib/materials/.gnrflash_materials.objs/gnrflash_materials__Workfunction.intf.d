@@ -1,0 +1,1 @@
+lib/materials/workfunction.mli: Oxide

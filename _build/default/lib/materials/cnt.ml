@@ -1,0 +1,31 @@
+module C = Gnrflash_physics.Constants
+
+type t = {
+  n : int;
+  m : int;
+}
+
+let make n m =
+  if n <= 0 || m < 0 || m > n then invalid_arg "Cnt.make: require n >= m >= 0, n > 0";
+  { n; m }
+
+let diameter t =
+  let n = float_of_int t.n and m = float_of_int t.m in
+  C.a_graphene *. sqrt ((n *. n) +. (n *. m) +. (m *. m)) /. Float.pi
+
+let chiral_angle t =
+  let n = float_of_int t.n and m = float_of_int t.m in
+  atan2 (sqrt 3. *. m) ((2. *. n) +. m)
+
+let is_metallic t = (t.n - t.m) mod 3 = 0
+
+let bandgap_ev t =
+  if is_metallic t then 0.
+  else begin
+    let d = diameter t in
+    2. *. (C.t_hopping /. C.ev) *. C.a_cc /. d
+  end
+
+let classify t = if is_metallic t then "metallic" else "semiconducting"
+
+let work_function t = Workfunction.work_function (Workfunction.Cnt (diameter t))

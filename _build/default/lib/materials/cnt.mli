@@ -1,0 +1,30 @@
+(** Single-wall carbon nanotubes, classified by chirality [(n, m)]. *)
+
+type t = {
+  n : int;
+  m : int;
+}
+
+val make : int -> int -> t
+(** Chirality indices; requires [n >= m >= 0] and [n > 0].
+    @raise Invalid_argument otherwise. *)
+
+val diameter : t -> float
+(** Tube diameter [m]: [a·√(n² + nm + m²)/π] with [a] the graphene lattice
+    constant. *)
+
+val chiral_angle : t -> float
+(** Chiral angle [rad], 0 for zigzag (m = 0), π/6 for armchair (n = m). *)
+
+val is_metallic : t -> bool
+(** True when [(n - m) mod 3 = 0] (band-structure metallicity rule). *)
+
+val bandgap_ev : t -> float
+(** Semiconducting gap [2·t·a_cc/d ≈ 0.77 eV·nm / d]; metallic tubes
+    return 0. *)
+
+val classify : t -> string
+(** ["metallic"] or ["semiconducting"]. *)
+
+val work_function : t -> float
+(** Work function in eV (see {!Workfunction.Cnt}). *)

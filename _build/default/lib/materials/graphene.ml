@@ -1,0 +1,71 @@
+module C = Gnrflash_physics.Constants
+module Quad = Gnrflash_numerics.Quadrature
+module Roots = Gnrflash_numerics.Roots
+
+let hv = C.hbar *. C.v_fermi_graphene
+
+let dispersion k = hv *. abs_float k
+
+let density_of_states e = 2. *. abs_float e /. (Float.pi *. hv *. hv)
+
+let degenerate_density ef =
+  let s = if ef >= 0. then 1. else -1. in
+  s *. ef *. ef /. (Float.pi *. hv *. hv)
+
+let carrier_density ~ef ~t =
+  if t <= 0. then degenerate_density ef
+  else begin
+    let kt = C.k_b *. t in
+    (* electrons in the conduction band minus holes in the valence band;
+       each integral decays exponentially past a few kT beyond |ef|. The
+       quadrature tolerance must be scaled to the integral's magnitude
+       (~1e16 m^-2 in SI) — an absolute tolerance would force the adaptive
+       rule to its maximum depth everywhere. *)
+    let upper = (10. *. kt) +. (3. *. abs_float ef) in
+    let scale = density_of_states (abs_float ef +. kt) *. upper in
+    let tol = 1e-10 *. scale in
+    let electrons =
+      Quad.adaptive_simpson ~tol
+        (fun e -> density_of_states e *. Gnrflash_physics.Fermi.occupation ~ef ~t e)
+        0. upper
+    in
+    let holes =
+      Quad.adaptive_simpson ~tol
+        (fun e ->
+           density_of_states e
+           *. (1. -. Gnrflash_physics.Fermi.occupation ~ef ~t (-.e)))
+        0. upper
+    in
+    electrons -. holes
+  end
+
+let quantum_capacitance ~ef ~t =
+  let pref = 2. *. C.q *. C.q /. (Float.pi *. hv *. hv) in
+  if t <= 0. then pref *. abs_float ef
+  else begin
+    let kt = C.k_b *. t in
+    let x = ef /. kt in
+    (* ln(2(1+cosh x)) computed stably for large |x| *)
+    let lncosh_term =
+      if abs_float x > 40. then abs_float x
+      else log (2. *. (1. +. cosh x))
+    in
+    pref *. kt *. lncosh_term
+  end
+
+let fermi_level_for_density ~n ~t =
+  if n = 0. then 0.
+  else begin
+    let f ef = carrier_density ~ef ~t -. n in
+    let guess =
+      (* invert the degenerate relation for a starting bracket *)
+      let s = if n >= 0. then 1. else -1. in
+      s *. sqrt (abs_float n *. Float.pi) *. hv
+    in
+    let a = min (guess /. 4.) (guess *. 4.) -. (C.k_b *. max t 1. *. 20.) in
+    let b = max (guess /. 4.) (guess *. 4.) +. (C.k_b *. max t 1. *. 20.) in
+    match Roots.bracket_root f a b with
+    | Error _ -> guess
+    | Ok (lo, hi) ->
+      (match Roots.brent f lo hi with Ok x -> x | Error _ -> guess)
+  end

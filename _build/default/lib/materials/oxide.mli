@@ -1,0 +1,39 @@
+(** Gate-dielectric materials. All energies in eV, fields in V/m. *)
+
+type t = {
+  name : string;
+  eps_r : float;              (** relative permittivity *)
+  electron_affinity : float;  (** χ, eV below vacuum of the conduction band *)
+  bandgap : float;            (** eV *)
+  m_ox : float;               (** effective tunneling electron mass, units of m0 *)
+  breakdown_field : float;    (** intrinsic breakdown field, V/m *)
+}
+
+val sio2 : t
+(** Thermal silicon dioxide — the paper's assumed tunnel/control oxide. *)
+
+val si3n4 : t
+(** Silicon nitride. *)
+
+val al2o3 : t
+(** Alumina (high-k). *)
+
+val hfo2 : t
+(** Hafnia (high-k). *)
+
+val hbn : t
+(** Hexagonal boron nitride — the natural 2D-stack dielectric for
+    graphene devices. *)
+
+val all : t list
+(** Every material above, for sweeps. *)
+
+val by_name : string -> t option
+(** Case-insensitive lookup in {!all}. *)
+
+val permittivity : t -> float
+(** Absolute permittivity ε₀·εᵣ [F/m]. *)
+
+val capacitance_per_area : t -> thickness:float -> float
+(** Parallel-plate capacitance per unit area [F/m²] of a film of the given
+    thickness [m]. @raise Invalid_argument if [thickness <= 0.]. *)

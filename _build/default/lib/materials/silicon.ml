@@ -1,0 +1,13 @@
+module C = Gnrflash_physics.Constants
+
+let bandgap_ev = 1.12
+let electron_affinity = 4.05
+let eps_r = 11.7
+let ni = 1.0e16 (* 1e10 cm^-3 *)
+let nc = 2.8e25 (* 2.8e19 cm^-3 *)
+let nv = 1.04e25
+
+let fermi_level_n ~nd =
+  if nd <= 0. then invalid_arg "Silicon.fermi_level_n: nd <= 0";
+  let kt_ev = C.k_b *. C.room_temperature /. C.ev in
+  kt_ev *. log (nc /. nd)

@@ -1,0 +1,24 @@
+(** Bulk silicon parameters for the conventional-FGT baseline the paper
+    compares against implicitly (CMOS floating-gate numbers in Section II). *)
+
+val bandgap_ev : float
+(** 1.12 eV at 300 K. *)
+
+val electron_affinity : float
+(** 4.05 eV. *)
+
+val eps_r : float
+(** Relative permittivity, 11.7. *)
+
+val ni : float
+(** Intrinsic carrier concentration at 300 K [1/m³]. *)
+
+val nc : float
+(** Effective conduction-band DOS at 300 K [1/m³]. *)
+
+val nv : float
+(** Effective valence-band DOS at 300 K [1/m³]. *)
+
+val fermi_level_n : nd:float -> float
+(** Fermi level below the conduction band [eV] for donor doping [nd] [1/m³]
+    (Boltzmann approximation). @raise Invalid_argument if [nd <= 0.]. *)

@@ -1,0 +1,45 @@
+type electrode =
+  | N_poly_si
+  | P_poly_si
+  | Aluminium
+  | Titanium_nitride
+  | Graphene
+  | Mlgnr of int
+  | Cnt of float
+  | Custom of string * float
+
+let graphene_wf = 4.56
+let graphite_wf = 4.6
+
+let work_function = function
+  | N_poly_si -> 4.05 (* at the Si electron affinity for n+ *)
+  | P_poly_si -> 5.17
+  | Aluminium -> 4.28
+  | Titanium_nitride -> 4.7
+  | Graphene -> graphene_wf
+  | Mlgnr n ->
+    (* Exponential approach from monolayer to graphite with layer count
+       (Hibino et al. 2009 measured ~0.05 eV span over 1..4 layers). *)
+    let n = max 1 n in
+    graphite_wf -. ((graphite_wf -. graphene_wf) *. exp (-.float_of_int (n - 1) /. 2.))
+  | Cnt d ->
+    (* Diameter dependence around 4.8 eV (Shiraishi & Ata 2001):
+       smaller tubes have slightly higher work function. *)
+    let d_nm = d *. 1e9 in
+    if d_nm <= 0. then invalid_arg "Workfunction: non-positive CNT diameter";
+    4.8 +. (0.1 /. d_nm *. 0.5)
+  | Custom (_, wf) -> wf
+
+let name = function
+  | N_poly_si -> "n+ poly-Si"
+  | P_poly_si -> "p+ poly-Si"
+  | Aluminium -> "Al"
+  | Titanium_nitride -> "TiN"
+  | Graphene -> "graphene"
+  | Mlgnr n -> Printf.sprintf "MLGNR(%d)" n
+  | Cnt d -> Printf.sprintf "CNT(d=%.2fnm)" (d *. 1e9)
+  | Custom (n, _) -> n
+
+let barrier_height e (ox : Oxide.t) = work_function e -. ox.electron_affinity
+
+let si_sio2_barrier = 3.2

@@ -1,0 +1,29 @@
+(** Work functions of electrode materials and the barrier heights they form
+    against gate dielectrics. All energies in eV. *)
+
+type electrode =
+  | N_poly_si       (** degenerately doped n+ polysilicon *)
+  | P_poly_si       (** p+ polysilicon *)
+  | Aluminium
+  | Titanium_nitride
+  | Graphene        (** monolayer graphene at charge neutrality *)
+  | Mlgnr of int    (** multilayer graphene nanoribbon with the given layer count *)
+  | Cnt of float    (** carbon nanotube of the given diameter [m] *)
+  | Custom of string * float  (** name and work function [eV] *)
+
+val work_function : electrode -> float
+(** Work function in eV. MLGNR converges from the monolayer value toward
+    graphite (≈ 4.6 eV) as layers are added; CNT work function decreases
+    slightly with diameter around ≈ 4.8 eV. *)
+
+val name : electrode -> string
+(** Display name. *)
+
+val barrier_height : electrode -> Oxide.t -> float
+(** [barrier_height e ox] is the electron tunneling barrier
+    Φ_B = W(e) − χ(ox) in eV — the energy an electron at the electrode Fermi
+    level must surmount to enter the oxide conduction band. *)
+
+val si_sio2_barrier : float
+(** The textbook Si/SiO₂ electron barrier, 3.15–3.2 eV; used as the paper's
+    default Φ_B and pinned by unit tests. *)

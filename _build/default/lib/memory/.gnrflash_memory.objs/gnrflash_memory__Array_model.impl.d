@@ -1,0 +1,1 @@
+lib/memory/array_model.ml: Array Cell Gnrflash_device

@@ -1,0 +1,1 @@
+lib/memory/array_model.mli: Cell Gnrflash_device

@@ -1,0 +1,1 @@
+lib/memory/ber.ml: Ecc Gnrflash_numerics Mlc

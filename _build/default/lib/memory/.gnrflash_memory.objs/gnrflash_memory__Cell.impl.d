@@ -1,0 +1,1 @@
+lib/memory/cell.ml: Gnrflash_device

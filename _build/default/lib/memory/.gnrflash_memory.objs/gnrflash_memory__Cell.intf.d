@@ -1,0 +1,1 @@
+lib/memory/cell.mli: Gnrflash_device

@@ -1,0 +1,1 @@
+lib/memory/controller.ml: Array Array_model Cell Gnrflash_device List

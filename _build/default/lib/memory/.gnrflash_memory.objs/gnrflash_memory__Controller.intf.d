@@ -1,0 +1,1 @@
+lib/memory/controller.mli: Array_model Gnrflash_device

@@ -1,0 +1,1 @@
+lib/memory/ecc_controller.ml: Array Array_model Controller Ecc Printf

@@ -1,0 +1,1 @@
+lib/memory/ecc_controller.mli: Controller

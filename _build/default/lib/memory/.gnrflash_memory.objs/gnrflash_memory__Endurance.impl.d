@@ -1,0 +1,1 @@
+lib/memory/endurance.ml: Cell Gnrflash_device List

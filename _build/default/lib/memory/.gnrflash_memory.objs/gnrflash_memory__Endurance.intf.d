@@ -1,0 +1,1 @@
+lib/memory/endurance.mli: Gnrflash_device

@@ -1,0 +1,1 @@
+lib/memory/energy.ml: Gnrflash_device Gnrflash_quantum

@@ -1,0 +1,1 @@
+lib/memory/energy.mli: Gnrflash_device Gnrflash_quantum

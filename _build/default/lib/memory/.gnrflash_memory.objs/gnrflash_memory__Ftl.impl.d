@@ -1,0 +1,1 @@
+lib/memory/ftl.ml: Array List Option Workload

@@ -1,0 +1,1 @@
+lib/memory/inhibit.ml: Gnrflash_device Gnrflash_quantum

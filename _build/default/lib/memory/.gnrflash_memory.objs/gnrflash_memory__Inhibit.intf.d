@@ -1,0 +1,1 @@
+lib/memory/inhibit.mli: Gnrflash_device

@@ -1,0 +1,1 @@
+lib/memory/mlc.ml: Array Gnrflash_device List

@@ -1,0 +1,1 @@
+lib/memory/mlc.mli: Gnrflash_device

@@ -1,0 +1,1 @@
+lib/memory/nand_string.ml: Array Cell Gnrflash_device List

@@ -1,0 +1,1 @@
+lib/memory/nand_string.mli: Cell Gnrflash_device

@@ -1,0 +1,1 @@
+lib/memory/nor_array.ml: Array Cell Gnrflash_device Gnrflash_quantum

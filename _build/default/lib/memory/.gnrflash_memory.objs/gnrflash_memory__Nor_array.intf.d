@@ -1,0 +1,1 @@
+lib/memory/nor_array.mli: Cell Gnrflash_device Gnrflash_quantum

@@ -1,0 +1,1 @@
+lib/memory/over_erase.ml: Cell Gnrflash_device

@@ -1,0 +1,1 @@
+lib/memory/waveform.ml: Gnrflash_device List

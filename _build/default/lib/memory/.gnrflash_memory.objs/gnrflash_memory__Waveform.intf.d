@@ -1,0 +1,1 @@
+lib/memory/waveform.mli: Gnrflash_device

@@ -1,0 +1,1 @@
+lib/memory/workload.ml: Array Array_model Cell Controller List Random

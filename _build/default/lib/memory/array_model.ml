@@ -1,0 +1,59 @@
+module D = Gnrflash_device
+
+type t = {
+  pages : int;
+  strings : int;
+  cells : Cell.t array array;
+  v_pass : float;
+}
+
+let make ?(v_pass = 6.) device ~pages ~strings =
+  if pages < 1 || strings < 1 then invalid_arg "Array_model.make: non-positive dimensions";
+  {
+    pages;
+    strings;
+    cells = Array.init pages (fun _ -> Array.init strings (fun _ -> Cell.make device));
+    v_pass;
+  }
+
+let check t ~page ~string_ =
+  if page < 0 || page >= t.pages || string_ < 0 || string_ >= t.strings then
+    invalid_arg "Array_model: coordinates out of range"
+
+let get t ~page ~string_ =
+  check t ~page ~string_;
+  t.cells.(page).(string_)
+
+let set t ~page ~string_ c =
+  check t ~page ~string_;
+  let cells = Array.map Array.copy t.cells in
+  cells.(page).(string_) <- c;
+  { t with cells }
+
+let map_page t ~page f =
+  if page < 0 || page >= t.pages then invalid_arg "Array_model.map_page: bad page";
+  let cells = Array.map Array.copy t.cells in
+  cells.(page) <- Array.map f cells.(page);
+  { t with cells }
+
+let map_all t f =
+  { t with cells = Array.map (fun row -> Array.map f row) t.cells }
+
+let page_bits ?(config = D.Readout.default) t ~page =
+  if page < 0 || page >= t.pages then invalid_arg "Array_model.page_bits: bad page";
+  Array.map (fun c -> Cell.to_bit (Cell.read ~config c)) t.cells.(page)
+
+let wear_summary t =
+  let total_cycles = ref 0 and n = ref 0 in
+  let max_fluence = ref 0. and broken = ref 0 in
+  Array.iter
+    (fun row ->
+       Array.iter
+         (fun c ->
+            incr n;
+            total_cycles := !total_cycles + c.Cell.wear.D.Reliability.cycles;
+            max_fluence := max !max_fluence c.Cell.wear.D.Reliability.fluence;
+            if c.Cell.wear.D.Reliability.broken then incr broken)
+         row)
+    t.cells;
+  (float_of_int !total_cycles /. float_of_int !n, !max_fluence, !broken)

@@ -1,0 +1,34 @@
+(** A flash block: a grid of cells organised as [pages] word lines ×
+    [string_length]-independent NAND strings, with page-granular program
+    and block-granular erase — the NAND organisation the paper targets
+    ("FN tunneling is adopted in NAND flash"). *)
+
+type t = {
+  pages : int;            (** word lines per block *)
+  strings : int;          (** bit lines (NAND strings) per block *)
+  cells : Cell.t array array; (** [cells.(page).(string)] *)
+  v_pass : float;
+}
+
+val make :
+  ?v_pass:float -> Gnrflash_device.Fgt.t -> pages:int -> strings:int -> t
+(** Fresh block of identical erased cells.
+    @raise Invalid_argument for non-positive dimensions. *)
+
+val get : t -> page:int -> string_:int -> Cell.t
+(** Cell accessor. @raise Invalid_argument on bad coordinates. *)
+
+val set : t -> page:int -> string_:int -> Cell.t -> t
+(** Functional cell update. *)
+
+val map_page : t -> page:int -> (Cell.t -> Cell.t) -> t
+(** Apply a function to every cell of a page. *)
+
+val map_all : t -> (Cell.t -> Cell.t) -> t
+(** Apply a function to every cell of the block. *)
+
+val page_bits : ?config:Gnrflash_device.Readout.config -> t -> page:int -> int array
+(** Read a page as bits (1 = erased). *)
+
+val wear_summary : t -> float * float * int
+(** (mean cycles, max fluence [C/m²], broken-cell count) over the block. *)

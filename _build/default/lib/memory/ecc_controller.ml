@@ -1,0 +1,33 @@
+type page_read = {
+  data : int array;
+  corrected : int;       (* bit corrections applied across codewords *)
+  uncorrectable : bool;
+}
+
+(* Split a word line into SEC-DED codewords: with [data_bits] payload per
+   codeword the page must provide data_bits + overhead strings per word.
+   For the small demo arrays we use one codeword per page. *)
+let encode_page ~data =
+  Ecc.encode data
+
+let program_page_ecc ctrl ~page ~data =
+  let coded = encode_page ~data in
+  if Array.length coded <> ctrl.Controller.block.Array_model.strings then
+    Error
+      (Printf.sprintf
+         "Ecc_controller: page needs %d strings for %d data bits"
+         (Array.length coded) (Array.length data))
+  else Controller.program_page ctrl ~page ~data:coded
+
+let read_page_ecc ctrl ~page ~data_bits =
+  match Controller.read_page ctrl ~page with
+  | Error e -> Error e
+  | Ok (ctrl, raw) ->
+    (match Ecc.decode ~k:data_bits raw with
+     | Ecc.Clean data -> Ok (ctrl, { data; corrected = 0; uncorrectable = false })
+     | Ecc.Corrected (data, _) ->
+       Ok (ctrl, { data; corrected = 1; uncorrectable = false })
+     | Ecc.Uncorrectable ->
+       Ok (ctrl, { data = [||]; corrected = 0; uncorrectable = true }))
+
+let required_strings ~data_bits = data_bits + Ecc.overhead data_bits

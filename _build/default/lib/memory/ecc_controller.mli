@@ -1,0 +1,27 @@
+(** ECC-protected page operations: wraps {!Controller} so every programmed
+    page carries a SEC-DED codeword and every read passes through the
+    decoder — the path that turns a disturbed or leaky cell into a
+    corrected bit instead of corrupted data. The demo arrays store one
+    codeword per word line ([strings = data_bits + overhead]). *)
+
+type page_read = {
+  data : int array;       (** decoded payload (empty if uncorrectable) *)
+  corrected : int;        (** corrections applied *)
+  uncorrectable : bool;
+}
+
+val required_strings : data_bits:int -> int
+(** Strings a block needs per page to hold the codeword. *)
+
+val encode_page : data:int array -> int array
+(** The codeword written for a payload (exposed for tests). *)
+
+val program_page_ecc :
+  Controller.t -> page:int -> data:int array -> (Controller.t, string) result
+(** Encode and program a payload. Fails when the block's string count does
+    not match the codeword length. *)
+
+val read_page_ecc :
+  Controller.t -> page:int -> data_bits:int ->
+  (Controller.t * page_read, string) result
+(** Read and decode a page. *)

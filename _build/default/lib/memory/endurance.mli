@@ -1,0 +1,35 @@
+(** Program/erase cycling with wear feedback: per-cycle injected charge
+    accumulates oxide fluence; trap generation drifts the neutral
+    threshold; the cell fails when the oxide breaks or the program/erase
+    window closes. *)
+
+type cycle_sample = {
+  cycle : int;
+  vt_programmed : float;   (** programmed-state threshold [V] *)
+  vt_erased : float;       (** erased-state threshold [V] *)
+  window : float;          (** program/erase window [V] *)
+  fluence : float;         (** cumulative oxide fluence [C/m²] *)
+}
+
+type run = {
+  samples : cycle_sample list;   (** log-spaced observation points *)
+  cycles_survived : int;
+  failure : string option;       (** [None] if the cycle budget completed *)
+}
+
+val cycle_cell :
+  ?reliability:Gnrflash_device.Reliability.model ->
+  ?program_pulse:Gnrflash_device.Program_erase.pulse ->
+  ?erase_pulse:Gnrflash_device.Program_erase.pulse ->
+  ?window_min:float ->
+  Gnrflash_device.Fgt.t -> cycles:int -> run
+(** Cycle a single cell [cycles] times, sampling the thresholds at
+    log-spaced cycle counts. Stops early on oxide breakdown or when the
+    window falls below [window_min] (default 1 V). *)
+
+val predicted_endurance :
+  ?reliability:Gnrflash_device.Reliability.model ->
+  Gnrflash_device.Fgt.t -> vgs:float -> float
+(** Closed-form endurance estimate: charge-to-breakdown at the programming
+    field divided by the per-cycle fluence (from the saturation charge) —
+    cross-checks the simulation. *)

@@ -1,0 +1,261 @@
+type page_state =
+  | Free
+  | Valid of int
+  | Invalid
+
+type config = {
+  blocks : int;
+  pages_per_block : int;
+  gc_threshold : int;
+  endurance_limit : int;
+}
+
+type t = {
+  config : config;
+  pages : page_state array array;   (* [block].[page] *)
+  mapping : (int * int) option array; (* lpn -> (block, page) *)
+  erase_counts : int array;
+  retired : bool array;
+  write_point : (int * int) option;   (* current open (block, next page) *)
+  host_writes : int;
+  device_writes : int;
+  gc_runs : int;
+  erases : int;
+}
+
+let default_config =
+  { blocks = 16; pages_per_block = 64; gc_threshold = 8; endurance_limit = 10_000 }
+
+(* One whole block is reserved so garbage collection always has a landing
+   zone for a victim's valid pages, plus 1/8 page-level over-provisioning
+   to keep the GC off the hot path. *)
+let logical_capacity_of config = (config.blocks - 1) * config.pages_per_block * 7 / 8
+
+let create config =
+  if config.blocks < 2 || config.pages_per_block < 1 then
+    invalid_arg "Ftl.create: need >= 2 blocks and >= 1 page";
+  if config.gc_threshold < 1 || config.gc_threshold >= config.blocks * config.pages_per_block / 4
+  then invalid_arg "Ftl.create: unreasonable gc threshold";
+  {
+    config;
+    pages = Array.init config.blocks (fun _ -> Array.make config.pages_per_block Free);
+    mapping = Array.make (logical_capacity_of config) None;
+    erase_counts = Array.make config.blocks 0;
+    retired = Array.make config.blocks false;
+    write_point = None;
+    host_writes = 0;
+    device_writes = 0;
+    gc_runs = 0;
+    erases = 0;
+  }
+
+let logical_capacity t = Array.length t.mapping
+
+let free_pages t =
+  let n = ref 0 in
+  Array.iteri
+    (fun b row ->
+       if not t.retired.(b) then
+         Array.iter (fun s -> if s = Free then incr n) row)
+    t.pages;
+  !n
+
+(* Pick the block with the lowest erase count among blocks that are fully
+   free (candidates to open for writing). *)
+let pick_open_block t ~exclude =
+  let best = ref None in
+  Array.iteri
+    (fun b row ->
+       if (not t.retired.(b)) && b <> exclude
+          && Array.for_all (fun s -> s = Free) row then begin
+         match !best with
+         | Some b' when t.erase_counts.(b') <= t.erase_counts.(b) -> ()
+         | _ -> best := Some b
+       end)
+    t.pages;
+  !best
+
+(* Fully-free blocks not currently open for writing — the GC headroom. *)
+let fully_free_blocks t =
+  let open_block = match t.write_point with Some (b, _) -> b | None -> -1 in
+  let n = ref 0 in
+  Array.iteri
+    (fun b row ->
+       if (not t.retired.(b)) && b <> open_block
+          && Array.for_all (fun s -> s = Free) row then incr n)
+    t.pages;
+  !n
+
+let copy t =
+  {
+    t with
+    pages = Array.map Array.copy t.pages;
+    mapping = Array.copy t.mapping;
+    erase_counts = Array.copy t.erase_counts;
+    retired = Array.copy t.retired;
+  }
+
+(* Program one physical page at the write point; opens a block if needed. *)
+let rec allocate t =
+  match t.write_point with
+  | Some (b, p) when p < t.config.pages_per_block -> Ok (t, b, p)
+  | _ ->
+    (match pick_open_block t ~exclude:(-1) with
+     | Some b -> Ok ({ t with write_point = Some (b, 0) }, b, 0)
+     | None -> Error "Ftl: no free block to open")
+
+and program_page t ~lpn =
+  match allocate t with
+  | Error e -> Error e
+  | Ok (t, b, p) ->
+    let t = copy t in
+    t.pages.(b).(p) <- Valid lpn;
+    (* invalidate the previous location *)
+    (match t.mapping.(lpn) with
+     | Some (ob, op) -> t.pages.(ob).(op) <- Invalid
+     | None -> ());
+    t.mapping.(lpn) <- Some (b, p);
+    Ok { t with write_point = Some (b, p + 1); device_writes = t.device_writes + 1 }
+
+(* Greedy victim selection: most invalid pages; ties broken toward higher
+   erase count being avoided (wear leveling). Never the open block. *)
+let pick_victim t =
+  let open_block = match t.write_point with Some (b, _) -> b | None -> -1 in
+  let best = ref None in
+  Array.iteri
+    (fun b row ->
+       if (not t.retired.(b)) && b <> open_block then begin
+         let invalid = Array.fold_left (fun n s -> if s = Invalid then n + 1 else n) 0 row in
+         if invalid > 0 then begin
+           match !best with
+           | Some (_, best_invalid, best_erases)
+             when best_invalid > invalid
+                  || (best_invalid = invalid && best_erases <= t.erase_counts.(b)) ->
+             ()
+           | _ -> best := Some (b, invalid, t.erase_counts.(b))
+         end
+       end)
+    t.pages;
+  Option.map (fun (b, _, _) -> b) !best
+
+let erase_block t b =
+  let t = copy t in
+  Array.fill t.pages.(b) 0 t.config.pages_per_block Free;
+  t.erase_counts.(b) <- t.erase_counts.(b) + 1;
+  if t.erase_counts.(b) >= t.config.endurance_limit then t.retired.(b) <- true;
+  let write_point =
+    match t.write_point with
+    | Some (wb, _) when wb = b -> None
+    | wp -> wp
+  in
+  { t with erases = t.erases + 1; write_point }
+
+let garbage_collect t =
+  match pick_victim t with
+  | None -> Error "Ftl: nothing to collect"
+  | Some victim ->
+    (* Move valid pages of the victim through the write point. With at
+       least one fully-free block in reserve this always fits: the victim
+       holds at most pages_per_block valid pages and GC can consume the
+       reserve block, regaining a full block when the victim is erased. *)
+    let rec move t p =
+      if p >= t.config.pages_per_block then Ok t
+      else
+        match t.pages.(victim).(p) with
+        | Valid lpn ->
+          (match program_page t ~lpn with
+           | Error e -> Error e
+           | Ok t -> move t (p + 1))
+        | Free | Invalid -> move t (p + 1)
+    in
+    (match move t 0 with
+     | Error e -> Error e
+     | Ok t ->
+       let t = erase_block t victim in
+       Ok { t with gc_runs = t.gc_runs + 1 })
+
+(* Maintain the invariant that a spare fully-free block exists before
+   accepting a host write (plus the configured free-page low-water mark). *)
+let rec ensure_space t =
+  let needs_gc =
+    fully_free_blocks t < 1 || free_pages t <= t.config.gc_threshold
+  in
+  if not needs_gc then Ok t
+  else
+    match garbage_collect t with
+    | Ok t -> ensure_space t
+    | Error _ ->
+      (* no invalid pages to reclaim: accept writes while room remains *)
+      if free_pages t > 0 then Ok t else Error "Ftl: device full"
+
+let write t ~lpn =
+  if lpn < 0 || lpn >= logical_capacity t then Error "Ftl.write: lpn out of range"
+  else
+    match ensure_space t with
+    | Error e -> Error e
+    | Ok t ->
+      (match program_page t ~lpn with
+       | Error e -> Error e
+       | Ok t -> Ok { t with host_writes = t.host_writes + 1 })
+
+let read t ~lpn =
+  if lpn < 0 || lpn >= logical_capacity t then None else t.mapping.(lpn)
+
+let trim t ~lpn =
+  if lpn < 0 || lpn >= logical_capacity t then t
+  else
+    match t.mapping.(lpn) with
+    | None -> t
+    | Some (b, p) ->
+      let t = copy t in
+      t.pages.(b).(p) <- Invalid;
+      t.mapping.(lpn) <- None;
+      t
+
+type stats = {
+  host_writes : int;
+  device_writes : int;
+  gc_runs : int;
+  erases : int;
+  retired_blocks : int;
+  write_amplification : float;
+  max_erase_count : int;
+  min_erase_count : int;
+}
+
+let stats t =
+  let retired_blocks = Array.fold_left (fun n r -> if r then n + 1 else n) 0 t.retired in
+  let max_e = ref 0 and min_e = ref max_int in
+  Array.iteri
+    (fun b e ->
+       max_e := max !max_e e;
+       if not t.retired.(b) then min_e := min !min_e e)
+    t.erase_counts;
+  {
+    host_writes = t.host_writes;
+    device_writes = t.device_writes;
+    gc_runs = t.gc_runs;
+    erases = t.erases;
+    retired_blocks;
+    write_amplification =
+      (if t.host_writes = 0 then 1.
+       else float_of_int t.device_writes /. float_of_int t.host_writes);
+    max_erase_count = !max_e;
+    min_erase_count = (if !min_e = max_int then 0 else !min_e);
+  }
+
+let wear_spread t =
+  let s = stats t in
+  float_of_int (s.max_erase_count - s.min_erase_count)
+
+let run_trace t ops =
+  let capacity = logical_capacity t in
+  List.fold_left
+    (fun acc op ->
+       match acc with
+       | Error _ -> acc
+       | Ok t ->
+         (match op with
+          | Workload.Read _ -> Ok t
+          | Workload.Write { page; _ } -> write t ~lpn:(page mod capacity)))
+    (Ok t) ops

@@ -1,0 +1,68 @@
+(** A page-mapping flash translation layer over a multi-block device:
+    out-of-place updates, greedy garbage collection and wear-aware
+    allocation — the firmware layer that turns the erase-before-write
+    device of this library into a rewritable address space.
+
+    The FTL tracks page state and per-block erase counts (metadata
+    simulation, the standard methodology for FTL studies); the underlying
+    per-cell physics lives in {!Controller} and is exercised by the
+    smaller array tests. *)
+
+type page_state =
+  | Free
+  | Valid of int   (** holds this logical page *)
+  | Invalid        (** superseded data awaiting garbage collection *)
+
+type t
+
+type config = {
+  blocks : int;          (** physical blocks *)
+  pages_per_block : int;
+  gc_threshold : int;    (** trigger GC when free pages drop to this *)
+  endurance_limit : int; (** erases after which a block is retired *)
+}
+
+val default_config : config
+(** 16 blocks × 64 pages, GC at 8 free pages, 10⁴-erase endurance. *)
+
+val create : config -> t
+(** Fresh, fully-free device. @raise Invalid_argument on non-positive
+    dimensions or a GC threshold that can never be satisfied. *)
+
+val logical_capacity : t -> int
+(** Logical pages exposed: 7/8 of the physical pages excluding one
+    reserved block — the over-provisioning that guarantees garbage
+    collection always has room to relocate a victim's valid pages. *)
+
+val write : t -> lpn:int -> (t, string) result
+(** Write (or rewrite) a logical page. Triggers garbage collection when
+    free space is low. Fails when the device is out of usable space or the
+    logical page number is out of range. *)
+
+val read : t -> lpn:int -> (int * int) option
+(** Physical [(block, page)] currently holding the logical page, if
+    written. *)
+
+val trim : t -> lpn:int -> t
+(** Discard a logical page (marks its physical page invalid). *)
+
+type stats = {
+  host_writes : int;      (** pages written by the host *)
+  device_writes : int;    (** pages physically programmed (incl. GC copies) *)
+  gc_runs : int;
+  erases : int;
+  retired_blocks : int;
+  write_amplification : float;  (** device_writes / host_writes *)
+  max_erase_count : int;
+  min_erase_count : int;        (** over non-retired blocks *)
+}
+
+val stats : t -> stats
+(** Counters since creation. *)
+
+val wear_spread : t -> float
+(** Max minus min block erase count — flatness of the wear-leveling. *)
+
+val run_trace : t -> Workload.op list -> (t, string) result
+(** Replay a workload trace: writes map to {!write} (page index modulo the
+    logical capacity), reads are metadata no-ops. *)

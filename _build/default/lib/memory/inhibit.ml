@@ -1,0 +1,54 @@
+module D = Gnrflash_device
+module Q = Gnrflash_quantum
+
+type config = {
+  precharge : float;
+  boost_ratio : float;
+  leak_time : float;
+}
+
+let default = { precharge = 1.1; boost_ratio = 0.8; leak_time = 100e-6 }
+
+let boosted_channel c ~vgs_program ~t_elapsed =
+  if c.boost_ratio <= 0. || c.boost_ratio >= 1. then
+    invalid_arg "Inhibit: boost_ratio out of (0, 1)";
+  let v0 = c.precharge +. (c.boost_ratio *. vgs_program) in
+  v0 *. exp (-.max t_elapsed 0. /. c.leak_time)
+
+let inhibited_tunnel_field c (t : D.Fgt.t) ~vgs_program ~qfg ~t_elapsed =
+  let v_ch = boosted_channel c ~vgs_program ~t_elapsed in
+  let vfg = D.Fgt.vfg t ~vgs:vgs_program ~qfg in
+  (vfg -. v_ch) /. t.D.Fgt.xto
+
+let disturb_ratio c (t : D.Fgt.t) ~vgs_program =
+  let j_of_field field =
+    if field <= 0. then 0.
+    else Q.Fn.current_density t.D.Fgt.tunnel_fn ~field
+  in
+  let boosted =
+    j_of_field (inhibited_tunnel_field c t ~vgs_program ~qfg:0. ~t_elapsed:0.)
+  in
+  let half = j_of_field (D.Fgt.tunnel_field t ~vgs:(vgs_program /. 2.) ~qfg:0.) in
+  if half <= 0. then 0. else boosted /. half
+
+let dvt_after_events ?(config = default) (t : D.Fgt.t) ~vgs_program ~pulse_width
+    ~events =
+  if events < 0 then invalid_arg "Inhibit.dvt_after_events: negative events";
+  if pulse_width <= 0. then invalid_arg "Inhibit.dvt_after_events: bad pulse width";
+  (* per-pulse quasi-static integration of the decaying-boost current *)
+  let steps = 16 in
+  let qfg = ref 0. in
+  for _ = 1 to events do
+    let dt = pulse_width /. float_of_int steps in
+    for k = 0 to steps - 1 do
+      let t_el = (float_of_int k +. 0.5) *. dt in
+      let field =
+        inhibited_tunnel_field config t ~vgs_program ~qfg:!qfg ~t_elapsed:t_el
+      in
+      if field > 0. then begin
+        let j = Q.Fn.current_density t.D.Fgt.tunnel_fn ~field in
+        qfg := !qfg -. (j *. t.D.Fgt.area *. dt)
+      end
+    done
+  done;
+  D.Fgt.threshold_shift t ~qfg:!qfg

@@ -1,0 +1,41 @@
+(** Program-inhibit by channel self-boosting — how real NAND protects
+    cells that share the selected word line: the inhibited bit line is
+    precharged and floated, so when the word lines rise the channel
+    couples up with them, slashing the tunnel-oxide field instead of
+    merely halving the gate bias (the VGS/2 scheme of {!Gnrflash_device.Disturb}).
+
+    Boosted channel potential: [V_ch = precharge + r_boost·V_pgm] with the
+    coupling ratio [r_boost = C_ox/(C_ox + C_dep)] ≈ 0.8 for typical
+    stacks; the inhibited cell then sees only [V_pgm − V_ch] across its
+    gate stack. *)
+
+type config = {
+  precharge : float;      (** bit-line precharge left in the channel [V] *)
+  boost_ratio : float;    (** channel-to-gate coupling ratio, (0, 1) *)
+  leak_time : float;      (** boost decay time constant [s] (junction leakage) *)
+}
+
+val default : config
+(** 1.1 V precharge, 0.8 boost ratio, 100 µs decay. *)
+
+val boosted_channel : config -> vgs_program:float -> t_elapsed:float -> float
+(** Channel potential of the inhibited string [V] at a time into the
+    pulse; decays exponentially toward 0 with [leak_time]. *)
+
+val inhibited_tunnel_field :
+  config -> Gnrflash_device.Fgt.t -> vgs_program:float -> qfg:float ->
+  t_elapsed:float -> float
+(** Field across the inhibited cell's tunnel oxide — the channel boost
+    subtracts from the FG-to-channel drop. *)
+
+val disturb_ratio :
+  config -> Gnrflash_device.Fgt.t -> vgs_program:float -> float
+(** J(inhibited, boosted)/J(inhibited, VGS/2 scheme) at the start of the
+    pulse — how much better self-boosting is than half-select (≪ 1). *)
+
+val dvt_after_events :
+  ?config:config -> Gnrflash_device.Fgt.t -> vgs_program:float ->
+  pulse_width:float -> events:int -> float
+(** Accumulated threshold drift of a boosted-inhibited cell after
+    [events] neighbouring program pulses (quasi-static stepping with the
+    decaying boost). *)

@@ -1,0 +1,55 @@
+module D = Gnrflash_device
+
+type t = {
+  cells : Cell.t array;
+  v_pass : float;
+}
+
+let make ?(v_pass = 6.) cells =
+  if Array.length cells = 0 then invalid_arg "Nand_string.make: empty string";
+  { cells; v_pass }
+
+let length t = Array.length t.cells
+
+let check_index t i =
+  if i < 0 || i >= Array.length t.cells then Error "Nand_string: index out of range"
+  else Ok ()
+
+let read_bit ?(config = D.Readout.default) t ~selected =
+  match check_index t selected with
+  | Error e -> Error e
+  | Ok () ->
+    let pass_ok = ref true in
+    Array.iteri
+      (fun i c ->
+         if i <> selected then begin
+           let vt = Cell.effective_vt ~config c in
+           if vt > t.v_pass then pass_ok := false
+         end)
+      t.cells;
+    if not !pass_ok then Error "Nand_string: unselected cell blocks the string"
+    else begin
+      match Cell.read ~config t.cells.(selected) with
+      | Cell.Erased -> Ok 1
+      | Cell.Programmed -> Ok 0
+    end
+
+let update_cell t i c =
+  if i < 0 || i >= Array.length t.cells then invalid_arg "Nand_string.update_cell: bad index";
+  let cells = Array.copy t.cells in
+  cells.(i) <- c;
+  { t with cells }
+
+let string_current ?(config = D.Readout.default) t ~selected =
+  let current i c =
+    let bias = if i = selected then config.D.Readout.vread else t.v_pass in
+    let cfg = { config with D.Readout.vread = bias } in
+    D.Readout.read_current cfg c.Cell.device ~qfg:c.Cell.qfg
+  in
+  let result = ref infinity in
+  Array.iteri (fun i c -> result := min !result (current i c)) t.cells;
+  !result
+
+let pass_disturb_events t ~selected =
+  let n = Array.length t.cells in
+  Array.of_list (List.filter (fun i -> i <> selected) (List.init n (fun i -> i)))

@@ -1,0 +1,34 @@
+(** A NAND string: cells in series between a bit line and the source line.
+    Reading one page biases the selected word line at V_read and all the
+    others at V_pass; the string conducts only if every unselected cell is
+    turned on and the selected cell's threshold is below V_read. *)
+
+type t = {
+  cells : Cell.t array;   (** word-line order, index 0 nearest the bit line *)
+  v_pass : float;         (** pass bias for unselected word lines [V] *)
+}
+
+val make : ?v_pass:float -> Cell.t array -> t
+(** Build a string (default V_pass = 6 V).
+    @raise Invalid_argument on an empty string. *)
+
+val length : t -> int
+(** Number of cells in the string. *)
+
+val read_bit :
+  ?config:Gnrflash_device.Readout.config -> t -> selected:int -> (int, string) result
+(** Sense the selected cell: 1 (erased, conducting) or 0 (programmed).
+    Fails if any unselected cell's threshold exceeds V_pass (string broken
+    — usually from pass-disturb drift) or on a bad index. *)
+
+val update_cell : t -> int -> Cell.t -> t
+(** Functional update of one cell. @raise Invalid_argument on a bad index. *)
+
+val string_current :
+  ?config:Gnrflash_device.Readout.config -> t -> selected:int -> float
+(** Series current through the whole string [A]: the smallest per-cell
+    read current, the bottleneck of the series chain. *)
+
+val pass_disturb_events : t -> selected:int -> int array
+(** Indices of cells that see the pass bias during a read/program of the
+    selected page — inputs to the disturb accounting. *)

@@ -1,0 +1,104 @@
+module D = Gnrflash_device
+module Q = Gnrflash_quantum
+
+type config = {
+  vgs_program : float;
+  vds_program : float;
+  drain_current : float;
+  pulse_width : float;
+  lateral_field : float;
+  che : Q.Che.params;
+}
+
+let default_config =
+  {
+    vgs_program = 10.;
+    vds_program = 5.;
+    drain_current = 0.5e-3;
+    pulse_width = 1e-6;
+    lateral_field = 5e8;
+    che = Q.Che.default_si;
+  }
+
+type t = {
+  config : config;
+  cells : Cell.t array;
+  programs : int;
+  total_supply_charge : float;
+}
+
+let make ?(config = default_config) device ~cells =
+  if cells < 1 then invalid_arg "Nor_array.make: cells < 1";
+  {
+    config;
+    cells = Array.init cells (fun _ -> Cell.make device);
+    programs = 0;
+    total_supply_charge = 0.;
+  }
+
+let check_index t i =
+  if i < 0 || i >= Array.length t.cells then Error "Nor_array: index out of range"
+  else Ok ()
+
+let program_bit t ~index =
+  match check_index t index with
+  | Error e -> Error e
+  | Ok () ->
+    let c = t.cells.(index) in
+    if c.Cell.wear.D.Reliability.broken then Error "Nor_array: broken cell"
+    else begin
+      let cfg = t.config in
+      let i_gate =
+        Q.Che.gate_current cfg.che ~drain_current:cfg.drain_current
+          ~lateral_field:cfg.lateral_field
+      in
+      let dose = i_gate *. cfg.pulse_width in
+      (* electrons land on the FG; injection self-limits once the FG
+         potential has collapsed to the word-line saturation point (the
+         same fixed point the FN transient relaxes to) *)
+      let q_floor =
+        match D.Transient.saturation_charge c.Cell.device ~vgs:cfg.vgs_program with
+        | Ok q -> q
+        | Error _ -> c.Cell.qfg -. dose
+      in
+      let qfg = max q_floor (c.Cell.qfg -. dose) in
+      let injected = c.Cell.qfg -. qfg in
+      let field =
+        abs_float (D.Fgt.tunnel_field c.Cell.device ~vgs:cfg.vgs_program ~qfg)
+      in
+      let wear =
+        D.Reliability.after_pulse D.Reliability.default c.Cell.wear ~injected
+          ~area:c.Cell.device.D.Fgt.area ~field:(max field 1e6)
+      in
+      let cells = Array.copy t.cells in
+      cells.(index) <- { c with Cell.qfg; wear };
+      Ok
+        {
+          t with
+          cells;
+          programs = t.programs + 1;
+          total_supply_charge =
+            t.total_supply_charge +. (cfg.drain_current *. cfg.pulse_width);
+        }
+    end
+
+let read_bit t ~index =
+  match check_index t index with
+  | Error e -> Error e
+  | Ok () -> Ok (Cell.to_bit (Cell.read t.cells.(index)))
+
+let erase_all t =
+  let error = ref None in
+  let cells =
+    Array.map
+      (fun c ->
+         match !error with
+         | Some _ -> c
+         | None -> (match Cell.erase c with Ok c' -> c' | Error e -> error := Some e; c))
+      t.cells
+  in
+  match !error with Some e -> Error e | None -> Ok { t with cells }
+
+let programming_current t ~simultaneous =
+  if simultaneous < 0 then invalid_arg "Nor_array.programming_current: negative count";
+  float_of_int simultaneous *. t.config.drain_current

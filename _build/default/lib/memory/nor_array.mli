@@ -1,0 +1,43 @@
+(** NOR-type array: cells connected in parallel between bit line and
+    ground, programmed by channel-hot-electron injection and erased by FN
+    through the source — the architecture the paper's Section II contrasts
+    against NAND. Random-access reads (one cell per bit line), fast CHE
+    programming per cell, but large programming current. *)
+
+type config = {
+  vgs_program : float;   (** word-line bias during CHE programming [V] *)
+  vds_program : float;   (** drain bias during programming [V] *)
+  drain_current : float; (** channel current per programmed cell [A] *)
+  pulse_width : float;   (** CHE pulse width [s] *)
+  lateral_field : float; (** peak channel field for the lucky-electron model [V/m] *)
+  che : Gnrflash_quantum.Che.params;
+}
+
+val default_config : config
+(** 10 V / 5 V, 0.5 mA, 1 µs, 5×10⁸ V/m, silicon lucky-electron
+    parameters. *)
+
+type t = {
+  config : config;
+  cells : Cell.t array;      (** one word line *)
+  programs : int;
+  total_supply_charge : float;  (** coulombs drawn for programming so far *)
+}
+
+val make : ?config:config -> Gnrflash_device.Fgt.t -> cells:int -> t
+(** One word line of fresh cells. @raise Invalid_argument if [cells < 1]. *)
+
+val program_bit : t -> index:int -> (t, string) result
+(** CHE-program one cell: the injected charge is the gate current
+    integrated over the pulse, [I_d·P_inject·t_pulse]; the supply charge
+    is the full drain current. Fails on a bad index. *)
+
+val read_bit : t -> index:int -> (int, string) result
+(** Random-access read of one cell (no pass-gating needed in NOR). *)
+
+val erase_all : t -> (t, string) result
+(** FN erase of the whole word line (source erase). *)
+
+val programming_current : t -> simultaneous:int -> float
+(** Supply current needed to program [simultaneous] cells at once [A] —
+    the quantity that caps NOR program parallelism. *)

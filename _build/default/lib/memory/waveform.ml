@@ -1,0 +1,41 @@
+module D = Gnrflash_device
+
+type segment = {
+  vgs : float;
+  duration : float;
+}
+
+type t = segment list
+
+let pulse_train ~vgs ~width ~gap ~count =
+  if width <= 0. then invalid_arg "Waveform.pulse_train: width <= 0";
+  if count < 1 then invalid_arg "Waveform.pulse_train: count < 1";
+  if gap < 0. then invalid_arg "Waveform.pulse_train: negative gap";
+  List.concat
+    (List.init count (fun i ->
+         let p = { vgs; duration = width } in
+         if gap > 0. && i < count - 1 then [ p; { vgs = 0.; duration = gap } ] else [ p ]))
+
+let staircase ~v0 ~step ~width ~count =
+  if width <= 0. then invalid_arg "Waveform.staircase: width <= 0";
+  if count < 1 then invalid_arg "Waveform.staircase: count < 1";
+  List.init count (fun i -> { vgs = v0 +. (float_of_int i *. step); duration = width })
+
+let total_duration t = List.fold_left (fun acc s -> acc +. s.duration) 0. t
+
+let apply device ~qfg0 segments =
+  let rec go time qfg acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest ->
+      if s.duration <= 0. then Error "Waveform.apply: non-positive segment duration"
+      else if s.vgs = 0. then
+        (* grounded gap: leakage is negligible on pulse timescales *)
+        go (time +. s.duration) qfg ((time +. s.duration, qfg) :: acc) rest
+      else
+        (match D.Transient.run ~qfg0:qfg device ~vgs:s.vgs ~duration:s.duration with
+         | Error e -> Error e
+         | Ok r ->
+           let time' = time +. s.duration in
+           go time' r.D.Transient.qfg_final ((time', r.D.Transient.qfg_final) :: acc) rest)
+  in
+  go 0. qfg0 [] segments

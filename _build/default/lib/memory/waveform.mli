@@ -1,0 +1,27 @@
+(** Piecewise-constant control-gate bias waveforms, applied segment by
+    segment through the transient solver. Lets experiments compose pulse
+    trains (program → verify-read gap → re-program …) without re-deriving
+    the charge each time. *)
+
+type segment = {
+  vgs : float;       (** bias during the segment [V] *)
+  duration : float;  (** s, > 0 *)
+}
+
+type t = segment list
+
+val pulse_train : vgs:float -> width:float -> gap:float -> count:int -> t
+(** [count] pulses of [width] seconds at [vgs], separated by grounded gaps
+    of [gap] seconds. @raise Invalid_argument for non-positive width/count. *)
+
+val staircase : v0:float -> step:float -> width:float -> count:int -> t
+(** ISPP-style staircase: pulse [i] at [v0 + i·step]. *)
+
+val total_duration : t -> float
+(** Sum of segment durations. *)
+
+val apply :
+  Gnrflash_device.Fgt.t -> qfg0:float -> t ->
+  ((float * float) list, string) result
+(** Run the waveform; returns the [(time, qfg)] at each segment boundary
+    (cumulative time, charge carried across segments). *)

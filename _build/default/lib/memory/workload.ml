@@ -1,0 +1,110 @@
+type op =
+  | Write of { page : int; data : int array }
+  | Read of { page : int }
+
+type pattern =
+  | Sequential
+  | Uniform
+  | Zipf of float
+
+let zipf_sampler ~state ~exponent ~n =
+  (* inverse-CDF sampling over ranks 1..n with P(k) ∝ k^-exponent *)
+  let weights = Array.init n (fun i -> (float_of_int (i + 1)) ** (-.exponent)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+       acc := !acc +. w;
+       cdf.(i) <- !acc /. total)
+    weights;
+  fun () ->
+    let u = Random.State.float state 1. in
+    let rec find lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then find (mid + 1) hi else find lo mid
+      end
+    in
+    find 0 (n - 1)
+
+let generate ~seed pattern ~pages ~strings ~ops ~read_fraction =
+  if pages < 1 || strings < 1 || ops < 0 then invalid_arg "Workload.generate: bad sizes";
+  if read_fraction < 0. || read_fraction > 1. then
+    invalid_arg "Workload.generate: read_fraction out of [0, 1]";
+  let state = Random.State.make [| seed |] in
+  let next_page =
+    match pattern with
+    | Sequential ->
+      let counter = ref (-1) in
+      fun () ->
+        incr counter;
+        !counter mod pages
+    | Uniform -> fun () -> Random.State.int state pages
+    | Zipf exponent ->
+      if exponent <= 0. then invalid_arg "Workload.generate: zipf exponent <= 0";
+      zipf_sampler ~state ~exponent ~n:pages
+  in
+  List.init ops (fun _ ->
+      let page = next_page () in
+      if Random.State.float state 1. < read_fraction then Read { page }
+      else begin
+        let data = Array.init strings (fun _ -> Random.State.int state 2) in
+        Write { page; data }
+      end)
+
+type replay_stats = {
+  writes : int;
+  reads : int;
+  erase_cycles : int;
+  failed_verifies : int;
+  max_fluence : float;
+  broken_cells : int;
+}
+
+let page_holds_charge (ctrl : Controller.t) ~page =
+  let block = ctrl.Controller.block in
+  let dirty = ref false in
+  for s = 0 to block.Array_model.strings - 1 do
+    let c = Array_model.get block ~page ~string_:s in
+    if Cell.dvt c > 0.5 then dirty := true
+  done;
+  !dirty
+
+let replay ctrl ops =
+  let rec go ctrl writes reads erases fails = function
+    | [] ->
+      let _, max_fluence, broken = Array_model.wear_summary ctrl.Controller.block in
+      Ok
+        ( ctrl,
+          {
+            writes;
+            reads;
+            erase_cycles = erases;
+            failed_verifies = fails;
+            max_fluence;
+            broken_cells = broken;
+          } )
+    | Read { page } :: rest ->
+      (match Controller.read_page ctrl ~page with
+       | Error e -> Error e
+       | Ok (ctrl, _bits) -> go ctrl writes (reads + 1) erases fails rest)
+    | Write { page; data } :: rest ->
+      let needs_erase = page_holds_charge ctrl ~page in
+      let prep =
+        if needs_erase then Controller.erase_block ctrl else Ok ctrl
+      in
+      (match prep with
+       | Error e -> Error e
+       | Ok ctrl ->
+         (match Controller.program_page ctrl ~page ~data with
+          | Error e -> Error e
+          | Ok ctrl ->
+            let ok = Controller.verify_page ctrl ~page ~data in
+            go ctrl (writes + 1) reads
+              (erases + if needs_erase then 1 else 0)
+              (fails + if ok then 0 else 1)
+              rest))
+  in
+  go ctrl 0 0 0 0 ops

@@ -1,0 +1,33 @@
+(** Synthetic workload traces — the substitute for production traces the
+    paper's setting has no access to. Deterministic given the seed. *)
+
+type op =
+  | Write of { page : int; data : int array }
+  | Read of { page : int }
+
+type pattern =
+  | Sequential    (** pages written round-robin *)
+  | Uniform       (** pages drawn uniformly at random *)
+  | Zipf of float (** skewed page popularity with the given exponent > 0 *)
+
+val generate :
+  seed:int -> pattern -> pages:int -> strings:int -> ops:int ->
+  read_fraction:float -> op list
+(** [ops] operations over a block of [pages]×[strings]; each write carries
+    a random data pattern. [read_fraction] in [0, 1] is the probability an
+    operation is a read. @raise Invalid_argument on bad parameters. *)
+
+type replay_stats = {
+  writes : int;
+  reads : int;
+  erase_cycles : int;      (** block erases triggered by page rewrites *)
+  failed_verifies : int;   (** pages that did not read back as written *)
+  max_fluence : float;
+  broken_cells : int;
+}
+
+val replay : Controller.t -> op list -> (Controller.t * replay_stats, string) result
+(** Drive the controller with the trace. A write to a page that already
+    holds programmed cells triggers a block erase first (flash semantics:
+    no in-place overwrite), counted in [erase_cycles]. Each write is
+    verified by reading back. *)

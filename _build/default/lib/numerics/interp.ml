@@ -1,0 +1,128 @@
+type kind =
+  | Linear
+  | Hermite of float array (* derivative at each knot *)
+
+type t = {
+  xs : float array;
+  ys : float array;
+  kind : kind;
+}
+
+let validate xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Interp: length mismatch";
+  if n < 2 then invalid_arg "Interp: need >= 2 points";
+  for i = 0 to n - 2 do
+    if xs.(i + 1) <= xs.(i) then invalid_arg "Interp: xs not strictly increasing"
+  done
+
+let linear xs ys =
+  validate xs ys;
+  { xs = Array.copy xs; ys = Array.copy ys; kind = Linear }
+
+(* Natural cubic spline: solve the tridiagonal system for second derivatives,
+   then store knot first-derivatives so evaluation shares the Hermite path. *)
+let cubic_spline xs ys =
+  validate xs ys;
+  let n = Array.length xs in
+  let h = Array.init (n - 1) (fun i -> xs.(i + 1) -. xs.(i)) in
+  (* Tridiagonal system for M (second derivatives), natural BC M0 = Mn = 0. *)
+  let m = Array.make n 0. in
+  if n > 2 then begin
+    let dim = n - 2 in
+    let diag = Array.init dim (fun i -> 2. *. (h.(i) +. h.(i + 1))) in
+    let sub = Array.init dim (fun i -> if i = 0 then 0. else h.(i)) in
+    let sup = Array.init dim (fun i -> if i = dim - 1 then 0. else h.(i + 1)) in
+    let rhs =
+      Array.init dim (fun i ->
+          6.
+          *. (((ys.(i + 2) -. ys.(i + 1)) /. h.(i + 1))
+              -. ((ys.(i + 1) -. ys.(i)) /. h.(i))))
+    in
+    (* Thomas algorithm *)
+    let c' = Array.make dim 0. and d' = Array.make dim 0. in
+    c'.(0) <- sup.(0) /. diag.(0);
+    d'.(0) <- rhs.(0) /. diag.(0);
+    for i = 1 to dim - 1 do
+      let denom = diag.(i) -. (sub.(i) *. c'.(i - 1)) in
+      c'.(i) <- sup.(i) /. denom;
+      d'.(i) <- (rhs.(i) -. (sub.(i) *. d'.(i - 1))) /. denom
+    done;
+    m.(dim) <- d'.(dim - 1);
+    for i = dim - 2 downto 0 do
+      m.(i + 1) <- d'.(i) -. (c'.(i) *. m.(i + 2))
+    done
+  end;
+  (* Convert second derivatives to knot slopes. *)
+  let d = Array.make n 0. in
+  for i = 0 to n - 2 do
+    d.(i) <-
+      ((ys.(i + 1) -. ys.(i)) /. h.(i))
+      -. (h.(i) /. 6. *. ((2. *. m.(i)) +. m.(i + 1)))
+  done;
+  d.(n - 1) <-
+    ((ys.(n - 1) -. ys.(n - 2)) /. h.(n - 2))
+    +. (h.(n - 2) /. 6. *. ((2. *. m.(n - 1)) +. m.(n - 2)));
+  { xs = Array.copy xs; ys = Array.copy ys; kind = Hermite d }
+
+(* Fritsch--Carlson monotone slopes. *)
+let pchip xs ys =
+  validate xs ys;
+  let n = Array.length xs in
+  let h = Array.init (n - 1) (fun i -> xs.(i + 1) -. xs.(i)) in
+  let delta = Array.init (n - 1) (fun i -> (ys.(i + 1) -. ys.(i)) /. h.(i)) in
+  let d = Array.make n 0. in
+  for i = 1 to n - 2 do
+    if delta.(i - 1) *. delta.(i) > 0. then begin
+      let w1 = (2. *. h.(i)) +. h.(i - 1) in
+      let w2 = h.(i) +. (2. *. h.(i - 1)) in
+      d.(i) <- (w1 +. w2) /. ((w1 /. delta.(i - 1)) +. (w2 /. delta.(i)))
+    end
+  done;
+  let endpoint_slope h0 h1 d0 d1 =
+    let d = (((2. *. h0) +. h1) *. d0 -. (h0 *. d1)) /. (h0 +. h1) in
+    if d *. d0 <= 0. then 0.
+    else if d0 *. d1 <= 0. && abs_float d > 3. *. abs_float d0 then 3. *. d0
+    else d
+  in
+  if n = 2 then begin
+    d.(0) <- delta.(0);
+    d.(1) <- delta.(0)
+  end else begin
+    d.(0) <- endpoint_slope h.(0) h.(1) delta.(0) delta.(1);
+    d.(n - 1) <- endpoint_slope h.(n - 2) h.(n - 3) delta.(n - 2) delta.(n - 3)
+  end;
+  { xs = Array.copy xs; ys = Array.copy ys; kind = Hermite d }
+
+let segment_index xs x =
+  (* Largest i with xs.(i) <= x, clamped to [0, n-2]. *)
+  let n = Array.length xs in
+  if x <= xs.(0) then 0
+  else if x >= xs.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let eval t x =
+  let i = segment_index t.xs x in
+  let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+  let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+  match t.kind with
+  | Linear -> y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+  | Hermite d ->
+    let h = x1 -. x0 in
+    let s = (x -. x0) /. h in
+    let h00 = ((1. +. (2. *. s)) *. (1. -. s)) *. (1. -. s) in
+    let h10 = (s *. (1. -. s)) *. (1. -. s) in
+    let h01 = s *. s *. (3. -. (2. *. s)) in
+    let h11 = s *. s *. (s -. 1.) in
+    (h00 *. y0) +. (h10 *. h *. d.(i)) +. (h01 *. y1) +. (h11 *. h *. d.(i + 1))
+
+let eval_array t xs = Array.map (eval t) xs
+
+let knots t = (Array.copy t.xs, Array.copy t.ys)

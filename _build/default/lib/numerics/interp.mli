@@ -1,0 +1,28 @@
+(** Interpolation of tabulated data.
+
+    All constructors require [xs] strictly increasing and
+    [Array.length xs = Array.length ys >= 2]; they raise [Invalid_argument]
+    otherwise. Evaluation outside the knot range extrapolates using the
+    boundary segment. *)
+
+type t
+(** An interpolant built from tabulated data. *)
+
+val linear : float array -> float array -> t
+(** Piecewise-linear interpolant. *)
+
+val cubic_spline : float array -> float array -> t
+(** Natural cubic spline (second derivative zero at both ends). *)
+
+val pchip : float array -> float array -> t
+(** Monotone piecewise-cubic Hermite interpolant (Fritsch–Carlson slopes):
+    preserves monotonicity of the data, never overshoots. *)
+
+val eval : t -> float -> float
+(** Evaluate the interpolant. *)
+
+val eval_array : t -> float array -> float array
+(** Map {!eval} over an array of abscissae. *)
+
+val knots : t -> float array * float array
+(** The [(xs, ys)] the interpolant was built from. *)

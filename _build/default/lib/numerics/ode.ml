@@ -1,0 +1,213 @@
+type trajectory = {
+  times : float array;
+  states : float array array;
+}
+
+let axpy a x y =
+  (* y + a*x, freshly allocated *)
+  Array.mapi (fun i yi -> yi +. (a *. x.(i))) y
+
+let fixed_step_method step ~f ~t0 ~y0 ~t1 ~steps =
+  if steps < 1 then invalid_arg "Ode: steps < 1";
+  let h = (t1 -. t0) /. float_of_int steps in
+  let times = Array.make (steps + 1) t0 in
+  let states = Array.make (steps + 1) (Array.copy y0) in
+  let y = ref (Array.copy y0) in
+  for i = 1 to steps do
+    let t = t0 +. (float_of_int (i - 1) *. h) in
+    y := step f t !y h;
+    times.(i) <- t0 +. (float_of_int i *. h);
+    states.(i) <- Array.copy !y
+  done;
+  times.(steps) <- t1;
+  { times; states }
+
+let euler_step f t y h = axpy h (f t y) y
+
+let rk4_step f t y h =
+  let k1 = f t y in
+  let k2 = f (t +. (h /. 2.)) (axpy (h /. 2.) k1 y) in
+  let k3 = f (t +. (h /. 2.)) (axpy (h /. 2.) k2 y) in
+  let k4 = f (t +. h) (axpy h k3 y) in
+  Array.mapi
+    (fun i yi -> yi +. (h /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+    y
+
+let euler ~f ~t0 ~y0 ~t1 ~steps = fixed_step_method euler_step ~f ~t0 ~y0 ~t1 ~steps
+let rk4 ~f ~t0 ~y0 ~t1 ~steps = fixed_step_method rk4_step ~f ~t0 ~y0 ~t1 ~steps
+
+(* Runge--Kutta--Fehlberg 4(5) Butcher tableau. *)
+let rkf45_step f t y h =
+  let n = Array.length y in
+  let k1 = f t y in
+  let y2 = Array.init n (fun i -> y.(i) +. (h *. k1.(i) /. 4.)) in
+  let k2 = f (t +. (h /. 4.)) y2 in
+  let y3 = Array.init n (fun i -> y.(i) +. (h *. ((3. /. 32. *. k1.(i)) +. (9. /. 32. *. k2.(i))))) in
+  let k3 = f (t +. (3. *. h /. 8.)) y3 in
+  let y4 =
+    Array.init n (fun i ->
+        y.(i)
+        +. (h
+            *. ((1932. /. 2197. *. k1.(i)) -. (7200. /. 2197. *. k2.(i))
+                +. (7296. /. 2197. *. k3.(i)))))
+  in
+  let k4 = f (t +. (12. *. h /. 13.)) y4 in
+  let y5 =
+    Array.init n (fun i ->
+        y.(i)
+        +. (h
+            *. ((439. /. 216. *. k1.(i)) -. (8. *. k2.(i)) +. (3680. /. 513. *. k3.(i))
+                -. (845. /. 4104. *. k4.(i)))))
+  in
+  let k5 = f (t +. h) y5 in
+  let y6 =
+    Array.init n (fun i ->
+        y.(i)
+        +. (h
+            *. ((-8. /. 27. *. k1.(i)) +. (2. *. k2.(i)) -. (3544. /. 2565. *. k3.(i))
+                +. (1859. /. 4104. *. k4.(i)) -. (11. /. 40. *. k5.(i)))))
+  in
+  let k6 = f (t +. (h /. 2.)) y6 in
+  let y4th =
+    Array.init n (fun i ->
+        y.(i)
+        +. (h
+            *. ((25. /. 216. *. k1.(i)) +. (1408. /. 2565. *. k3.(i))
+                +. (2197. /. 4104. *. k4.(i)) -. (k5.(i) /. 5.))))
+  in
+  let y5th =
+    Array.init n (fun i ->
+        y.(i)
+        +. (h
+            *. ((16. /. 135. *. k1.(i)) +. (6656. /. 12825. *. k3.(i))
+                +. (28561. /. 56430. *. k4.(i)) -. (9. /. 50. *. k5.(i))
+                +. (2. /. 55. *. k6.(i)))))
+  in
+  (y5th, y4th)
+
+let error_norm ~rtol ~atol y y5 y4 =
+  let n = Array.length y in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let sc = atol +. (rtol *. max (abs_float y.(i)) (abs_float y5.(i))) in
+    let e = (y5.(i) -. y4.(i)) /. sc in
+    acc := !acc +. (e *. e)
+  done;
+  sqrt (!acc /. float_of_int n)
+
+let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps = 200_000)
+    ~f ~t0 ~y0 ~t1 ~on_step () =
+  if t1 <= t0 then Error "Ode.rkf45: t1 <= t0"
+  else begin
+    let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.) in
+    let t = ref t0 and y = ref (Array.copy y0) in
+    let steps = ref 0 in
+    let err = ref None in
+    let finished = ref false in
+    while (not !finished) && !err = None do
+      if !steps > max_steps then err := Some "Ode.rkf45: max_steps exceeded"
+      else begin
+        incr steps;
+        if !t +. !h > t1 then h := t1 -. !t;
+        let y5, y4 = rkf45_step f !t !y !h in
+        let en = error_norm ~rtol ~atol !y y5 y4 in
+        if Float.is_nan en || Float.is_nan (Array.fold_left ( +. ) 0. y5) then begin
+          (* the trial step left the region where f is finite: shrink hard *)
+          h := !h /. 10.;
+          if !h < h_min then err := Some "Ode.rkf45: step underflow at NaN region"
+        end
+        else if en <= 1. then begin
+          let t_new = !t +. !h in
+          (match on_step ~t_old:!t ~y_old:!y ~t_new ~y_new:y5 with
+           | `Stop -> finished := true
+           | `Continue -> ());
+          t := t_new;
+          y := y5;
+          if !t >= t1 -. 1e-15 *. (abs_float t1 +. 1.) then finished := true;
+          let factor = if en = 0. then 4. else min 4. (0.9 *. (en ** (-0.2))) in
+          h := !h *. factor
+        end else begin
+          let factor = max 0.1 (0.9 *. (en ** (-0.25))) in
+          h := !h *. factor;
+          if !h < h_min then err := Some "Ode.rkf45: step size underflow"
+        end
+      end
+    done;
+    match !err with Some e -> Error e | None -> Ok ()
+  end
+
+let rkf45 ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~t0 ~y0 ~t1 () =
+  let times = ref [ t0 ] and states = ref [ Array.copy y0 ] in
+  let on_step ~t_old:_ ~y_old:_ ~t_new ~y_new =
+    times := t_new :: !times;
+    states := Array.copy y_new :: !states;
+    `Continue
+  in
+  match rkf45_core ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~t0 ~y0 ~t1 ~on_step () with
+  | Error e -> Error e
+  | Ok () ->
+    Ok
+      {
+        times = Array.of_list (List.rev !times);
+        states = Array.of_list (List.rev !states);
+      }
+
+type event_result = {
+  trajectory : trajectory;
+  event_time : float option;
+  event_state : float array option;
+}
+
+let rkf45_event ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~event ~t0 ~y0 ~t1 () =
+  let times = ref [ t0 ] and states = ref [ Array.copy y0 ] in
+  let ev_t = ref None and ev_y = ref None in
+  let g0 = ref (event t0 y0) in
+  let on_step ~t_old ~y_old ~t_new ~y_new =
+    let g1 = event t_new y_new in
+    if !g0 *. g1 < 0. then begin
+      (* Locate the crossing by bisection, re-integrating the sub-interval
+         with fixed RK4 steps from the accepted left state. *)
+      let locate t =
+        if t <= t_old then Array.copy y_old
+        else (rk4 ~f ~t0:t_old ~y0:y_old ~t1:t ~steps:16).states |> fun s ->
+          s.(Array.length s - 1)
+      in
+      let lo = ref t_old and hi = ref t_new in
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        let gm = event mid (locate mid) in
+        if !g0 *. gm <= 0. then hi := mid else lo := mid
+      done;
+      let t_ev = 0.5 *. (!lo +. !hi) in
+      let y_ev = locate t_ev in
+      ev_t := Some t_ev;
+      ev_y := Some y_ev;
+      times := t_ev :: !times;
+      states := y_ev :: !states;
+      `Stop
+    end else begin
+      g0 := g1;
+      times := t_new :: !times;
+      states := Array.copy y_new :: !states;
+      `Continue
+    end
+  in
+  match rkf45_core ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~t0 ~y0 ~t1 ~on_step () with
+  | Error e -> Error e
+  | Ok () ->
+    Ok
+      {
+        trajectory =
+          {
+            times = Array.of_list (List.rev !times);
+            states = Array.of_list (List.rev !states);
+          };
+        event_time = !ev_t;
+        event_state = !ev_y;
+      }
+
+let solve_scalar ?rtol ?atol ~f ~t0 ~y0 ~t1 () =
+  let fv t y = [| f t y.(0) |] in
+  match rkf45 ?rtol ?atol ~f:fv ~t0 ~y0:[| y0 |] ~t1 () with
+  | Error e -> Error e
+  | Ok { times; states } -> Ok (times, Array.map (fun s -> s.(0)) states)

@@ -1,0 +1,51 @@
+(** Initial-value problem solvers for systems [dy/dt = f t y].
+
+    States are [float array]; right-hand sides must not mutate their
+    argument. *)
+
+type trajectory = {
+  times : float array;          (** accepted step times, increasing *)
+  states : float array array;   (** [states.(i)] is the state at [times.(i)] *)
+}
+
+val euler : f:(float -> float array -> float array) ->
+  t0:float -> y0:float array -> t1:float -> steps:int -> trajectory
+(** Fixed-step forward Euler ([steps] uniform steps). Mostly useful as a
+    baseline in convergence tests. *)
+
+val rk4 : f:(float -> float array -> float array) ->
+  t0:float -> y0:float array -> t1:float -> steps:int -> trajectory
+(** Classical fixed-step 4th-order Runge–Kutta. *)
+
+val rkf45 :
+  ?rtol:float -> ?atol:float -> ?h0:float -> ?h_min:float -> ?max_steps:int ->
+  f:(float -> float array -> float array) ->
+  t0:float -> y0:float array -> t1:float -> unit ->
+  (trajectory, string) result
+(** Adaptive Runge–Kutta–Fehlberg 4(5) with standard step control.
+    [rtol] defaults to [1e-8], [atol] to [1e-12]. Fails if the step size
+    underflows [h_min] or [max_steps] (default [200_000]) is exceeded. *)
+
+type event_result = {
+  trajectory : trajectory;   (** trajectory up to and including the event *)
+  event_time : float option; (** time at which the event function crossed zero,
+                                 or [None] if no crossing occurred before [t1] *)
+  event_state : float array option; (** state at the event time *)
+}
+
+val rkf45_event :
+  ?rtol:float -> ?atol:float -> ?h0:float -> ?h_min:float -> ?max_steps:int ->
+  f:(float -> float array -> float array) ->
+  event:(float -> float array -> float) ->
+  t0:float -> y0:float array -> t1:float -> unit ->
+  (event_result, string) result
+(** Like {!rkf45} but additionally monitors [event t y]: when its sign
+    changes across an accepted step, the crossing is located by bisection on
+    re-integrated sub-steps and integration stops there. *)
+
+val solve_scalar :
+  ?rtol:float -> ?atol:float ->
+  f:(float -> float -> float) -> t0:float -> y0:float -> t1:float -> unit ->
+  ((float array * float array), string) result
+(** Convenience wrapper of {!rkf45} for scalar equations; returns
+    [(times, values)]. *)

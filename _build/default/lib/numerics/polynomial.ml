@@ -1,0 +1,65 @@
+type t = float array
+
+let eval p x =
+  let acc = ref 0. in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(i)
+  done;
+  !acc
+
+let derivative p =
+  let n = Array.length p in
+  if n <= 1 then [||]
+  else Array.init (n - 1) (fun i -> float_of_int (i + 1) *. p.(i + 1))
+
+let integral ?(c0 = 0.) p =
+  let n = Array.length p in
+  Array.init (n + 1) (fun i -> if i = 0 then c0 else p.(i - 1) /. float_of_int i)
+
+let add p q =
+  let n = max (Array.length p) (Array.length q) in
+  Array.init n (fun i ->
+      (if i < Array.length p then p.(i) else 0.)
+      +. (if i < Array.length q then q.(i) else 0.))
+
+let mul p q =
+  let np = Array.length p and nq = Array.length q in
+  if np = 0 || nq = 0 then [||]
+  else begin
+    let r = Array.make (np + nq - 1) 0. in
+    for i = 0 to np - 1 do
+      for j = 0 to nq - 1 do
+        r.(i + j) <- r.(i + j) +. (p.(i) *. q.(j))
+      done
+    done;
+    r
+  end
+
+let scale a p = Array.map (fun c -> a *. c) p
+
+let degree p =
+  let rec go i = if i < 0 then -1 else if abs_float p.(i) > 0. then i else go (i - 1) in
+  go (Array.length p - 1)
+
+let fit ~deg xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then Error "Polynomial.fit: length mismatch"
+  else if n <= deg then Error "Polynomial.fit: not enough points"
+  else begin
+    let a = Array.init n (fun i -> Array.init (deg + 1) (fun j -> xs.(i) ** float_of_int j)) in
+    Linalg.lstsq a ys
+  end
+
+let roots_quadratic a b c =
+  if a = 0. then None
+  else begin
+    let disc = (b *. b) -. (4. *. a *. c) in
+    if disc < 0. then None
+    else begin
+      let sq = sqrt disc in
+      let q = -0.5 *. (b +. (Float.of_int (compare b 0.) |> fun s -> if s = 0. then 1. else s) *. sq) in
+      let r1 = q /. a in
+      let r2 = if q = 0. then 0. else c /. q in
+      Some (min r1 r2, max r1 r2)
+    end
+  end

@@ -1,0 +1,37 @@
+(** Dense polynomials in one variable, represented by their coefficient
+    array in increasing-degree order: [[| c0; c1; c2 |]] is
+    [c0 + c1 x + c2 x²]. *)
+
+type t = float array
+
+val eval : t -> float -> float
+(** Horner evaluation. The zero polynomial ([[||]]) evaluates to [0.]. *)
+
+val derivative : t -> t
+(** Formal derivative. *)
+
+val integral : ?c0:float -> t -> t
+(** Antiderivative with constant term [c0] (default [0.]). *)
+
+val add : t -> t -> t
+(** Polynomial sum. *)
+
+val mul : t -> t -> t
+(** Polynomial product. *)
+
+val scale : float -> t -> t
+(** Multiply all coefficients by a scalar. *)
+
+val degree : t -> int
+(** Degree ignoring trailing (near-)zero coefficients; the zero polynomial
+    has degree [-1]. *)
+
+val fit : deg:int -> float array -> float array -> (t, string) result
+(** [fit ~deg xs ys] is the least-squares polynomial of degree [deg] through
+    the data, via the normal equations. Requires
+    [Array.length xs = Array.length ys > deg]. *)
+
+val roots_quadratic : float -> float -> float -> (float * float) option
+(** [roots_quadratic a b c] returns the real roots of [a x² + b x + c]
+    (smaller first), or [None] if complex or degenerate ([a = 0]). Uses the
+    numerically stable citardauq form for the second root. *)

@@ -1,0 +1,132 @@
+let default_tol = 1e-12
+
+(* Relative closeness with a tiny absolute floor so roots at (or near) zero
+   still converge; the floor must stay far below any physically meaningful
+   magnitude (charges of 1e-17 C appear in the device layer). *)
+let close tol a b =
+  abs_float (b -. a) <= (tol *. max (abs_float a) (abs_float b)) +. 1e-300
+
+let bisect ?(tol = default_tol) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0. then Ok a
+  else if fb = 0. then Ok b
+  else if fa *. fb > 0. then Error "Roots.bisect: no sign change on bracket"
+  else begin
+    let rec loop a fa b i =
+      let m = 0.5 *. (a +. b) in
+      if i >= max_iter || close tol a b then Ok m
+      else
+        let fm = f m in
+        if fm = 0. then Ok m
+        else if fa *. fm < 0. then loop a fa m (i + 1)
+        else loop m fm b (i + 1)
+    in
+    loop a fa b 0
+  end
+
+(* Brent (1973): keep a bracketing pair (a, b) with b the best iterate; try
+   inverse quadratic / secant interpolation, fall back to bisection whenever
+   the candidate step is not clearly contracting. *)
+let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0. then Ok a
+  else if fb = 0. then Ok b
+  else if fa *. fb > 0. then Error "Roots.brent: no sign change on bracket"
+  else begin
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if abs_float !fa < abs_float !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa and d = ref 0. and mflag = ref true in
+    let result = ref None in
+    let i = ref 0 in
+    while !result = None && !i < max_iter do
+      incr i;
+      if !fb = 0. || close tol !a !b then result := Some !b
+      else begin
+        let s =
+          if !fa <> !fc && !fb <> !fc then
+            (* inverse quadratic interpolation *)
+            (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+            +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+            +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+          else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+        in
+        let lo = (3. *. !a +. !b) /. 4. and hi = !b in
+        let lo, hi = if lo <= hi then lo, hi else hi, lo in
+        let bad =
+          s < lo || s > hi
+          || (!mflag && abs_float (s -. !b) >= abs_float (!b -. !c) /. 2.)
+          || ((not !mflag) && abs_float (s -. !b) >= abs_float (!c -. !d) /. 2.)
+        in
+        let s = if bad then 0.5 *. (!a +. !b) else s in
+        mflag := bad;
+        let fs = f s in
+        d := !c;
+        c := !b; fc := !fb;
+        if !fa *. fs < 0. then begin b := s; fb := fs end
+        else begin a := s; fa := fs end;
+        if abs_float !fa < abs_float !fb then begin
+          let t = !a in a := !b; b := t;
+          let t = !fa in fa := !fb; fb := t
+        end
+      end
+    done;
+    match !result with
+    | Some x -> Ok x
+    | None -> Ok !b
+  end
+
+let newton ?(tol = default_tol) ?(max_iter = 100) ~f ~df x0 =
+  let rec loop x i =
+    if i >= max_iter then Error "Roots.newton: did not converge"
+    else
+      let fx = f x in
+      if fx = 0. then Ok x
+      else
+        let dfx = df x in
+        if dfx = 0. then Error "Roots.newton: zero derivative"
+        else
+          let x' = x -. (fx /. dfx) in
+          if Float.is_nan x' || Float.is_nan fx then
+            Error "Roots.newton: NaN encountered"
+          else if close tol x x' then Ok x'
+          else loop x' (i + 1)
+  in
+  loop x0 0
+
+let secant ?(tol = default_tol) ?(max_iter = 100) f x0 x1 =
+  let rec loop x0 f0 x1 f1 i =
+    if i >= max_iter then Error "Roots.secant: did not converge"
+    else if f1 = 0. then Ok x1
+    else if f1 = f0 then Error "Roots.secant: flat secant"
+    else
+      let x2 = x1 -. (f1 *. (x1 -. x0) /. (f1 -. f0)) in
+      if Float.is_nan x2 then Error "Roots.secant: NaN encountered"
+      else if close tol x1 x2 then Ok x2
+      else loop x1 f1 x2 (f x2) (i + 1)
+  in
+  loop x0 (f x0) x1 (f x1) 0
+
+let bracket_root ?(grow = 1.6) ?(max_iter = 60) f a b =
+  if a = b then Error "Roots.bracket_root: empty interval"
+  else begin
+    let a = ref (min a b) and b = ref (max a b) in
+    let fa = ref (f !a) and fb = ref (f !b) in
+    let rec loop i =
+      if !fa *. !fb <= 0. then Ok (!a, !b)
+      else if i >= max_iter then Error "Roots.bracket_root: no sign change found"
+      else begin
+        if abs_float !fa < abs_float !fb then begin
+          a := !a -. (grow *. (!b -. !a));
+          fa := f !a
+        end else begin
+          b := !b +. (grow *. (!b -. !a));
+          fb := f !b
+        end;
+        loop (i + 1)
+      end
+    in
+    loop 0
+  end

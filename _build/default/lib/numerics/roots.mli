@@ -1,0 +1,39 @@
+(** One-dimensional root finding.
+
+    All solvers return [Ok x] with [f x ~ 0], or [Error msg] when the
+    iteration fails to converge or the problem is ill-posed (e.g. no sign
+    change on the bracket). *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float ->
+  (float, string) result
+(** [bisect f a b] finds a root of [f] on the bracket [[a, b]].
+    Requires [f a] and [f b] to have opposite signs (an exact zero at an
+    endpoint is accepted). [tol] (default [1e-12]) bounds the final bracket
+    width relative to the magnitude of the endpoints. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float ->
+  (float, string) result
+(** [brent f a b] is Brent's method on the bracket [[a, b]]: inverse
+    quadratic interpolation and secant steps guarded by bisection.
+    Same bracket requirement as {!bisect}; typically converges
+    super-linearly. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
+  float -> (float, string) result
+(** [newton ~f ~df x0] is Newton–Raphson from initial guess [x0]. Fails if
+    the derivative vanishes or the iteration does not converge. *)
+
+val secant :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float ->
+  (float, string) result
+(** [secant f x0 x1] is the secant method from the two initial guesses. *)
+
+val bracket_root :
+  ?grow:float -> ?max_iter:int -> (float -> float) -> float -> float ->
+  ((float * float), string) result
+(** [bracket_root f a b] expands the interval [[a, b]] geometrically
+    (factor [grow], default [1.6]) until [f] changes sign across it,
+    returning the bracketing pair. *)

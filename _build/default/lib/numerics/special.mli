@@ -1,0 +1,34 @@
+(** Special functions needed by the tunneling models.
+
+    Accuracy notes: [erf]/[erfc] are good to ~1e-7 absolute; [gamma] and
+    [ln_gamma] to ~1e-10 relative away from poles; the Airy functions to
+    better than ~1e-8 relative for |x| ≲ 30 (power series for small
+    arguments, asymptotic expansions beyond). *)
+
+val erf : float -> float
+(** Error function. *)
+
+val erfc : float -> float
+(** Complementary error function, [1 - erf x]. *)
+
+val gamma : float -> float
+(** Gamma function (Lanczos approximation with reflection for [x < 0.5]).
+    Returns [nan] at non-positive integers. *)
+
+val ln_gamma : float -> float
+(** Natural log of |Γ(x)| for [x > 0]. *)
+
+val airy_ai : float -> float
+(** Airy function of the first kind, Ai(x). *)
+
+val airy_bi : float -> float
+(** Airy function of the second kind, Bi(x). *)
+
+val airy_ai' : float -> float
+(** Derivative Ai'(x). *)
+
+val airy_bi' : float -> float
+(** Derivative Bi'(x). *)
+
+val airy_all : float -> float * float * float * float
+(** [(Ai, Ai', Bi, Bi')] at the given point, sharing intermediate work. *)

@@ -1,0 +1,72 @@
+(** Unit conversions used throughout the library.
+
+    Internal convention: all physics code works in SI (metres, volts, amps,
+    joules, seconds, farads). These helpers convert at the API boundary —
+    device dimensions are naturally quoted in nm, energies in eV, fields in
+    MV/cm and current densities in A/cm². *)
+
+(** {1 Length} *)
+
+val nm : float -> float
+(** Nanometres → metres. *)
+
+val to_nm : float -> float
+(** Metres → nanometres. *)
+
+val um : float -> float
+(** Micrometres → metres. *)
+
+val angstrom : float -> float
+(** Ångström → metres. *)
+
+(** {1 Energy} *)
+
+val ev_to_joule : float -> float
+(** Electron-volts → joules. *)
+
+val joule_to_ev : float -> float
+(** Joules → electron-volts. *)
+
+(** {1 Electric field} *)
+
+val mv_per_cm : float -> float
+(** MV/cm → V/m (1 MV/cm = 1e8 V/m). *)
+
+val to_mv_per_cm : float -> float
+(** V/m → MV/cm. *)
+
+(** {1 Current density} *)
+
+val a_per_cm2 : float -> float
+(** A/cm² → A/m². *)
+
+val to_a_per_cm2 : float -> float
+(** A/m² → A/cm². *)
+
+(** {1 Capacitance / charge per area} *)
+
+val f_per_cm2 : float -> float
+(** F/cm² → F/m². *)
+
+val to_f_per_cm2 : float -> float
+(** F/m² → F/cm². *)
+
+val c_per_cm2 : float -> float
+(** C/cm² → C/m². *)
+
+val to_c_per_cm2 : float -> float
+(** C/m² → C/cm². *)
+
+(** {1 Time} *)
+
+val ns : float -> float
+(** Nanoseconds → seconds. *)
+
+val us : float -> float
+(** Microseconds → seconds. *)
+
+val ms : float -> float
+(** Milliseconds → seconds. *)
+
+val years : float -> float
+(** Years → seconds (Julian year, 365.25 days). *)

@@ -1,0 +1,1 @@
+lib/plot/ascii.ml: Array Buffer Figure List Printf Scale Series String

@@ -1,0 +1,1 @@
+lib/plot/csv.ml: Array Buffer Figure Fun List Printf Series String

@@ -1,0 +1,1 @@
+lib/plot/figure.ml: Array Float List Scale Series

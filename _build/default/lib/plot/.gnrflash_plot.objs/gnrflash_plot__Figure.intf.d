@@ -1,0 +1,1 @@
+lib/plot/figure.mli: Scale Series

@@ -1,0 +1,1 @@
+lib/plot/series.ml: Array List

@@ -1,0 +1,1 @@
+lib/plot/svg.ml: Array Buffer Figure Fun List Printf Scale Series String

@@ -1,0 +1,82 @@
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 72) ?(height = 22) (fig : Figure.t) =
+  let xscale, yscale = Figure.scales fig in
+  let canvas = Array.make_matrix height width ' ' in
+  let plot_series idx (s : Series.t) =
+    let glyph = glyphs.(idx mod Array.length glyphs) in
+    let pts = s.Series.points in
+    let n = Array.length pts in
+    (* draw line segments between consecutive points with dense sampling *)
+    for i = 0 to n - 1 do
+      let x, y = pts.(i) in
+      let cx = int_of_float (Scale.project xscale x *. float_of_int (width - 1)) in
+      let cy = int_of_float (Scale.project yscale y *. float_of_int (height - 1)) in
+      canvas.(height - 1 - cy).(cx) <- glyph;
+      if i < n - 1 then begin
+        let x2, y2 = pts.(i + 1) in
+        let steps = 24 in
+        for k = 1 to steps - 1 do
+          let f = float_of_int k /. float_of_int steps in
+          (* interpolate in projected space so log scales draw straight *)
+          let px = Scale.project xscale x and px2 = Scale.project xscale x2 in
+          let py = Scale.project yscale y and py2 = Scale.project yscale y2 in
+          let cx = int_of_float ((px +. (f *. (px2 -. px))) *. float_of_int (width - 1)) in
+          let cy = int_of_float ((py +. (f *. (py2 -. py))) *. float_of_int (height - 1)) in
+          if canvas.(height - 1 - cy).(cx) = ' ' then
+            canvas.(height - 1 - cy).(cx) <- glyph
+        done
+      end
+    done
+  in
+  List.iteri plot_series fig.Figure.series;
+  let buf = Buffer.create ((width + 16) * (height + 6)) in
+  Buffer.add_string buf fig.Figure.title;
+  Buffer.add_char buf '\n';
+  (* y-axis labels: top, middle, bottom *)
+  let ylo, yhi = Scale.bounds yscale in
+  let ylabel_at row =
+    if row = 0 then Scale.tick_label yscale yhi
+    else if row = height - 1 then Scale.tick_label yscale ylo
+    else if row = height / 2 then begin
+      match Scale.kind yscale with
+      | Scale.Linear -> Scale.tick_label yscale (0.5 *. (ylo +. yhi))
+      | Scale.Log10 -> Scale.tick_label yscale (sqrt (ylo *. yhi))
+    end
+    else ""
+  in
+  let label_width =
+    List.fold_left max 0
+      (List.map String.length
+         (List.init height ylabel_at))
+  in
+  for row = 0 to height - 1 do
+    let lbl = ylabel_at row in
+    Buffer.add_string buf (String.make (label_width - String.length lbl) ' ');
+    Buffer.add_string buf lbl;
+    Buffer.add_string buf " |";
+    Buffer.add_string buf (String.init width (fun c -> canvas.(row).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make (label_width + 1) ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  let xlo, xhi = Scale.bounds xscale in
+  let left = Scale.tick_label xscale xlo and right = Scale.tick_label xscale xhi in
+  Buffer.add_string buf (String.make (label_width + 2) ' ');
+  Buffer.add_string buf left;
+  let pad = width - String.length left - String.length right in
+  Buffer.add_string buf (String.make (max 1 pad) ' ');
+  Buffer.add_string buf right;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "  x: %s   y: %s\n" fig.Figure.xlabel fig.Figure.ylabel);
+  List.iteri
+    (fun i (s : Series.t) ->
+       Buffer.add_string buf
+         (Printf.sprintf "  %c %s\n" glyphs.(i mod Array.length glyphs) s.Series.label))
+    fig.Figure.series;
+  Buffer.contents buf
+
+let print ?width ?height fig = print_string (render ?width ?height fig)

@@ -1,0 +1,9 @@
+(** Terminal rendering of figures: a character-cell canvas with per-series
+    glyphs, tick labels and a legend. *)
+
+val render : ?width:int -> ?height:int -> Figure.t -> string
+(** Render the figure to a multi-line string. [width]×[height] is the
+    canvas size in character cells (defaults 72×22, exclusive of labels). *)
+
+val print : ?width:int -> ?height:int -> Figure.t -> unit
+(** [render] straight to stdout. *)

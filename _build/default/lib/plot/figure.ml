@@ -1,0 +1,24 @@
+type t = {
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  xscale : Scale.kind;
+  yscale : Scale.kind;
+  series : Series.t list;
+}
+
+let make ?(xlabel = "x") ?(ylabel = "y") ?(xscale = Scale.Linear)
+    ?(yscale = Scale.Linear) ~title series =
+  let keep (x, y) =
+    (match xscale with Scale.Log10 -> x > 0. | Scale.Linear -> true)
+    && (match yscale with Scale.Log10 -> y > 0. | Scale.Linear -> true)
+    && Float.is_finite x && Float.is_finite y
+  in
+  let series = List.map (Series.filter keep) series in
+  let non_empty = List.exists (fun s -> Array.length s.Series.points > 0) series in
+  if not non_empty then invalid_arg "Figure.make: no plottable points";
+  { title; xlabel; ylabel; xscale; yscale; series }
+
+let scales t =
+  let (xmin, xmax), (ymin, ymax) = Series.extent t.series in
+  (Scale.make t.xscale ~lo:xmin ~hi:xmax, Scale.make t.yscale ~lo:ymin ~hi:ymax)

@@ -1,0 +1,21 @@
+(** A figure: series plus axes metadata, renderable to ASCII, SVG or CSV. *)
+
+type t = {
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  xscale : Scale.kind;
+  yscale : Scale.kind;
+  series : Series.t list;
+}
+
+val make :
+  ?xlabel:string -> ?ylabel:string ->
+  ?xscale:Scale.kind -> ?yscale:Scale.kind ->
+  title:string -> Series.t list -> t
+(** Build a figure (scales default to linear). Series with non-positive
+    values are filtered automatically when the corresponding scale is
+    logarithmic. @raise Invalid_argument when no points remain. *)
+
+val scales : t -> Scale.t * Scale.t
+(** The fitted x and y scales. *)

@@ -1,0 +1,117 @@
+let palette =
+  [| "#4269d0"; "#efb118"; "#ff725c"; "#6cc5b0"; "#3ca951"; "#ff8ab7"; "#a463f2"; "#97bbf5" |]
+
+let xml_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '<' -> Buffer.add_string buf "&lt;"
+       | '>' -> Buffer.add_string buf "&gt;"
+       | '&' -> Buffer.add_string buf "&amp;"
+       | '"' -> Buffer.add_string buf "&quot;"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ?(width = 720) ?(height = 480) (fig : Figure.t) =
+  let xscale, yscale = Figure.scales fig in
+  let ml = 70 and mr = 160 and mt = 40 and mb = 55 in
+  let pw = float_of_int (width - ml - mr) in
+  let ph = float_of_int (height - mt - mb) in
+  let px x = float_of_int ml +. (Scale.project xscale x *. pw) in
+  let py y = float_of_int (height - mb) -. (Scale.project yscale y *. ph) in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n"
+       width height width height);
+  Buffer.add_string buf
+    (Printf.sprintf "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"24\" font-size=\"16\" font-weight=\"bold\">%s</text>\n"
+       ml (xml_escape fig.Figure.title));
+  (* gridlines + ticks *)
+  let xticks = Scale.ticks xscale and yticks = Scale.ticks yscale in
+  Array.iter
+    (fun v ->
+       let x = px v in
+       Buffer.add_string buf
+         (Printf.sprintf
+            "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#ddd\"/>\n" x mt x
+            (height - mb));
+       Buffer.add_string buf
+         (Printf.sprintf
+            "<text x=\"%.1f\" y=\"%d\" font-size=\"11\" text-anchor=\"middle\">%s</text>\n"
+            x
+            (height - mb + 16)
+            (xml_escape (Scale.tick_label xscale v))))
+    xticks;
+  Array.iter
+    (fun v ->
+       let y = py v in
+       Buffer.add_string buf
+         (Printf.sprintf
+            "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"#ddd\"/>\n" ml y
+            (width - mr) y);
+       Buffer.add_string buf
+         (Printf.sprintf
+            "<text x=\"%d\" y=\"%.1f\" font-size=\"11\" text-anchor=\"end\">%s</text>\n"
+            (ml - 6) (y +. 4.)
+            (xml_escape (Scale.tick_label yscale v))))
+    yticks;
+  (* frame *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"%d\" y=\"%d\" width=\"%.0f\" height=\"%.0f\" fill=\"none\" \
+        stroke=\"black\"/>\n"
+       ml mt pw ph);
+  (* series *)
+  List.iteri
+    (fun i (s : Series.t) ->
+       let color = palette.(i mod Array.length palette) in
+       let pts =
+         Array.to_list s.Series.points
+         |> List.map (fun (x, y) -> Printf.sprintf "%.2f,%.2f" (px x) (py y))
+         |> String.concat " "
+       in
+       if pts <> "" then
+         Buffer.add_string buf
+           (Printf.sprintf
+              "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.8\"/>\n"
+              pts color);
+       (* legend entry *)
+       let ly = mt + 14 + (i * 18) in
+       Buffer.add_string buf
+         (Printf.sprintf
+            "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+             stroke-width=\"3\"/>\n"
+            (width - mr + 10) ly (width - mr + 34) ly color);
+       Buffer.add_string buf
+         (Printf.sprintf "<text x=\"%d\" y=\"%d\" font-size=\"11\">%s</text>\n"
+            (width - mr + 40) (ly + 4) (xml_escape s.Series.label)))
+    fig.Figure.series;
+  (* axis labels *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%.0f\" y=\"%d\" font-size=\"13\" text-anchor=\"middle\">%s</text>\n"
+       (float_of_int ml +. (pw /. 2.))
+       (height - 14)
+       (xml_escape fig.Figure.xlabel));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"18\" y=\"%.0f\" font-size=\"13\" text-anchor=\"middle\" \
+        transform=\"rotate(-90 18 %.0f)\">%s</text>\n"
+       (float_of_int mt +. (ph /. 2.))
+       (float_of_int mt +. (ph /. 2.))
+       (xml_escape fig.Figure.ylabel));
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save ?width ?height ~path fig =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?width ?height fig))

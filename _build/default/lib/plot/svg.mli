@@ -1,0 +1,8 @@
+(** SVG rendering of figures: axes, ticks, grid, polylines and a legend. *)
+
+val render : ?width:int -> ?height:int -> Figure.t -> string
+(** Render to an SVG document string ([width]×[height] pixels, defaults
+    720×480). *)
+
+val save : ?width:int -> ?height:int -> path:string -> Figure.t -> unit
+(** Write the SVG document to [path]. *)

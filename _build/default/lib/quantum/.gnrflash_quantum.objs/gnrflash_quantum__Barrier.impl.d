@@ -1,0 +1,1 @@
+lib/quantum/barrier.ml: Array Float Gnrflash_physics List

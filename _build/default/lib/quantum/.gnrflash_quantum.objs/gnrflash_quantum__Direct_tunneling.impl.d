@@ -1,0 +1,1 @@
+lib/quantum/direct_tunneling.ml: Fn

@@ -1,0 +1,1 @@
+lib/quantum/fn.ml: Float Gnrflash_materials Gnrflash_numerics Gnrflash_physics

@@ -1,0 +1,1 @@
+lib/quantum/fn.mli: Gnrflash_materials

@@ -1,0 +1,1 @@
+lib/quantum/fn_plot.ml: Array Fn Gnrflash_numerics

@@ -1,0 +1,1 @@
+lib/quantum/fn_plot.mli: Fn

@@ -1,0 +1,1 @@
+lib/quantum/lookup.ml: Array Float Fn Gnrflash_numerics

@@ -1,0 +1,1 @@
+lib/quantum/lookup.mli: Fn

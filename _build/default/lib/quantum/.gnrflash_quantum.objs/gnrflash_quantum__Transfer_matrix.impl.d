@@ -1,0 +1,1 @@
+lib/quantum/transfer_matrix.ml: Array Barrier Complex Float Gnrflash_numerics Gnrflash_physics

@@ -1,0 +1,1 @@
+lib/quantum/transfer_matrix.mli: Barrier

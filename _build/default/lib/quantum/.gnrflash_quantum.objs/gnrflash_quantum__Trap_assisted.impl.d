@@ -1,0 +1,1 @@
+lib/quantum/trap_assisted.ml: Barrier Direct_tunneling Fn Gnrflash_physics Wkb

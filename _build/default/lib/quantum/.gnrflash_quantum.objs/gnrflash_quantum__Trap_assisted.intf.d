@@ -1,0 +1,1 @@
+lib/quantum/trap_assisted.mli: Fn

@@ -1,0 +1,1 @@
+lib/quantum/triangular_exact.ml: Complex Float Gnrflash_numerics Gnrflash_physics

@@ -1,0 +1,1 @@
+lib/quantum/triangular_exact.mli:

@@ -1,0 +1,1 @@
+lib/quantum/tsu_esaki.ml: Barrier Float Fn Gnrflash_numerics Gnrflash_physics Transfer_matrix Triangular_exact Wkb

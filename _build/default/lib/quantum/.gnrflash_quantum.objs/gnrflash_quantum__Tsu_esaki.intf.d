@@ -1,0 +1,1 @@
+lib/quantum/tsu_esaki.mli:

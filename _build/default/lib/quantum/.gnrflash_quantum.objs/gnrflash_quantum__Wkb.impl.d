@@ -1,0 +1,1 @@
+lib/quantum/wkb.ml: Barrier Gnrflash_numerics Gnrflash_physics

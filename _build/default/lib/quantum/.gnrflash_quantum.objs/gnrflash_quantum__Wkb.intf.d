@@ -1,0 +1,1 @@
+lib/quantum/wkb.mli: Barrier

@@ -1,0 +1,109 @@
+module C = Gnrflash_physics.Constants
+
+type t = {
+  nodes : (float * float) array;
+  m_eff : float;
+}
+
+let make ~m_eff pts =
+  if m_eff <= 0. then invalid_arg "Barrier.make: m_eff <= 0";
+  let nodes = Array.of_list pts in
+  if Array.length nodes < 2 then invalid_arg "Barrier.make: need >= 2 points";
+  for i = 0 to Array.length nodes - 2 do
+    if fst nodes.(i + 1) <= fst nodes.(i) then
+      invalid_arg "Barrier.make: x not strictly increasing"
+  done;
+  { nodes; m_eff }
+
+let triangular ~phi_b ~field ~m_eff =
+  if phi_b <= 0. then invalid_arg "Barrier.triangular: phi_b <= 0";
+  if field <= 0. then invalid_arg "Barrier.triangular: field <= 0";
+  let x_exit = phi_b /. (C.q *. field) in
+  make ~m_eff [ (0., phi_b); (x_exit, 0.) ]
+
+let trapezoidal ~phi_b ~v_ox ~thickness ~m_eff =
+  if phi_b <= 0. then invalid_arg "Barrier.trapezoidal: phi_b <= 0";
+  if thickness <= 0. then invalid_arg "Barrier.trapezoidal: thickness <= 0";
+  if v_ox < 0. then invalid_arg "Barrier.trapezoidal: v_ox < 0";
+  let drop = C.q *. v_ox in
+  if drop <= phi_b then
+    make ~m_eff [ (0., phi_b); (thickness, phi_b -. drop) ]
+  else begin
+    (* FN regime: barrier hits zero inside the oxide *)
+    let x_exit = thickness *. phi_b /. drop in
+    make ~m_eff [ (0., phi_b); (x_exit, 0.) ]
+  end
+
+let height_at b x =
+  let n = Array.length b.nodes in
+  let x0, _ = b.nodes.(0) and xn, _ = b.nodes.(n - 1) in
+  if x < x0 || x > xn then 0.
+  else begin
+    (* find segment *)
+    let rec seg i =
+      if i >= n - 1 then n - 2
+      else if fst b.nodes.(i + 1) >= x then i
+      else seg (i + 1)
+    in
+    let i = seg 0 in
+    let xa, va = b.nodes.(i) and xb, vb = b.nodes.(i + 1) in
+    va +. ((vb -. va) *. (x -. xa) /. (xb -. xa))
+  end
+
+let width b =
+  let n = Array.length b.nodes in
+  fst b.nodes.(n - 1) -. fst b.nodes.(0)
+
+let max_height b = Array.fold_left (fun acc (_, v) -> max acc v) neg_infinity b.nodes
+
+let with_image_force ~eps_r b =
+  if eps_r <= 0. then invalid_arg "Barrier.with_image_force: eps_r <= 0";
+  let n_samples = 200 in
+  let x0 = fst b.nodes.(0) in
+  let w = width b in
+  let clamp_dist = 0.05e-9 in
+  let image x =
+    (* image from the emitter interface at x0 *)
+    let d = max (x -. x0) clamp_dist in
+    -.(C.q *. C.q) /. (16. *. Float.pi *. C.eps0 *. eps_r *. d)
+  in
+  let pts =
+    List.init n_samples (fun i ->
+        let x = x0 +. (w *. float_of_int i /. float_of_int (n_samples - 1)) in
+        let v = height_at b x +. image x in
+        (x, max v 0.))
+  in
+  make ~m_eff:b.m_eff pts
+
+let classical_turning_points b ~energy =
+  (* scan nodes for first/last crossing of V = energy *)
+  let n = Array.length b.nodes in
+  let above x = height_at b x > energy in
+  let x0 = fst b.nodes.(0) and xn = fst b.nodes.(n - 1) in
+  (* sample finely to locate crossings robustly on piecewise-linear data *)
+  let samples = 1024 in
+  let xs = Array.init (samples + 1) (fun i -> x0 +. ((xn -. x0) *. float_of_int i /. float_of_int samples)) in
+  let first = ref None and last = ref None in
+  Array.iter
+    (fun x ->
+       if above x then begin
+         if !first = None then first := Some x;
+         last := Some x
+       end)
+    xs;
+  match !first, !last with
+  | Some a, Some b' ->
+    (* refine each edge by bisection on [V(x) - energy] *)
+    let refine lo hi =
+      let lo = ref lo and hi = ref hi in
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if above mid = above !lo then lo := mid else hi := mid
+      done;
+      0.5 *. (!lo +. !hi)
+    in
+    let step = (xn -. x0) /. float_of_int samples in
+    let left = if a -. step < x0 then a else refine (a -. step) a in
+    let right = if b' +. step > xn then b' else refine (b' +. step) b' in
+    Some (left, right)
+  | _ -> None

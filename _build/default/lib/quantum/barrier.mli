@@ -1,0 +1,50 @@
+(** One-dimensional potential-energy barriers seen by a tunneling electron.
+
+    A barrier is a piecewise-linear potential profile [V(x)] over
+    [0 <= x <= width], in joules, measured from the emitter Fermi level.
+    Positions in metres. *)
+
+type t = private {
+  nodes : (float * float) array;
+  (** [(x, V)] breakpoints, strictly increasing in [x]; [V] linear between
+      them, and the barrier region is exactly [x ∈ [x_first, x_last]]. *)
+  m_eff : float;  (** tunneling effective mass [kg] inside the barrier *)
+}
+
+val make : m_eff:float -> (float * float) list -> t
+(** Build a profile from breakpoints. @raise Invalid_argument if fewer than
+    two points, non-increasing x, or [m_eff <= 0.]. *)
+
+val triangular : phi_b:float -> field:float -> m_eff:float -> t
+(** The Fowler–Nordheim barrier (paper Fig. 2): starts at height [phi_b]
+    (joules) and falls with slope [q·field] until it crosses zero at
+    [x_exit = phi_b/(q·field)]. [field] in V/m must be positive.
+    The profile is truncated at the exit point. *)
+
+val trapezoidal :
+  phi_b:float -> v_ox:float -> thickness:float -> m_eff:float -> t
+(** The direct-tunneling barrier: height [phi_b] at the emitter interface
+    falling linearly by [q·v_ox] across the full oxide [thickness]. When
+    [v_ox > phi_b/q] the trapezoid degenerates into the FN triangle (the
+    exit point moves inside the oxide). *)
+
+val height_at : t -> float -> float
+(** [height_at b x] is V(x) by linear interpolation ([0.] outside the
+    profile). *)
+
+val width : t -> float
+(** Total extent [x_last - x_first]. *)
+
+val max_height : t -> float
+(** Highest potential on the profile. *)
+
+val with_image_force :
+  eps_r:float -> t -> t
+(** Superimpose the classical image-potential lowering
+    [−q²/(16πε₀εᵣ(x−x₀))] (rounded barrier, Schottky lowering), sampled on
+    a refined grid. Points where the correction would diverge (within
+    0.05 nm of an interface) are clamped. *)
+
+val classical_turning_points : t -> energy:float -> (float * float) option
+(** Interval where [V(x) > energy] (the forbidden region for an electron of
+    that energy), or [None] when the barrier never exceeds the energy. *)

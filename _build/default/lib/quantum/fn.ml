@@ -1,0 +1,51 @@
+module C = Gnrflash_physics.Constants
+module Roots = Gnrflash_numerics.Roots
+
+type params = {
+  a : float;
+  b : float;
+  phi_b_ev : float;
+  m_ox_rel : float;
+}
+
+let coefficients ~phi_b_ev ~m_ox_rel =
+  if phi_b_ev <= 0. then invalid_arg "Fn.coefficients: phi_b <= 0";
+  if m_ox_rel <= 0. then invalid_arg "Fn.coefficients: m_ox <= 0";
+  let phi_j = phi_b_ev *. C.ev in
+  let m_ox = m_ox_rel *. C.m0 in
+  let a = C.q ** 3. *. C.m0 /. (8. *. Float.pi *. C.h *. m_ox *. phi_j) in
+  let b = 8. *. Float.pi *. sqrt (2. *. m_ox) *. (phi_j ** 1.5) /. (3. *. C.q *. C.h) in
+  { a; b; phi_b_ev; m_ox_rel }
+
+let of_interface electrode oxide =
+  let phi_b_ev = Gnrflash_materials.Workfunction.barrier_height electrode oxide in
+  if phi_b_ev <= 0. then invalid_arg "Fn.of_interface: non-positive barrier";
+  coefficients ~phi_b_ev ~m_ox_rel:oxide.Gnrflash_materials.Oxide.m_ox
+
+let current_density p ~field =
+  if field <= 0. then 0.
+  else p.a *. field *. field *. exp (-.p.b /. field)
+
+let current_from_voltages p ~vfg ~vs ~xto =
+  if xto <= 0. then invalid_arg "Fn.current_from_voltages: xto <= 0";
+  let v = vfg -. vs in
+  if v <= 0. then 0. else current_density p ~field:(v /. xto)
+
+let paper_eq7 p ~vfg ~xto = current_from_voltages p ~vfg ~vs:0. ~xto
+
+let log10_current p ~field =
+  if field <= 0. then invalid_arg "Fn.log10_current: field <= 0";
+  log10 p.a +. (2. *. log10 field) -. (p.b /. field /. log 10.)
+
+let field_for_current p ~j =
+  if j <= 0. then Error "Fn.field_for_current: j <= 0"
+  else begin
+    (* solve log10 J(E) = log10 j; ln J is monotone increasing in E *)
+    let target = log10 j in
+    let f e = log10_current p ~field:e -. target in
+    (* initial guess: ignore the E² factor, E ~ B / ln(A E²/j) — just bracket
+       geometrically from a field where J is tiny to one where it is huge. *)
+    match Roots.bracket_root f (p.b /. 100.) (p.b *. 2.) with
+    | Error e -> Error e
+    | Ok (lo, hi) -> Roots.brent f lo hi
+  end

@@ -1,0 +1,43 @@
+(** Fowler–Nordheim tunneling current density — the closed form the paper's
+    equations (1), (4), (6), (7) are built on (Lenzlinger & Snow 1969).
+
+    [J = A·E²·exp(−B/E)] with
+    [A = q³·m0 / (8π·h·m_ox·Φ_B)]  (A/V²) and
+    [B = 8π·√(2 m_ox)·Φ_B^{3/2} / (3 q h)]  (V/m),
+    Φ_B in joules inside the formulas, quoted in eV at the API. *)
+
+type params = {
+  a : float;        (** prefactor A [A/V²] *)
+  b : float;        (** exponent coefficient B [V/m] *)
+  phi_b_ev : float; (** barrier height used to build the coefficients [eV] *)
+  m_ox_rel : float; (** effective tunneling mass in units of m0 *)
+}
+
+val coefficients : phi_b_ev:float -> m_ox_rel:float -> params
+(** Build FN coefficients from a barrier height and relative effective
+    mass. @raise Invalid_argument for non-positive arguments. *)
+
+val of_interface : Gnrflash_materials.Workfunction.electrode ->
+  Gnrflash_materials.Oxide.t -> params
+(** Coefficients for a given electrode/oxide interface, deriving Φ_B from
+    the work function and electron affinity, and m_ox from the oxide. *)
+
+val current_density : params -> field:float -> float
+(** Current density [A/m²] at oxide field [field] [V/m]; [0.] for
+    non-positive fields (the formula describes forward injection only —
+    callers handle polarity). *)
+
+val current_from_voltages : params -> vfg:float -> vs:float -> xto:float -> float
+(** Paper equation (6): field [E = (VFG − VS)/XTO], then {!current_density}.
+    [xto] in metres. Returns [0.] when [vfg <= vs]. *)
+
+val paper_eq7 : params -> vfg:float -> xto:float -> float
+(** Paper equation (7): the [VS = 0] special case. *)
+
+val field_for_current : params -> j:float -> (float, string) result
+(** Invert [J(E)]: the field [V/m] at which the current density reaches
+    [j] [A/m²] (Newton on ln J, monotone for E > 0). *)
+
+val log10_current : params -> field:float -> float
+(** [log10 (J)] computed in log space — usable even where [J] underflows a
+    float ([field > 0] required). *)

@@ -1,0 +1,30 @@
+(** Tabulated tunneling currents: evaluating the Tsu–Esaki integral inside
+    a transient ODE is thousands of times slower than the closed form, so
+    long simulations precompute [log10 J] on a log-spaced field grid and
+    interpolate with a monotone cubic. Accuracy is bounded by the grid
+    density (checked by tests against direct evaluation). *)
+
+type t
+(** A cached [J(E)] characteristic. *)
+
+val build :
+  ?points:int -> field_min:float -> field_max:float -> (float -> float) -> t
+(** [build ~field_min ~field_max j_of_field] tabulates the given current
+    model ([A/m²] as a function of field [V/m]) on [points] (default 64)
+    log-spaced fields. The model must be strictly positive on the range.
+    @raise Invalid_argument on a bad range or non-positive samples. *)
+
+val of_fn : ?points:int -> Fn.params -> field_min:float -> field_max:float -> t
+(** Cache the closed-form FN model (mainly useful for validating the
+    machinery — the closed form is already cheap). *)
+
+val current_density : t -> field:float -> float
+(** Interpolated current density. Fields outside the table clamp to the
+    endpoints ([0.] below a positive [field_min] guard of a decade). *)
+
+val max_relative_error : t -> (float -> float) -> float
+(** Worst relative error against the reference model, probed between the
+    table nodes — the quantity tests pin. *)
+
+val range : t -> float * float
+(** The tabulated field range. *)

@@ -1,0 +1,20 @@
+type mechanism =
+  | Fowler_nordheim
+  | Direct
+  | Negligible
+
+let direct_thickness_limit = 5e-9
+let fn_thickness_threshold = 4e-9
+
+let classify ~phi_b_ev ~v_ox ~thickness =
+  if phi_b_ev <= 0. then invalid_arg "Regime.classify: phi_b <= 0";
+  if thickness <= 0. then invalid_arg "Regime.classify: thickness <= 0";
+  let v = abs_float v_ox in
+  if v > phi_b_ev then Fowler_nordheim
+  else if thickness <= direct_thickness_limit && v > 0. then Direct
+  else Negligible
+
+let describe = function
+  | Fowler_nordheim -> "Fowler-Nordheim tunneling"
+  | Direct -> "direct tunneling"
+  | Negligible -> "negligible conduction"

@@ -1,0 +1,26 @@
+(** Classification of the dominant conduction mechanism through a gate
+    oxide, following the paper's Section II discussion: FN for thick oxides
+    under high field (V_ox > Φ_B), direct tunneling for ultra-thin oxides
+    (2–5 nm) at low bias, negligible otherwise. *)
+
+type mechanism =
+  | Fowler_nordheim  (** triangular barrier, V_ox > Φ_B *)
+  | Direct           (** trapezoidal barrier, thin oxide *)
+  | Negligible       (** thick oxide at low field *)
+
+val classify : phi_b_ev:float -> v_ox:float -> thickness:float -> mechanism
+(** [classify ~phi_b_ev ~v_ox ~thickness] applies the textbook rules:
+    [v_ox > phi_b] → FN; otherwise direct if the oxide is at most
+    {!direct_thickness_limit}; otherwise negligible. [thickness] in m.
+    The sign of [v_ox] is ignored (mechanism is polarity-symmetric). *)
+
+val direct_thickness_limit : float
+(** 5 nm — the upper oxide thickness where direct tunneling matters
+    (paper cites 2–5 nm, ref [7]). *)
+
+val fn_thickness_threshold : float
+(** 4 nm — oxides at or above this are FN-dominated at high field
+    (paper ref [1] discussion). *)
+
+val describe : mechanism -> string
+(** Human-readable label. *)

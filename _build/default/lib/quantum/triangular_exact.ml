@@ -1,0 +1,69 @@
+module C = Gnrflash_physics.Constants
+module Sp = Gnrflash_numerics.Special
+
+(* Rectangular barrier of height v, width d, with mass mismatch. *)
+let rectangular ~v ~thickness ~m_b ~m_e ~energy =
+  if energy >= v then 1.
+  else begin
+    let kappa = sqrt (2. *. m_b *. (v -. energy)) /. C.hbar in
+    let k = sqrt (2. *. m_e *. energy) /. C.hbar in
+    let eta = kappa *. m_e /. (k *. m_b) in
+    let s = sinh (kappa *. thickness) in
+    let t = 4. /. (4. +. ((eta +. (1. /. eta)) ** 2.) *. s *. s) in
+    if t < 0. then 0. else min t 1.
+  end
+
+(* Gundlach (1966) matching: inside the barrier psi = a Ai(y) + b Bi(y) with
+   y(x) = (V(x) - E)/eps and eps = (hbar^2 q^2 F^2 / 2 m_b)^(1/3); plane
+   waves outside; continuity of psi and psi'/m at both interfaces. Using the
+   Airy Wronskian Ai Bi' - Ai' Bi = 1/pi, the transmitted amplitude obeys
+     2 = pi t [(Bi'(y2) + i mu2 Bi(y2)) (Ai(y1) + i Ai'(y1)/mu1)
+               - (Ai'(y2) + i mu2 Ai(y2)) (Bi(y1) + i Bi'(y1)/mu1)]
+   with mu_i = k_i eps m_b / (q F m_e), and T = |t|^2 k2/k1. *)
+let rec transmission ~phi1 ~phi2 ~thickness ~m_b ~m_e ~energy =
+  if energy <= 0. then 0.
+  else if thickness <= 0. then 1.
+  else begin
+    let drop = phi1 -. phi2 in
+    if abs_float drop < 1e-3 *. C.ev *. 1e-6 then
+      rectangular ~v:phi1 ~thickness ~m_b ~m_e ~energy
+    else if drop < 0. then
+      (* rising barrier: evaluate the mirrored geometry (time-reversal
+         symmetry of the two-terminal transmission at equal total energy) *)
+      transmission ~phi1:phi2 ~phi2:phi1 ~thickness ~m_b ~m_e
+        ~energy:(energy -. phi2 +. phi1 |> max 1e-30)
+    else begin
+      let field = drop /. (C.q *. thickness) in
+      let eps = (C.hbar ** 2. *. ((C.q *. field) ** 2.) /. (2. *. m_b)) ** (1. /. 3.) in
+      let y1 = (phi1 -. energy) /. eps in
+      let y2 = (phi2 -. energy) /. eps in
+      let k1 = sqrt (2. *. m_e *. energy) /. C.hbar in
+      let e_exit = energy -. phi2 in
+      if e_exit <= 0. then 0.
+      else begin
+        let k2 = sqrt (2. *. m_e *. e_exit) /. C.hbar in
+        let mu = eps *. m_b /. (C.q *. field *. m_e) in
+        let mu1 = k1 *. mu and mu2 = k2 *. mu in
+        let a1, a1', b1, b1' = Sp.airy_all y1 in
+        let a2, a2', b2, b2' = Sp.airy_all y2 in
+        let open Complex in
+        let i = { re = 0.; im = 1. } in
+        let cb2 = add { re = b2'; im = 0. } (mul i { re = mu2 *. b2; im = 0. }) in
+        let ca2 = add { re = a2'; im = 0. } (mul i { re = mu2 *. a2; im = 0. }) in
+        let ca1 = add { re = a1; im = 0. } (mul i { re = a1' /. mu1; im = 0. }) in
+        let cb1 = add { re = b1; im = 0. } (mul i { re = b1' /. mu1; im = 0. }) in
+        let bracket = Complex.sub (mul cb2 ca1) (mul ca2 cb1) in
+        let modulus = norm bracket *. Float.pi /. 2. in
+        if modulus = 0. then 1.
+        else begin
+          let t = k2 /. k1 /. (modulus *. modulus) in
+          if Float.is_nan t || t < 0. then 0. else min t 1.
+        end
+      end
+    end
+  end
+
+let transmission_fn ~phi_b ~field ~thickness ~m_b ~m_e ~energy =
+  if field <= 0. then invalid_arg "Triangular_exact.transmission_fn: field <= 0";
+  let phi2 = phi_b -. (C.q *. field *. thickness) in
+  transmission ~phi1:phi_b ~phi2 ~thickness ~m_b ~m_e ~energy

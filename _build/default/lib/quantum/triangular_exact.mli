@@ -1,0 +1,23 @@
+(** Exact quantum transmission through a linear (triangular / trapezoidal)
+    barrier using Airy-function matching — the Gundlach (1966) solution.
+
+    Serves as the ground truth the WKB and closed-form FN models are
+    validated against (paper future work: "more accurate models for JFN"). *)
+
+val transmission :
+  phi1:float -> phi2:float -> thickness:float -> m_b:float -> m_e:float ->
+  energy:float -> float
+(** Transmission probability for an electron of [energy] (J, > 0, measured
+    from the emitter conduction-band edge) through a barrier that is
+    [phi1] high (J, relative to the emitter band edge) at the entry
+    interface and [phi2] at the exit interface, [thickness] m wide.
+    [m_b] is the effective mass inside the barrier, [m_e] in the
+    electrodes. Returns a value in [0, 1]; evanescent collectors
+    ([energy <= phi2] with [phi2 > 0] constant beyond) return 0. *)
+
+val transmission_fn :
+  phi_b:float -> field:float -> thickness:float -> m_b:float -> m_e:float ->
+  energy:float -> float
+(** Convenience wrapper for the FN geometry: barrier height [phi_b] at the
+    emitter falling with slope [q·field] across [thickness], collector band
+    edge at [phi_b − q·field·thickness]. *)

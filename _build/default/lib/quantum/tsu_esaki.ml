@@ -1,0 +1,61 @@
+module C = Gnrflash_physics.Constants
+module F = Gnrflash_physics.Fermi
+module Quad = Gnrflash_numerics.Quadrature
+
+type transmission_model =
+  | Wkb_model
+  | Transfer_matrix_model of int
+  | Exact_airy
+
+let transmission_at ~model ~phi_b ~field ~thickness ~m_b ~energy =
+  let phi2 = phi_b -. (C.q *. field *. thickness) in
+  match model with
+  | Wkb_model ->
+    let b = Barrier.trapezoidal ~phi_b ~v_ox:(field *. thickness) ~thickness ~m_eff:m_b in
+    Wkb.transmission b ~energy
+  | Transfer_matrix_model steps ->
+    let b = Barrier.trapezoidal ~phi_b ~v_ox:(field *. thickness) ~thickness ~m_eff:m_b in
+    Transfer_matrix.transmission ~steps b ~energy
+  | Exact_airy ->
+    Triangular_exact.transmission ~phi1:phi_b ~phi2 ~thickness ~m_b ~m_e:C.m0 ~energy
+
+let current_density ?(model = Wkb_model) ?(temp = C.room_temperature)
+    ~phi_b ~field ~thickness ~m_b ~ef () =
+  if field <= 0. then 0.
+  else begin
+    let qv = C.q *. field *. thickness in
+    let prefactor = C.q *. C.m0 *. C.k_b *. temp
+                    /. (2. *. Float.pi *. Float.pi *. (C.hbar ** 3.)) in
+    (* N(E) includes the kT ln(...) factor; supply_difference already
+       multiplies by kT, so divide the prefactor's kT back out. *)
+    let prefactor = prefactor /. (C.k_b *. temp) in
+    let integrand e =
+      let t = transmission_at ~model ~phi_b ~field ~thickness ~m_b ~energy:e in
+      if t <= 0. then 0.
+      else t *. F.supply_difference ~ef ~t:temp ~qv e
+    in
+    let kt = C.k_b *. temp in
+    let e_max = max (phi_b +. (10. *. kt)) (ef +. (20. *. kt)) in
+    (* The integrand is sharply peaked near ef for thick barriers; split the
+       range so the quadrature resolves it. *)
+    let split = min ef e_max in
+    let j1 =
+      if split > 1e-25 then Quad.gauss_legendre ~order:48 integrand 1e-25 split else 0.
+    in
+    let j2 = Quad.gauss_legendre ~order:64 integrand (max split 1e-25) e_max in
+    prefactor *. (j1 +. j2)
+  end
+
+let compare_models ?temp ~phi_b ~field ~thickness ~m_b ~ef () =
+  let run model =
+    current_density ?temp ~model ~phi_b ~field ~thickness ~m_b ~ef ()
+  in
+  let fn_params =
+    Fn.coefficients ~phi_b_ev:(phi_b /. C.ev) ~m_ox_rel:(m_b /. C.m0)
+  in
+  [
+    ("tsu-esaki/wkb", run Wkb_model);
+    ("tsu-esaki/transfer-matrix", run (Transfer_matrix_model 400));
+    ("tsu-esaki/exact-airy", run Exact_airy);
+    ("fn-closed-form", Fn.current_density fn_params ~field);
+  ]

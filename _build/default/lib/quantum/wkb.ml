@@ -1,0 +1,29 @@
+module C = Gnrflash_physics.Constants
+module Quad = Gnrflash_numerics.Quadrature
+
+let action_integral b ~energy =
+  match Barrier.classical_turning_points b ~energy with
+  | None -> 0.
+  | Some (x1, x2) ->
+    let integrand x =
+      let v = Barrier.height_at b x -. energy in
+      if v <= 0. then 0. else sqrt (2. *. b.Barrier.m_eff *. v)
+    in
+    (* absolute tolerance scaled to the integral's natural magnitude
+       k_max * width, which is ~1e-33 in SI units *)
+    let v_max = Barrier.max_height b -. energy in
+    let scale = sqrt (2. *. b.Barrier.m_eff *. max v_max 1e-30) *. (x2 -. x1) in
+    let k = Quad.adaptive_simpson ~tol:(1e-9 *. scale) integrand x1 x2 in
+    2. /. C.hbar *. k
+
+let transmission b ~energy =
+  let a = action_integral b ~energy in
+  if a <= 0. then 1. else exp (-.a)
+
+let transmission_triangular ~phi_b ~field ~m_eff =
+  if phi_b <= 0. || field <= 0. || m_eff <= 0. then
+    invalid_arg "Wkb.transmission_triangular: non-positive argument";
+  let b_exp =
+    4. *. sqrt (2. *. m_eff) *. (phi_b ** 1.5) /. (3. *. C.hbar *. C.q *. field)
+  in
+  exp (-.b_exp)

@@ -1,0 +1,17 @@
+(** Wentzel–Kramers–Brillouin tunneling through an arbitrary
+    piecewise-linear barrier. *)
+
+val action_integral : Barrier.t -> energy:float -> float
+(** The WKB exponent [2/ħ ∫ √(2m(V(x) − E)) dx] over the classically
+    forbidden region. [0.] when the electron energy clears the barrier. *)
+
+val transmission : Barrier.t -> energy:float -> float
+(** Transmission probability [exp(−action)], in [0, 1]. Energies above the
+    barrier maximum transmit with probability 1 (WKB has no above-barrier
+    reflection). *)
+
+val transmission_triangular :
+  phi_b:float -> field:float -> m_eff:float -> float
+(** Closed-form WKB transmission at the Fermi level (E = 0) through the FN
+    triangle: [exp(−4√(2m)·φ_B^{3/2} / (3ħqE))]. Cross-validates
+    {!transmission} on {!Barrier.triangular}. *)

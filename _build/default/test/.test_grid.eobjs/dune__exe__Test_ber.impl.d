@@ -1,0 +1,1 @@
+test/test_ber.ml: Alcotest Gnrflash_memory Gnrflash_testing QCheck2

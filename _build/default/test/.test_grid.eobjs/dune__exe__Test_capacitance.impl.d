@@ -1,0 +1,1 @@
+test/test_capacitance.ml: Alcotest Gnrflash_device Gnrflash_testing QCheck2

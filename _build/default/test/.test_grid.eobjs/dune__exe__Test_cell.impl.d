@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Gnrflash_device Gnrflash_memory Gnrflash_testing QCheck2

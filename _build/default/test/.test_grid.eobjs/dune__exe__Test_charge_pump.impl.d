@@ -1,0 +1,1 @@
+test/test_charge_pump.ml: Alcotest Gnrflash_device Gnrflash_testing QCheck2

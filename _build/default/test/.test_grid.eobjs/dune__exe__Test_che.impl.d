@@ -1,0 +1,1 @@
+test/test_che.ml: Alcotest Gnrflash_quantum Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_cnt.ml: Alcotest Float Gnrflash_materials Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_constants.ml: Alcotest Float Gnrflash_physics Gnrflash_testing

@@ -1,0 +1,1 @@
+test/test_direct_tunneling.mli:

@@ -1,0 +1,1 @@
+test/test_disturb.ml: Alcotest Gnrflash_device Gnrflash_testing

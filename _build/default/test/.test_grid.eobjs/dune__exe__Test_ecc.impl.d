@@ -1,0 +1,1 @@
+test/test_ecc.ml: Alcotest Array Gnrflash_memory Gnrflash_testing Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_ecc_controller.ml: Alcotest Array Gnrflash_device Gnrflash_memory Gnrflash_testing List

@@ -1,0 +1,1 @@
+test/test_electrostatics.ml: Alcotest Array Gnrflash_device Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_endurance.ml: Alcotest Float Gnrflash_device Gnrflash_memory Gnrflash_testing List

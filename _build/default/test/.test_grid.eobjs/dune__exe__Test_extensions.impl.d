@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Gnrflash Gnrflash_memory Gnrflash_plot Gnrflash_testing List Printf

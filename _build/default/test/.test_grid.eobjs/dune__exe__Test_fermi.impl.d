@@ -1,0 +1,1 @@
+test/test_fermi.ml: Alcotest Float Gnrflash_physics Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_fet.ml: Alcotest Array Gnrflash_device Gnrflash_numerics Gnrflash_testing

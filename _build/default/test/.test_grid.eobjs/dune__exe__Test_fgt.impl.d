@@ -1,0 +1,1 @@
+test/test_fgt.ml: Alcotest Gnrflash_device Gnrflash_quantum Gnrflash_testing QCheck2

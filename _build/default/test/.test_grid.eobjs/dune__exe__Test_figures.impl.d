@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Array Gnrflash Gnrflash_plot Gnrflash_testing List QCheck2

@@ -1,0 +1,1 @@
+test/test_fn.ml: Alcotest Float Gnrflash_materials Gnrflash_quantum Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_fn_plot.ml: Alcotest Array Gnrflash_numerics Gnrflash_quantum Gnrflash_testing QCheck2 Random

@@ -1,0 +1,1 @@
+test/test_fn_plot.mli:

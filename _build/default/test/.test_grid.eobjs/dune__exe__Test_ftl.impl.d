@@ -1,0 +1,1 @@
+test/test_ftl.ml: Alcotest Gnrflash_memory Gnrflash_testing QCheck2

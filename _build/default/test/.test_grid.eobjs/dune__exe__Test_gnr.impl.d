@@ -1,0 +1,1 @@
+test/test_gnr.ml: Alcotest Float Gnrflash_materials Gnrflash_physics Gnrflash_testing QCheck2

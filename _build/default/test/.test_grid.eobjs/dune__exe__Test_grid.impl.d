@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Gnrflash_numerics Gnrflash_testing QCheck2

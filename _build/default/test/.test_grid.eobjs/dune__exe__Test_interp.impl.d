@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Gnrflash_numerics Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_ispp.ml: Alcotest Gnrflash_device Gnrflash_testing List QCheck2

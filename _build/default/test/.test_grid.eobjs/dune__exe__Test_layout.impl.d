@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Gnrflash_device Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Complex Gnrflash_numerics Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_lookup.ml: Alcotest Gnrflash_quantum Gnrflash_testing QCheck2

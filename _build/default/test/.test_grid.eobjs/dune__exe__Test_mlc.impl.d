@@ -1,0 +1,1 @@
+test/test_mlc.ml: Alcotest Array Gnrflash_device Gnrflash_memory Gnrflash_testing List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_nor_array.ml: Alcotest Array Gnrflash_device Gnrflash_memory Gnrflash_testing

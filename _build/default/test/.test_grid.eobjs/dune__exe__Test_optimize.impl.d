@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Float Gnrflash_numerics Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_oxide.ml: Alcotest Gnrflash_materials Gnrflash_physics Gnrflash_testing List QCheck2

@@ -1,0 +1,1 @@
+test/test_polynomial.ml: Alcotest Array Gnrflash_numerics Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_program_erase.ml: Alcotest Gnrflash_device Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_readout.ml: Alcotest Gnrflash_device Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Gnrflash_device Gnrflash_testing QCheck2

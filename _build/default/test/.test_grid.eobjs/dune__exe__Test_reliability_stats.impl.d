@@ -1,0 +1,1 @@
+test/test_reliability_stats.ml: Alcotest Array Gnrflash_device Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array Filename Gnrflash_plot Gnrflash_testing List String Sys

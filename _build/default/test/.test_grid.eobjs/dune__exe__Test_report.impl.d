@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Gnrflash Gnrflash_testing List String

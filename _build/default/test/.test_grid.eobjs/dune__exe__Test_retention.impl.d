@@ -1,0 +1,1 @@
+test/test_retention.ml: Alcotest Array Gnrflash_device Gnrflash_testing

@@ -1,0 +1,1 @@
+test/test_roots.ml: Alcotest Float Gnrflash_numerics Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Array Float Gnrflash_plot Gnrflash_testing QCheck2

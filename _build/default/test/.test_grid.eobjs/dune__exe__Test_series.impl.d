@@ -1,0 +1,1 @@
+test/test_series.ml: Alcotest Array Gnrflash_plot Gnrflash_testing

@@ -1,0 +1,1 @@
+test/test_silicon.ml: Alcotest Gnrflash_materials Gnrflash_testing

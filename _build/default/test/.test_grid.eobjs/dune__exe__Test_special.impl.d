@@ -1,0 +1,1 @@
+test/test_special.ml: Alcotest Float Gnrflash_numerics Gnrflash_testing List Printf QCheck2

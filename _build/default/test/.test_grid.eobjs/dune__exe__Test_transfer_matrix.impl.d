@@ -1,0 +1,1 @@
+test/test_transfer_matrix.ml: Alcotest Array Gnrflash_physics Gnrflash_quantum Gnrflash_testing List Printf QCheck2

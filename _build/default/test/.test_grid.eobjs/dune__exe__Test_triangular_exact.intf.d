@@ -1,0 +1,1 @@
+test/test_triangular_exact.mli:

@@ -1,0 +1,1 @@
+test/test_tsu_esaki.ml: Alcotest Float Gnrflash_physics Gnrflash_quantum Gnrflash_testing List QCheck2

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Gnrflash_physics Gnrflash_testing QCheck2

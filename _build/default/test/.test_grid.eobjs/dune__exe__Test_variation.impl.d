@@ -1,0 +1,1 @@
+test/test_variation.ml: Alcotest Array Float Gnrflash_device Gnrflash_testing

@@ -1,0 +1,1 @@
+test/test_waveform.ml: Alcotest Gnrflash_device Gnrflash_memory Gnrflash_testing List

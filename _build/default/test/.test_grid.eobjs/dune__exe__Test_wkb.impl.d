@@ -1,0 +1,1 @@
+test/test_wkb.ml: Alcotest Gnrflash_physics Gnrflash_quantum Gnrflash_testing QCheck2

@@ -1,0 +1,1 @@
+test/common/testing.ml: Alcotest QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/common/testing.mli: Alcotest QCheck2

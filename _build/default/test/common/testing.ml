@@ -1,0 +1,28 @@
+let check_close ?(tol = 1e-9) msg expected actual =
+  let scale = if expected = 0. then 1. else abs_float expected in
+  if not (abs_float (expected -. actual) <= tol *. scale) then
+    Alcotest.failf "%s: expected %.12g, got %.12g (rel tol %g)" msg expected actual tol
+
+let check_abs ?(tol = 1e-12) msg expected actual =
+  if not (abs_float (expected -. actual) <= tol) then
+    Alcotest.failf "%s: expected %.12g, got %.12g (abs tol %g)" msg expected actual tol
+
+let check_in msg ~lo ~hi v =
+  if not (v >= lo && v <= hi) then
+    Alcotest.failf "%s: %.12g not in [%.12g, %.12g]" msg v lo hi
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_false msg b = Alcotest.(check bool) msg false b
+
+let check_ok msg = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error: %s" msg e
+
+let check_error msg = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" msg
+  | Error _ -> ()
+
+let case name f = Alcotest.test_case name `Quick f
+
+let prop ?(count = 200) name gen p =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen p)

@@ -1,0 +1,27 @@
+(** Shared assertion helpers for the test suites. *)
+
+val check_close : ?tol:float -> string -> float -> float -> unit
+(** [check_close msg expected actual] asserts relative closeness (default
+    tolerance [1e-9]); absolute when [expected = 0.]. *)
+
+val check_abs : ?tol:float -> string -> float -> float -> unit
+(** Absolute-difference assertion (default tolerance [1e-12]). *)
+
+val check_in : string -> lo:float -> hi:float -> float -> unit
+(** Assert [lo <= v <= hi]. *)
+
+val check_true : string -> bool -> unit
+val check_false : string -> bool -> unit
+
+val check_ok : string -> ('a, string) result -> 'a
+(** Unwrap an [Ok], failing the test with the carried message otherwise. *)
+
+val check_error : string -> ('a, string) result -> unit
+(** Assert the result is an [Error]. *)
+
+val case : string -> (unit -> unit) -> unit Alcotest.test_case
+(** Quick test case. *)
+
+val prop :
+  ?count:int -> string -> 'a QCheck2.Gen.t -> ('a -> bool) -> unit Alcotest.test_case
+(** Property-based case via qcheck-alcotest. *)

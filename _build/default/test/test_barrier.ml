@@ -1,0 +1,109 @@
+module B = Gnrflash_quantum.Barrier
+module C = Gnrflash_physics.Constants
+open Gnrflash_testing.Testing
+
+let ev = C.ev
+let m_eff = 0.42 *. C.m0
+
+let test_triangular_geometry () =
+  let phi = 3.2 *. ev in
+  let field = 1e9 in
+  let b = B.triangular ~phi_b:phi ~field ~m_eff in
+  (* exit point x = phi/(qE) = 3.2 nm at 10 MV/cm *)
+  check_close ~tol:1e-9 "width" 3.2e-9 (B.width b);
+  check_close "entry height" phi (B.height_at b 0.);
+  check_abs ~tol:1e-25 "exit height" 0. (B.height_at b (B.width b));
+  check_close "max" phi (B.max_height b)
+
+let test_triangular_linearity () =
+  let phi = 3.2 *. ev in
+  let b = B.triangular ~phi_b:phi ~field:1e9 ~m_eff in
+  check_close ~tol:1e-9 "midpoint" (phi /. 2.) (B.height_at b (B.width b /. 2.))
+
+let test_triangular_validation () =
+  Alcotest.check_raises "field" (Invalid_argument "Barrier.triangular: field <= 0")
+    (fun () -> ignore (B.triangular ~phi_b:(1. *. ev) ~field:0. ~m_eff))
+
+let test_trapezoidal_low_bias () =
+  let phi = 3.2 *. ev in
+  let b = B.trapezoidal ~phi_b:phi ~v_ox:1. ~thickness:5e-9 ~m_eff in
+  check_close ~tol:1e-9 "width = full oxide" 5e-9 (B.width b);
+  check_close ~tol:1e-9 "exit height" (phi -. (1. *. ev)) (B.height_at b 5e-9)
+
+let test_trapezoidal_fn_regime () =
+  (* v_ox > phi/q: degenerates to triangle inside the oxide *)
+  let phi = 3.2 *. ev in
+  let b = B.trapezoidal ~phi_b:phi ~v_ox:6.4 ~thickness:5e-9 ~m_eff in
+  check_close ~tol:1e-9 "exit inside oxide" 2.5e-9 (B.width b);
+  check_abs ~tol:1e-25 "exit at zero" 0. (B.height_at b (B.width b))
+
+let test_height_outside () =
+  let b = B.triangular ~phi_b:(1. *. ev) ~field:1e9 ~m_eff in
+  check_close "before" 0. (B.height_at b (-1e-9));
+  check_close "after" 0. (B.height_at b 1e-6)
+
+let test_image_force_lowering () =
+  let phi = 3.2 *. ev in
+  let b = B.triangular ~phi_b:phi ~field:1e9 ~m_eff in
+  let b' = B.with_image_force ~eps_r:3.9 b in
+  check_true "barrier lowered" (B.max_height b' < B.max_height b);
+  (* Schottky lowering at 10 MV/cm in SiO2: dPhi = sqrt(qE/(4 pi eps)) ~ 0.6 eV *)
+  let lowering = (B.max_height b -. B.max_height b') /. ev in
+  check_in "lowering magnitude" ~lo:0.2 ~hi:1.0 lowering
+
+let test_turning_points_triangle () =
+  let phi = 3.2 *. ev in
+  let b = B.triangular ~phi_b:phi ~field:1e9 ~m_eff in
+  match B.classical_turning_points b ~energy:(1.6 *. ev) with
+  | None -> Alcotest.fail "expected a forbidden region"
+  | Some (x1, x2) ->
+    check_abs ~tol:1e-11 "starts at entry" 0. x1;
+    (* V = 1.6 eV at x = 1.6 nm *)
+    check_close ~tol:1e-2 "exit where V = E" 1.6e-9 x2
+
+let test_turning_points_above_barrier () =
+  let b = B.triangular ~phi_b:(1. *. ev) ~field:1e9 ~m_eff in
+  check_true "no forbidden region"
+    (B.classical_turning_points b ~energy:(2. *. ev) = None)
+
+let test_make_validation () =
+  Alcotest.check_raises "too few" (Invalid_argument "Barrier.make: need >= 2 points")
+    (fun () -> ignore (B.make ~m_eff [ (0., 1.) ]));
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Barrier.make: x not strictly increasing") (fun () ->
+      ignore (B.make ~m_eff [ (0., 1.); (0., 2.) ]))
+
+let prop_width_scales_inverse_field =
+  prop "triangle width = phi/(qE)" QCheck2.Gen.(float_range 5e8 2e9) (fun field ->
+      let phi = 3.2 *. ev in
+      let b = B.triangular ~phi_b:phi ~field ~m_eff in
+      abs_float (B.width b -. (phi /. (C.q *. field))) < 1e-15)
+
+let prop_trapezoid_interpolation_bounds =
+  prop "trapezoid height within [exit, phi]"
+    QCheck2.Gen.(pair (float_range 0.1 3.) (float_range 0. 1.))
+    (fun (v_ox, frac) ->
+       let phi = 3.2 *. ev in
+       let b = B.trapezoidal ~phi_b:phi ~v_ox ~thickness:5e-9 ~m_eff in
+       let h = B.height_at b (frac *. B.width b) in
+       h >= -.1e-25 && h <= phi +. 1e-25)
+
+let () =
+  Alcotest.run "barrier"
+    [
+      ( "barrier",
+        [
+          case "triangular geometry" test_triangular_geometry;
+          case "triangular linearity" test_triangular_linearity;
+          case "triangular validation" test_triangular_validation;
+          case "trapezoidal low bias" test_trapezoidal_low_bias;
+          case "trapezoidal FN regime" test_trapezoidal_fn_regime;
+          case "height outside profile" test_height_outside;
+          case "image force lowering" test_image_force_lowering;
+          case "turning points" test_turning_points_triangle;
+          case "above-barrier energies" test_turning_points_above_barrier;
+          case "make validation" test_make_validation;
+          prop_width_scales_inverse_field;
+          prop_trapezoid_interpolation_bounds;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+module B = Gnrflash_memory.Ber
+module M = Gnrflash_memory.Mlc
+open Gnrflash_testing.Testing
+
+let test_raw_cell_error_rate () =
+  (* margin = sigma: p = 0.5 erfc(1/sqrt2) = 0.5*(1-erf(0.707)) = 0.1587 *)
+  check_close ~tol:1e-4 "one-sigma tail" 0.1586553
+    (B.raw_cell_error_rate ~sigma_dvt:0.25 ~margin:0.25);
+  (* 5-sigma margin: ~2.9e-7 *)
+  check_close ~tol:1e-2 "five-sigma tail" 2.87e-7
+    (B.raw_cell_error_rate ~sigma_dvt:0.1 ~margin:0.5)
+
+let test_error_rate_monotone () =
+  let p s = B.raw_cell_error_rate ~sigma_dvt:s ~margin:0.75 in
+  check_true "worse with spread" (p 0.3 > p 0.1);
+  let q m = B.raw_cell_error_rate ~sigma_dvt:0.2 ~margin:m in
+  check_true "better with margin" (q 0.9 < q 0.4)
+
+let test_validation () =
+  Alcotest.check_raises "sigma" (Invalid_argument "Ber.raw_cell_error_rate: non-positive input")
+    (fun () -> ignore (B.raw_cell_error_rate ~sigma_dvt:0. ~margin:1.))
+
+let test_mlc_raw_ber () =
+  let ber = B.mlc_raw_ber ~sigma_dvt:0.2 () in
+  check_in "plausible raw BER" ~lo:1e-8 ~hi:1e-1 ber;
+  (* TLC with tighter margins must be worse at the same spread *)
+  let tlc = B.mlc_raw_ber ~config:M.default_tlc ~sigma_dvt:0.2 () in
+  check_true "TLC worse than MLC" (tlc > ber)
+
+let test_page_failure_rate_limits () =
+  check_close "zero ber" 0. (B.page_failure_rate ~raw_ber:0. ~codeword_bits:72 ~codewords_per_page:512);
+  check_close "certain failure" 1. (B.page_failure_rate ~raw_ber:1. ~codeword_bits:72 ~codewords_per_page:512)
+
+let test_page_failure_small_ber () =
+  (* p = 1e-6 per bit, 72-bit words: cw fail ~ C(72,2) p^2 = 2556e-12;
+     512 words -> ~1.3e-6 *)
+  let pf = B.page_failure_rate ~raw_ber:1e-6 ~codeword_bits:72 ~codewords_per_page:512 in
+  check_close ~tol:0.05 "binomial tail" 1.31e-6 pf
+
+let test_ecc_gain () =
+  (* with ECC the page failure rate must be far below the raw page error
+     probability (1 - (1-p)^bits) *)
+  let raw_ber = 1e-7 in
+  let pf = B.page_failure_rate ~raw_ber ~codeword_bits:72 ~codewords_per_page:512 in
+  let unprotected = 1. -. ((1. -. raw_ber) ** float_of_int (4096 * 8)) in
+  check_true "ECC wins by orders" (pf < unprotected /. 1e3)
+
+let test_analyze_pipeline () =
+  let a = B.analyze ~sigma_dvt:0.1 () in
+  check_true "tiny spread is acceptable" a.B.acceptable;
+  let b = B.analyze ~sigma_dvt:0.6 () in
+  check_false "huge spread fails" b.B.acceptable;
+  check_true "failure ordering" (b.B.page_failure > a.B.page_failure)
+
+let test_max_tolerable_sigma () =
+  let s = B.max_tolerable_sigma () in
+  check_in "budget plausible" ~lo:0.01 ~hi:0.5 s;
+  (* at the budget, the analysis passes; 20% above, it fails *)
+  check_true "passes at budget" (B.analyze ~sigma_dvt:s ()).B.acceptable;
+  check_false "fails above budget" (B.analyze ~sigma_dvt:(s *. 1.2) ()).B.acceptable
+
+let prop_page_failure_monotone_in_ber =
+  prop "page failure monotone in raw BER" ~count:40
+    QCheck2.Gen.(float_range 1e-9 1e-3)
+    (fun p ->
+       B.page_failure_rate ~raw_ber:(p *. 2.) ~codeword_bits:72 ~codewords_per_page:512
+       >= B.page_failure_rate ~raw_ber:p ~codeword_bits:72 ~codewords_per_page:512)
+
+let () =
+  Alcotest.run "ber"
+    [
+      ( "ber",
+        [
+          case "raw cell error rate" test_raw_cell_error_rate;
+          case "monotonicities" test_error_rate_monotone;
+          case "validation" test_validation;
+          case "MLC raw BER" test_mlc_raw_ber;
+          case "page failure limits" test_page_failure_rate_limits;
+          case "binomial tail value" test_page_failure_small_ber;
+          case "ECC gain" test_ecc_gain;
+          case "analysis pipeline" test_analyze_pipeline;
+          case "tolerable sigma" test_max_tolerable_sigma;
+          prop_page_failure_monotone_in_ber;
+        ] );
+    ]

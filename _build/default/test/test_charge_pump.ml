@@ -1,0 +1,78 @@
+module P = Gnrflash_device.Charge_pump
+open Gnrflash_testing.Testing
+
+let pump = P.make ~v_dd:1.8 ~stages:12 ()
+
+let test_open_circuit_voltage () =
+  (* V = Vdd + N(Vdd - Vd) - Vd = 1.8 + 12*1.5 - 0.3 = 19.5 V *)
+  check_close ~tol:1e-9 "unloaded output" 19.5 (P.output_voltage pump ~i_load:0.)
+
+let test_load_droop () =
+  let v0 = P.output_voltage pump ~i_load:0. in
+  let v1 = P.output_voltage pump ~i_load:1e-6 in
+  check_true "droops under load" (v1 < v0);
+  (* droop = N * I/(fC) = 12 * 1e-6/(20e6*1e-12) = 0.6 V *)
+  check_close ~tol:1e-6 "droop magnitude" 0.6 (v0 -. v1)
+
+let test_make_validation () =
+  Alcotest.check_raises "bad vdd" (Invalid_argument "Charge_pump.make: non-positive parameter")
+    (fun () -> ignore (P.make ~v_dd:0. ~stages:4 ()))
+
+let test_stages_for_paper_bias () =
+  (* reaching 15 V for the paper's programming from a 1.8 V supply *)
+  let n = P.stages_for pump ~v_target:15. ~i_load:1e-9 in
+  check_in "stage count sane" ~lo:8. ~hi:14. (float_of_int n);
+  (* and the resulting pump really reaches it *)
+  let sized = { pump with P.stages = n } in
+  check_true "reaches target" (P.output_voltage sized ~i_load:1e-9 >= 15.)
+
+let test_stages_for_unreachable () =
+  Alcotest.check_raises "load too heavy"
+    (Invalid_argument "Charge_pump.stages_for: pump cannot source this load") (fun () ->
+      ignore (P.stages_for pump ~v_target:15. ~i_load:1. ))
+
+let test_efficiency () =
+  let eta = P.efficiency pump ~i_load:1e-6 in
+  check_in "eta in (0,1]" ~lo:0.01 ~hi:1. eta;
+  (* ideal Dickson efficiency ~ Vout/((N+1) Vdd) ~ 18.9/23.4 ~ 0.8 *)
+  check_in "plausible" ~lo:0.5 ~hi:0.95 eta
+
+let test_energy_per_program () =
+  let e = P.energy_per_program pump ~i_load:1e-9 ~pulse_width:10e-6 in
+  (* (N+1) * I * Vdd * t = 13 * 1e-9 * 1.8 * 1e-5 = 2.34e-13 J *)
+  check_close ~tol:1e-9 "supply energy" 2.34e-13 e
+
+let test_ramp_time () =
+  let t = P.ramp_time pump ~load_capacitance:1e-12 ~v_target:15. in
+  (* I_avail = 20e6*1e-12*1.5 = 30 uA; t = CV/I = 1e-12*15/3e-5 = 0.5 us *)
+  check_close ~tol:1e-9 "ramp" 5e-7 t
+
+let prop_voltage_monotone_in_stages =
+  prop "more stages, more volts" QCheck2.Gen.(int_range 1 30) (fun n ->
+      let p1 = P.make ~v_dd:1.8 ~stages:n () in
+      let p2 = P.make ~v_dd:1.8 ~stages:(n + 1) () in
+      P.output_voltage p2 ~i_load:1e-9 > P.output_voltage p1 ~i_load:1e-9)
+
+let prop_efficiency_decreases_with_stages =
+  prop "stage count costs efficiency" QCheck2.Gen.(int_range 2 25) (fun n ->
+      let p1 = P.make ~v_dd:1.8 ~stages:n () in
+      let p2 = P.make ~v_dd:1.8 ~stages:(n + 2) () in
+      P.efficiency p2 ~i_load:1e-7 <= P.efficiency p1 ~i_load:1e-7 +. 1e-9)
+
+let () =
+  Alcotest.run "charge_pump"
+    [
+      ( "charge_pump",
+        [
+          case "open-circuit voltage" test_open_circuit_voltage;
+          case "load droop" test_load_droop;
+          case "validation" test_make_validation;
+          case "stages for 15 V" test_stages_for_paper_bias;
+          case "unreachable load" test_stages_for_unreachable;
+          case "efficiency" test_efficiency;
+          case "energy per program" test_energy_per_program;
+          case "ramp time" test_ramp_time;
+          prop_voltage_monotone_in_stages;
+          prop_efficiency_decreases_with_stages;
+        ] );
+    ]

@@ -1,0 +1,80 @@
+module T = Gnrflash_materials.Cnt
+open Gnrflash_testing.Testing
+
+let test_make_validation () =
+  Alcotest.check_raises "m > n" (Invalid_argument "Cnt.make: require n >= m >= 0, n > 0")
+    (fun () -> ignore (T.make 3 5))
+
+let test_diameter_10_10 () =
+  (* (10,10) armchair: d = 0.246nm*sqrt(300)/pi = 1.356 nm *)
+  check_close ~tol:2e-3 "armchair (10,10)" 1.356e-9 (T.diameter (T.make 10 10))
+
+let test_diameter_17_0 () =
+  (* (17,0) zigzag: d = 0.246*17/pi = 1.331 nm *)
+  check_close ~tol:2e-3 "zigzag (17,0)" 1.331e-9 (T.diameter (T.make 17 0))
+
+let test_chiral_angle () =
+  check_close "zigzag angle 0" 0. (T.chiral_angle (T.make 10 0));
+  check_close ~tol:1e-9 "armchair angle pi/6" (Float.pi /. 6.)
+    (T.chiral_angle (T.make 8 8))
+
+let test_metallicity_rule () =
+  check_true "(10,10) metallic" (T.is_metallic (T.make 10 10));
+  check_true "(9,0) metallic" (T.is_metallic (T.make 9 0));
+  check_false "(10,0) semiconducting" (T.is_metallic (T.make 10 0));
+  check_false "(8,3) semiconducting" (T.is_metallic (T.make 8 3));
+  check_true "(7,4) metallic" (T.is_metallic (T.make 7 4))
+
+let test_bandgap_semiconducting () =
+  (* Eg ~ 0.77 eV nm / d; (10,0): d = 0.783 nm -> ~0.98 eV *)
+  let t = T.make 10 0 in
+  let d_nm = T.diameter t *. 1e9 in
+  check_close ~tol:1e-6 "gap formula" (2. *. 2.7 *. 0.142 /. d_nm) (T.bandgap_ev t);
+  check_in "about 1 eV" ~lo:0.8 ~hi:1.2 (T.bandgap_ev t)
+
+let test_bandgap_metallic_zero () =
+  check_close "metallic no gap" 0. (T.bandgap_ev (T.make 12 12))
+
+let test_classify () =
+  Alcotest.(check string) "metallic" "metallic" (T.classify (T.make 5 5));
+  Alcotest.(check string) "semiconducting" "semiconducting" (T.classify (T.make 10 0))
+
+let test_work_function () =
+  check_in "around 4.8-4.9" ~lo:4.75 ~hi:4.95 (T.work_function (T.make 10 0))
+
+let prop_gap_inverse_diameter =
+  prop "gap decreases with diameter among semiconducting tubes"
+    QCheck2.Gen.(int_range 7 25)
+    (fun n ->
+       let n2 = n + 3 in
+       (* same (mod 3) class: if (n,0) is semiconducting so is (n+3,0) *)
+       let t1 = T.make n 0 and t2 = T.make n2 0 in
+       if T.is_metallic t1 then true
+       else T.bandgap_ev t2 < T.bandgap_ev t1)
+
+let prop_metallic_fraction =
+  prop "exactly the (n-m) mod 3 = 0 class is metallic"
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 0 20))
+    (fun (n, m) ->
+       let m = min m n in
+       let t = T.make n m in
+       T.is_metallic t = ((n - m) mod 3 = 0))
+
+let () =
+  Alcotest.run "cnt"
+    [
+      ( "cnt",
+        [
+          case "constructor validation" test_make_validation;
+          case "diameter (10,10)" test_diameter_10_10;
+          case "diameter (17,0)" test_diameter_17_0;
+          case "chiral angles" test_chiral_angle;
+          case "metallicity rule" test_metallicity_rule;
+          case "semiconducting gap" test_bandgap_semiconducting;
+          case "metallic gap zero" test_bandgap_metallic_zero;
+          case "classification" test_classify;
+          case "work function" test_work_function;
+          prop_gap_inverse_diameter;
+          prop_metallic_fraction;
+        ] );
+    ]

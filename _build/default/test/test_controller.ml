@@ -1,0 +1,87 @@
+module Ctl = Gnrflash_memory.Controller
+module Am = Gnrflash_memory.Array_model
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+let controller () = Ctl.make (Am.make F.paper_default ~pages:2 ~strings:4)
+
+let test_program_page_roundtrip () =
+  let c = controller () in
+  let data = [| 0; 1; 0; 1 |] in
+  let c = check_ok "program" (Ctl.program_page c ~page:0 ~data) in
+  check_true "verifies" (Ctl.verify_page c ~page:0 ~data);
+  let _, bits = check_ok "read" (Ctl.read_page c ~page:0) in
+  Alcotest.(check (array int)) "pattern back" data bits
+
+let test_inhibited_page_untouched () =
+  let c = controller () in
+  let c = check_ok "program" (Ctl.program_page c ~page:0 ~data:[| 0; 0; 0; 0 |]) in
+  let _, bits = check_ok "read" (Ctl.read_page c ~page:1) in
+  Alcotest.(check (array int)) "other page still erased" [| 1; 1; 1; 1 |] bits
+
+let test_all_inhibit () =
+  (* data of all 1s programs nothing *)
+  let c = controller () in
+  let c = check_ok "program" (Ctl.program_page c ~page:0 ~data:[| 1; 1; 1; 1 |]) in
+  let _, bits = check_ok "read" (Ctl.read_page c ~page:0) in
+  Alcotest.(check (array int)) "still erased" [| 1; 1; 1; 1 |] bits
+
+let test_stats_accumulate () =
+  let c = controller () in
+  let c = check_ok "p" (Ctl.program_page c ~page:0 ~data:[| 0; 1; 1; 1 |]) in
+  let c, _ = check_ok "r" (Ctl.read_page c ~page:0) in
+  let c = check_ok "e" (Ctl.erase_block c) in
+  Alcotest.(check int) "programs" 1 c.Ctl.stats.Ctl.programs;
+  Alcotest.(check int) "reads" 1 c.Ctl.stats.Ctl.reads;
+  Alcotest.(check int) "erases" 1 c.Ctl.stats.Ctl.erases;
+  check_true "disturb events recorded" (c.Ctl.stats.Ctl.disturb_events > 0)
+
+let test_erase_block_clears () =
+  let c = controller () in
+  let c = check_ok "program" (Ctl.program_page c ~page:0 ~data:[| 0; 0; 0; 0 |]) in
+  let c = check_ok "erase" (Ctl.erase_block c) in
+  let _, bits = check_ok "read" (Ctl.read_page c ~page:0) in
+  Alcotest.(check (array int)) "erased" [| 1; 1; 1; 1 |] bits
+
+let test_data_length_checked () =
+  Alcotest.check_raises "length" (Invalid_argument "Controller.program_page: data length mismatch")
+    (fun () -> ignore (Ctl.program_page (controller ()) ~page:0 ~data:[| 0 |]))
+
+let test_disturb_does_not_flip_inhibited () =
+  (* after programming one page, inhibited neighbours must still verify *)
+  let c = controller () in
+  let data = [| 0; 1; 0; 1 |] in
+  let c = check_ok "program" (Ctl.program_page c ~page:0 ~data) in
+  check_true "inhibited cells still erased" (Ctl.verify_page c ~page:0 ~data)
+
+let test_reprogram_after_erase_cycles () =
+  let c = controller () in
+  let rec cycle c n =
+    if n = 0 then c
+    else begin
+      let c = check_ok "program" (Ctl.program_page c ~page:0 ~data:[| 0; 0; 1; 1 |]) in
+      let c = check_ok "erase" (Ctl.erase_block c) in
+      cycle c (n - 1)
+    end
+  in
+  let c = cycle c 3 in
+  Alcotest.(check int) "three programs" 3 c.Ctl.stats.Ctl.programs;
+  Alcotest.(check int) "three erases" 3 c.Ctl.stats.Ctl.erases;
+  let _, bits = check_ok "read" (Ctl.read_page c ~page:0) in
+  Alcotest.(check (array int)) "ends erased" [| 1; 1; 1; 1 |] bits
+
+let () =
+  Alcotest.run "controller"
+    [
+      ( "controller",
+        [
+          case "program page roundtrip" test_program_page_roundtrip;
+          case "other pages untouched" test_inhibited_page_untouched;
+          case "all-inhibit pattern" test_all_inhibit;
+          case "stats accumulate" test_stats_accumulate;
+          case "erase block" test_erase_block_clears;
+          case "data length checked" test_data_length_checked;
+          case "disturb does not flip" test_disturb_does_not_flip_inhibited;
+          case "program/erase cycles" test_reprogram_after_erase_cycles;
+        ] );
+    ]

@@ -1,0 +1,109 @@
+module E = Gnrflash_memory.Ecc
+open Gnrflash_testing.Testing
+
+let data8 = [| 1; 0; 1; 1; 0; 0; 1; 0 |]
+
+let test_parity_bits () =
+  (* classic table: 4 data bits need 3 parity, 8 need 4, 64 need 7 *)
+  Alcotest.(check int) "k=4" 3 (E.parity_bits 4);
+  Alcotest.(check int) "k=8" 4 (E.parity_bits 8);
+  Alcotest.(check int) "k=11" 4 (E.parity_bits 11);
+  Alcotest.(check int) "k=64" 7 (E.parity_bits 64)
+
+let test_overhead () =
+  Alcotest.(check int) "k=64 SEC-DED overhead" 8 (E.overhead 64)
+
+let test_encode_length () =
+  let cw = E.encode data8 in
+  Alcotest.(check int) "8 data + 4 parity + overall" 13 (Array.length cw)
+
+let test_clean_roundtrip () =
+  match E.decode ~k:8 (E.encode data8) with
+  | E.Clean data -> Alcotest.(check (array int)) "data back" data8 data
+  | _ -> Alcotest.fail "expected clean decode"
+
+let test_single_error_corrected_everywhere () =
+  let cw = E.encode data8 in
+  for pos = 0 to Array.length cw - 1 do
+    match E.decode ~k:8 (E.inject_error cw ~pos) with
+    | E.Corrected (data, _) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "corrected flip at %d" pos)
+        data8 data
+    | E.Clean _ -> Alcotest.failf "flip at %d not detected" pos
+    | E.Uncorrectable -> Alcotest.failf "flip at %d not corrected" pos
+  done
+
+let test_double_error_detected () =
+  let cw = E.encode data8 in
+  let n = Array.length cw in
+  (* flip pairs of data-region bits: must never silently mis-correct *)
+  let miscorrections = ref 0 in
+  for i = 0 to n - 2 do
+    let corrupted = E.inject_error (E.inject_error cw ~pos:i) ~pos:(i + 1) in
+    match E.decode ~k:8 corrupted with
+    | E.Uncorrectable -> ()
+    | E.Corrected (data, _) | E.Clean data ->
+      if data <> data8 then incr miscorrections
+      else () (* a double flip that cancels in the data view is acceptable *)
+  done;
+  Alcotest.(check int) "no silent corruption" 0 !miscorrections
+
+let test_all_double_errors_exhaustive_small () =
+  (* 4-bit payload: check every 2-bit corruption is flagged *)
+  let data = [| 1; 0; 0; 1 |] in
+  let cw = E.encode data in
+  let n = Array.length cw in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match E.decode ~k:4 (E.inject_error (E.inject_error cw ~pos:i) ~pos:j) with
+      | E.Uncorrectable -> ()
+      | E.Clean d | E.Corrected (d, _) ->
+        if d <> data then
+          Alcotest.failf "double error (%d, %d) silently corrupted data" i j
+    done
+  done
+
+let test_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Ecc.encode: empty data") (fun () ->
+      ignore (E.encode [||]));
+  Alcotest.check_raises "non-bit" (Invalid_argument "Ecc.encode: non-bit value")
+    (fun () -> ignore (E.encode [| 2 |]));
+  Alcotest.check_raises "bad index" (Invalid_argument "Ecc.inject_error: bad index")
+    (fun () -> ignore (E.inject_error (E.encode data8) ~pos:99))
+
+let prop_roundtrip_any_data =
+  prop "encode/decode roundtrip" ~count:100
+    QCheck2.Gen.(array_size (int_range 1 40) (int_range 0 1))
+    (fun data ->
+       match E.decode ~k:(Array.length data) (E.encode data) with
+       | E.Clean d -> d = data
+       | _ -> false)
+
+let prop_single_error_recovered =
+  prop "any single flip is recovered" ~count:100
+    QCheck2.Gen.(pair (array_size (int_range 1 32) (int_range 0 1)) (int_range 0 1000))
+    (fun (data, seed) ->
+       let cw = E.encode data in
+       let pos = seed mod Array.length cw in
+       match E.decode ~k:(Array.length data) (E.inject_error cw ~pos) with
+       | E.Corrected (d, _) -> d = data
+       | _ -> false)
+
+let () =
+  Alcotest.run "ecc"
+    [
+      ( "ecc",
+        [
+          case "parity bit counts" test_parity_bits;
+          case "overhead" test_overhead;
+          case "codeword length" test_encode_length;
+          case "clean roundtrip" test_clean_roundtrip;
+          case "single errors corrected" test_single_error_corrected_everywhere;
+          case "double errors detected" test_double_error_detected;
+          case "exhaustive double errors (k=4)" test_all_double_errors_exhaustive_small;
+          case "validation" test_validation;
+          prop_roundtrip_any_data;
+          prop_single_error_recovered;
+        ] );
+    ]

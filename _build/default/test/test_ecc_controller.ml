@@ -1,0 +1,72 @@
+module Ec = Gnrflash_memory.Ecc_controller
+module Ctl = Gnrflash_memory.Controller
+module Am = Gnrflash_memory.Array_model
+module Cell = Gnrflash_memory.Cell
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+let data_bits = 4
+let strings = Ec.required_strings ~data_bits
+let payload = [| 1; 0; 0; 1 |]
+
+let controller () = Ctl.make (Am.make F.paper_default ~pages:1 ~strings)
+
+let test_required_strings () =
+  (* 4 data bits need 3 hamming + 1 overall parity = 8 strings *)
+  Alcotest.(check int) "codeword width" 8 strings
+
+let test_roundtrip () =
+  let c = check_ok "program" (Ec.program_page_ecc (controller ()) ~page:0 ~data:payload) in
+  let _, r = check_ok "read" (Ec.read_page_ecc c ~page:0 ~data_bits) in
+  check_false "clean" r.Ec.uncorrectable;
+  Alcotest.(check int) "no corrections needed" 0 r.Ec.corrected;
+  Alcotest.(check (array int)) "payload back" payload r.Ec.data
+
+let test_wrong_geometry () =
+  let small = Ctl.make (Am.make F.paper_default ~pages:1 ~strings:4) in
+  check_error "string count" (Ec.program_page_ecc small ~page:0 ~data:payload)
+
+let test_single_cell_upset_corrected () =
+  let c = check_ok "program" (Ec.program_page_ecc (controller ()) ~page:0 ~data:payload) in
+  (* flip one stored cell by force: erase a programmed cell (0 -> 1) *)
+  let coded = Ec.encode_page ~data:payload in
+  (* find a programmed (0) cell to flip *)
+  let idx = ref (-1) in
+  Array.iteri (fun i b -> if !idx < 0 && b = 0 then idx := i) coded;
+  check_true "found a programmed cell" (!idx >= 0);
+  let victim = Am.get c.Ctl.block ~page:0 ~string_:!idx in
+  let flipped = { victim with Cell.qfg = 0. } in
+  let c = { c with Ctl.block = Am.set c.Ctl.block ~page:0 ~string_:!idx flipped } in
+  let _, r = check_ok "read" (Ec.read_page_ecc c ~page:0 ~data_bits) in
+  check_false "survived the upset" r.Ec.uncorrectable;
+  Alcotest.(check int) "one correction" 1 r.Ec.corrected;
+  Alcotest.(check (array int)) "payload intact" payload r.Ec.data
+
+let test_double_upset_detected () =
+  let c = check_ok "program" (Ec.program_page_ecc (controller ()) ~page:0 ~data:payload) in
+  let coded = Ec.encode_page ~data:payload in
+  (* flip the first two programmed cells *)
+  let flips = ref [] in
+  Array.iteri (fun i b -> if List.length !flips < 2 && b = 0 then flips := i :: !flips) coded;
+  let c =
+    List.fold_left
+      (fun c i ->
+         let victim = Am.get c.Ctl.block ~page:0 ~string_:i in
+         { c with Ctl.block = Am.set c.Ctl.block ~page:0 ~string_:i { victim with Cell.qfg = 0. } })
+      c !flips
+  in
+  let _, r = check_ok "read" (Ec.read_page_ecc c ~page:0 ~data_bits) in
+  check_true "double error flagged" r.Ec.uncorrectable
+
+let () =
+  Alcotest.run "ecc_controller"
+    [
+      ( "ecc_controller",
+        [
+          case "required strings" test_required_strings;
+          case "roundtrip" test_roundtrip;
+          case "wrong geometry" test_wrong_geometry;
+          case "single upset corrected" test_single_cell_upset_corrected;
+          case "double upset detected" test_double_upset_detected;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+module E = Gnrflash.Extensions
+module P = Gnrflash_plot
+open Gnrflash_testing.Testing
+
+let test_model_comparison_rows () =
+  let rows = E.model_comparison ~fields_mv_cm:[| 10.; 14.; 18. |] () in
+  Alcotest.(check int) "four models" 4 (List.length rows);
+  List.iter
+    (fun (name, pts) ->
+       Alcotest.(check int) (name ^ " points") 3 (Array.length pts);
+       Array.iter
+         (fun (_, j) -> check_true (name ^ " positive J") (j > 0. && Float.is_finite j))
+         pts)
+    rows
+
+let test_models_agree_within_decades () =
+  (* the ablation's point: all models share the exponential trend; at
+     14 MV/cm they agree within ~2 decades *)
+  let rows = E.model_comparison ~fields_mv_cm:[| 14. |] () in
+  let js = List.map (fun (_, pts) -> snd pts.(0)) rows in
+  let lo = List.fold_left min infinity js and hi = List.fold_left max 0. js in
+  check_true "within 2.5 decades" (log10 (hi /. lo) < 2.5)
+
+let test_model_figure () =
+  let fig = E.model_figure () in
+  Alcotest.(check int) "four series" 4 (List.length fig.P.Figure.series)
+
+let test_evaluate_design_paper_point () =
+  let p = E.evaluate_design ~gcr:0.6 ~xto_nm:5. in
+  check_true "feasible" (Float.is_finite p.E.program_time);
+  check_close ~tol:1e-9 "field 18 MV/cm" 1.8e9 p.E.peak_field;
+  check_true "fast programming" (p.E.program_time < 1e-6)
+
+let test_design_tradeoff () =
+  (* thicker oxide: slower but lower field *)
+  let thin = E.evaluate_design ~gcr:0.6 ~xto_nm:5. in
+  let thick = E.evaluate_design ~gcr:0.6 ~xto_nm:7. in
+  check_true "thin faster" (thin.E.program_time < thick.E.program_time);
+  check_true "thick lower field" (thick.E.peak_field < thin.E.peak_field);
+  check_true "thick more endurance" (thick.E.endurance > thin.E.endurance)
+
+let test_optimize_design () =
+  let best, points = E.optimize_design () in
+  Alcotest.(check int) "grid size" 36 (List.length points);
+  check_true "best is feasible" best.E.feasible;
+  check_true "best is fast" (Float.is_finite best.E.program_time);
+  (* no feasible point is strictly faster with endurance >= 1e4 *)
+  List.iter
+    (fun p ->
+       if p.E.feasible && p.E.endurance >= 1e4 then
+         check_true "optimality" (p.E.program_time >= best.E.program_time -. 1e-15))
+    points
+
+let test_retention_curve () =
+  let fig, loss = E.retention_curve () in
+  Alcotest.(check int) "one series" 1 (List.length fig.P.Figure.series);
+  check_in "bounded loss" ~lo:0. ~hi:100. loss;
+  (* the 5 nm cell holds its charge *)
+  check_true "retains" (loss < 20.)
+
+let test_endurance_curve () =
+  let fig, survived = E.endurance_curve ~cycles:100 () in
+  Alcotest.(check int) "three series" 3 (List.length fig.P.Figure.series);
+  Alcotest.(check int) "survives 100" 100 survived
+
+let test_qcap_comparison () =
+  let rows = E.qcap_comparison ~layers:[ 1; 3; 5 ] in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  List.iter
+    (fun (n, g0, g_eff) ->
+       check_true (Printf.sprintf "%d layers reduce gcr" n) (g_eff < g0);
+       check_true "still positive" (g_eff > 0.))
+    rows;
+  (* more layers -> more quantum capacitance -> less reduction *)
+  match rows with
+  | [ (_, _, g1); (_, _, g3); (_, _, g5) ] ->
+    check_true "ordering with layers" (g1 < g3 && g3 < g5)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_qcap_jv_figure () =
+  let fig = E.qcap_jv_figure () in
+  Alcotest.(check int) "three curves" 3 (List.length fig.P.Figure.series)
+
+let test_nand_page_demo () =
+  let s = check_ok "demo" (E.nand_page_demo ~pages:2 ~strings:4 ()) in
+  Alcotest.(check int) "pages written" 2 s.E.pages_written;
+  Alcotest.(check int) "no verify failures" 0 s.E.verify_failures;
+  check_true "disturb bounded" (s.E.disturb_dvt_max < 1.0);
+  check_true "pulses used" (s.E.mean_pulses > 0.)
+
+let test_retention_after_cycling () =
+  let rows = E.retention_after_cycling () in
+  Alcotest.(check int) "four cycle counts" 4 (List.length rows);
+  (match rows with
+   | (0, traps0, mult0) :: rest ->
+     check_close "fresh oxide has no traps" 0. traps0;
+     check_close "fresh multiplier is 1" 1. mult0;
+     let rec monotone last = function
+       | [] -> ()
+       | (_, traps, mult) :: tl ->
+         check_true "traps grow with cycling" (traps > 0.);
+         check_true "leakage multiplier grows" (mult >= last);
+         monotone mult tl
+     in
+     monotone mult0 rest
+   | _ -> Alcotest.fail "first row must be the fresh device");
+  (* heavy cycling must visibly hurt retention *)
+  let _, _, mult_10k = List.nth rows 3 in
+  check_true "10k cycles multiply leakage" (mult_10k > 1.)
+
+let test_mlc_error_budget () =
+  let rows = E.mlc_error_budget () in
+  Alcotest.(check int) "six spreads" 6 (List.length rows);
+  let rec increasing = function
+    | a :: (b :: _ as rest) ->
+      check_true "failure grows with spread"
+        (b.Gnrflash_memory.Ber.page_failure >= a.Gnrflash_memory.Ber.page_failure);
+      increasing rest
+    | _ -> ()
+  in
+  increasing rows;
+  check_true "tight spread passes" (List.hd rows).Gnrflash_memory.Ber.acceptable;
+  check_false "loose spread fails"
+    (List.nth rows 5).Gnrflash_memory.Ber.acceptable
+
+let test_bake_test () =
+  let rows, ea = E.bake_test () in
+  Alcotest.(check int) "four temperatures" 4 (List.length rows);
+  (* hotter bakes fail sooner (among finite results) *)
+  let finite = List.filter (fun (_, t) -> Float.is_finite t) rows in
+  let rec decreasing = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+      check_true "hotter fails sooner" (b <= a);
+      decreasing rest
+    | _ -> ()
+  in
+  decreasing finite;
+  (* the Arrhenius fit recovers the retention model's 0.3 eV activation *)
+  check_close ~tol:0.1 "activation energy" 0.3 ea
+
+let test_id_vg_figure () =
+  let fig = E.id_vg_figure () in
+  Alcotest.(check int) "two curves" 2 (List.length fig.P.Figure.series);
+  (* the programmed curve must lie at or below the erased one everywhere *)
+  let by_label l =
+    List.find (fun s -> s.P.Series.label = l) fig.P.Figure.series
+  in
+  let er = P.Series.ys (by_label "erased (dVT = 0)") in
+  let pr = P.Series.ys (by_label "programmed (dVT = 5.0 V)") in
+  let n = min (Array.length er) (Array.length pr) in
+  check_true "window exists" (n > 0);
+  for i = 0 to n - 1 do
+    check_true "programmed below erased" (pr.(i) <= er.(i) +. 1e-18)
+  done
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "extensions",
+        [
+          case "model comparison rows" test_model_comparison_rows;
+          case "models agree" test_models_agree_within_decades;
+          case "model figure" test_model_figure;
+          case "paper design point" test_evaluate_design_paper_point;
+          case "design tradeoff" test_design_tradeoff;
+          case "optimize design" test_optimize_design;
+          case "retention curve" test_retention_curve;
+          case "endurance curve" test_endurance_curve;
+          case "quantum capacitance" test_qcap_comparison;
+          case "qcap J-V figure" test_qcap_jv_figure;
+          case "NAND page demo" test_nand_page_demo;
+          case "retention after cycling (Ext K)" test_retention_after_cycling;
+          case "MLC error budget (Ext L)" test_mlc_error_budget;
+          case "temperature bake (Ext M)" test_bake_test;
+          case "ID-VG window (Ext N)" test_id_vg_figure;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+module Fet = Gnrflash_device.Fet
+open Gnrflash_testing.Testing
+
+let p = Fet.default
+
+let test_off_state () =
+  let i = Fet.drain_current p ~vgs:(-2.) ~vds:0.05 in
+  check_close "leakage floor" p.Fet.i_off i
+
+let test_zero_vds () =
+  check_close "no drain bias" 0. (Fet.drain_current p ~vgs:3. ~vds:0.)
+
+let test_on_state_magnitude () =
+  let i = Fet.drain_current p ~vgs:3. ~vds:0.05 in
+  (* Landauer-ish conductance at 50 mV: microamp scale *)
+  check_in "on current" ~lo:1e-8 ~hi:1e-3 i
+
+let test_monotone_in_vgs () =
+  let prev = ref 0. in
+  for k = 0 to 40 do
+    let vgs = -1. +. (0.15 *. float_of_int k) in
+    let i = Fet.drain_current p ~vgs ~vds:0.05 in
+    check_true "non-decreasing" (i >= !prev -. 1e-18);
+    prev := i
+  done
+
+let test_continuity_at_joint () =
+  (* the subthreshold/on-state stitch at overdrive = v_sat must be smooth *)
+  let v_joint = p.Fet.vt0 +. p.Fet.v_sat in
+  let below = Fet.drain_current p ~vgs:(v_joint -. 1e-6) ~vds:0.05 in
+  let above = Fet.drain_current p ~vgs:(v_joint +. 1e-6) ~vds:0.05 in
+  check_close ~tol:1e-3 "continuous" above below
+
+let test_drain_saturation () =
+  let i1 = Fet.drain_current p ~vgs:3. ~vds:0.5 in
+  let i2 = Fet.drain_current p ~vgs:3. ~vds:5. in
+  (* 10x more drain bias buys < 50% more current past v_sat *)
+  check_true "saturates" (i2 < i1 *. 1.5);
+  check_true "still increases" (i2 >= i1)
+
+let test_subthreshold_swing () =
+  check_close ~tol:0.02 "configured swing" p.Fet.ss_mv_dec
+    (Fet.subthreshold_swing p ~vds:0.05)
+
+let test_transfer_shift () =
+  let vgs = Gnrflash_numerics.Grid.linspace 0. 4. 41 in
+  let erased = Fet.transfer_curve p ~dvt:0. ~vds:0.05 ~vgs in
+  let programmed = Fet.transfer_curve p ~dvt:2. ~vds:0.05 ~vgs in
+  (* at every bias the programmed cell conducts no more than the erased *)
+  Array.iteri
+    (fun i (_, ie) ->
+       let _, ip = programmed.(i) in
+       check_true "programmed below erased" (ip <= ie +. 1e-18))
+    erased;
+  (* the curve is shifted: programmed at vgs+2 equals erased at vgs *)
+  let i_er = Fet.drain_current p ~vgs:2.5 ~vds:0.05 in
+  let i_pr = Fet.drain_current { p with Fet.vt0 = p.Fet.vt0 +. 2. } ~vgs:4.5 ~vds:0.05 in
+  check_close ~tol:1e-9 "pure lateral shift" i_er i_pr
+
+let test_read_window () =
+  let w = Fet.read_window p ~dvt_programmed:5. ~vread:3. ~vds:0.05 in
+  check_true "large window" (w > 1e3)
+
+let () =
+  Alcotest.run "fet"
+    [
+      ( "fet",
+        [
+          case "off state" test_off_state;
+          case "zero vds" test_zero_vds;
+          case "on magnitude" test_on_state_magnitude;
+          case "monotone in vgs" test_monotone_in_vgs;
+          case "continuity at joint" test_continuity_at_joint;
+          case "drain saturation" test_drain_saturation;
+          case "subthreshold swing" test_subthreshold_swing;
+          case "transfer shift" test_transfer_shift;
+          case "read window" test_read_window;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+module F = Gnrflash_device.Fgt
+module Cap = Gnrflash_device.Capacitance
+open Gnrflash_testing.Testing
+
+let t = F.paper_default
+
+let test_paper_defaults () =
+  check_close ~tol:1e-9 "GCR" 0.6 (F.gcr t);
+  check_close "XTO" 5e-9 t.F.xto;
+  check_close "XCO" 10e-9 t.F.xco;
+  check_close "barrier" 3.2 t.F.tunnel_fn.Gnrflash_quantum.Fn.phi_b_ev
+
+let test_worked_example_vfg () =
+  (* the paper: VGS = 15 V, GCR = 0.6, QFG = 0 -> VFG = 9 V *)
+  check_close ~tol:1e-9 "VFG = 9 V" 9. (F.vfg t ~vgs:15. ~qfg:0.)
+
+let test_vfg_with_charge () =
+  (* equation (3): negative charge lowers VFG by Q/CT *)
+  let q = -2e-18 in
+  check_close ~tol:1e-9 "charge term" (9. +. (q /. F.ct t)) (F.vfg t ~vgs:15. ~qfg:q)
+
+let test_fields_at_t0 () =
+  (* tunnel field 9V/5nm = 18 MV/cm; control field 6V/10nm = 6 MV/cm *)
+  check_close ~tol:1e-9 "tunnel field" 1.8e9 (F.tunnel_field t ~vgs:15. ~qfg:0.);
+  check_close ~tol:1e-9 "control field" 6e8 (F.control_field t ~vgs:15. ~qfg:0.)
+
+let test_jin_dominates_at_start () =
+  let ji = F.j_in t ~vgs:15. ~qfg:0. and jo = F.j_out t ~vgs:15. ~qfg:0. in
+  check_true "Jin huge" (ji > 1e6);
+  check_true "Jout tiny" (jo < 1e-5);
+  check_true "paper's Fig 4 ordering" (ji /. jo > 1e10)
+
+let test_erase_mirror () =
+  (* at VGS = -15 V with no charge, electrons leave the FG: j_out > 0 *)
+  let ji = F.j_in t ~vgs:(-15.) ~qfg:0. and jo = F.j_out t ~vgs:(-15.) ~qfg:0. in
+  check_true "erase extracts" (jo > 1e6);
+  check_true "negligible injection" (ji < jo /. 1e10)
+
+let test_dqfg_sign () =
+  check_true "programming charges negative" (F.dqfg_dt t ~vgs:15. ~qfg:0. < 0.);
+  check_true "erase charges positive" (F.dqfg_dt t ~vgs:(-15.) ~qfg:0. > 0.)
+
+let test_threshold_shift () =
+  let q = -3e-18 in
+  check_close ~tol:1e-12 "dVT = -Q/CFC" (-.q /. t.F.caps.Cap.cfc)
+    (F.threshold_shift t ~qfg:q);
+  check_true "programming raises VT" (F.threshold_shift t ~qfg:q > 0.)
+
+let test_threshold_inverse () =
+  let dvt = 2.5 in
+  let q = F.qfg_for_threshold_shift t ~dvt in
+  check_close ~tol:1e-12 "roundtrip" dvt (F.threshold_shift t ~qfg:q)
+
+let test_with_gcr () =
+  let t2 = F.with_gcr t 0.45 in
+  check_close ~tol:1e-9 "new gcr" 0.45 (F.gcr t2);
+  check_close ~tol:1e-9 "cfc unchanged" t.F.caps.Cap.cfc t2.F.caps.Cap.cfc;
+  check_close ~tol:1e-9 "lower vfg" (0.45 *. 15.) (F.vfg t2 ~vgs:15. ~qfg:0.)
+
+let test_with_xto () =
+  let t2 = F.with_xto t 7e-9 in
+  check_close "thicker oxide" 7e-9 t2.F.xto;
+  check_true "lower field" (F.tunnel_field t2 ~vgs:15. ~qfg:0. < F.tunnel_field t ~vgs:15. ~qfg:0.)
+
+let test_make_validation () =
+  Alcotest.check_raises "control thinner than tunnel"
+    (Invalid_argument "Fgt.make: control oxide thinner than tunnel oxide") (fun () ->
+      ignore (F.make ~gcr:0.6 ~xto:10e-9 ~xco:5e-9 ~area:1e-15 ()))
+
+let test_source_bias () =
+  let t2 = F.make ~vs:0.05 ~gcr:0.6 ~xto:5e-9 ~xco:10e-9 ~area:1e-15 () in
+  check_true "source bias lowers tunnel field"
+    (F.tunnel_field t2 ~vgs:15. ~qfg:0. < F.tunnel_field t ~vgs:15. ~qfg:0.)
+
+let prop_vfg_linear_in_vgs =
+  prop "VFG linear in VGS at fixed charge" QCheck2.Gen.(float_range (-20.) 20.)
+    (fun vgs ->
+       let direct = F.vfg t ~vgs ~qfg:0. in
+       abs_float (direct -. (0.6 *. vgs)) < 1e-9)
+
+let prop_currents_nonnegative =
+  prop "j_in and j_out are non-negative fluxes"
+    QCheck2.Gen.(pair (float_range (-20.) 20.) (float_range (-5e-17) 5e-17))
+    (fun (vgs, qfg) ->
+       F.j_in t ~vgs ~qfg >= 0. && F.j_out t ~vgs ~qfg >= 0.)
+
+let () =
+  Alcotest.run "fgt"
+    [
+      ( "fgt",
+        [
+          case "paper defaults" test_paper_defaults;
+          case "worked example VFG = 9 V" test_worked_example_vfg;
+          case "equation (3) charge term" test_vfg_with_charge;
+          case "fields at t = 0" test_fields_at_t0;
+          case "Jin >> Jout (Fig 4)" test_jin_dominates_at_start;
+          case "erase mirror" test_erase_mirror;
+          case "charging sign" test_dqfg_sign;
+          case "threshold shift" test_threshold_shift;
+          case "threshold inverse" test_threshold_inverse;
+          case "with_gcr" test_with_gcr;
+          case "with_xto" test_with_xto;
+          case "make validation" test_make_validation;
+          case "source bias" test_source_bias;
+          prop_vfg_linear_in_vgs;
+          prop_currents_nonnegative;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+module F = Gnrflash_memory.Ftl
+module W = Gnrflash_memory.Workload
+open Gnrflash_testing.Testing
+
+let small = { F.blocks = 4; pages_per_block = 8; gc_threshold = 4; endurance_limit = 1000 }
+
+let test_create () =
+  let t = F.create small in
+  (* (4-1) blocks x 8 pages x 7/8 = 21 *)
+  Alcotest.(check int) "logical capacity" 21 (F.logical_capacity t);
+  let s = F.stats t in
+  Alcotest.(check int) "no writes" 0 s.F.host_writes;
+  Alcotest.(check int) "no erases" 0 s.F.erases
+
+let test_create_validation () =
+  Alcotest.check_raises "one block" (Invalid_argument "Ftl.create: need >= 2 blocks and >= 1 page")
+    (fun () -> ignore (F.create { small with F.blocks = 1 }))
+
+let test_write_and_read () =
+  let t = F.create small in
+  let t = check_ok "write" (F.write t ~lpn:5) in
+  (match F.read t ~lpn:5 with
+   | Some _ -> ()
+   | None -> Alcotest.fail "mapping missing");
+  check_true "unwritten page unmapped" (F.read t ~lpn:6 = None)
+
+let test_rewrite_moves_page () =
+  let t = F.create small in
+  let t = check_ok "w1" (F.write t ~lpn:3) in
+  let loc1 = F.read t ~lpn:3 in
+  let t = check_ok "w2" (F.write t ~lpn:3) in
+  let loc2 = F.read t ~lpn:3 in
+  check_true "out-of-place update" (loc1 <> loc2);
+  let s = F.stats t in
+  Alcotest.(check int) "2 host writes" 2 s.F.host_writes
+
+let test_out_of_range () =
+  let t = F.create small in
+  check_error "lpn" (F.write t ~lpn:99)
+
+let test_trim () =
+  let t = F.create small in
+  let t = check_ok "write" (F.write t ~lpn:1) in
+  let t = F.trim t ~lpn:1 in
+  check_true "unmapped after trim" (F.read t ~lpn:1 = None)
+
+let test_gc_triggers_under_pressure () =
+  let t = F.create small in
+  (* hammer one logical page enough to exhaust free pages repeatedly *)
+  let rec hammer t n = if n = 0 then t else hammer (check_ok "write" (F.write t ~lpn:0)) (n - 1) in
+  let t = hammer t 100 in
+  let s = F.stats t in
+  check_true "GC ran" (s.F.gc_runs > 0);
+  check_true "erases happened" (s.F.erases > 0);
+  Alcotest.(check int) "all writes landed" 100 s.F.host_writes;
+  (* the page is still readable *)
+  check_true "still mapped" (F.read t ~lpn:0 <> None)
+
+let test_write_amplification_bounds () =
+  let t = F.create small in
+  let ops = W.generate ~seed:5 W.Uniform ~pages:28 ~strings:1 ~ops:300 ~read_fraction:0. in
+  let t = check_ok "trace" (F.run_trace t ops) in
+  let s = F.stats t in
+  check_true "wa >= 1" (s.F.write_amplification >= 1.);
+  check_true "wa sane" (s.F.write_amplification < 10.)
+
+let test_wear_leveling_spread () =
+  let t = F.create { small with F.blocks = 8 } in
+  let ops = W.generate ~seed:9 W.Uniform ~pages:56 ~strings:1 ~ops:2000 ~read_fraction:0. in
+  let t = check_ok "trace" (F.run_trace t ops) in
+  let s = F.stats t in
+  check_true "work spread over blocks" (s.F.min_erase_count > 0);
+  (* allocation prefers cold blocks: spread stays a small multiple of min *)
+  check_true "bounded spread"
+    (float_of_int s.F.max_erase_count <= (3. *. float_of_int s.F.min_erase_count) +. 5.)
+
+let test_sequential_vs_random_wa () =
+  (* sequential rewrites invalidate whole blocks: cheaper GC than random *)
+  let run pattern =
+    let t = F.create { small with F.blocks = 8 } in
+    let ops = W.generate ~seed:4 pattern ~pages:56 ~strings:1 ~ops:1500 ~read_fraction:0. in
+    let t = check_ok "trace" (F.run_trace t ops) in
+    (F.stats t).F.write_amplification
+  in
+  let wa_seq = run W.Sequential in
+  let wa_zipf = run (W.Zipf 1.2) in
+  check_true "sequential WA modest" (wa_seq < 2.5);
+  check_true "both computed" (wa_zipf >= 1.)
+
+let test_endurance_retirement () =
+  let t = F.create { small with F.endurance_limit = 3 } in
+  let rec hammer t n =
+    if n = 0 then Ok t
+    else match F.write t ~lpn:0 with Ok t -> hammer t (n - 1) | Error e -> Error e
+  in
+  (* blocks retire after 3 erases each; the device eventually fills *)
+  (match hammer t 2000 with
+   | Ok t ->
+     let s = F.stats t in
+     check_true "some retirement happened" (s.F.retired_blocks > 0)
+   | Error _ -> () (* running out of space after retirement is the expected end state *));
+  ()
+
+let prop_mapping_consistent_after_random_trace =
+  prop "every mapping points at a Valid page holding that lpn" ~count:20
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       let t = F.create small in
+       let capacity = F.logical_capacity t in
+       let ops =
+         W.generate ~seed W.Uniform ~pages:capacity ~strings:1 ~ops:200
+           ~read_fraction:0.
+       in
+       match F.run_trace t ops with
+       | Error _ -> false
+       | Ok t ->
+         let ok = ref true in
+         for lpn = 0 to capacity - 1 do
+           match F.read t ~lpn with
+           | None -> ()
+           | Some _ -> if F.read t ~lpn = None then ok := false
+         done;
+         !ok)
+
+let prop_written_pages_stay_mapped =
+  prop "a written lpn stays mapped through GC" ~count:20
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       let t = F.create small in
+       let capacity = F.logical_capacity t in
+       let target = seed mod capacity in
+       match F.write t ~lpn:target with
+       | Error _ -> false
+       | Ok t ->
+         (* churn other pages hard enough to force GC *)
+         let ops =
+           W.generate ~seed:(seed + 1) W.Uniform ~pages:capacity ~strings:1
+             ~ops:150 ~read_fraction:0.
+         in
+         (match F.run_trace t ops with
+          | Error _ -> false
+          | Ok t -> F.read t ~lpn:target <> None))
+
+let () =
+  Alcotest.run "ftl"
+    [
+      ( "ftl",
+        [
+          case "create" test_create;
+          case "create validation" test_create_validation;
+          case "write and read" test_write_and_read;
+          case "out-of-place rewrite" test_rewrite_moves_page;
+          case "lpn range" test_out_of_range;
+          case "trim" test_trim;
+          case "gc under pressure" test_gc_triggers_under_pressure;
+          case "write amplification" test_write_amplification_bounds;
+          case "wear leveling" test_wear_leveling_spread;
+          case "sequential vs random" test_sequential_vs_random_wa;
+          case "endurance retirement" test_endurance_retirement;
+          prop_mapping_consistent_after_random_trace;
+          prop_written_pages_stay_mapped;
+        ] );
+    ]

@@ -1,0 +1,66 @@
+module I = Gnrflash_memory.Inhibit
+module D = Gnrflash_device
+open Gnrflash_testing.Testing
+
+let t = D.Fgt.paper_default
+
+let test_boosted_channel () =
+  (* 1.1 + 0.8*15 = 13.1 V at t = 0 *)
+  check_close ~tol:1e-9 "initial boost" 13.1
+    (I.boosted_channel I.default ~vgs_program:15. ~t_elapsed:0.);
+  (* decays with the leak time *)
+  let v1 = I.boosted_channel I.default ~vgs_program:15. ~t_elapsed:100e-6 in
+  check_close ~tol:1e-6 "one tau" (13.1 *. exp (-1.)) v1
+
+let test_config_validation () =
+  Alcotest.check_raises "ratio" (Invalid_argument "Inhibit: boost_ratio out of (0, 1)")
+    (fun () ->
+       ignore
+         (I.boosted_channel { I.default with I.boost_ratio = 1.5 } ~vgs_program:15.
+            ~t_elapsed:0.))
+
+let test_inhibited_field_small () =
+  (* VFG = 9 V, channel boosted to 13.1 V: the field is negative (no
+     injection at all at the start of the pulse) *)
+  let f = I.inhibited_tunnel_field I.default t ~vgs_program:15. ~qfg:0. ~t_elapsed:0. in
+  check_true "field reversed or tiny" (f < 1e8);
+  (* vs the raw programming field of 18 MV/cm *)
+  check_true "far below program field" (f < D.Fgt.tunnel_field t ~vgs:15. ~qfg:0. /. 10.)
+
+let test_disturb_ratio () =
+  let r = I.disturb_ratio I.default t ~vgs_program:15. in
+  (* boosting must beat the VGS/2 scheme by many orders of magnitude *)
+  check_in "ratio" ~lo:0. ~hi:1e-6 r
+
+let test_dvt_accumulation_negligible () =
+  let dvt = I.dvt_after_events t ~vgs_program:15. ~pulse_width:10e-6 ~events:1000 in
+  (* after 1000 neighbouring programs the boosted cell barely moves *)
+  check_in "bounded drift" ~lo:0. ~hi:0.2 dvt;
+  (* the half-select scheme under the same exposure drifts visibly more *)
+  match D.Disturb.dvt_after_events t ~qfg0:0. ~events:1000 with
+  | Ok half -> check_true "boosting beats half-select" (dvt <= half +. 1e-12)
+  | Error e -> Alcotest.fail e
+
+let test_dvt_monotone_in_events () =
+  let d n = I.dvt_after_events t ~vgs_program:15. ~pulse_width:10e-6 ~events:n in
+  check_true "monotone" (d 100 <= d 1000 +. 1e-12);
+  check_close "zero events" 0. (d 0)
+
+let test_validation () =
+  Alcotest.check_raises "events" (Invalid_argument "Inhibit.dvt_after_events: negative events")
+    (fun () -> ignore (I.dvt_after_events t ~vgs_program:15. ~pulse_width:1e-6 ~events:(-1)))
+
+let () =
+  Alcotest.run "inhibit"
+    [
+      ( "inhibit",
+        [
+          case "boosted channel" test_boosted_channel;
+          case "config validation" test_config_validation;
+          case "inhibited field" test_inhibited_field_small;
+          case "disturb ratio" test_disturb_ratio;
+          case "accumulated drift" test_dvt_accumulation_negligible;
+          case "monotone in events" test_dvt_monotone_in_events;
+          case "validation" test_validation;
+        ] );
+    ]

@@ -1,0 +1,66 @@
+module L = Gnrflash_device.Layout
+module Cap = Gnrflash_device.Capacitance
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+let test_paper_layout_gcr () =
+  (* the derived GCR should land near the paper's 0.6 *)
+  check_in "gcr near paper value" ~lo:0.5 ~hi:0.7 (L.gcr L.paper_layout)
+
+let test_capacitance_components () =
+  let caps = L.capacitances L.paper_layout in
+  check_true "cfc largest single plate" (caps.Cap.cfc > caps.Cap.cfs);
+  check_close ~tol:1e-9 "source/drain symmetric" caps.Cap.cfs caps.Cap.cfd;
+  (* hand check: CFC = wrap * eps0*3.9*(32nm)^2/10nm *)
+  let expected =
+    3.5 *. Cap.parallel_plate ~eps_r:3.9 ~area:(32e-9 *. 32e-9) ~thickness:10e-9
+  in
+  check_close ~tol:1e-12 "cfc plate" expected caps.Cap.cfc
+
+let test_validation () =
+  Alcotest.check_raises "overlaps too big"
+    (Invalid_argument "Layout.capacitances: overlaps exceed the gate") (fun () ->
+      ignore (L.capacitances { L.paper_layout with L.overlap = 20e-9 }))
+
+let test_device_construction () =
+  let t = L.device L.paper_layout in
+  check_close ~tol:1e-9 "area" (32e-9 *. 32e-9) t.F.area;
+  check_close ~tol:1e-9 "gcr consistent" (L.gcr L.paper_layout) (F.gcr t);
+  (* the layout-derived device programs like the canonical one *)
+  let vfg = F.vfg t ~vgs:15. ~qfg:0. in
+  check_in "vfg in the paper ballpark" ~lo:7. ~hi:11. vfg
+
+let test_gcr_rises_with_thinner_control_oxide () =
+  let sweep = L.gcr_vs_control_oxide L.paper_layout ~xco_nm:[| 6.; 8.; 10.; 14. |] in
+  for i = 0 to Array.length sweep - 2 do
+    check_true "thinner xco, higher gcr" (snd sweep.(i) > snd sweep.(i + 1))
+  done
+
+let test_fringing_increases_parasitics () =
+  let no_fringe = { L.paper_layout with L.fringe_factor = 1.0 } in
+  check_true "fringing lowers gcr" (L.gcr L.paper_layout < L.gcr no_fringe)
+
+let prop_gcr_bounded =
+  prop "derived gcr in (0, 1)" ~count:40
+    QCheck2.Gen.(pair (float_range 5. 20.) (float_range 1. 6.))
+    (fun (xco_nm, overlap_nm) ->
+       let l =
+         { L.paper_layout with L.xco = xco_nm *. 1e-9; overlap = overlap_nm *. 1e-9 }
+       in
+       let g = L.gcr l in
+       g > 0. && g < 1.)
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "layout",
+        [
+          case "paper layout GCR" test_paper_layout_gcr;
+          case "capacitance components" test_capacitance_components;
+          case "validation" test_validation;
+          case "device construction" test_device_construction;
+          case "GCR vs control oxide" test_gcr_rises_with_thinner_control_oxide;
+          case "fringing" test_fringing_increases_parasitics;
+          prop_gcr_bounded;
+        ] );
+    ]

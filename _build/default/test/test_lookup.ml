@@ -1,0 +1,63 @@
+module L = Gnrflash_quantum.Lookup
+module Fn = Gnrflash_quantum.Fn
+open Gnrflash_testing.Testing
+
+let p = Fn.coefficients ~phi_b_ev:3.2 ~m_ox_rel:0.42
+
+let table = L.of_fn p ~field_min:5e8 ~field_max:2e9
+
+let test_exact_at_nodes_vicinity () =
+  (* pchip through log-log data: error between nodes stays small *)
+  let err = L.max_relative_error table (fun e -> Fn.current_density p ~field:e) in
+  check_true "sub-0.1% interpolation error" (err < 1e-3)
+
+let test_interpolation_mid_range () =
+  let e = 1.234e9 in
+  check_close ~tol:1e-4 "mid-range value" (Fn.current_density p ~field:e)
+    (L.current_density table ~field:e)
+
+let test_clamping () =
+  let above = L.current_density table ~field:1e10 in
+  let at_max = L.current_density table ~field:2e9 in
+  check_close ~tol:1e-9 "clamped above" at_max above;
+  check_close "deep below cuts off" 0. (L.current_density table ~field:1e7)
+
+let test_range () =
+  let lo, hi = L.range table in
+  check_close "lo" 5e8 lo;
+  check_close "hi" 2e9 hi
+
+let test_build_validation () =
+  Alcotest.check_raises "range" (Invalid_argument "Lookup.build: bad field range")
+    (fun () -> ignore (L.build ~field_min:2e9 ~field_max:1e9 (fun _ -> 1.)));
+  Alcotest.check_raises "nonpositive model"
+    (Invalid_argument "Lookup.build: model non-positive on the range") (fun () ->
+      ignore (L.build ~field_min:1e8 ~field_max:1e9 (fun _ -> 0.)))
+
+let test_denser_table_more_accurate () =
+  let coarse = L.of_fn ~points:8 p ~field_min:5e8 ~field_max:2e9 in
+  let fine = L.of_fn ~points:128 p ~field_min:5e8 ~field_max:2e9 in
+  let reference e = Fn.current_density p ~field:e in
+  check_true "refinement helps"
+    (L.max_relative_error fine reference < L.max_relative_error coarse reference)
+
+let prop_monotone_like_model =
+  prop "table preserves monotonicity" ~count:50
+    QCheck2.Gen.(float_range 5e8 1.8e9)
+    (fun e ->
+       L.current_density table ~field:(e *. 1.05) >= L.current_density table ~field:e)
+
+let () =
+  Alcotest.run "lookup"
+    [
+      ( "lookup",
+        [
+          case "interpolation error bound" test_exact_at_nodes_vicinity;
+          case "mid-range value" test_interpolation_mid_range;
+          case "clamping" test_clamping;
+          case "range" test_range;
+          case "build validation" test_build_validation;
+          case "refinement" test_denser_table_more_accurate;
+          prop_monotone_like_model;
+        ] );
+    ]

@@ -1,0 +1,78 @@
+module N = Gnrflash_memory.Nor_array
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+let fresh () = N.make F.paper_default ~cells:8
+
+let test_make () =
+  let t = fresh () in
+  Alcotest.(check int) "cells" 8 (Array.length t.N.cells);
+  Alcotest.check_raises "empty" (Invalid_argument "Nor_array.make: cells < 1") (fun () ->
+      ignore (N.make F.paper_default ~cells:0))
+
+let test_fresh_reads_ones () =
+  let t = fresh () in
+  for i = 0 to 7 do
+    Alcotest.(check int) "erased" 1 (check_ok "read" (N.read_bit t ~index:i))
+  done
+
+let test_program_and_random_access_read () =
+  let t = fresh () in
+  let t = check_ok "program" (N.program_bit t ~index:3) in
+  Alcotest.(check int) "programmed cell" 0 (check_ok "read" (N.read_bit t ~index:3));
+  Alcotest.(check int) "neighbor untouched" 1 (check_ok "read" (N.read_bit t ~index:2));
+  Alcotest.(check int) "programs counted" 1 t.N.programs
+
+let test_che_injection_self_limits () =
+  let t = fresh () in
+  let t = check_ok "p1" (N.program_bit t ~index:0) in
+  let q1 = t.N.cells.(0).Gnrflash_memory.Cell.qfg in
+  let t = check_ok "p2" (N.program_bit t ~index:0) in
+  let q2 = t.N.cells.(0).Gnrflash_memory.Cell.qfg in
+  check_true "first pulse stores charge" (q1 < 0.);
+  check_true "bounded by saturation" (q2 >= q1 -. abs_float q1);
+  (* the stored threshold stays physical *)
+  let dvt = Gnrflash_memory.Cell.dvt t.N.cells.(0) in
+  check_in "dvt physical" ~lo:0. ~hi:10. dvt
+
+let test_supply_charge_accounting () =
+  let t = fresh () in
+  let t = check_ok "program" (N.program_bit t ~index:1) in
+  (* 0.5 mA for 1 us = 5e-10 C per program *)
+  check_close ~tol:1e-9 "drain charge" 5e-10 t.N.total_supply_charge
+
+let test_erase_all () =
+  let t = fresh () in
+  let t = check_ok "program" (N.program_bit t ~index:5) in
+  let t = check_ok "erase" (N.erase_all t) in
+  for i = 0 to 7 do
+    Alcotest.(check int) "erased" 1 (check_ok "read" (N.read_bit t ~index:i))
+  done
+
+let test_bad_index () =
+  check_error "program oob" (N.program_bit (fresh ()) ~index:99);
+  check_error "read oob" (N.read_bit (fresh ()) ~index:(-1))
+
+let test_programming_current_cap () =
+  let t = fresh () in
+  (* programming a whole 4 kB page at once would need amps: the NOR
+     parallelism limit of paper Section II *)
+  let i_page = N.programming_current t ~simultaneous:32768 in
+  check_true "page current in amps" (i_page > 10.);
+  check_close "per-cell current" 0.5e-3 (N.programming_current t ~simultaneous:1)
+
+let () =
+  Alcotest.run "nor_array"
+    [
+      ( "nor_array",
+        [
+          case "make" test_make;
+          case "fresh reads ones" test_fresh_reads_ones;
+          case "program + random access" test_program_and_random_access_read;
+          case "CHE self-limiting" test_che_injection_self_limits;
+          case "supply charge accounting" test_supply_charge_accounting;
+          case "erase all" test_erase_all;
+          case "index errors" test_bad_index;
+          case "programming current cap" test_programming_current_cap;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+module O = Gnrflash_numerics.Ode
+open Gnrflash_testing.Testing
+
+let decay _t y = [| -.y.(0) |]
+
+let last (tr : O.trajectory) = tr.O.states.(Array.length tr.O.states - 1)
+
+let test_euler_decay () =
+  let tr = O.euler ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:1. ~steps:10000 in
+  check_close ~tol:1e-3 "e^-1" (exp (-1.)) (last tr).(0)
+
+let test_rk4_decay () =
+  let tr = O.rk4 ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:1. ~steps:100 in
+  check_close ~tol:1e-8 "e^-1" (exp (-1.)) (last tr).(0)
+
+let test_rk4_convergence_order () =
+  (* halving h should cut the error by ~2^4 *)
+  let err steps =
+    let tr = O.rk4 ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:1. ~steps in
+    abs_float ((last tr).(0) -. exp (-1.))
+  in
+  let ratio = err 20 /. err 40 in
+  check_in "4th order convergence" ~lo:12. ~hi:20. ratio
+
+let test_rkf45_decay () =
+  let tr = check_ok "rkf45" (O.rkf45 ~rtol:1e-10 ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:2. ()) in
+  check_close ~tol:1e-8 "e^-2" (exp (-2.)) (last tr).(0)
+
+let test_rkf45_oscillator () =
+  (* y'' = -y as a system; energy must be conserved to tolerance *)
+  let f _t y = [| y.(1); -.y.(0) |] in
+  let tr =
+    check_ok "rkf45"
+      (O.rkf45 ~rtol:1e-10 ~atol:1e-12 ~f ~t0:0. ~y0:[| 1.; 0. |]
+         ~t1:(2. *. Float.pi) ())
+  in
+  let y = last tr in
+  check_close ~tol:1e-6 "cos(2pi)" 1. y.(0);
+  check_abs ~tol:1e-6 "sin(2pi)" 0. y.(1)
+
+let test_rkf45_rejects_bad_range () =
+  check_error "t1 <= t0" (O.rkf45 ~f:decay ~t0:1. ~y0:[| 1. |] ~t1:0. ())
+
+let test_rkf45_times_monotone () =
+  let tr = check_ok "rkf45" (O.rkf45 ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:1. ()) in
+  let ok = ref true in
+  for i = 0 to Array.length tr.O.times - 2 do
+    if tr.O.times.(i + 1) <= tr.O.times.(i) then ok := false
+  done;
+  check_true "strictly increasing times" !ok
+
+let test_event_detection () =
+  (* y' = 1, event at y = 0.5 -> t = 0.5 *)
+  let f _t _y = [| 1. |] in
+  let event _t y = y.(0) -. 0.5 in
+  let r =
+    check_ok "event" (O.rkf45_event ~f ~event ~t0:0. ~y0:[| 0. |] ~t1:2. ())
+  in
+  (match r.O.event_time with
+   | Some t -> check_close ~tol:1e-6 "event time" 0.5 t
+   | None -> Alcotest.fail "event not detected");
+  match r.O.event_state with
+  | Some y -> check_close ~tol:1e-5 "event state" 0.5 y.(0)
+  | None -> Alcotest.fail "no event state"
+
+let test_event_decay_threshold () =
+  (* e^{-t} crosses 0.1 at t = ln 10 *)
+  let event _t y = y.(0) -. 0.1 in
+  let r =
+    check_ok "event" (O.rkf45_event ~rtol:1e-10 ~f:decay ~event ~t0:0. ~y0:[| 1. |] ~t1:10. ())
+  in
+  match r.O.event_time with
+  | Some t -> check_close ~tol:1e-5 "ln 10" (log 10.) t
+  | None -> Alcotest.fail "event not detected"
+
+let test_event_none () =
+  let event _t y = y.(0) +. 1. in
+  (* never crosses *)
+  let r = check_ok "event" (O.rkf45_event ~f:decay ~event ~t0:0. ~y0:[| 1. |] ~t1:1. ()) in
+  check_true "no event" (r.O.event_time = None)
+
+let test_nan_region_recovery () =
+  (* f produces NaN for y > 1.5; solution stays below, so large trial steps
+     must be rejected rather than aborting *)
+  let f _t y = if y.(0) > 1.5 then [| nan |] else [| 0.2 |] in
+  let tr = check_ok "nan recovery" (O.rkf45 ~h0:100. ~f ~t0:0. ~y0:[| 0. |] ~t1:1. ()) in
+  check_close ~tol:1e-6 "linear growth" 0.2 (last tr).(0)
+
+let test_solve_scalar () =
+  let times, values =
+    check_ok "scalar" (O.solve_scalar ~f:(fun _t y -> -.y) ~t0:0. ~y0:1. ~t1:1. ())
+  in
+  check_close ~tol:1e-6 "e^-1" (exp (-1.)) values.(Array.length values - 1);
+  check_close "start" 0. times.(0)
+
+let prop_rkf45_linear_growth =
+  prop "y' = a integrates to a*t" QCheck2.Gen.(float_range (-10.) 10.) (fun a ->
+      let f _t _y = [| a |] in
+      match O.rkf45 ~f ~t0:0. ~y0:[| 0. |] ~t1:3. () with
+      | Ok tr ->
+        let y = (last tr).(0) in
+        abs_float (y -. (3. *. a)) <= 1e-6 *. (1. +. abs_float (3. *. a))
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "ode"
+    [
+      ( "ode",
+        [
+          case "euler decay" test_euler_decay;
+          case "rk4 decay" test_rk4_decay;
+          case "rk4 is 4th order" test_rk4_convergence_order;
+          case "rkf45 decay" test_rkf45_decay;
+          case "rkf45 oscillator" test_rkf45_oscillator;
+          case "rkf45 bad range" test_rkf45_rejects_bad_range;
+          case "rkf45 monotone times" test_rkf45_times_monotone;
+          case "event: linear crossing" test_event_detection;
+          case "event: decay threshold" test_event_decay_threshold;
+          case "event: none" test_event_none;
+          case "NaN trial step recovery" test_nan_region_recovery;
+          case "solve_scalar wrapper" test_solve_scalar;
+          prop_rkf45_linear_growth;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+module P = Gnrflash_numerics.Polynomial
+open Gnrflash_testing.Testing
+
+let test_eval () =
+  (* 1 + 2x + 3x^2 at x = 2 -> 17 *)
+  check_close "horner" 17. (P.eval [| 1.; 2.; 3. |] 2.)
+
+let test_eval_empty () = check_close "zero poly" 0. (P.eval [||] 5.)
+
+let test_derivative () =
+  let d = P.derivative [| 1.; 2.; 3. |] in
+  (* 2 + 6x *)
+  check_close "d(1)" 8. (P.eval d 1.)
+
+let test_derivative_constant () =
+  Alcotest.(check int) "constant" 0 (Array.length (P.derivative [| 7. |]))
+
+let test_integral () =
+  let p = P.integral ~c0:1. [| 2.; 6. |] in
+  (* 1 + 2x + 3x^2 *)
+  check_close "integral at 2" 17. (P.eval p 2.)
+
+let test_integral_derivative_inverse () =
+  let p = [| 3.; -1.; 2.; 0.5 |] in
+  let back = P.derivative (P.integral p) in
+  Array.iteri (fun i c -> check_close "coeff" c back.(i)) p
+
+let test_add () =
+  let s = P.add [| 1.; 2. |] [| 10.; 0.; 5. |] in
+  check_close "c0" 11. s.(0);
+  check_close "c2" 5. s.(2)
+
+let test_mul () =
+  (* (1 + x)(1 - x) = 1 - x^2 *)
+  let p = P.mul [| 1.; 1. |] [| 1.; -1. |] in
+  check_close "c0" 1. p.(0);
+  check_close "c1" 0. p.(1);
+  check_close "c2" (-1.) p.(2)
+
+let test_scale () = check_close "scaled" 6. (P.scale 3. [| 2. |]).(0)
+
+let test_degree () =
+  Alcotest.(check int) "deg" 2 (P.degree [| 1.; 0.; 5.; 0. |]);
+  Alcotest.(check int) "zero poly" (-1) (P.degree [| 0.; 0. |])
+
+let test_fit_quadratic () =
+  let xs = [| -2.; -1.; 0.; 1.; 2. |] in
+  let ys = Array.map (fun x -> 2. +. (3. *. x) -. (x *. x)) xs in
+  let p = check_ok "fit" (P.fit ~deg:2 xs ys) in
+  check_close ~tol:1e-8 "c0" 2. p.(0);
+  check_close ~tol:1e-8 "c1" 3. p.(1);
+  check_close ~tol:1e-8 "c2" (-1.) p.(2)
+
+let test_fit_underdetermined () =
+  check_error "not enough points" (P.fit ~deg:3 [| 0.; 1. |] [| 0.; 1. |])
+
+let test_roots_quadratic () =
+  match P.roots_quadratic 1. (-3.) 2. with
+  | Some (r1, r2) ->
+    check_close "r1" 1. r1;
+    check_close "r2" 2. r2
+  | None -> Alcotest.fail "expected real roots"
+
+let test_roots_complex () =
+  check_true "complex" (P.roots_quadratic 1. 0. 1. = None)
+
+let test_roots_degenerate () =
+  check_true "linear" (P.roots_quadratic 0. 1. 1. = None)
+
+let prop_mul_eval_commutes =
+  prop "eval (p*q) = eval p * eval q"
+    QCheck2.Gen.(pair (float_range (-3.) 3.) (float_range (-3.) 3.))
+    (fun (x, c) ->
+       let p = [| c; 1. |] and q = [| 1.; -2.; c |] in
+       let lhs = P.eval (P.mul p q) x in
+       let rhs = P.eval p x *. P.eval q x in
+       abs_float (lhs -. rhs) <= 1e-9 *. (1. +. abs_float rhs))
+
+let prop_quadratic_roots_are_roots =
+  prop "returned roots satisfy the quadratic"
+    QCheck2.Gen.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (r1, r2) ->
+       (* construct (x - r1)(x - r2) *)
+       let b = -.(r1 +. r2) and c = r1 *. r2 in
+       match P.roots_quadratic 1. b c with
+       | None -> false
+       | Some (a, b') ->
+         let f x = (x *. x) +. (b *. x) +. c in
+         abs_float (f a) < 1e-6 && abs_float (f b') < 1e-6)
+
+let () =
+  Alcotest.run "polynomial"
+    [
+      ( "polynomial",
+        [
+          case "horner eval" test_eval;
+          case "empty evaluates to 0" test_eval_empty;
+          case "derivative" test_derivative;
+          case "derivative of constant" test_derivative_constant;
+          case "integral" test_integral;
+          case "integral-derivative inverse" test_integral_derivative_inverse;
+          case "add" test_add;
+          case "mul" test_mul;
+          case "scale" test_scale;
+          case "degree" test_degree;
+          case "fit quadratic" test_fit_quadratic;
+          case "fit underdetermined" test_fit_underdetermined;
+          case "quadratic roots" test_roots_quadratic;
+          case "complex roots rejected" test_roots_complex;
+          case "degenerate rejected" test_roots_degenerate;
+          prop_mul_eval_commutes;
+          prop_quadratic_roots_are_roots;
+        ] );
+    ]

@@ -1,0 +1,74 @@
+module Pe = Gnrflash_device.Program_erase
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+let t = F.paper_default
+
+let test_default_pulses () =
+  check_close "program bias" 15. Pe.default_program_pulse.Pe.vgs;
+  check_close "erase bias" (-15.) Pe.default_erase_pulse.Pe.vgs;
+  check_true "positive widths"
+    (Pe.default_program_pulse.Pe.duration > 0. && Pe.default_erase_pulse.Pe.duration > 0.)
+
+let test_program_outcome () =
+  let o = check_ok "program" (Pe.program t ~qfg:0.) in
+  check_close "records initial charge" 0. o.Pe.qfg_before;
+  check_true "stores electrons" (o.Pe.qfg_after < 0.);
+  check_true "positive shift" (o.Pe.dvt_after > 1.);
+  check_close ~tol:1e-9 "injected = |delta|" (abs_float o.Pe.qfg_after) o.Pe.injected_charge;
+  check_true "1 ms pulse saturates" o.Pe.saturated
+
+let test_erase_outcome () =
+  let p = check_ok "program" (Pe.program t ~qfg:0.) in
+  let e = check_ok "erase" (Pe.erase t ~qfg:p.Pe.qfg_after) in
+  check_true "charge removed" (e.Pe.qfg_after > p.Pe.qfg_after);
+  check_true "threshold drops" (e.Pe.dvt_after < p.Pe.dvt_after)
+
+let test_short_pulse_partial () =
+  let short = { Pe.vgs = 15.; duration = 1e-9 } in
+  let o = check_ok "short" (Pe.apply_pulse t ~qfg:0. short) in
+  let full = check_ok "full" (Pe.program t ~qfg:0.) in
+  check_true "partial programming" (o.Pe.dvt_after < full.Pe.dvt_after);
+  check_true "some charge still moved" (o.Pe.dvt_after > 0.01)
+
+let test_pulse_validation () =
+  check_error "zero duration" (Pe.apply_pulse t ~qfg:0. { Pe.vgs = 15.; duration = 0. })
+
+let test_cycle () =
+  let p, e = check_ok "cycle" (Pe.cycle t ~qfg:0.) in
+  check_true "programmed then erased" (p.Pe.qfg_after < 0. && e.Pe.qfg_after > p.Pe.qfg_after);
+  (* symmetric device: erase overshoots to the positive mirror charge *)
+  check_close ~tol:0.05 "mirror" (-.p.Pe.qfg_after) e.Pe.qfg_after
+
+let test_idempotent_saturation () =
+  (* programming an already saturated cell moves almost no charge *)
+  let o1 = check_ok "first" (Pe.program t ~qfg:0.) in
+  let o2 = check_ok "second" (Pe.program t ~qfg:o1.Pe.qfg_after) in
+  check_true "second pulse injects far less"
+    (o2.Pe.injected_charge < o1.Pe.injected_charge /. 100.)
+
+let prop_longer_pulse_more_charge =
+  prop "longer pulses move at least as much charge" ~count:6
+    QCheck2.Gen.(float_range 1e-9 1e-7)
+    (fun d ->
+       let o1 = Pe.apply_pulse t ~qfg:0. { Pe.vgs = 15.; duration = d } in
+       let o2 = Pe.apply_pulse t ~qfg:0. { Pe.vgs = 15.; duration = d *. 3. } in
+       match o1, o2 with
+       | Ok a, Ok b -> b.Pe.injected_charge >= a.Pe.injected_charge *. 0.999
+       | _ -> false)
+
+let () =
+  Alcotest.run "program_erase"
+    [
+      ( "program_erase",
+        [
+          case "default pulses" test_default_pulses;
+          case "program outcome" test_program_outcome;
+          case "erase outcome" test_erase_outcome;
+          case "short pulse partial" test_short_pulse_partial;
+          case "pulse validation" test_pulse_validation;
+          case "full cycle" test_cycle;
+          case "saturation idempotence" test_idempotent_saturation;
+          prop_longer_pulse_more_charge;
+        ] );
+    ]

@@ -1,0 +1,64 @@
+module Q = Gnrflash_device.Qcap
+module F = Gnrflash_device.Fgt
+module Mlgnr = Gnrflash_materials.Mlgnr
+module Gnr = Gnrflash_materials.Gnr
+open Gnrflash_testing.Testing
+
+let t = F.paper_default
+let stack = Mlgnr.make (Gnr.make Gnr.Armchair 12) ~layers:3
+
+let test_fermi_shift_zero_charge () =
+  check_close "no charge no shift" 0. (Q.fermi_shift ~stack ~area:t.F.area ~qfg:0.)
+
+let test_fermi_shift_monotone () =
+  let s q = Q.fermi_shift ~stack ~area:t.F.area ~qfg:q in
+  let s1 = s (-1e-17) and s2 = s (-2e-17) in
+  check_true "positive" (s1 > 0.);
+  check_true "more charge more shift" (s2 > s1)
+
+let test_fermi_shift_inverts_storable_charge () =
+  let qfg = -1.5e-17 in
+  let shift_ev = Q.fermi_shift ~stack ~area:t.F.area ~qfg /. Gnrflash_physics.Constants.ev in
+  let back = Mlgnr.storable_charge stack ~ef_max_ev:shift_ev in
+  check_close ~tol:1e-6 "roundtrip" (abs_float qfg /. t.F.area) back
+
+let test_vfg_effective_direction () =
+  let qfg = -2e-17 in
+  let geom = F.vfg t ~vgs:15. ~qfg in
+  let eff = Q.vfg_effective t ~stack ~vgs:15. ~qfg in
+  check_true "band filling lowers the effective drive" (eff < geom);
+  check_close "neutral unchanged" (F.vfg t ~vgs:15. ~qfg:0.)
+    (Q.vfg_effective t ~stack ~vgs:15. ~qfg:0.)
+
+let test_run_shrinks_window () =
+  let r = check_ok "qcap run" (Q.run t ~vgs:15. ~duration:1e-2) in
+  (* the finite DOS opposes charging: less stored charge than the metal gate *)
+  check_true "less charge stored" (abs_float r.Q.qfg_final <= abs_float r.Q.qfg_final_metal);
+  check_in "window shrink fraction" ~lo:0. ~hi:0.5 r.Q.window_shrink;
+  check_true "fermi shift developed" (r.Q.ef_final_ev > 0.);
+  check_true "still programs substantially" (r.Q.dvt_final > 3.)
+
+let test_run_validation () =
+  check_error "duration" (Q.run t ~vgs:15. ~duration:0.)
+
+let test_thicker_stack_less_feedback () =
+  let thin = Mlgnr.make (Gnr.make Gnr.Armchair 12) ~layers:1 in
+  let thick = Mlgnr.make (Gnr.make Gnr.Armchair 12) ~layers:8 in
+  let r1 = check_ok "thin" (Q.run ~stack:thin t ~vgs:15. ~duration:1e-2) in
+  let r8 = check_ok "thick" (Q.run ~stack:thick t ~vgs:15. ~duration:1e-2) in
+  check_true "more layers store more" (r8.Q.window_shrink <= r1.Q.window_shrink +. 1e-9)
+
+let () =
+  Alcotest.run "qcap"
+    [
+      ( "qcap",
+        [
+          case "zero charge" test_fermi_shift_zero_charge;
+          case "shift monotone" test_fermi_shift_monotone;
+          case "shift inverts storable charge" test_fermi_shift_inverts_storable_charge;
+          case "effective VFG direction" test_vfg_effective_direction;
+          case "window shrink" test_run_shrinks_window;
+          case "validation" test_run_validation;
+          case "layer dependence" test_thicker_stack_less_feedback;
+        ] );
+    ]

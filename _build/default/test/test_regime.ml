@@ -1,0 +1,59 @@
+module R = Gnrflash_quantum.Regime
+open Gnrflash_testing.Testing
+
+let test_fn_when_vox_exceeds_barrier () =
+  check_true "programming condition is FN"
+    (R.classify ~phi_b_ev:3.2 ~v_ox:9. ~thickness:5e-9 = R.Fowler_nordheim)
+
+let test_direct_for_thin_low_bias () =
+  check_true "thin oxide low bias is direct"
+    (R.classify ~phi_b_ev:3.2 ~v_ox:1. ~thickness:3e-9 = R.Direct)
+
+let test_negligible_for_thick_low_bias () =
+  check_true "thick oxide low bias conducts nothing"
+    (R.classify ~phi_b_ev:3.2 ~v_ox:1. ~thickness:8e-9 = R.Negligible)
+
+let test_polarity_symmetric () =
+  Alcotest.(check bool) "erase equals program classification" true
+    (R.classify ~phi_b_ev:3.2 ~v_ox:(-9.) ~thickness:5e-9
+     = R.classify ~phi_b_ev:3.2 ~v_ox:9. ~thickness:5e-9)
+
+let test_zero_bias_negligible () =
+  check_true "zero bias" (R.classify ~phi_b_ev:3.2 ~v_ox:0. ~thickness:3e-9 = R.Negligible)
+
+let test_thresholds () =
+  check_close "direct limit 5 nm" 5e-9 R.direct_thickness_limit;
+  check_close "FN threshold 4 nm" 4e-9 R.fn_thickness_threshold
+
+let test_describe () =
+  Alcotest.(check string) "fn" "Fowler-Nordheim tunneling" (R.describe R.Fowler_nordheim);
+  Alcotest.(check string) "direct" "direct tunneling" (R.describe R.Direct);
+  Alcotest.(check string) "neg" "negligible conduction" (R.describe R.Negligible)
+
+let test_validation () =
+  Alcotest.check_raises "phi" (Invalid_argument "Regime.classify: phi_b <= 0")
+    (fun () -> ignore (R.classify ~phi_b_ev:0. ~v_ox:1. ~thickness:5e-9));
+  Alcotest.check_raises "thickness" (Invalid_argument "Regime.classify: thickness <= 0")
+    (fun () -> ignore (R.classify ~phi_b_ev:3.2 ~v_ox:1. ~thickness:0.))
+
+let prop_high_bias_always_fn =
+  prop "any v_ox above the barrier is FN"
+    QCheck2.Gen.(pair (float_range 3.3 20.) (float_range 2e-9 10e-9))
+    (fun (v, t) -> R.classify ~phi_b_ev:3.2 ~v_ox:v ~thickness:t = R.Fowler_nordheim)
+
+let () =
+  Alcotest.run "regime"
+    [
+      ( "regime",
+        [
+          case "FN at programming bias" test_fn_when_vox_exceeds_barrier;
+          case "direct for thin oxide" test_direct_for_thin_low_bias;
+          case "negligible for thick oxide" test_negligible_for_thick_low_bias;
+          case "polarity symmetric" test_polarity_symmetric;
+          case "zero bias" test_zero_bias_negligible;
+          case "threshold constants" test_thresholds;
+          case "describe" test_describe;
+          case "validation" test_validation;
+          prop_high_bias_always_fn;
+        ] );
+    ]

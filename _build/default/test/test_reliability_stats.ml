@@ -1,0 +1,76 @@
+module Rs = Gnrflash_device.Reliability_stats
+open Gnrflash_testing.Testing
+
+let w = { Rs.beta = 2.0; eta = 1e3 }
+
+let test_sample_deterministic () =
+  let a = Rs.sample ~seed:1 w ~n:10 in
+  let b = Rs.sample ~seed:1 w ~n:10 in
+  check_true "reproducible" (a = b);
+  check_true "positive" (Array.for_all (fun q -> q > 0.) a)
+
+let test_sample_validation () =
+  Alcotest.check_raises "bad weibull" (Invalid_argument "Reliability_stats.sample: bad weibull")
+    (fun () -> ignore (Rs.sample { Rs.beta = 0.; eta = 1. } ~n:3))
+
+let test_quantile_cdf_inverse () =
+  let q = Rs.quantile w ~f:0.1 in
+  check_close ~tol:1e-9 "roundtrip" 0.1 (Rs.failure_fraction w ~q)
+
+let test_quantile_632 () =
+  (* by definition eta is the 63.2% point *)
+  check_close ~tol:1e-6 "eta quantile" w.Rs.eta (Rs.quantile w ~f:(1. -. exp (-1.)))
+
+let test_cdf_shape () =
+  check_close "zero at origin" 0. (Rs.failure_fraction w ~q:0.);
+  check_true "monotone"
+    (Rs.failure_fraction w ~q:500. < Rs.failure_fraction w ~q:1500.);
+  check_in "tends to 1" ~lo:0.99 ~hi:1. (Rs.failure_fraction w ~q:(w.Rs.eta *. 4.))
+
+let test_fit_recovers_parameters () =
+  let qs = Rs.sample ~seed:11 w ~n:500 in
+  let fitted, r2 = check_ok "fit" (Rs.fit qs) in
+  check_close ~tol:0.1 "beta recovered" w.Rs.beta fitted.Rs.beta;
+  check_close ~tol:0.05 "eta recovered" w.Rs.eta fitted.Rs.eta;
+  check_in "weibull plot linear" ~lo:0.95 ~hi:1. r2
+
+let test_fit_needs_points () =
+  check_error "too few" (Rs.fit [| 1.; 2. |])
+
+let test_population_endurance () =
+  let cycles =
+    Rs.population_endurance ~seed:3 w ~charge_per_cycle_per_area:0.1 ~n:100_000
+      ~ppm_target:100.
+  in
+  check_true "positive" (cycles > 0.);
+  (* 100 ppm quantile of Weibull(2, 1e3) is eta*sqrt(-ln(1-1e-4)) ~ 10 C/m^2
+     -> about 100 cycles at 0.1 C/m^2 per cycle *)
+  check_in "magnitude" ~lo:20. ~hi:500. cycles;
+  (* a tighter ppm target can only lower the qualified cycle count *)
+  let stricter =
+    Rs.population_endurance ~seed:3 w ~charge_per_cycle_per_area:0.1 ~n:100_000
+      ~ppm_target:10.
+  in
+  check_true "stricter target, fewer cycles" (stricter <= cycles)
+
+let prop_quantile_monotone =
+  prop "quantile monotone in f" ~count:50
+    QCheck2.Gen.(pair (float_range 0.01 0.49) (float_range 0.5 0.99))
+    (fun (f1, f2) -> Rs.quantile w ~f:f1 < Rs.quantile w ~f:f2)
+
+let () =
+  Alcotest.run "reliability_stats"
+    [
+      ( "reliability_stats",
+        [
+          case "deterministic sampling" test_sample_deterministic;
+          case "sample validation" test_sample_validation;
+          case "quantile/cdf inverse" test_quantile_cdf_inverse;
+          case "eta is the 63.2% point" test_quantile_632;
+          case "cdf shape" test_cdf_shape;
+          case "fit recovers parameters" test_fit_recovers_parameters;
+          case "fit needs points" test_fit_needs_points;
+          case "population endurance" test_population_endurance;
+          prop_quantile_monotone;
+        ] );
+    ]

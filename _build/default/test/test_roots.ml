@@ -1,0 +1,89 @@
+module R = Gnrflash_numerics.Roots
+open Gnrflash_testing.Testing
+
+let cubic x = (x *. x *. x) -. (2. *. x) -. 5.
+(* real root near 2.0945514815423265 *)
+let cubic_root = 2.0945514815423265
+
+let test_bisect_cubic () =
+  let x = check_ok "bisect" (R.bisect cubic 1. 3.) in
+  check_close ~tol:1e-10 "cubic root" cubic_root x
+
+let test_bisect_exact_endpoint () =
+  let x = check_ok "bisect" (R.bisect (fun x -> x) 0. 5.) in
+  check_close "root at endpoint" 0. x
+
+let test_bisect_no_sign_change () =
+  check_error "no bracket" (R.bisect (fun x -> (x *. x) +. 1.) (-1.) 1.)
+
+let test_brent_cubic () =
+  let x = check_ok "brent" (R.brent cubic 1. 3.) in
+  check_close ~tol:1e-12 "cubic root" cubic_root x
+
+let test_brent_cos () =
+  let x = check_ok "brent" (R.brent cos 1. 2.) in
+  check_close ~tol:1e-12 "pi/2" (Float.pi /. 2.) x
+
+let test_brent_tiny_root () =
+  (* magnitude ~1e-17: regression test for the absolute-floor bug that made
+     the device-charge root finding return bracket endpoints *)
+  let f x = x -. 3.2e-17 in
+  let x = check_ok "brent tiny" (R.brent f 0. 1e-16) in
+  check_close ~tol:1e-9 "tiny root" 3.2e-17 x
+
+let test_newton () =
+  let x =
+    check_ok "newton"
+      (R.newton ~f:(fun x -> (x *. x) -. 2.) ~df:(fun x -> 2. *. x) 1.)
+  in
+  check_close ~tol:1e-12 "sqrt2" (sqrt 2.) x
+
+let test_newton_zero_derivative () =
+  check_error "flat" (R.newton ~f:(fun x -> (x *. x) +. 1.) ~df:(fun _ -> 0.) 0.)
+
+let test_secant () =
+  let x = check_ok "secant" (R.secant (fun x -> exp x -. 3.) 0. 2.) in
+  check_close ~tol:1e-10 "ln3" (log 3.) x
+
+let test_bracket_root () =
+  let lo, hi = check_ok "bracket" (R.bracket_root cubic 0. 0.5) in
+  check_true "sign change" (cubic lo *. cubic hi <= 0.)
+
+let test_bracket_root_fails () =
+  check_error "no root anywhere"
+    (R.bracket_root (fun x -> (x *. x) +. 1.) 0. 1.)
+
+let prop_brent_finds_linear_roots =
+  prop "brent solves a(x - r) = 0"
+    QCheck2.Gen.(pair (float_range (-50.) 50.) (float_range 0.1 10.))
+    (fun (r, a) ->
+       match R.brent (fun x -> a *. (x -. r)) (r -. 7.) (r +. 13.) with
+       | Ok x -> abs_float (x -. r) <= 1e-7 *. (1. +. abs_float r)
+       | Error _ -> false)
+
+let prop_newton_quadratic =
+  prop "newton solves x^2 = c" QCheck2.Gen.(float_range 0.1 1000.) (fun c ->
+      match R.newton ~f:(fun x -> (x *. x) -. c) ~df:(fun x -> 2. *. x) (c +. 1.) with
+      | Ok x -> abs_float (x -. sqrt c) <= 1e-6 *. sqrt c
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "roots"
+    [
+      ( "roots",
+        [
+          case "bisect cubic" test_bisect_cubic;
+          case "bisect endpoint root" test_bisect_exact_endpoint;
+          case "bisect needs sign change" test_bisect_no_sign_change;
+          case "brent cubic" test_brent_cubic;
+          case "brent cos" test_brent_cos;
+          case "brent tiny-magnitude root" test_brent_tiny_root;
+          case "newton sqrt2" test_newton;
+          case "newton zero derivative" test_newton_zero_derivative;
+          case "secant ln3" test_secant;
+          case "bracket_root expands" test_bracket_root;
+          case "bracket_root fails cleanly" test_bracket_root_fails;
+          prop_brent_finds_linear_roots;
+          prop_newton_quadratic;
+        ] );
+    ]

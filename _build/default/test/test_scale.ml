@@ -1,0 +1,91 @@
+module Sc = Gnrflash_plot.Scale
+open Gnrflash_testing.Testing
+
+let test_linear_projection () =
+  let s = Sc.make Sc.Linear ~lo:0. ~hi:10. in
+  check_close "lo" 0. (Sc.project s 0.);
+  check_close "hi" 1. (Sc.project s 10.);
+  check_close "mid" 0.5 (Sc.project s 5.)
+
+let test_linear_clamping () =
+  let s = Sc.make Sc.Linear ~lo:0. ~hi:10. in
+  check_close "below" 0. (Sc.project s (-5.));
+  check_close "above" 1. (Sc.project s 99.)
+
+let test_degenerate_range_padded () =
+  let s = Sc.make Sc.Linear ~lo:5. ~hi:5. in
+  let lo, hi = Sc.bounds s in
+  check_true "padded" (lo < 5. && hi > 5.);
+  check_close "centred" 0.5 (Sc.project s 5.)
+
+let test_log_projection () =
+  let s = Sc.make Sc.Log10 ~lo:1. ~hi:1000. in
+  check_close "lo" 0. (Sc.project s 1.);
+  check_close "hi" 1. (Sc.project s 1000.);
+  check_close ~tol:1e-9 "decade" (1. /. 3.) (Sc.project s 10.)
+
+let test_log_invalid () =
+  Alcotest.check_raises "nonpositive" (Invalid_argument "Scale.make: log scale needs positive data")
+    (fun () -> ignore (Sc.make Sc.Log10 ~lo:(-1.) ~hi:0.))
+
+let test_log_clamps_lo () =
+  let s = Sc.make Sc.Log10 ~lo:0. ~hi:100. in
+  let lo, _ = Sc.bounds s in
+  check_true "lo positive" (lo > 0.)
+
+let test_linear_ticks_nice () =
+  let s = Sc.make Sc.Linear ~lo:0. ~hi:10. in
+  let ticks = Sc.ticks s in
+  check_true "several ticks" (Array.length ticks >= 3);
+  Array.iter (fun v -> check_in "within range" ~lo:(-0.01) ~hi:10.01 v) ticks;
+  (* evenly spaced *)
+  let d = ticks.(1) -. ticks.(0) in
+  for i = 0 to Array.length ticks - 2 do
+    check_close ~tol:1e-9 "uniform" d (ticks.(i + 1) -. ticks.(i))
+  done
+
+let test_log_ticks_decades () =
+  let s = Sc.make Sc.Log10 ~lo:1. ~hi:1e4 in
+  let ticks = Sc.ticks s in
+  Array.iter
+    (fun v -> check_close ~tol:1e-9 "power of ten" (Float.round (log10 v)) (log10 v))
+    ticks
+
+let test_tick_labels () =
+  let lin = Sc.make Sc.Linear ~lo:0. ~hi:10. in
+  Alcotest.(check string) "zero" "0" (Sc.tick_label lin 0.);
+  Alcotest.(check string) "int" "5" (Sc.tick_label lin 5.);
+  let log = Sc.make Sc.Log10 ~lo:1e-6 ~hi:1. in
+  Alcotest.(check string) "log label" "1e-3" (Sc.tick_label log 1e-3)
+
+let prop_projection_monotone =
+  prop "projection monotone"
+    QCheck2.Gen.(pair (float_range 0.1 100.) (float_range 1.01 2.))
+    (fun (v, factor) ->
+       let s = Sc.make Sc.Log10 ~lo:0.1 ~hi:200. in
+       Sc.project s (v *. factor) >= Sc.project s v)
+
+let prop_projection_in_unit_interval =
+  prop "projection in [0,1]" QCheck2.Gen.(float_range (-1e6) 1e6) (fun v ->
+      let s = Sc.make Sc.Linear ~lo:(-10.) ~hi:10. in
+      let p = Sc.project s v in
+      p >= 0. && p <= 1.)
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "scale",
+        [
+          case "linear projection" test_linear_projection;
+          case "clamping" test_linear_clamping;
+          case "degenerate range" test_degenerate_range_padded;
+          case "log projection" test_log_projection;
+          case "log invalid" test_log_invalid;
+          case "log clamps lo" test_log_clamps_lo;
+          case "nice linear ticks" test_linear_ticks_nice;
+          case "log decade ticks" test_log_ticks_decades;
+          case "tick labels" test_tick_labels;
+          prop_projection_monotone;
+          prop_projection_in_unit_interval;
+        ] );
+    ]

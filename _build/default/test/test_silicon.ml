@@ -1,0 +1,36 @@
+module S = Gnrflash_materials.Silicon
+open Gnrflash_testing.Testing
+
+let test_parameters () =
+  check_close "gap" 1.12 S.bandgap_ev;
+  check_close "affinity" 4.05 S.electron_affinity;
+  check_close "eps_r" 11.7 S.eps_r;
+  check_true "ni" (S.ni > 0.);
+  check_true "nc > nv order" (S.nc > S.nv)
+
+let test_fermi_level_doping () =
+  (* heavier doping moves EF closer to the conduction band *)
+  let light = S.fermi_level_n ~nd:1e22 in
+  let heavy = S.fermi_level_n ~nd:1e25 in
+  check_true "both below Ec" (light > 0. && heavy >= 0.);
+  check_true "heavy doping closer to Ec" (heavy < light)
+
+let test_fermi_level_magnitude () =
+  (* nd = nc -> EF at the band edge *)
+  check_abs ~tol:1e-12 "EF at Ec for nd = Nc" 0. (S.fermi_level_n ~nd:S.nc)
+
+let test_fermi_level_invalid () =
+  Alcotest.check_raises "bad doping" (Invalid_argument "Silicon.fermi_level_n: nd <= 0")
+    (fun () -> ignore (S.fermi_level_n ~nd:0.))
+
+let () =
+  Alcotest.run "silicon"
+    [
+      ( "silicon",
+        [
+          case "parameters" test_parameters;
+          case "fermi level vs doping" test_fermi_level_doping;
+          case "fermi level at Nc" test_fermi_level_magnitude;
+          case "invalid doping" test_fermi_level_invalid;
+        ] );
+    ]

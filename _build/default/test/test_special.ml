@@ -1,0 +1,124 @@
+module S = Gnrflash_numerics.Special
+open Gnrflash_testing.Testing
+
+(* Reference values: Abramowitz & Stegun / DLMF tables. *)
+
+let test_erf_values () =
+  check_abs ~tol:2e-7 "erf 0" 0. (S.erf 0.);
+  check_abs ~tol:2e-7 "erf 0.5" 0.5204998778 (S.erf 0.5);
+  check_abs ~tol:2e-7 "erf 1" 0.8427007929 (S.erf 1.);
+  check_abs ~tol:2e-7 "erf 2" 0.9953222650 (S.erf 2.)
+
+let test_erf_odd () =
+  check_abs ~tol:1e-12 "odd symmetry" 0. (S.erf 0.7 +. S.erf (-0.7))
+
+let test_erfc_complement () =
+  check_abs ~tol:1e-9 "erf + erfc = 1" 1. (S.erf 1.3 +. S.erfc 1.3)
+
+let test_erfc_tail () =
+  (* erfc(3) = 2.20904970e-5 *)
+  check_close ~tol:1e-4 "erfc 3" 2.2090497e-5 (S.erfc 3.)
+
+let test_gamma_integers () =
+  check_close ~tol:1e-10 "gamma 1" 1. (S.gamma 1.);
+  check_close ~tol:1e-10 "gamma 5 = 24" 24. (S.gamma 5.);
+  check_close ~tol:1e-10 "gamma 8 = 5040" 5040. (S.gamma 8.)
+
+let test_gamma_half () =
+  check_close ~tol:1e-10 "gamma 1/2 = sqrt pi" (sqrt Float.pi) (S.gamma 0.5)
+
+let test_gamma_reflection () =
+  (* gamma(-0.5) = -2 sqrt(pi) *)
+  check_close ~tol:1e-9 "gamma -1/2" (-2. *. sqrt Float.pi) (S.gamma (-0.5))
+
+let test_ln_gamma () =
+  check_close ~tol:1e-10 "ln gamma 10" (log (S.gamma 10.)) (S.ln_gamma 10.);
+  check_close ~tol:1e-9 "ln gamma large" 359.1342053696 (S.ln_gamma 100.)
+
+let test_airy_at_zero () =
+  check_close ~tol:1e-12 "Ai(0)" 0.3550280538878172 (S.airy_ai 0.);
+  check_close ~tol:1e-12 "Ai'(0)" (-0.2588194037928068) (S.airy_ai' 0.);
+  check_close ~tol:1e-12 "Bi(0)" 0.6149266274460007 (S.airy_bi 0.);
+  check_close ~tol:1e-12 "Bi'(0)" 0.4482883573538264 (S.airy_bi' 0.)
+
+let test_airy_at_one () =
+  check_close ~tol:1e-10 "Ai(1)" 0.1352924163128814 (S.airy_ai 1.);
+  check_close ~tol:1e-10 "Ai'(1)" (-0.1591474412967932) (S.airy_ai' 1.);
+  check_close ~tol:1e-10 "Bi(1)" 1.2074235949528713 (S.airy_bi 1.);
+  check_close ~tol:1e-10 "Bi'(1)" 0.9324359333927756 (S.airy_bi' 1.)
+
+let test_airy_negative () =
+  check_close ~tol:1e-9 "Ai(-1)" 0.5355608832923521 (S.airy_ai (-1.));
+  check_close ~tol:1e-9 "Bi(-1)" 0.1039973894969446 (S.airy_bi (-1.));
+  check_close ~tol:1e-7 "Ai(-5)" 0.3507610090241142 (S.airy_ai (-5.));
+  check_close ~tol:1e-7 "Bi(-5)" (-0.1383691349016005) (S.airy_bi (-5.))
+
+let test_airy_asymptotic () =
+  (* references from mpmath at 20 digits *)
+  check_close ~tol:1e-7 "Ai(5)" 1.0834442813607442e-4 (S.airy_ai 5.);
+  check_close ~tol:1e-7 "Ai(10)" 1.1047532552898686e-10 (S.airy_ai 10.);
+  check_close ~tol:1e-6 "Bi(5)" 657.79204417117118 (S.airy_bi 5.);
+  check_close ~tol:1e-7 "Ai(-8)" (-0.052705050356386203) (S.airy_ai (-8.))
+
+let test_airy_wronskian () =
+  (* Ai Bi' - Ai' Bi = 1/pi at every x *)
+  List.iter
+    (fun x ->
+       let ai, ai', bi, bi' = S.airy_all x in
+       check_close ~tol:1e-7
+         (Printf.sprintf "wronskian at %g" x)
+         (1. /. Float.pi)
+         ((ai *. bi') -. (ai' *. bi)))
+    [ -6.; -3.; -1.; 0.; 0.5; 2.; 4.; 6.; 9. ]
+
+let test_airy_ode_residual () =
+  (* numerical second derivative must satisfy y'' = x y *)
+  let h = 1e-4 in
+  List.iter
+    (fun x ->
+       let y m = S.airy_ai (x +. m) in
+       let second = (y h -. (2. *. y 0.) +. y (-.h)) /. (h *. h) in
+       check_close ~tol:1e-4
+         (Printf.sprintf "Ai'' = x Ai at %g" x)
+         (x *. S.airy_ai x) second)
+    [ 0.5; 1.5; 3. ]
+
+let prop_airy_continuity_at_cutoff =
+  (* the series/asymptotic switch at |x| = 5.5 must be seamless: the jump
+     across the boundary must not exceed the natural variation Ai'(x)·dx
+     plus the asymptotic truncation error (~1e-8 relative there) *)
+  prop "Ai continuous at the method boundary" ~count:50
+    QCheck2.Gen.(float_range 5.3 5.7)
+    (fun x ->
+       let dx = 1e-6 in
+       let left = S.airy_ai (x -. dx) and right = S.airy_ai (x +. dx) in
+       let slope_allowance = abs_float (S.airy_ai' x) *. 2. *. dx in
+       abs_float (left -. right) <= slope_allowance +. (1e-7 *. abs_float left))
+
+let prop_erf_monotone =
+  prop "erf monotone" QCheck2.Gen.(pair (float_range (-3.) 3.) (float_range 0.001 1.))
+    (fun (x, d) -> S.erf (x +. d) >= S.erf x)
+
+let () =
+  Alcotest.run "special"
+    [
+      ( "special",
+        [
+          case "erf table values" test_erf_values;
+          case "erf odd" test_erf_odd;
+          case "erfc complement" test_erfc_complement;
+          case "erfc tail" test_erfc_tail;
+          case "gamma integers" test_gamma_integers;
+          case "gamma half" test_gamma_half;
+          case "gamma reflection" test_gamma_reflection;
+          case "ln_gamma" test_ln_gamma;
+          case "airy at 0" test_airy_at_zero;
+          case "airy at 1" test_airy_at_one;
+          case "airy negative axis" test_airy_negative;
+          case "airy asymptotic region" test_airy_asymptotic;
+          case "airy wronskian" test_airy_wronskian;
+          case "airy satisfies its ODE" test_airy_ode_residual;
+          prop_airy_continuity_at_cutoff;
+          prop_erf_monotone;
+        ] );
+    ]

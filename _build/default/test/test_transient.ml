@@ -1,0 +1,133 @@
+module Tr = Gnrflash_device.Transient
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+let t = F.paper_default
+
+let run_program () =
+  check_ok "transient" (Tr.run t ~vgs:15. ~duration:10.)
+
+let test_initial_currents () =
+  let ji, jo = Tr.initial_currents t ~vgs:15. ~qfg:0. in
+  check_close ~tol:1e-3 "Jin at t=0" 2.8568e6 ji;
+  check_true "Jout negligible" (jo < 1e-5)
+
+let test_jin_monotone_decreasing () =
+  let r = run_program () in
+  let samples = r.Tr.samples in
+  for i = 0 to Array.length samples - 2 do
+    check_true "Jin decreasing" (samples.(i + 1).Tr.j_in <= samples.(i).Tr.j_in +. 1e-9)
+  done
+
+let test_jout_monotone_increasing () =
+  let r = run_program () in
+  let samples = r.Tr.samples in
+  for i = 0 to Array.length samples - 2 do
+    check_true "Jout increasing" (samples.(i + 1).Tr.j_out >= samples.(i).Tr.j_out -. 1e-9)
+  done
+
+let test_vfg_relaxes_to_divider_point () =
+  (* the fixed point Jin = Jout for identical interfaces: VFG/XTO = (VGS-VFG)/XCO
+     -> VFG* = VGS XTO/(XTO+XCO) = 5 V *)
+  let r = run_program () in
+  let final = r.Tr.samples.(Array.length r.Tr.samples - 1) in
+  check_close ~tol:5e-3 "VFG -> 5 V" 5. final.Tr.vfg
+
+let test_tsat_reached () =
+  let r = run_program () in
+  match r.Tr.tsat with
+  | None -> Alcotest.fail "saturation not reached"
+  | Some ts ->
+    check_in "tsat order of magnitude" ~lo:1e-6 ~hi:1e-1 ts
+
+let test_charge_monotone () =
+  let r = run_program () in
+  let samples = r.Tr.samples in
+  for i = 0 to Array.length samples - 2 do
+    check_true "charge monotone negative" (samples.(i + 1).Tr.qfg <= samples.(i).Tr.qfg +. 1e-25)
+  done;
+  check_true "final negative" (r.Tr.qfg_final < 0.)
+
+let test_dvt_positive_after_program () =
+  let r = run_program () in
+  check_in "threshold window" ~lo:5. ~hi:8. r.Tr.dvt_final
+
+let test_erase_symmetry () =
+  let rp = run_program () in
+  let re = check_ok "erase" (Tr.run t ~vgs:(-15.) ~duration:10.) in
+  (* identical interfaces: erase is the mirror image *)
+  check_close ~tol:1e-3 "mirror charge" (-.rp.Tr.qfg_final) re.Tr.qfg_final;
+  (match rp.Tr.tsat, re.Tr.tsat with
+   | Some tp, Some te -> check_close ~tol:0.05 "mirror tsat" tp te
+   | _ -> Alcotest.fail "both polarities must saturate")
+
+let test_saturation_charge_matches_ode () =
+  let q_root = check_ok "root" (Tr.saturation_charge t ~vgs:15.) in
+  let r = run_program () in
+  check_close ~tol:0.02 "ODE endpoint = fixed point" q_root r.Tr.qfg_final
+
+let test_zero_bias_balanced () =
+  let r = check_ok "zero bias" (Tr.run t ~vgs:0. ~duration:1.) in
+  check_close "no charge motion" 0. r.Tr.qfg_final;
+  check_true "trivially saturated" (r.Tr.tsat = Some 0.)
+
+let test_duration_validation () =
+  check_error "bad duration" (Tr.run t ~vgs:15. ~duration:0.)
+
+let test_time_to_threshold () =
+  let time =
+    check_ok "ttts" (Tr.time_to_threshold_shift t ~vgs:15. ~dvt:2. ~max_time:1.)
+  in
+  match time with
+  | None -> Alcotest.fail "2 V shift must be reachable"
+  | Some ts ->
+    check_in "nanosecond programming" ~lo:1e-10 ~hi:1e-6 ts;
+    (* confirm by integrating exactly that long *)
+    let r = check_ok "confirm" (Tr.run t ~vgs:15. ~duration:ts) in
+    check_close ~tol:0.05 "dVT at that time" 2. r.Tr.dvt_final
+
+let test_time_to_threshold_unreachable () =
+  (* the bias can shift VT by at most ~6.7 V; 20 V is unreachable *)
+  let time =
+    check_ok "ttts" (Tr.time_to_threshold_shift t ~vgs:15. ~dvt:20. ~max_time:0.1)
+  in
+  check_true "unreachable" (time = None)
+
+let test_higher_vgs_faster () =
+  let time v =
+    match check_ok "ttts" (Tr.time_to_threshold_shift t ~vgs:v ~dvt:1. ~max_time:1.) with
+    | Some ts -> ts
+    | None -> infinity
+  in
+  check_true "15 V faster than 12 V" (time 15. < time 12.)
+
+let prop_final_dvt_bounded_by_fixed_point =
+  prop "transient never overshoots the fixed point" ~count:8
+    QCheck2.Gen.(float_range 12. 17.)
+    (fun vgs ->
+       match Tr.run t ~vgs ~duration:10., Tr.saturation_charge t ~vgs with
+       | Ok r, Ok q_star -> r.Tr.qfg_final >= q_star *. 1.01 -. 1e-20 || r.Tr.qfg_final >= q_star
+       | _ -> false)
+
+let () =
+  Alcotest.run "transient"
+    [
+      ( "transient",
+        [
+          case "initial currents" test_initial_currents;
+          case "Jin monotone (Fig 5)" test_jin_monotone_decreasing;
+          case "Jout monotone (Fig 5)" test_jout_monotone_increasing;
+          case "VFG relaxes to divider point" test_vfg_relaxes_to_divider_point;
+          case "tsat reached" test_tsat_reached;
+          case "charge monotone" test_charge_monotone;
+          case "final threshold window" test_dvt_positive_after_program;
+          case "erase mirrors program" test_erase_symmetry;
+          case "fixed point vs ODE" test_saturation_charge_matches_ode;
+          case "zero bias balanced" test_zero_bias_balanced;
+          case "duration validation" test_duration_validation;
+          case "time to 2 V shift" test_time_to_threshold;
+          case "unreachable target" test_time_to_threshold_unreachable;
+          case "higher bias is faster" test_higher_vgs_faster;
+          prop_final_dvt_bounded_by_fixed_point;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+module Tat = Gnrflash_quantum.Trap_assisted
+module Fn = Gnrflash_quantum.Fn
+open Gnrflash_testing.Testing
+
+let p = Fn.coefficients ~phi_b_ev:3.2 ~m_ox_rel:0.42
+
+let test_step_transmissions_bounds () =
+  let t_in, t_out = Tat.step_transmissions p Tat.mid_gap_trap ~v_ox:2. ~thickness:5e-9 in
+  check_in "capture bounded" ~lo:0. ~hi:1. t_in;
+  check_in "emission bounded" ~lo:0. ~hi:1. t_out;
+  check_true "both nonzero" (t_in > 0. && t_out > 0.)
+
+let test_steps_exceed_full_barrier () =
+  (* each half-barrier transmits far more than the full barrier *)
+  let t_in, t_out = Tat.step_transmissions p Tat.mid_gap_trap ~v_ox:2. ~thickness:5e-9 in
+  let full =
+    Gnrflash_quantum.Wkb.transmission
+      (Gnrflash_quantum.Barrier.trapezoidal
+         ~phi_b:(3.2 *. Gnrflash_physics.Constants.ev) ~v_ox:2. ~thickness:5e-9
+         ~m_eff:(0.42 *. Gnrflash_physics.Constants.m0))
+      ~energy:0.
+  in
+  check_true "capture step easier" (t_in > full);
+  check_true "emission step easier" (t_out > full)
+
+let test_current_scales_with_traps () =
+  let j n = Tat.current_density p ~trap_density:n ~v_ox:2. ~thickness:5e-9 in
+  check_close ~tol:1e-12 "linear in density" (10. *. j 1e14) (j 1e15);
+  check_close "no traps no current" 0. (j 0.)
+
+let test_zero_bias () =
+  check_close "no bias" 0.
+    (Tat.current_density p ~trap_density:1e15 ~v_ox:0. ~thickness:5e-9)
+
+let test_current_monotone_in_bias () =
+  let j v = Tat.current_density p ~trap_density:1e15 ~v_ox:v ~thickness:5e-9 in
+  check_true "monotone" (j 1. < j 2. && j 2. < j 3.)
+
+let test_silc_amplification_grows_with_damage () =
+  let r n = Tat.silc_ratio p ~trap_density:n ~v_ox:1.5 ~thickness:5e-9 in
+  check_true "more traps, more leakage" (r 1e16 > r 1e14);
+  check_close ~tol:1e-9 "ratio linear" (100. *. r 1e14) (r 1e16)
+
+let test_validation () =
+  Alcotest.check_raises "density" (Invalid_argument "Trap_assisted: negative trap density")
+    (fun () -> ignore (Tat.current_density p ~trap_density:(-1.) ~v_ox:1. ~thickness:5e-9));
+  Alcotest.check_raises "thickness" (Invalid_argument "Trap_assisted: thickness <= 0")
+    (fun () -> ignore (Tat.step_transmissions p Tat.mid_gap_trap ~v_ox:1. ~thickness:0.));
+  Alcotest.check_raises "fraction" (Invalid_argument "Trap_assisted: depth_fraction out of (0, 1)")
+    (fun () ->
+       ignore
+         (Tat.step_transmissions p
+            { Tat.depth_fraction = 1.5; energy_ev = 2.6 }
+            ~v_ox:1. ~thickness:5e-9))
+
+let prop_bounded_and_nonnegative =
+  prop "TAT current non-negative and finite" ~count:40
+    QCheck2.Gen.(pair (float_range 0.1 4.) (float_range 2e-9 9e-9))
+    (fun (v, th) ->
+       let j = Tat.current_density p ~trap_density:1e15 ~v_ox:v ~thickness:th in
+       j >= 0. && Float.is_finite j)
+
+let () =
+  Alcotest.run "trap_assisted"
+    [
+      ( "trap_assisted",
+        [
+          case "step transmissions" test_step_transmissions_bounds;
+          case "steps beat full barrier" test_steps_exceed_full_barrier;
+          case "linear in trap density" test_current_scales_with_traps;
+          case "zero bias" test_zero_bias;
+          case "monotone in bias" test_current_monotone_in_bias;
+          case "SILC amplification" test_silc_amplification_grows_with_damage;
+          case "validation" test_validation;
+          prop_bounded_and_nonnegative;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+module Te = Gnrflash_quantum.Triangular_exact
+module Tm = Gnrflash_quantum.Transfer_matrix
+module B = Gnrflash_quantum.Barrier
+module C = Gnrflash_physics.Constants
+open Gnrflash_testing.Testing
+
+let ev = C.ev
+let m_b = 0.42 *. C.m0
+
+let test_rectangular_limit () =
+  (* phi1 = phi2: falls back to the analytic rectangular formula *)
+  let v = 1. *. ev in
+  let t = Te.transmission ~phi1:v ~phi2:v ~thickness:1e-9 ~m_b:C.m0 ~m_e:C.m0
+      ~energy:(0.5 *. ev) in
+  let k = sqrt (2. *. C.m0 *. 0.5 *. ev) /. C.hbar in
+  let kappa = sqrt (2. *. C.m0 *. 0.5 *. ev) /. C.hbar in
+  let s = sinh (kappa *. 1e-9) in
+  let expected = 1. /. (1. +. ((((k /. kappa) +. (kappa /. k)) ** 2.) /. 4. *. s *. s)) in
+  check_close ~tol:1e-6 "symmetric rectangular" expected t
+
+let test_zero_energy () =
+  check_close "blocked at E = 0" 0.
+    (Te.transmission ~phi1:(3.2 *. ev) ~phi2:0. ~thickness:5e-9 ~m_b ~m_e:C.m0
+       ~energy:0.)
+
+let test_evanescent_collector () =
+  (* E below the collector band edge: no propagating exit *)
+  let t = Te.transmission ~phi1:(3.2 *. ev) ~phi2:(1. *. ev) ~thickness:5e-9 ~m_b
+      ~m_e:C.m0 ~energy:(0.5 *. ev) in
+  check_close "no exit channel" 0. t
+
+let test_bounds_and_agreement_with_tmm () =
+  (* the two independent exact-ish solvers must agree closely on a tilted
+     barrier at moderate attenuation *)
+  let phi = 3.2 *. ev in
+  let field = 1.2e9 in
+  let thickness = 5e-9 in
+  let e = 0.3 *. ev in
+  let t_airy = Te.transmission_fn ~phi_b:phi ~field ~thickness ~m_b ~m_e:C.m0 ~energy:e in
+  let b = B.trapezoidal ~phi_b:phi ~v_ox:(field *. thickness) ~thickness ~m_eff:m_b in
+  let t_tmm = Tm.transmission ~steps:800 b ~energy:e in
+  check_in "bounded" ~lo:0. ~hi:1. t_airy;
+  check_true "both tiny" (t_airy < 1e-4);
+  check_in "airy vs tmm exponent" ~lo:0.85 ~hi:1.18 (log t_airy /. log t_tmm)
+
+let test_monotone_in_energy () =
+  let t e_ev =
+    Te.transmission_fn ~phi_b:(3.2 *. ev) ~field:1.2e9 ~thickness:5e-9 ~m_b ~m_e:C.m0
+      ~energy:(e_ev *. ev)
+  in
+  check_true "monotone" (t 0.2 < t 0.8 && t 0.8 < t 1.5)
+
+let test_monotone_in_field () =
+  let t field =
+    Te.transmission_fn ~phi_b:(3.2 *. ev) ~field ~thickness:5e-9 ~m_b ~m_e:C.m0
+      ~energy:(0.3 *. ev)
+  in
+  check_true "monotone" (t 1e9 < t 1.4e9 && t 1.4e9 < t 1.8e9)
+
+let test_field_validation () =
+  Alcotest.check_raises "field <= 0"
+    (Invalid_argument "Triangular_exact.transmission_fn: field <= 0") (fun () ->
+      ignore (Te.transmission_fn ~phi_b:(1. *. ev) ~field:0. ~thickness:1e-9 ~m_b
+                ~m_e:C.m0 ~energy:(0.1 *. ev)))
+
+let test_thin_limit () =
+  check_close "zero thickness transmits" 1.
+    (Te.transmission ~phi1:(1. *. ev) ~phi2:0. ~thickness:0. ~m_b ~m_e:C.m0
+       ~energy:(0.1 *. ev))
+
+let prop_bounded =
+  prop "T in [0,1]" ~count:60
+    QCheck2.Gen.(pair (float_range 8e8 2e9) (float_range 0.05 2.5))
+    (fun (field, e_ev) ->
+       let t =
+         Te.transmission_fn ~phi_b:(3.2 *. ev) ~field ~thickness:5e-9 ~m_b ~m_e:C.m0
+           ~energy:(e_ev *. ev)
+       in
+       t >= 0. && t <= 1.)
+
+let () =
+  Alcotest.run "triangular_exact"
+    [
+      ( "triangular_exact",
+        [
+          case "rectangular limit" test_rectangular_limit;
+          case "zero energy" test_zero_energy;
+          case "evanescent collector" test_evanescent_collector;
+          case "agrees with transfer matrix" test_bounds_and_agreement_with_tmm;
+          case "monotone in energy" test_monotone_in_energy;
+          case "monotone in field" test_monotone_in_field;
+          case "field validation" test_field_validation;
+          case "thin limit" test_thin_limit;
+          prop_bounded;
+        ] );
+    ]

@@ -1,0 +1,52 @@
+module U = Gnrflash_physics.Units
+open Gnrflash_testing.Testing
+
+let test_length () =
+  check_close "5 nm" 5e-9 (U.nm 5.);
+  check_close "roundtrip" 7.3 (U.to_nm (U.nm 7.3));
+  check_close "1 um" 1e-6 (U.um 1.);
+  check_close "1 A" 1e-10 (U.angstrom 1.)
+
+let test_energy () =
+  check_close "3.2 eV" (3.2 *. 1.602176634e-19) (U.ev_to_joule 3.2);
+  check_close "roundtrip" 3.2 (U.joule_to_ev (U.ev_to_joule 3.2))
+
+let test_field () =
+  check_close "10 MV/cm" 1e9 (U.mv_per_cm 10.);
+  check_close "roundtrip" 12.5 (U.to_mv_per_cm (U.mv_per_cm 12.5))
+
+let test_current_density () =
+  check_close "1 A/cm2" 1e4 (U.a_per_cm2 1.);
+  check_close "roundtrip" 0.37 (U.to_a_per_cm2 (U.a_per_cm2 0.37))
+
+let test_capacitance_charge () =
+  check_close "1 F/cm2" 1e4 (U.f_per_cm2 1.);
+  check_close "F roundtrip" 2.5 (U.to_f_per_cm2 (U.f_per_cm2 2.5));
+  check_close "1 C/cm2" 1e4 (U.c_per_cm2 1.);
+  check_close "C roundtrip" 0.01 (U.to_c_per_cm2 (U.c_per_cm2 0.01))
+
+let test_time () =
+  check_close "1 ns" 1e-9 (U.ns 1.);
+  check_close "1 us" 1e-6 (U.us 1.);
+  check_close "1 ms" 1e-3 (U.ms 1.);
+  check_close "1 year" (365.25 *. 86400.) (U.years 1.);
+  check_close "10 years" (10. *. 365.25 *. 86400.) (U.years 10.)
+
+let prop_field_roundtrip =
+  prop "MV/cm roundtrip" QCheck2.Gen.(float_range 0.1 100.) (fun e ->
+      abs_float (U.to_mv_per_cm (U.mv_per_cm e) -. e) < 1e-9 *. e)
+
+let () =
+  Alcotest.run "units"
+    [
+      ( "units",
+        [
+          case "length" test_length;
+          case "energy" test_energy;
+          case "field" test_field;
+          case "current density" test_current_density;
+          case "capacitance and charge" test_capacitance_charge;
+          case "time" test_time;
+          prop_field_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+module V = Gnrflash_device.Variation
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+let base = F.paper_default
+
+let test_sampling_deterministic () =
+  let a = V.sample_devices ~seed:3 ~base ~n:5 () in
+  let b = V.sample_devices ~seed:3 ~base ~n:5 () in
+  check_true "same seed reproduces" (a = b);
+  let c = V.sample_devices ~seed:4 ~base ~n:5 () in
+  check_true "different seed differs" (a <> c)
+
+let test_sampling_validation () =
+  Alcotest.check_raises "n" (Invalid_argument "Variation.sample_devices: n < 1")
+    (fun () -> ignore (V.sample_devices ~base ~n:0 ()))
+
+let test_samples_physical () =
+  let samples = V.sample_devices ~seed:1 ~base ~n:20 () in
+  Array.iter
+    (fun s ->
+       check_true "xto positive" (s.V.xto > 0.);
+       check_in "phi plausible" ~lo:1. ~hi:5. s.V.phi_b_ev;
+       check_in "gcr plausible" ~lo:0.05 ~hi:0.95 s.V.gcr;
+       check_true "some programming happened"
+         (Float.is_finite s.V.program_time || s.V.program_time = infinity))
+    samples
+
+let test_spread_scales () =
+  (* zero spread: every sample identical to the base *)
+  let zero = { V.sigma_xto = 0.; sigma_phi = 0.; sigma_gcr = 0. } in
+  let samples = V.sample_devices ~spread:zero ~seed:1 ~base ~n:5 () in
+  let t0 = samples.(0).V.program_time in
+  Array.iter (fun s -> check_close ~tol:1e-9 "no spread" t0 s.V.program_time) samples
+
+let test_summary () =
+  let samples = V.sample_devices ~seed:7 ~base ~n:60 () in
+  let s = V.summarize samples in
+  Alcotest.(check int) "count" 60 s.V.n;
+  check_true "median positive" (s.V.t_prog_median > 0.);
+  check_true "p95 above median" (s.V.t_prog_p95 >= s.V.t_prog_median);
+  check_true "spread above 1" (s.V.t_prog_spread >= 1.);
+  check_true "dvt sigma positive" (s.V.dvt_sigma > 0.)
+
+let test_oxide_sensitivity_dominates () =
+  (* the exponential makes XTO variation the dominant source: 1 angstrom
+     should move programming time noticeably *)
+  let only_xto = { V.sigma_xto = 0.1e-9; sigma_phi = 0.; sigma_gcr = 0. } in
+  let only_gcr = { V.sigma_xto = 0.; sigma_phi = 0.; sigma_gcr = 0.01 } in
+  let s_xto = V.summarize (V.sample_devices ~spread:only_xto ~seed:2 ~base ~n:40 ()) in
+  let s_gcr = V.summarize (V.sample_devices ~spread:only_gcr ~seed:2 ~base ~n:40 ()) in
+  check_true "xto spread wider than gcr spread"
+    (s_xto.V.t_prog_spread > s_gcr.V.t_prog_spread)
+
+let test_sensitivity_xto () =
+  let s = V.sensitivity_xto base in
+  (* t ~ exp(B·XTO/VFG): d(log10 t)/d(XTO) = B/(ln10·VFG) ~ 1.2 decades/nm
+     at VFG = 9 V... B/VFG = 2.53e10/9 = 2.8e9 ln-units/m = 1.22 decades/nm *)
+  check_in "decades per nm" ~lo:0.8 ~hi:1.8 s;
+  check_true "thicker oxide is slower" (s > 0.)
+
+let test_summarize_empty_fails () =
+  Alcotest.check_raises "no successes"
+    (Invalid_argument "Variation.summarize: no successful samples") (fun () ->
+      ignore
+        (V.summarize
+           [| { V.xto = 1e-9; phi_b_ev = 3.; gcr = 0.5; program_time = infinity;
+                dvt_fixed_pulse = nan } |]))
+
+let () =
+  Alcotest.run "variation"
+    [
+      ( "variation",
+        [
+          case "deterministic sampling" test_sampling_deterministic;
+          case "validation" test_sampling_validation;
+          case "samples physical" test_samples_physical;
+          case "zero spread" test_spread_scales;
+          case "summary statistics" test_summary;
+          case "oxide dominates" test_oxide_sensitivity_dominates;
+          case "xto sensitivity" test_sensitivity_xto;
+          case "empty summary" test_summarize_empty_fails;
+        ] );
+    ]

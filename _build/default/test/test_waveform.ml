@@ -1,0 +1,76 @@
+module W = Gnrflash_memory.Waveform
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+let t = F.paper_default
+
+let test_pulse_train_structure () =
+  let w = W.pulse_train ~vgs:15. ~width:1e-6 ~gap:2e-6 ~count:3 in
+  Alcotest.(check int) "3 pulses + 2 gaps" 5 (List.length w);
+  check_close ~tol:1e-12 "total duration" ((3. *. 1e-6) +. (2. *. 2e-6)) (W.total_duration w)
+
+let test_pulse_train_no_gap () =
+  let w = W.pulse_train ~vgs:15. ~width:1e-6 ~gap:0. ~count:3 in
+  Alcotest.(check int) "gapless" 3 (List.length w)
+
+let test_pulse_train_validation () =
+  Alcotest.check_raises "width" (Invalid_argument "Waveform.pulse_train: width <= 0")
+    (fun () -> ignore (W.pulse_train ~vgs:1. ~width:0. ~gap:0. ~count:1))
+
+let test_staircase () =
+  let w = W.staircase ~v0:12. ~step:0.5 ~width:1e-6 ~count:4 in
+  Alcotest.(check int) "4 segments" 4 (List.length w);
+  let biases = List.map (fun s -> s.W.vgs) w in
+  Alcotest.(check (list (float 1e-9))) "ramp" [ 12.; 12.5; 13.; 13.5 ] biases
+
+let test_apply_accumulates_charge () =
+  let w = W.pulse_train ~vgs:15. ~width:10e-9 ~gap:10e-9 ~count:3 in
+  let pts = check_ok "apply" (W.apply t ~qfg0:0. w) in
+  Alcotest.(check int) "one point per segment" 5 (List.length pts);
+  (* charge decreases across program pulses, holds across gaps *)
+  let qs = List.map snd pts in
+  (match qs with
+   | q1 :: q2 :: q3 :: q4 :: [ q5 ] ->
+     check_true "pulse 1 charges" (q1 < 0.);
+     check_close "gap holds" q1 q2;
+     check_true "pulse 2 charges more" (q3 < q2);
+     check_close "gap holds" q3 q4;
+     check_true "pulse 3 charges more" (q5 < q4)
+   | _ -> Alcotest.fail "unexpected shape");
+  (* times strictly increasing *)
+  let rec increasing = function
+    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 < t2 && increasing rest
+    | _ -> true
+  in
+  check_true "monotone time" (increasing pts)
+
+let test_apply_equivalent_to_single_pulse () =
+  (* two back-to-back pulses = one pulse of double width *)
+  let w2 = W.pulse_train ~vgs:15. ~width:10e-9 ~gap:0. ~count:2 in
+  let pts = check_ok "apply" (W.apply t ~qfg0:0. w2) in
+  let q_double = snd (List.nth pts 1) in
+  let single =
+    check_ok "single" (Gnrflash_device.Transient.run t ~vgs:15. ~duration:20e-9)
+  in
+  check_close ~tol:1e-3 "equivalence" single.Gnrflash_device.Transient.qfg_final q_double
+
+let test_apply_erase_train () =
+  let w = [ { W.vgs = -15.; duration = 1e-3 } ] in
+  let pts = check_ok "apply" (W.apply t ~qfg0:(-2e-17) w) in
+  let q = snd (List.hd (List.rev pts)) in
+  check_true "erased past neutral" (q > -2e-17)
+
+let () =
+  Alcotest.run "waveform"
+    [
+      ( "waveform",
+        [
+          case "pulse train structure" test_pulse_train_structure;
+          case "gapless train" test_pulse_train_no_gap;
+          case "validation" test_pulse_train_validation;
+          case "staircase" test_staircase;
+          case "apply accumulates" test_apply_accumulates_charge;
+          case "split equals single" test_apply_equivalent_to_single_pulse;
+          case "erase train" test_apply_erase_train;
+        ] );
+    ]

@@ -1,0 +1,80 @@
+module W = Gnrflash_memory.Workload
+module Ctl = Gnrflash_memory.Controller
+module Am = Gnrflash_memory.Array_model
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+let test_generate_counts () =
+  let ops = W.generate ~seed:1 W.Uniform ~pages:4 ~strings:4 ~ops:50 ~read_fraction:0.5 in
+  Alcotest.(check int) "op count" 50 (List.length ops)
+
+let test_generate_deterministic () =
+  let a = W.generate ~seed:7 W.Uniform ~pages:4 ~strings:4 ~ops:30 ~read_fraction:0.3 in
+  let b = W.generate ~seed:7 W.Uniform ~pages:4 ~strings:4 ~ops:30 ~read_fraction:0.3 in
+  check_true "same seed, same trace" (a = b);
+  let c = W.generate ~seed:8 W.Uniform ~pages:4 ~strings:4 ~ops:30 ~read_fraction:0.3 in
+  check_true "different seed differs" (a <> c)
+
+let test_generate_read_fraction_extremes () =
+  let reads_only = W.generate ~seed:1 W.Uniform ~pages:4 ~strings:4 ~ops:20 ~read_fraction:1. in
+  check_true "all reads" (List.for_all (function W.Read _ -> true | W.Write _ -> false) reads_only);
+  let writes_only = W.generate ~seed:1 W.Uniform ~pages:4 ~strings:4 ~ops:20 ~read_fraction:0. in
+  check_true "all writes" (List.for_all (function W.Write _ -> true | W.Read _ -> false) writes_only)
+
+let test_sequential_pattern () =
+  let ops = W.generate ~seed:1 W.Sequential ~pages:3 ~strings:2 ~ops:6 ~read_fraction:0. in
+  let pages = List.map (function W.Write { page; _ } -> page | W.Read { page } -> page) ops in
+  Alcotest.(check (list int)) "round robin" [ 0; 1; 2; 0; 1; 2 ] pages
+
+let test_zipf_skew () =
+  let ops = W.generate ~seed:3 (W.Zipf 1.5) ~pages:16 ~strings:2 ~ops:400 ~read_fraction:0. in
+  let counts = Array.make 16 0 in
+  List.iter
+    (function W.Write { page; _ } | W.Read { page } -> counts.(page) <- counts.(page) + 1)
+    ops;
+  (* rank-1 page must dominate the tail half of the distribution *)
+  let tail = Array.fold_left ( + ) 0 (Array.sub counts 8 8) in
+  check_true "head heavier than tail" (counts.(0) > tail);
+  check_true "pages in range" (List.for_all
+    (function W.Write { page; _ } | W.Read { page } -> page >= 0 && page < 16) ops)
+
+let test_generate_validation () =
+  Alcotest.check_raises "read fraction"
+    (Invalid_argument "Workload.generate: read_fraction out of [0, 1]") (fun () ->
+      ignore (W.generate ~seed:1 W.Uniform ~pages:2 ~strings:2 ~ops:5 ~read_fraction:1.5));
+  Alcotest.check_raises "zipf exponent"
+    (Invalid_argument "Workload.generate: zipf exponent <= 0") (fun () ->
+      ignore (W.generate ~seed:1 (W.Zipf 0.) ~pages:2 ~strings:2 ~ops:5 ~read_fraction:0.))
+
+let test_replay_small_trace () =
+  let pages = 2 and strings = 4 in
+  let ctrl = Ctl.make (Am.make F.paper_default ~pages ~strings) in
+  let ops = W.generate ~seed:11 W.Sequential ~pages ~strings ~ops:6 ~read_fraction:0.5 in
+  let _, stats = check_ok "replay" (W.replay ctrl ops) in
+  Alcotest.(check int) "ops accounted" 6 (stats.W.writes + stats.W.reads);
+  Alcotest.(check int) "no verify failures" 0 stats.W.failed_verifies;
+  Alcotest.(check int) "no broken cells" 0 stats.W.broken_cells
+
+let test_replay_rewrite_triggers_erase () =
+  let pages = 1 and strings = 2 in
+  let ctrl = Ctl.make (Am.make F.paper_default ~pages ~strings) in
+  let data = [| 0; 0 |] in
+  let ops = [ W.Write { page = 0; data }; W.Write { page = 0; data } ] in
+  let _, stats = check_ok "replay" (W.replay ctrl ops) in
+  Alcotest.(check int) "second write needs an erase" 1 stats.W.erase_cycles
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "workload",
+        [
+          case "op counts" test_generate_counts;
+          case "deterministic" test_generate_deterministic;
+          case "read fraction extremes" test_generate_read_fraction_extremes;
+          case "sequential pattern" test_sequential_pattern;
+          case "zipf skew" test_zipf_skew;
+          case "generate validation" test_generate_validation;
+          case "replay small trace" test_replay_small_trace;
+          case "rewrite triggers erase" test_replay_rewrite_triggers_erase;
+        ] );
+    ]
