@@ -11,23 +11,41 @@
 
 open Bechamel
 open Bechamel.Toolkit
+module Tel = Gnrflash_telemetry.Telemetry
 
 let hr title =
   Printf.printf "\n=== %s %s\n" title (String.make (max 0 (66 - String.length title)) '=')
 
 (* ---------- part 1: figure regeneration ---------- *)
 
+(* One thunk per paper figure so each regeneration runs under its own
+   telemetry span; the span timings become the per-figure wall-clock rows of
+   BENCH_telemetry.json. *)
+let figure_generators =
+  [
+    ("fig2", fun () -> Gnrflash.Figures.fig2_band_diagram ());
+    ("fig4", fun () -> fst (Gnrflash.Figures.fig4_initial_currents ()));
+    ("fig5", fun () -> fst (Gnrflash.Figures.fig5_transient ()));
+    ("fig6", fun () -> Gnrflash.Figures.fig6_program_gcr ());
+    ("fig7", fun () -> Gnrflash.Figures.fig7_program_xto ());
+    ("fig8", fun () -> Gnrflash.Figures.fig8_erase_gcr ());
+    ("fig9", fun () -> Gnrflash.Figures.fig9_erase_xto ());
+  ]
+
 let print_figures () =
   hr "Paper figures (regenerated series)";
   List.iter
-    (fun (_, fig) ->
+    (fun (name, gen) ->
+       let fig = Tel.span ("figure/" ^ name) gen in
        print_newline ();
        print_string (Gnrflash.Report.series_table fig ~max_rows:6))
-    (Gnrflash.Figures.all ())
+    figure_generators
 
 let print_checks () =
   hr "Shape checks (paper vs model)";
-  print_string (Gnrflash.Report.render (Gnrflash.Report.all_checks ()))
+  let checks = Tel.span "checks" Gnrflash.Report.all_checks in
+  print_string (Gnrflash.Report.render checks);
+  List.for_all (fun c -> c.Gnrflash.Report.passed) checks
 
 (* Ablations of design choices called out in DESIGN.md. *)
 let print_ablations () =
@@ -378,10 +396,60 @@ let run_benchmarks () =
           |> List.sort compare))
     all_tests
 
+(* ---------- part 3: telemetry artifact ---------- *)
+
+(* Machine-readable bench trajectory: per-figure wall-clock timings plus the
+   full counter/span snapshot, written next to the repo's other BENCH data. *)
+let write_bench_telemetry ~path ~checks_passed snap =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"schema\":\"gnrflash-bench-telemetry/1\",";
+  Buffer.add_string b
+    (Printf.sprintf "\"checks_passed\":%b,\"figures\":{" checks_passed);
+  let prefix = "figure/" in
+  let figures =
+    List.filter_map
+      (fun (name, (s : Tel.span_stat)) ->
+         if String.starts_with ~prefix name then begin
+           let rest =
+             String.sub name (String.length prefix)
+               (String.length name - String.length prefix)
+           in
+           (* top-level figure spans only; nested solver spans stay in the
+              full telemetry section *)
+           if String.contains rest '/' then None else Some (rest, s.Tel.total_s)
+         end
+         else None)
+      snap.Tel.spans
+  in
+  List.iteri
+    (fun i (name, seconds) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b (Printf.sprintf "\"%s\":%.6e" name seconds))
+    figures;
+  Buffer.add_string b "},\"telemetry\":";
+  Buffer.add_string b (Tel.render_json snap);
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d figure timings, %d counters)\n" path
+    (List.length figures) (List.length snap.Tel.counters)
+
 let () =
+  Tel.reset ();
+  Tel.enable ();
   print_figures ();
-  print_checks ();
+  let checks_passed = print_checks () in
   print_extensions ();
   print_ablations ();
+  let snap = Tel.snapshot () in
+  (* run the microbenchmarks with telemetry disabled so Bechamel measures the
+     production (counters-off) configuration *)
+  Tel.disable ();
   run_benchmarks ();
-  hr "Done"
+  write_bench_telemetry ~path:"BENCH_telemetry.json" ~checks_passed snap;
+  hr "Done";
+  if not checks_passed then begin
+    prerr_endline "bench: qualitative shape checks FAILED";
+    exit 1
+  end

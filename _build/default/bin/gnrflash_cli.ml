@@ -13,6 +13,36 @@ let out_dir_arg =
   let doc = "Directory for svg/csv output files." in
   Arg.(value & opt string "figures" & info [ "out"; "o" ] ~doc)
 
+(* ---- solver telemetry ---- *)
+
+module Telemetry = Gnrflash.Telemetry
+
+let stats_arg =
+  let doc =
+    "Collect solver telemetry (ODE steps, RHS/root-finder evaluations, \
+     lookup-table hits, span timings) and print a snapshot after the run; \
+     $(docv) is 'text' or 'json'."
+  in
+  Arg.(value
+       & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+       & info [ "stats" ] ~docv:"FORMAT" ~doc)
+
+(* Run [f] with telemetry enabled when requested, then print the snapshot. *)
+let with_stats stats f =
+  match stats with
+  | None -> f ()
+  | Some format ->
+    Telemetry.reset ();
+    Telemetry.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        let snap = Telemetry.snapshot () in
+        Telemetry.disable ();
+        match format with
+        | `Text -> print_string (Telemetry.render_text snap)
+        | `Json -> print_endline (Telemetry.render_json snap))
+      f
+
 let emit ~format ~out_dir ~name fig =
   match format with
   | `Ascii -> Gnrflash_plot.Ascii.print fig
@@ -48,7 +78,8 @@ let fig_cmd =
       ("ext_idvg", Gnrflash.Extensions.id_vg_figure ());
     ]
   in
-  let run id format out_dir =
+  let run id format out_dir stats =
+    with_stats stats @@ fun () ->
     let wanted =
       match id with
       | "all" -> Gnrflash.Figures.all () @ extension_figures ()
@@ -59,18 +90,20 @@ let fig_cmd =
     List.iter (fun (name, fig) -> emit ~format ~out_dir ~name fig) wanted
   in
   let doc = "Regenerate a paper or extension figure." in
-  Cmd.v (Cmd.info "fig" ~doc) Term.(const run $ id_arg $ format_arg $ out_dir_arg)
+  Cmd.v (Cmd.info "fig" ~doc)
+    Term.(const run $ id_arg $ format_arg $ out_dir_arg $ stats_arg)
 
 (* ---- check command ---- *)
 
 let check_cmd =
-  let run () =
+  let run stats =
+    with_stats stats @@ fun () ->
     let checks = Gnrflash.Report.all_checks () in
     print_string (Gnrflash.Report.render checks);
     if List.exists (fun c -> not c.Gnrflash.Report.passed) checks then exit 1
   in
   let doc = "Run the paper-shape validation checks." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ stats_arg)
 
 (* ---- transient command ---- *)
 
@@ -81,7 +114,8 @@ let transient_cmd =
   let duration_arg =
     Arg.(value & opt float 10. & info [ "duration" ] ~doc:"Integration horizon [s].")
   in
-  let run vgs duration =
+  let run vgs duration stats =
+    with_stats stats @@ fun () ->
     let t = Gnrflash.Params.device () in
     match Gnrflash_device.Transient.run t ~vgs ~duration with
     | Error e ->
@@ -105,10 +139,17 @@ let transient_cmd =
       (match r.Gnrflash_device.Transient.tsat with
        | Some t -> Printf.printf "tsat = %.4e s\n" t
        | None -> print_endline "no saturation within horizon");
-      Printf.printf "final dVT = %.3f V\n" r.Gnrflash_device.Transient.dvt_final
+      Printf.printf "final dVT = %.3f V\n" r.Gnrflash_device.Transient.dvt_final;
+      (* independent fixed-point cross-check of the ODE endpoint (Jin = Jout
+         solved by Brent's method, no integration) *)
+      (match Gnrflash_device.Transient.saturation_charge t ~vgs with
+       | Ok q_star ->
+         Printf.printf "fixed-point QFG (Jin = Jout) = %.4e C\n" q_star
+       | Error e -> Printf.printf "fixed-point solve failed: %s\n" e)
   in
   let doc = "Integrate one program/erase transient and print the trajectory." in
-  Cmd.v (Cmd.info "transient" ~doc) Term.(const run $ vgs_arg $ duration_arg)
+  Cmd.v (Cmd.info "transient" ~doc)
+    Term.(const run $ vgs_arg $ duration_arg $ stats_arg)
 
 (* ---- retention command ---- *)
 

@@ -1,0 +1,1 @@
+lib/core/telemetry.ml: Gnrflash_telemetry

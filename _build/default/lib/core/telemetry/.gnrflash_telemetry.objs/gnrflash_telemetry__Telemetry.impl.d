@@ -1,0 +1,1 @@
+lib/core/telemetry/telemetry.ml: Buffer Char Float Fun Hashtbl List Option Printf String Unix

@@ -1,0 +1,302 @@
+(* Solver telemetry: named monotonic counters, gauges, and wall-clock span
+   timers for the tunneling -> capacitive-network -> transient pipeline.
+
+   Design constraints:
+   - negligible overhead when disabled: every entry point is a single
+     [if not !enabled] branch away from a no-op, so instrumentation can stay
+     permanently wired into the numeric kernels;
+   - scoped attribution: [span] pushes its name onto a context stack and
+     every counter/gauge recorded inside is keyed under the caller's path
+     (e.g. "transient/run/ode/rhs_eval"), so nested solves attribute work to
+     the figure or experiment that asked for it;
+   - no dependencies beyond the stdlib + unix (for the wall clock), so the
+     numerics layer can depend on this module without cycles.
+
+   State is global and per-process, matching the single-domain solver; the
+   counters are plain [int ref]s, to be revisited when sweeps go
+   Domain-parallel. *)
+
+type span_stat = {
+  calls : int;
+  total_s : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  spans : (string * span_stat) list;
+}
+
+let enabled = ref false
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
+let spans : (string, span_stat ref) Hashtbl.t = Hashtbl.create 16
+let context : string list ref = ref []
+
+(* Joined context path, maintained on span entry/exit so counter increments
+   (the hot operation) never re-join the stack. Empty when at top level. *)
+let context_prefix = ref ""
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset spans;
+  context := [];
+  context_prefix := ""
+
+let path name = if !context_prefix = "" then name else !context_prefix ^ "/" ^ name
+
+let count ?(n = 1) name =
+  if !enabled && n > 0 then begin
+    let key = path name in
+    match Hashtbl.find_opt counters key with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add counters key (ref n)
+  end
+
+let gauge name v = if !enabled then Hashtbl.replace gauges (path name) v
+
+let span name f =
+  if not !enabled then f ()
+  else begin
+    let saved_prefix = !context_prefix in
+    let key = path name in
+    context := name :: !context;
+    context_prefix := key;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        (match !context with _ :: rest -> context := rest | [] -> ());
+        context_prefix := saved_prefix;
+        let dt = Unix.gettimeofday () -. t0 in
+        match Hashtbl.find_opt spans key with
+        | Some r -> r := { calls = !r.calls + 1; total_s = !r.total_s +. dt }
+        | None -> Hashtbl.add spans key (ref { calls = 1; total_s = dt }))
+      f
+  end
+
+(* ---- accessors ---- *)
+
+let counter name = match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+(* Sum of every counter whose path is [name] or ends in "/name"; lets callers
+   ask for e.g. "ode/rhs_eval" regardless of which span recorded it. *)
+let counter_total name =
+  let suffix = "/" ^ name in
+  Hashtbl.fold
+    (fun key r acc ->
+       if key = name || String.ends_with ~suffix key then acc + !r else acc)
+    counters 0
+
+let span_stat name = Option.map ( ! ) (Hashtbl.find_opt spans name)
+
+let snapshot () =
+  let sorted tbl read = Hashtbl.fold (fun k v acc -> (k, read v) :: acc) tbl []
+                        |> List.sort compare in
+  {
+    counters = sorted counters ( ! );
+    gauges = sorted gauges Fun.id;
+    spans = sorted spans ( ! );
+  }
+
+(* ---- renderers ---- *)
+
+let render_text { counters; gauges; spans } =
+  let b = Buffer.create 512 in
+  let section title = Buffer.add_string b (title ^ ":\n") in
+  if counters <> [] then begin
+    section "counters";
+    List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-48s %d\n" k v)) counters
+  end;
+  if gauges <> [] then begin
+    section "gauges";
+    List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-48s %g\n" k v)) gauges
+  end;
+  if spans <> [] then begin
+    section "spans";
+    List.iter
+      (fun (k, s) ->
+         Buffer.add_string b
+           (Printf.sprintf "  %-48s %6d calls %12.3f ms\n" k s.calls (s.total_s *. 1e3)))
+      spans
+  end;
+  if Buffer.length b = 0 then Buffer.add_string b "telemetry: no data recorded\n";
+  Buffer.contents b
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | '\r' -> Buffer.add_string b "\\r"
+       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.17g round-trips IEEE doubles exactly, which the snapshot round-trip
+   test relies on. *)
+let json_float v =
+  if Float.is_integer v && abs_float v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let render_json { counters; gauges; spans } =
+  let b = Buffer.create 512 in
+  let entries items emit_v =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char b ',';
+         Buffer.add_string b (Printf.sprintf "\"%s\":" (escape_string k));
+         emit_v v)
+      items;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_string b "{\"counters\":";
+  entries counters (fun v -> Buffer.add_string b (string_of_int v));
+  Buffer.add_string b ",\"gauges\":";
+  entries gauges (fun v -> Buffer.add_string b (json_float v));
+  Buffer.add_string b ",\"spans\":";
+  entries spans (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"calls\":%d,\"total_s\":%s}" s.calls (json_float s.total_s)));
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+(* ---- minimal JSON reader, just enough to round-trip [render_json] ---- *)
+
+type json = Num of float | Str of string | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char b '"'; advance ()
+         | Some '\\' -> Buffer.add_char b '\\'; advance ()
+         | Some '/' -> Buffer.add_char b '/'; advance ()
+         | Some 'n' -> Buffer.add_char b '\n'; advance ()
+         | Some 't' -> Buffer.add_char b '\t'; advance ()
+         | Some 'r' -> Buffer.add_char b '\r'; advance ()
+         | Some 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "bad \\u escape";
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           pos := !pos + 4;
+           if code < 0x80 then Buffer.add_char b (Char.chr code)
+           else fail "non-ascii \\u escape unsupported"
+         | _ -> fail "bad escape");
+        go ()
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false)
+    do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' -> parse_obj ()
+    | Some ('-' | '0' .. '9') -> Num (parse_number ())
+    | _ -> fail "expected value"
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin advance (); Obj [] end
+    else begin
+      let rec members acc =
+        let key = (skip_ws (); parse_string ()) in
+        expect ':';
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); members ((key, v) :: acc)
+        | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      members []
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let snapshot_of_json text =
+  try
+    let assoc name = function
+      | Obj fields ->
+        (match List.assoc_opt name fields with
+         | Some v -> v
+         | None -> raise (Parse_error ("missing field " ^ name)))
+      | _ -> raise (Parse_error "expected object")
+    in
+    let entries f = function
+      | Obj fields -> List.map (fun (k, v) -> (k, f v)) fields
+      | _ -> raise (Parse_error "expected object of entries")
+    in
+    let num = function Num v -> v | _ -> raise (Parse_error "expected number") in
+    let root = parse_json text in
+    Ok
+      {
+        counters = entries (fun v -> int_of_float (num v)) (assoc "counters" root);
+        gauges = entries num (assoc "gauges" root);
+        spans =
+          entries
+            (fun v ->
+               {
+                 calls = int_of_float (num (assoc "calls" v));
+                 total_s = num (assoc "total_s" v);
+               })
+            (assoc "spans" root);
+      }
+  with
+  | Parse_error msg -> Error ("Telemetry.snapshot_of_json: " ^ msg)
+  | Failure msg -> Error ("Telemetry.snapshot_of_json: " ^ msg)

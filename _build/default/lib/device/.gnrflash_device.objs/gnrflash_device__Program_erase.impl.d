@@ -1,1 +1,1 @@
-lib/device/program_erase.ml: Transient
+lib/device/program_erase.ml: Gnrflash_telemetry Transient

@@ -1,1 +1,1 @@
-lib/device/transient.ml: Array Fgt Gnrflash_numerics
+lib/device/transient.ml: Array Fgt Gnrflash_numerics Gnrflash_telemetry

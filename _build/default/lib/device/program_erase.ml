@@ -1,3 +1,5 @@
+module Tel = Gnrflash_telemetry.Telemetry
+
 type pulse = {
   vgs : float;
   duration : float;
@@ -16,10 +18,12 @@ let default_erase_pulse = { vgs = -15.; duration = 1e-3 }
 
 let apply_pulse t ~qfg pulse =
   if pulse.duration <= 0. then Error "Program_erase.apply_pulse: duration <= 0"
-  else
+  else Tel.span "program_erase/pulse" @@ fun () ->
+    Tel.count "program_erase/pulse";
     match Transient.run ~qfg0:qfg t ~vgs:pulse.vgs ~duration:pulse.duration with
     | Error e -> Error e
     | Ok r ->
+      if r.Transient.tsat <> None then Tel.count "program_erase/saturated";
       Ok
         {
           qfg_before = qfg;

@@ -1,5 +1,6 @@
 module Ode = Gnrflash_numerics.Ode
 module Roots = Gnrflash_numerics.Roots
+module Tel = Gnrflash_telemetry.Telemetry
 
 type sample = {
   time : float;
@@ -35,7 +36,8 @@ let imbalance t ~vgs ~qfg ~threshold =
 
 let run ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs ~duration =
   if duration <= 0. then Error "Transient.run: duration <= 0"
-  else begin
+  else Tel.span "transient/run" @@ fun () -> begin
+    Tel.count "transient/solve";
     (* absolute tolerance scaled to the natural charge magnitude CT·VGS so
        the controller resolves attocoulomb states *)
     let atol = 1e-10 *. Fgt.ct t *. (1. +. abs_float vgs) in
@@ -45,6 +47,11 @@ let run ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs ~durati
        function is negative at t0; integrate without the event. *)
     let already_balanced = event 0. [| qfg0 |] <= 0. in
     let finish times states tsat =
+      (match tsat with
+       | Some ts ->
+         Tel.count "transient/tsat_event";
+         if ts < duration then Tel.count "transient/early_stop"
+       | None -> ());
       let samples =
         Array.mapi
           (fun i time -> sample_of t ~vgs ~time ~qfg:states.(i).(0))
@@ -59,10 +66,12 @@ let run ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs ~durati
           dvt_final = Fgt.threshold_shift t ~qfg:qfg_final;
         }
     in
-    if already_balanced then
+    if already_balanced then begin
+      Tel.count "transient/already_balanced";
       match Ode.rkf45 ~rtol ~atol ~f ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
       | Error e -> Error e
       | Ok { Ode.times; states } -> finish times states (Some 0.)
+    end
     else
       match Ode.rkf45_event ~rtol ~atol ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
       | Error e -> Error e
@@ -71,6 +80,8 @@ let run ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs ~durati
   end
 
 let saturation_charge t ~vgs =
+  Tel.span "transient/saturation_charge" @@ fun () ->
+  Tel.count "transient/fixed_point_solve";
   let f q = Fgt.j_in t ~vgs ~qfg:q -. Fgt.j_out t ~vgs ~qfg:q in
   (* Bracket between q = 0 and the charge that pins VFG to the balanced
      voltage divider point: VFGstar with VFG*/xto = (vgs - VFGstar)/xco for
@@ -91,7 +102,8 @@ let saturation_charge t ~vgs =
 
 let time_to_threshold_shift ?(qfg0 = 0.) t ~vgs ~dvt ~max_time =
   if max_time <= 0. then Error "Transient.time_to_threshold_shift: max_time <= 0"
-  else begin
+  else Tel.span "transient/time_to_threshold_shift" @@ fun () -> begin
+    Tel.count "transient/ttts_solve";
     let q_target = Fgt.qfg_for_threshold_shift t ~dvt in
     let f _time y = [| Fgt.dqfg_dt t ~vgs ~qfg:y.(0) |] in
     let event _time y = (y.(0) -. q_target) *. (if dvt >= 0. then 1. else -1.) in

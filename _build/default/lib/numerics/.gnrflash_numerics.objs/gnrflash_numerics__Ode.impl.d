@@ -1,1 +1,1 @@
-lib/numerics/ode.ml: Array Float List
+lib/numerics/ode.ml: Array Float Gnrflash_telemetry List

@@ -1,1 +1,1 @@
-lib/numerics/quadrature.ml: Array Float Hashtbl
+lib/numerics/quadrature.ml: Array Float Gnrflash_telemetry Hashtbl

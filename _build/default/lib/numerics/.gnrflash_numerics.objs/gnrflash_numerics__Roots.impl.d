@@ -1,1 +1,1 @@
-lib/numerics/roots.ml: Float
+lib/numerics/roots.ml: Float Gnrflash_telemetry

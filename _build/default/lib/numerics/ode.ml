@@ -1,3 +1,5 @@
+module Tel = Gnrflash_telemetry.Telemetry
+
 type trajectory = {
   times : float array;
   states : float array array;
@@ -9,6 +11,8 @@ let axpy a x y =
 
 let fixed_step_method step ~f ~t0 ~y0 ~t1 ~steps =
   if steps < 1 then invalid_arg "Ode: steps < 1";
+  let f t y = Tel.count "ode/rhs_eval_fixed"; f t y in
+  Tel.count ~n:steps "ode/fixed_step";
   let h = (t1 -. t0) /. float_of_int steps in
   let times = Array.make (steps + 1) t0 in
   let states = Array.make (steps + 1) (Array.copy y0) in
@@ -99,6 +103,10 @@ let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps 
     ~f ~t0 ~y0 ~t1 ~on_step () =
   if t1 <= t0 then Error "Ode.rkf45: t1 <= t0"
   else begin
+    (* Each rkf45_step trial costs exactly 6 RHS evaluations; counting at the
+       wrapped callable keeps the bookkeeping honest even if the tableau
+       changes. *)
+    let f t y = Tel.count "ode/rhs_eval"; f t y in
     let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.) in
     let t = ref t0 and y = ref (Array.copy y0) in
     let steps = ref 0 in
@@ -113,10 +121,12 @@ let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps 
         let en = error_norm ~rtol ~atol !y y5 y4 in
         if Float.is_nan en || Float.is_nan (Array.fold_left ( +. ) 0. y5) then begin
           (* the trial step left the region where f is finite: shrink hard *)
+          Tel.count "ode/step_nan_shrink";
           h := !h /. 10.;
           if !h < h_min then err := Some "Ode.rkf45: step underflow at NaN region"
         end
         else if en <= 1. then begin
+          Tel.count "ode/step_accepted";
           let t_new = !t +. !h in
           (match on_step ~t_old:!t ~y_old:!y ~t_new ~y_new:y5 with
            | `Stop -> finished := true
@@ -127,6 +137,7 @@ let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps 
           let factor = if en = 0. then 4. else min 4. (0.9 *. (en ** (-0.2))) in
           h := !h *. factor
         end else begin
+          Tel.count "ode/step_rejected";
           let factor = max 0.1 (0.9 *. (en ** (-0.25))) in
           h := !h *. factor;
           if !h < h_min then err := Some "Ode.rkf45: step size underflow"
@@ -172,8 +183,10 @@ let rkf45_event ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~event ~t0 ~y0 ~t1 () =
         else (rk4 ~f ~t0:t_old ~y0:y_old ~t1:t ~steps:16).states |> fun s ->
           s.(Array.length s - 1)
       in
+      Tel.count "ode/event_crossing";
       let lo = ref t_old and hi = ref t_new in
       for _ = 1 to 60 do
+        Tel.count "ode/event_bisect_iter";
         let mid = 0.5 *. (!lo +. !hi) in
         let gm = event mid (locate mid) in
         if !g0 *. gm <= 0. then hi := mid else lo := mid

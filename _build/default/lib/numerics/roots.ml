@@ -1,3 +1,5 @@
+module Tel = Gnrflash_telemetry.Telemetry
+
 let default_tol = 1e-12
 
 (* Relative closeness with a tiny absolute floor so roots at (or near) zero
@@ -7,12 +9,17 @@ let close tol a b =
   abs_float (b -. a) <= (tol *. max (abs_float a) (abs_float b)) +. 1e-300
 
 let bisect ?(tol = default_tol) ?(max_iter = 200) f a b =
+  let f x = Tel.count "roots/fn_eval"; f x in
   let fa = f a and fb = f b in
   if fa = 0. then Ok a
   else if fb = 0. then Ok b
-  else if fa *. fb > 0. then Error "Roots.bisect: no sign change on bracket"
+  else if fa *. fb > 0. then begin
+    Tel.count "roots/bracket_fail";
+    Error "Roots.bisect: no sign change on bracket"
+  end
   else begin
     let rec loop a fa b i =
+      Tel.count "roots/bisect_iter";
       let m = 0.5 *. (a +. b) in
       if i >= max_iter || close tol a b then Ok m
       else
@@ -28,10 +35,14 @@ let bisect ?(tol = default_tol) ?(max_iter = 200) f a b =
    inverse quadratic / secant interpolation, fall back to bisection whenever
    the candidate step is not clearly contracting. *)
 let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
+  let f x = Tel.count "roots/fn_eval"; f x in
   let fa = f a and fb = f b in
   if fa = 0. then Ok a
   else if fb = 0. then Ok b
-  else if fa *. fb > 0. then Error "Roots.brent: no sign change on bracket"
+  else if fa *. fb > 0. then begin
+    Tel.count "roots/bracket_fail";
+    Error "Roots.brent: no sign change on bracket"
+  end
   else begin
     let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
     if abs_float !fa < abs_float !fb then begin
@@ -43,6 +54,7 @@ let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
     let i = ref 0 in
     while !result = None && !i < max_iter do
       incr i;
+      Tel.count "roots/brent_iter";
       if !fb = 0. || close tol !a !b then result := Some !b
       else begin
         let s =
@@ -79,9 +91,12 @@ let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
   end
 
 let newton ?(tol = default_tol) ?(max_iter = 100) ~f ~df x0 =
+  let f x = Tel.count "roots/fn_eval"; f x in
+  let df x = Tel.count "roots/fn_eval"; df x in
   let rec loop x i =
     if i >= max_iter then Error "Roots.newton: did not converge"
-    else
+    else begin
+      Tel.count "roots/newton_iter";
       let fx = f x in
       if fx = 0. then Ok x
       else
@@ -93,11 +108,14 @@ let newton ?(tol = default_tol) ?(max_iter = 100) ~f ~df x0 =
             Error "Roots.newton: NaN encountered"
           else if close tol x x' then Ok x'
           else loop x' (i + 1)
+    end
   in
   loop x0 0
 
 let secant ?(tol = default_tol) ?(max_iter = 100) f x0 x1 =
+  let f x = Tel.count "roots/fn_eval"; f x in
   let rec loop x0 f0 x1 f1 i =
+    Tel.count "roots/secant_iter";
     if i >= max_iter then Error "Roots.secant: did not converge"
     else if f1 = 0. then Ok x1
     else if f1 = f0 then Error "Roots.secant: flat secant"
@@ -110,14 +128,19 @@ let secant ?(tol = default_tol) ?(max_iter = 100) f x0 x1 =
   loop x0 (f x0) x1 (f x1) 0
 
 let bracket_root ?(grow = 1.6) ?(max_iter = 60) f a b =
+  let f x = Tel.count "roots/fn_eval"; f x in
   if a = b then Error "Roots.bracket_root: empty interval"
   else begin
     let a = ref (min a b) and b = ref (max a b) in
     let fa = ref (f !a) and fb = ref (f !b) in
     let rec loop i =
       if !fa *. !fb <= 0. then Ok (!a, !b)
-      else if i >= max_iter then Error "Roots.bracket_root: no sign change found"
+      else if i >= max_iter then begin
+        Tel.count "roots/bracket_fail";
+        Error "Roots.bracket_root: no sign change found"
+      end
       else begin
+        Tel.count "roots/bracket_expand";
         if abs_float !fa < abs_float !fb then begin
           a := !a -. (grow *. (!b -. !a));
           fa := f !a

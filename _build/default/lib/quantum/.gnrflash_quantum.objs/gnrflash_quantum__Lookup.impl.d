@@ -1,1 +1,1 @@
-lib/quantum/lookup.ml: Array Float Fn Gnrflash_numerics
+lib/quantum/lookup.ml: Array Float Fn Gnrflash_numerics Gnrflash_telemetry

@@ -1,5 +1,6 @@
 module Interp = Gnrflash_numerics.Interp
 module Grid = Gnrflash_numerics.Grid
+module Tel = Gnrflash_telemetry.Telemetry
 
 type t = {
   interp : Interp.t;       (* log10 J vs log10 E *)
@@ -11,25 +12,32 @@ let build ?(points = 64) ~field_min ~field_max j_of_field =
   if field_min <= 0. || field_max <= field_min then
     invalid_arg "Lookup.build: bad field range";
   if points < 4 then invalid_arg "Lookup.build: too few points";
-  let fields = Grid.geomspace field_min field_max points in
-  let logs =
-    Array.map
-      (fun e ->
-         let j = j_of_field e in
-         if j <= 0. || not (Float.is_finite j) then
-           invalid_arg "Lookup.build: model non-positive on the range";
-         log10 j)
-      fields
-  in
-  let log_fields = Array.map log10 fields in
-  { interp = Interp.pchip log_fields logs; field_min; field_max }
+  Tel.span "lookup/build" (fun () ->
+      Tel.count ~n:points "lookup/build_point";
+      let fields = Grid.geomspace field_min field_max points in
+      let logs =
+        Array.map
+          (fun e ->
+             let j = j_of_field e in
+             if j <= 0. || not (Float.is_finite j) then
+               invalid_arg "Lookup.build: model non-positive on the range";
+             log10 j)
+          fields
+      in
+      let log_fields = Array.map log10 fields in
+      { interp = Interp.pchip log_fields logs; field_min; field_max })
 
 let of_fn ?points p ~field_min ~field_max =
   build ?points ~field_min ~field_max (fun e -> Fn.current_density p ~field:e)
 
 let current_density t ~field =
-  if field <= t.field_min /. 10. then 0.
+  Tel.count "lookup/hit";
+  if field <= t.field_min /. 10. then begin
+    Tel.count "lookup/cutoff";
+    0.
+  end
   else begin
+    if field < t.field_min || field > t.field_max then Tel.count "lookup/clamped";
     let clamped = min (max field t.field_min) t.field_max in
     10. ** Interp.eval t.interp (log10 clamped)
   end

@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest Fun Gnrflash_telemetry Gnrflash_testing List Printf QCheck2 String

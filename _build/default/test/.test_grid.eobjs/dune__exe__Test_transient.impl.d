@@ -1,1 +1,1 @@
-test/test_transient.ml: Alcotest Array Gnrflash_device Gnrflash_testing QCheck2
+test/test_transient.ml: Alcotest Array Fun Gnrflash_device Gnrflash_telemetry Gnrflash_testing List Printf QCheck2

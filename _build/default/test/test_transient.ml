@@ -1,5 +1,6 @@
 module Tr = Gnrflash_device.Transient
 module F = Gnrflash_device.Fgt
+module Tel = Gnrflash_telemetry.Telemetry
 open Gnrflash_testing.Testing
 
 let t = F.paper_default
@@ -101,6 +102,61 @@ let test_higher_vgs_faster () =
   in
   check_true "15 V faster than 12 V" (time 15. < time 12.)
 
+(* Pin Fig 5's Jin = Jout crossing on a (vgs, GCR) grid: the ODE endpoint
+   (adaptive RKF45 + imbalance event) must agree with the fixed point found
+   by Brent's method on Jin - Jout — two independent solver paths. *)
+let test_fixed_point_grid () =
+  List.iter
+    (fun gcr ->
+       let t = F.with_gcr t gcr in
+       List.iter
+         (fun vgs ->
+            let label = Printf.sprintf "vgs=%.1f gcr=%.2f" vgs gcr in
+            let r = check_ok label (Tr.run t ~vgs ~duration:10.) in
+            let q_star = check_ok label (Tr.saturation_charge t ~vgs) in
+            check_true (label ^ ": saturated") (r.Tr.tsat <> None);
+            check_close ~tol:0.02 (label ^ ": ODE endpoint = fixed point") q_star
+              r.Tr.qfg_final)
+         [ 12.; 15.; 17.; -12.; -15. ])
+    [ 0.5; 0.6; 0.7 ]
+
+(* Instrumentation correctness: the ODE telemetry must be consistent with the
+   returned sample array. RKF45 appends exactly one sample per accepted step
+   (the event step contributes the located crossing instead of t_new), and
+   every trial step — accepted, rejected, or NaN-shrunk — costs exactly 6 RHS
+   evaluations. Guards against double-counting regressions. *)
+let test_instrumentation_consistency () =
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  let r = check_ok "instrumented run" (Tr.run t ~vgs:15. ~duration:10.) in
+  let accepted = Tel.counter_total "ode/step_accepted" in
+  let rejected = Tel.counter_total "ode/step_rejected" in
+  let nan_shrunk = Tel.counter_total "ode/step_nan_shrink" in
+  let rhs = Tel.counter_total "ode/rhs_eval" in
+  let trials = accepted + rejected + nan_shrunk in
+  check_true "steps taken" (accepted > 0);
+  check_true "rhs evaluated" (rhs > 0);
+  Alcotest.(check int) "samples = accepted steps + initial state"
+    (accepted + 1) (Array.length r.Tr.samples);
+  Alcotest.(check int) "rhs evals = 6 per trial step" (6 * trials) rhs;
+  Alcotest.(check int) "one solve recorded" 1 (Tel.counter_total "transient/solve");
+  Alcotest.(check int) "tsat event recorded" 1
+    (Tel.counter_total "transient/tsat_event");
+  (* scoped attribution: the ODE work is recorded under the transient span *)
+  Alcotest.(check int) "attributed to transient/run"
+    accepted (Tel.counter "transient/run/ode/step_accepted");
+  (* a second identical run must add the same counts (no cross-run leakage) *)
+  let _ = check_ok "second run" (Tr.run t ~vgs:15. ~duration:10.) in
+  Alcotest.(check int) "counters additive across runs"
+    (2 * accepted) (Tel.counter_total "ode/step_accepted")
+
+let test_disabled_records_nothing () =
+  Tel.reset ();
+  check_false "disabled by default in tests" (Tel.is_enabled ());
+  let _ = check_ok "uninstrumented run" (Tr.run t ~vgs:15. ~duration:1e-3) in
+  check_true "no counters recorded" ((Tel.snapshot ()).Tel.counters = [])
+
 let prop_final_dvt_bounded_by_fixed_point =
   prop "transient never overshoots the fixed point" ~count:8
     QCheck2.Gen.(float_range 12. 17.)
@@ -128,6 +184,9 @@ let () =
           case "time to 2 V shift" test_time_to_threshold;
           case "unreachable target" test_time_to_threshold_unreachable;
           case "higher bias is faster" test_higher_vgs_faster;
+          case "fixed point vs ODE on (vgs, GCR) grid" test_fixed_point_grid;
+          case "telemetry consistent with samples" test_instrumentation_consistency;
+          case "telemetry disabled records nothing" test_disabled_records_nothing;
           prop_final_dvt_bounded_by_fixed_point;
         ] );
     ]

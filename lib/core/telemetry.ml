@@ -1,0 +1,3 @@
+(* Re-export so users of the umbrella library can say [Gnrflash.Telemetry]
+   without depending on the low-level gnrflash_telemetry library directly. *)
+include Gnrflash_telemetry.Telemetry

@@ -47,6 +47,40 @@ let prop_monotone_like_model =
     (fun e ->
        L.current_density table ~field:(e *. 1.05) >= L.current_density table ~field:e)
 
+(* Random build ranges inside the regime where FN is well-behaved; ratio kept
+   >= 1.3 so tables always span a nontrivial field decade fraction. *)
+let range_gen =
+  QCheck2.Gen.(
+    map2 (fun lo ratio -> (lo, lo *. ratio)) (float_range 3e8 1.5e9) (float_range 1.3 4.))
+
+let prop_pointwise_error_within_reported_bound =
+  (* [max_relative_error] probes 301 points; a random field between probes
+     may sit on a slightly worse spot of the pchip error ripple, hence the
+     small headroom factor. *)
+  prop "current_density error within reported bound on random ranges" ~count:60
+    QCheck2.Gen.(pair range_gen (float_range 0. 1.))
+    (fun ((lo, hi), u) ->
+       let tbl = L.of_fn p ~field_min:lo ~field_max:hi in
+       let reference e = Fn.current_density p ~field:e in
+       let reported = L.max_relative_error tbl reference in
+       (* geometric interpolation of the probe position inside the range *)
+       let e = lo *. ((hi /. lo) ** u) in
+       let exact = reference e in
+       let approx = L.current_density tbl ~field:e in
+       let rel = abs_float ((approx -. exact) /. exact) in
+       reported < 1e-3 && rel <= (2. *. reported) +. 1e-9)
+
+let prop_monotone_on_random_ranges =
+  (* FN current is strictly increasing in field, and pchip is monotonicity
+     preserving, so every table built from it must be monotone too. *)
+  prop "interpolant monotone whenever the model is" ~count:60
+    QCheck2.Gen.(triple range_gen (float_range 0. 1.) (float_range 0. 1.))
+    (fun ((lo, hi), u1, u2) ->
+       let tbl = L.of_fn p ~field_min:lo ~field_max:hi in
+       let pos u = lo *. ((hi /. lo) ** u) in
+       let e1 = pos (min u1 u2) and e2 = pos (max u1 u2) in
+       L.current_density tbl ~field:e2 >= L.current_density tbl ~field:e1)
+
 let () =
   Alcotest.run "lookup"
     [
@@ -59,5 +93,7 @@ let () =
           case "build validation" test_build_validation;
           case "refinement" test_denser_table_more_accurate;
           prop_monotone_like_model;
+          prop_pointwise_error_within_reported_bound;
+          prop_monotone_on_random_ranges;
         ] );
     ]
