@@ -254,7 +254,81 @@ let print_extensions () =
       s.Gnrflash.Extensions.pages_written s.Gnrflash.Extensions.verify_failures
       s.Gnrflash.Extensions.disturb_dvt_max s.Gnrflash.Extensions.mean_pulses
 
-(* ---------- part 2: bechamel timing ---------- *)
+(* ---------- part 2: sweep-engine scaling ---------- *)
+
+module Sweep = Gnrflash.Sweep
+
+type scaling_row = {
+  serial_s : float;
+  parallel_s : float;
+  identical : bool;
+}
+
+type scaling = {
+  cores : int;
+  pool_jobs : int;
+  grid : scaling_row;
+  monte_carlo : scaling_row;
+}
+
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Serial vs domain-pool wall clock on the two hottest sweeps: the Fig 6/7
+   program grids (compared as CSV bytes) and a Monte-Carlo variation
+   ensemble (compared bit-exactly via Marshal, so NaNs don't defeat the
+   check). The pool always runs at least 2 domains so the parallel path is
+   exercised even on a single-core host — where oversubscription means no
+   speedup is expected and the honest numbers (plus the core count) go into
+   BENCH_telemetry.json. *)
+let sweep_scaling () =
+  hr "Sweep engine: serial vs parallel wall clock";
+  let cores = Sweep.available_jobs () in
+  let pool_jobs = max 2 (min 4 cores) in
+  let grid_csv () =
+    Gnrflash_plot.Csv.of_figure (Gnrflash.Figures.fig6_program_gcr ())
+    ^ Gnrflash_plot.Csv.of_figure (Gnrflash.Figures.fig7_program_xto ())
+  in
+  (* the figure generators read the job count from the Sweep default (the
+     CLI --jobs path); restore serial afterwards *)
+  let run_grid jobs =
+    Sweep.set_default_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Sweep.set_default_jobs 1)
+      (fun () -> time_wall grid_csv)
+  in
+  let run_mc jobs =
+    time_wall (fun () ->
+        Gnrflash_device.Variation.sample_devices ~jobs
+          ~base:Gnrflash_device.Fgt.paper_default ~n:120 ())
+  in
+  let g1, tg1 = run_grid 1 in
+  let gp, tgp = run_grid pool_jobs in
+  let m1, tm1 = run_mc 1 in
+  let mp, tmp = run_mc pool_jobs in
+  let row serial_s parallel_s identical = { serial_s; parallel_s; identical } in
+  let report name (r : scaling_row) =
+    Printf.printf
+      "  %-24s serial %7.1f ms  %d-domain %7.1f ms  speedup %.2fx  output %s\n"
+      name (r.serial_s *. 1e3) pool_jobs (r.parallel_s *. 1e3)
+      (r.serial_s /. r.parallel_s)
+      (if r.identical then "identical" else "DIFFERS")
+  in
+  let grid = row tg1 tgp (String.equal g1 gp) in
+  let monte_carlo =
+    row tm1 tmp (String.equal (Marshal.to_string m1 []) (Marshal.to_string mp []))
+  in
+  report "fig6+fig7 grid (CSV)" grid;
+  report "variation n=120" monte_carlo;
+  if cores < pool_jobs then
+    Printf.printf
+      "  (host has %d core(s) for %d domains: oversubscribed, no speedup expected)\n"
+      cores pool_jobs;
+  { cores; pool_jobs; grid; monte_carlo }
+
+(* ---------- part 3: bechamel timing ---------- *)
 
 let stage f = Staged.stage f
 
@@ -396,11 +470,12 @@ let run_benchmarks () =
           |> List.sort compare))
     all_tests
 
-(* ---------- part 3: telemetry artifact ---------- *)
+(* ---------- part 4: telemetry artifact ---------- *)
 
-(* Machine-readable bench trajectory: per-figure wall-clock timings plus the
-   full counter/span snapshot, written next to the repo's other BENCH data. *)
-let write_bench_telemetry ~path ~checks_passed snap =
+(* Machine-readable bench trajectory: per-figure wall-clock timings, the
+   serial-vs-parallel scaling rows, plus the full counter/span snapshot,
+   written next to the repo's other BENCH data. *)
+let write_bench_telemetry ~path ~checks_passed ~scaling snap =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\"schema\":\"gnrflash-bench-telemetry/1\",";
   Buffer.add_string b
@@ -426,7 +501,16 @@ let write_bench_telemetry ~path ~checks_passed snap =
        if i > 0 then Buffer.add_char b ',';
        Buffer.add_string b (Printf.sprintf "\"%s\":%.6e" name seconds))
     figures;
-  Buffer.add_string b "},\"telemetry\":";
+  let scaling_row (r : scaling_row) =
+    Printf.sprintf
+      "{\"serial_s\":%.6e,\"parallel_s\":%.6e,\"speedup\":%.3f,\"identical\":%b}"
+      r.serial_s r.parallel_s (r.serial_s /. r.parallel_s) r.identical
+  in
+  Buffer.add_string b
+    (Printf.sprintf "},\"sweep\":{\"cores\":%d,\"jobs\":%d,\"grid\":%s,\"monte_carlo\":%s}"
+       scaling.cores scaling.pool_jobs (scaling_row scaling.grid)
+       (scaling_row scaling.monte_carlo));
+  Buffer.add_string b ",\"telemetry\":";
   Buffer.add_string b (Tel.render_json snap);
   Buffer.add_string b "}\n";
   let oc = open_out path in
@@ -443,11 +527,12 @@ let () =
   print_extensions ();
   print_ablations ();
   let snap = Tel.snapshot () in
-  (* run the microbenchmarks with telemetry disabled so Bechamel measures the
-     production (counters-off) configuration *)
+  (* run the scaling comparison and the microbenchmarks with telemetry
+     disabled so both measure the production (counters-off) configuration *)
   Tel.disable ();
+  let scaling = sweep_scaling () in
   run_benchmarks ();
-  write_bench_telemetry ~path:"BENCH_telemetry.json" ~checks_passed snap;
+  write_bench_telemetry ~path:"BENCH_telemetry.json" ~checks_passed ~scaling snap;
   hr "Done";
   if not checks_passed then begin
     prerr_endline "bench: qualitative shape checks FAILED";

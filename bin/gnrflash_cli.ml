@@ -13,6 +13,24 @@ let out_dir_arg =
   let doc = "Directory for svg/csv output files." in
   Arg.(value & opt string "figures" & info [ "out"; "o" ] ~doc)
 
+(* ---- domain-parallel sweeps ---- *)
+
+let jobs_arg =
+  let doc =
+    "Domain pool size for the parameter sweeps (figure grids, Monte-Carlo \
+     ensembles). 1 runs the plain serial path; output is bit-identical for \
+     every $(docv)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    prerr_endline "gnrflash: --jobs must be >= 1";
+    exit 2
+  end;
+  Gnrflash.Sweep.set_default_jobs jobs;
+  f ()
+
 (* ---- solver telemetry ---- *)
 
 module Telemetry = Gnrflash.Telemetry
@@ -78,7 +96,8 @@ let fig_cmd =
       ("ext_idvg", Gnrflash.Extensions.id_vg_figure ());
     ]
   in
-  let run id format out_dir stats =
+  let run id format out_dir stats jobs =
+    with_jobs jobs @@ fun () ->
     with_stats stats @@ fun () ->
     let wanted =
       match id with
@@ -91,19 +110,20 @@ let fig_cmd =
   in
   let doc = "Regenerate a paper or extension figure." in
   Cmd.v (Cmd.info "fig" ~doc)
-    Term.(const run $ id_arg $ format_arg $ out_dir_arg $ stats_arg)
+    Term.(const run $ id_arg $ format_arg $ out_dir_arg $ stats_arg $ jobs_arg)
 
 (* ---- check command ---- *)
 
 let check_cmd =
-  let run stats =
+  let run stats jobs =
+    with_jobs jobs @@ fun () ->
     with_stats stats @@ fun () ->
     let checks = Gnrflash.Report.all_checks () in
     print_string (Gnrflash.Report.render checks);
     if List.exists (fun c -> not c.Gnrflash.Report.passed) checks then exit 1
   in
   let doc = "Run the paper-shape validation checks." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ stats_arg)
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ stats_arg $ jobs_arg)
 
 (* ---- transient command ---- *)
 
@@ -114,7 +134,8 @@ let transient_cmd =
   let duration_arg =
     Arg.(value & opt float 10. & info [ "duration" ] ~doc:"Integration horizon [s].")
   in
-  let run vgs duration stats =
+  let run vgs duration stats jobs =
+    with_jobs jobs @@ fun () ->
     with_stats stats @@ fun () ->
     let t = Gnrflash.Params.device () in
     match Gnrflash_device.Transient.run t ~vgs ~duration with
@@ -149,7 +170,7 @@ let transient_cmd =
   in
   let doc = "Integrate one program/erase transient and print the trajectory." in
   Cmd.v (Cmd.info "transient" ~doc)
-    Term.(const run $ vgs_arg $ duration_arg $ stats_arg)
+    Term.(const run $ vgs_arg $ duration_arg $ stats_arg $ jobs_arg)
 
 (* ---- retention command ---- *)
 
@@ -231,12 +252,15 @@ let optimize_cmd =
 let variation_cmd =
   let n_arg = Arg.(value & opt int 200 & info [ "n" ] ~doc:"Ensemble size.") in
   let seed_arg = Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run n seed =
+  let run n seed jobs =
+    with_jobs jobs @@ fun () ->
     let module V = Gnrflash_device.Variation in
     let base = Gnrflash.Params.device () in
-    let samples = V.sample_devices ~seed ~base ~n () in
+    let samples = V.sample_devices ~seed ~jobs ~base ~n () in
     let s = V.summarize samples in
     Printf.printf "ensemble of %d devices around the paper point:\n" s.V.n;
+    if s.V.n_failed > 0 then
+      Printf.printf "  failed solves   %d (excluded from statistics)\n" s.V.n_failed;
     Printf.printf "  t_prog median  %.3e s\n" s.V.t_prog_median;
     Printf.printf "  t_prog p95     %.3e s\n" s.V.t_prog_p95;
     Printf.printf "  p95/p5 spread  %.1fx\n" s.V.t_prog_spread;
@@ -244,7 +268,7 @@ let variation_cmd =
     Printf.printf "  XTO sensitivity %.2f decades/nm\n" (V.sensitivity_xto base)
   in
   let doc = "Monte-Carlo process-variation analysis." in
-  Cmd.v (Cmd.info "variation" ~doc) Term.(const run $ n_arg $ seed_arg)
+  Cmd.v (Cmd.info "variation" ~doc) Term.(const run $ n_arg $ seed_arg $ jobs_arg)
 
 (* ---- ftl command ---- *)
 

@@ -34,13 +34,14 @@ let model_comparison ?(fields_mv_cm = default_fields) () =
             ~thickness ~m_b ~ef () );
     ]
   in
-  List.map
-    (fun (name, j_of) ->
-       ( name,
-         Array.map
-           (fun e_mv -> (e_mv, U.to_a_per_cm2 (j_of (U.mv_per_cm e_mv))))
-           fields_mv_cm ))
-    models
+  (* (model, field) product; the Tsu-Esaki integrals dominate, so balance
+     them across domains rather than model by model *)
+  let rows =
+    Sweep.grid
+      (fun (_, j_of) e_mv -> (e_mv, U.to_a_per_cm2 (j_of (U.mv_per_cm e_mv))))
+      ~outer:(Array.of_list models) ~inner:fields_mv_cm
+  in
+  List.mapi (fun i (name, _) -> (name, rows.(i))) models
 
 let model_figure () =
   let rows = model_comparison () in
@@ -84,10 +85,11 @@ let optimize_design ?(gcr_range = (0.45, 0.7)) ?(xto_range_nm = (4., 9.)) () =
   let g0, g1 = gcr_range and x0, x1 = xto_range_nm in
   let gcrs = Grid.linspace g0 g1 6 in
   let xtos = Grid.linspace x0 x1 6 in
+  (* the full 6x6 design surface as one flat domain-parallel work queue *)
   let points =
-    Array.to_list gcrs
-    |> List.concat_map (fun gcr ->
-        Array.to_list xtos |> List.map (fun xto_nm -> evaluate_design ~gcr ~xto_nm))
+    Sweep.grid (fun gcr xto_nm -> evaluate_design ~gcr ~xto_nm) ~outer:gcrs ~inner:xtos
+    |> Array.to_list
+    |> List.concat_map Array.to_list
   in
   let viable =
     List.filter (fun p -> p.feasible && p.endurance >= 1e4) points
@@ -202,7 +204,7 @@ let retention_after_cycling ?(cycles_list = [ 0; 100; 1_000; 10_000 ]) () =
   let j_fresh =
     Q.Direct_tunneling.current_density fn ~v_ox ~thickness:t.D.Fgt.xto
   in
-  List.map
+  Sweep.map_list
     (fun cycles ->
        let traps = rel.D.Reliability.trap_per_charge *. per_cycle *. float_of_int cycles in
        let j_tat =
@@ -217,15 +219,16 @@ let retention_after_cycling ?(cycles_list = [ 0; 100; 1_000; 10_000 ]) () =
 (* ---------- Ext L: MLC error budget ---------- *)
 
 let mlc_error_budget ?(sigma_list = [ 0.05; 0.1; 0.2; 0.3; 0.45; 0.6 ]) () =
-  List.map (fun sigma -> M.Ber.analyze ~sigma_dvt:sigma ()) sigma_list
+  Sweep.map_list (fun sigma -> M.Ber.analyze ~sigma_dvt:sigma ()) sigma_list
 
 (* ---------- Ext M: temperature bake ---------- *)
 
 let bake_test ?(temps = [ 300.; 358.; 398.; 438. ]) ?(dvt0 = 2.0) () =
   let t = Params.device () in
   let qfg0 = D.Fgt.qfg_for_threshold_shift t ~dvt:dvt0 in
+  (* each temperature integrates a full retention trajectory - worth a domain *)
   let rows =
-    List.map
+    Sweep.map_list
       (fun temp -> (temp, D.Retention.retention_time ~temp t ~qfg0 ~criterion:0.8))
       temps
   in

@@ -4,22 +4,21 @@ module Q = Gnrflash_quantum
 module U = Gnrflash_physics.Units
 module Grid = Gnrflash_numerics.Grid
 
+(* equation (3) with QFG = 0, then equation (7): E = |VFG|/XTO *)
+let jv_point ~fn ~polarity ~gcr ~xto vgs =
+  let vfg = gcr *. vgs in
+  let v_drop = match polarity with `Program -> vfg | `Erase -> -.vfg in
+  let j =
+    if v_drop <= 0. then 0. else Q.Fn.current_density fn ~field:(v_drop /. xto)
+  in
+  (vgs, U.to_a_per_cm2 j)
+
 let jv_sweep_gcr ~polarity ~gcr ~xto_nm ~vgs_range ~points =
   let fn = Params.fn () in
   let xto = U.nm xto_nm in
   let v0, v1 = vgs_range in
   let vgs_grid = Grid.linspace v0 v1 points in
-  Array.map
-    (fun vgs ->
-       (* equation (3) with QFG = 0, then equation (7): E = |VFG|/XTO *)
-       let vfg = gcr *. vgs in
-       let v_drop = match polarity with `Program -> vfg | `Erase -> -.vfg in
-       let j =
-         if v_drop <= 0. then 0.
-         else Q.Fn.current_density fn ~field:(v_drop /. xto)
-       in
-       (vgs, U.to_a_per_cm2 j))
-    vgs_grid
+  Sweep.map (jv_point ~fn ~polarity ~gcr ~xto) vgs_grid
 
 let fig2_band_diagram () =
   let phi_j = U.ev_to_joule Params.phi_b_ev in
@@ -104,33 +103,33 @@ let fig5_transient () =
   in
   (fig, r.D.Transient.tsat)
 
-let gcr_family ~polarity ~vgs_range ~title =
+(* The Fig 6-9 families are full (parameter, VGS) Cartesian grids; Sweep.grid
+   flattens them into one work queue so the domains load-balance across the
+   whole surface rather than series by series. *)
+let family_figure ~title ~label ~vgs_range ~params ~point =
+  let fn = Params.fn () in
+  let v0, v1 = vgs_range in
+  let vgs_grid = Grid.linspace v0 v1 Params.sweep_points in
+  let rows = Sweep.grid (point ~fn) ~outer:(Array.of_list params) ~inner:vgs_grid in
   let series =
-    List.map
-      (fun gcr ->
-         let pts =
-           jv_sweep_gcr ~polarity ~gcr ~xto_nm:Params.xto_default_nm ~vgs_range
-             ~points:Params.sweep_points
-         in
-         Plot.Series.make ~label:(Printf.sprintf "GCR = %.0f%%" (gcr *. 100.)) pts)
-      Params.gcr_values
+    List.mapi (fun i p -> Plot.Series.make ~label:(label p) rows.(i)) params
   in
   Plot.Figure.make ~title ~xlabel:"VGS [V]" ~ylabel:"JFN [A/cm^2]"
     ~yscale:Plot.Scale.Log10 series
 
+let gcr_family ~polarity ~vgs_range ~title =
+  family_figure ~title ~vgs_range
+    ~label:(fun gcr -> Printf.sprintf "GCR = %.0f%%" (gcr *. 100.))
+    ~params:Params.gcr_values
+    ~point:(fun ~fn gcr vgs ->
+        jv_point ~fn ~polarity ~gcr ~xto:(U.nm Params.xto_default_nm) vgs)
+
 let xto_family ~polarity ~vgs_range ~title =
-  let series =
-    List.map
-      (fun xto_nm ->
-         let pts =
-           jv_sweep_gcr ~polarity ~gcr:Params.gcr_default ~xto_nm ~vgs_range
-             ~points:Params.sweep_points
-         in
-         Plot.Series.make ~label:(Printf.sprintf "XTO = %.0f nm" xto_nm) pts)
-      Params.xto_values_nm
-  in
-  Plot.Figure.make ~title ~xlabel:"VGS [V]" ~ylabel:"JFN [A/cm^2]"
-    ~yscale:Plot.Scale.Log10 series
+  family_figure ~title ~vgs_range
+    ~label:(fun xto_nm -> Printf.sprintf "XTO = %.0f nm" xto_nm)
+    ~params:Params.xto_values_nm
+    ~point:(fun ~fn xto_nm vgs ->
+        jv_point ~fn ~polarity ~gcr:Params.gcr_default ~xto:(U.nm xto_nm) vgs)
 
 let fig6_program_gcr () =
   gcr_family ~polarity:`Program ~vgs_range:Params.vgs_program_range

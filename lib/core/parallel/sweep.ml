@@ -1,0 +1,107 @@
+(* Domain-pool sweep engine. See sweep.mli for the execution model.
+
+   Safety argument for the shared state:
+   - [next] is the only cross-domain coordination on the hot path: an atomic
+     fetch-and-add handing out chunk indices (work stealing at chunk
+     granularity);
+   - [out] is an array of per-chunk result arrays; each slot is written by
+     exactly one domain (the one that claimed the chunk) and only read after
+     [Domain.join], which publishes the writes;
+   - the first exception is parked in [err] via compare-and-set and re-raised
+     on the caller's domain once the pool has drained. *)
+
+module Telemetry = Gnrflash_telemetry.Telemetry
+
+let available_jobs () = Domain.recommended_domain_count ()
+
+let default_jobs_cell = Atomic.make 1
+let set_default_jobs n = Atomic.set default_jobs_cell (max 1 n)
+let default_jobs () = Atomic.get default_jobs_cell
+
+(* splitmix64 finalizer over (seed, index), truncated to OCaml's
+   non-negative int range. Int64 arithmetic keeps the 64-bit wraparound the
+   constants were designed for. *)
+let splitmix ~seed ~index =
+  let open Int64 in
+  let mix z =
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+  in
+  let golden = 0x9E3779B97F4A7C15L in
+  (* two rounds of the stream: position [seed] then split by [index] *)
+  let z = mix (add (of_int seed) golden) in
+  let z = mix (add z (mul (of_int index) golden)) in
+  to_int (shift_right_logical z 2)
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some j when j >= 1 -> j
+  | Some _ -> invalid_arg "Sweep: jobs < 1"
+
+let resolve_chunk ~jobs ~n = function
+  | None -> max 1 (n / (8 * jobs))
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg "Sweep: chunk < 1"
+
+(* Run [work] over chunk indices [0 .. nchunks-1] on [jobs] domains; the
+   calling domain is one of the workers, so [jobs - 1] domains are spawned. *)
+let run_pool ~jobs ~nchunks work =
+  let next = Atomic.make 0 in
+  let err : exn option Atomic.t = Atomic.make None in
+  let drain () =
+    let continue = ref true in
+    while !continue do
+      let chunk = Atomic.fetch_and_add next 1 in
+      if chunk >= nchunks || Atomic.get err <> None then continue := false
+      else
+        try work chunk
+        with e -> ignore (Atomic.compare_and_set err None (Some e))
+    done
+  in
+  let prefix = Telemetry.context_prefix () in
+  let worker () =
+    (* adopt the caller's span context so parallel work is attributed (and
+       keyed) exactly like the serial equivalent, then hand the
+       domain-local telemetry to the global accumulator before joining *)
+    Fun.protect
+      ~finally:Telemetry.flush_local
+      (fun () -> Telemetry.with_context_prefix prefix drain)
+  in
+  let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  (* participate rather than idle-wait; the main domain keeps its own sink *)
+  drain ();
+  Array.iter Domain.join spawned;
+  match Atomic.get err with Some e -> raise e | None -> ()
+
+let mapi ?jobs ?chunk f xs =
+  let n = Array.length xs in
+  let jobs = resolve_jobs jobs in
+  if jobs = 1 || n <= 1 then Array.mapi f xs
+  else begin
+    let chunk = resolve_chunk ~jobs ~n chunk in
+    let nchunks = (n + chunk - 1) / chunk in
+    let out = Array.make nchunks [||] in
+    run_pool ~jobs:(min jobs nchunks) ~nchunks (fun ci ->
+        let lo = ci * chunk in
+        let len = min chunk (n - lo) in
+        out.(ci) <- Array.init len (fun k -> f (lo + k) xs.(lo + k)));
+    Array.concat (Array.to_list out)
+  end
+
+let map ?jobs ?chunk f xs = mapi ?jobs ?chunk (fun _ x -> f x) xs
+
+let init ?jobs ?chunk n f =
+  if n < 0 then invalid_arg "Sweep.init: n < 0";
+  mapi ?jobs ?chunk (fun i () -> f i) (Array.make n ())
+
+let map_list ?jobs ?chunk f xs =
+  Array.to_list (map ?jobs ?chunk f (Array.of_list xs))
+
+let grid ?jobs ?chunk f ~outer ~inner =
+  let no = Array.length outer and ni = Array.length inner in
+  if no = 0 || ni = 0 then Array.make no [||]
+  else begin
+    let flat = init ?jobs ?chunk (no * ni) (fun k -> f outer.(k / ni) inner.(k mod ni)) in
+    Array.init no (fun i -> Array.sub flat (i * ni) ni)
+  end

@@ -1,0 +1,65 @@
+(** Domain-parallel sweep engine for the dense parameter grids of the
+    reproduction: the Fig 6–9 [(VGS, GCR)] / [(VGS, XTO)] J–V grids, the
+    Monte-Carlo {!Gnrflash_device.Variation} ensembles, and the
+    retention/disturb/array sweeps.
+
+    Execution model: a fixed pool of [jobs] domains (the calling domain
+    participates as one of them) pulls fixed-size chunks of the index space
+    off a shared atomic queue — cheap work stealing, so an expensive region
+    of the sweep (e.g. slow transient solves near a threshold) does not
+    leave the other domains idle. Results are written per-chunk and
+    assembled in input order after the pool joins, so the output is
+    {e bit-identical} to the serial path regardless of [jobs], chunk size,
+    or scheduling. [~jobs:1] (the default unless {!set_default_jobs} was
+    called) never spawns a domain and degrades to the plain serial code.
+
+    Telemetry: workers adopt the submitting domain's span context
+    ({!Gnrflash_telemetry.Telemetry.with_context_prefix}) and flush their
+    domain-local sinks into the global accumulator before the pool joins,
+    so counter totals — and the keys they are recorded under — match a
+    serial run exactly. Span [total_s] sums the time spent in {e all}
+    domains (CPU-time-like, may exceed wall clock).
+
+    Exceptions raised by the mapped function are caught in the worker,
+    the pool drains, and the first one observed is re-raised in the
+    caller. *)
+
+val available_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what the hardware supports. *)
+
+val set_default_jobs : int -> unit
+(** Set the pool size used when [?jobs] is omitted (clamped to [>= 1]).
+    Wired to the CLI [--jobs] flag. *)
+
+val default_jobs : unit -> int
+(** Current default pool size; [1] (serial) unless {!set_default_jobs} was
+    called. *)
+
+val splitmix : seed:int -> index:int -> int
+(** A non-negative 62-bit hash of [(seed, index)] (splitmix64 finalizer).
+    Use as the per-element PRNG seed of a randomized sweep so every element
+    draws an independent stream: the result depends only on [(seed, index)],
+    never on chunking or job count, which is what makes e.g.
+    [Variation.sample_devices] reproducible across [--jobs] settings. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] is [Array.map f xs] evaluated on [jobs] domains.
+    [chunk] is the work-queue granularity (default [max 1 (n / (8*jobs))]).
+    @raise Invalid_argument if [jobs < 1] or [chunk < 1]. *)
+
+val mapi : ?jobs:int -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Indexed {!map}. *)
+
+val init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is [Array.init n f] evaluated on [jobs] domains.
+    @raise Invalid_argument if [n < 0]. *)
+
+val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)
+
+val grid :
+  ?jobs:int -> ?chunk:int -> ('a -> 'b -> 'c) -> outer:'a array ->
+  inner:'b array -> 'c array array
+(** [grid f ~outer ~inner] evaluates the full Cartesian product as one flat
+    work queue — [(grid f ~outer ~inner).(i).(j) = f outer.(i) inner.(j)] —
+    so load balances across the whole surface rather than row by row. *)

@@ -12,13 +12,29 @@
    - no dependencies beyond the stdlib + unix (for the wall clock), so the
      numerics layer can depend on this module without cycles.
 
-   State is global and per-process, matching the single-domain solver; the
-   counters are plain [int ref]s, to be revisited when sweeps go
-   Domain-parallel. *)
+   Domain-safety: every domain records into its own domain-local sink
+   (Domain.DLS), so the hot path stays lock-free. Worker domains spawned by
+   the Sweep pool call [flush_local] before they join, merging their sink
+   into a mutex-protected global accumulator; counters and span calls add,
+   span times add (total work across domains), gauges are last-writer in
+   merge order. Accessors ([counter], [snapshot], ...) see the merge of the
+   global accumulator and the calling domain's local sink, so single-domain
+   callers observe exactly the old semantics. *)
 
 type span_stat = {
   calls : int;
   total_s : float;
+}
+
+type sink = {
+  sink_counters : (string, int ref) Hashtbl.t;
+  sink_gauges : (string, float) Hashtbl.t;
+  sink_spans : (string, span_stat ref) Hashtbl.t;
+  (* Span-name stack plus its joined path, maintained on span entry/exit so
+     counter increments (the hot operation) never re-join the stack. The
+     prefix is "" at top level. *)
+  mutable context : string list;
+  mutable context_prefix : string;
 }
 
 type snapshot = {
@@ -27,85 +43,159 @@ type snapshot = {
   spans : (string * span_stat) list;
 }
 
-let enabled = ref false
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
-let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
-let spans : (string, span_stat ref) Hashtbl.t = Hashtbl.create 16
-let context : string list ref = ref []
+let make_sink () =
+  {
+    sink_counters = Hashtbl.create 64;
+    sink_gauges = Hashtbl.create 16;
+    sink_spans = Hashtbl.create 16;
+    context = [];
+    context_prefix = "";
+  }
 
-(* Joined context path, maintained on span entry/exit so counter increments
-   (the hot operation) never re-join the stack. Empty when at top level. *)
-let context_prefix = ref ""
+let enabled = Atomic.make false
 
-let enable () = enabled := true
-let disable () = enabled := false
-let is_enabled () = !enabled
+(* One sink per domain; the main domain's sink doubles as the primary store
+   so the single-domain path never touches the mutex. *)
+let sink_key : sink Domain.DLS.key = Domain.DLS.new_key make_sink
+let local () = Domain.DLS.get sink_key
+
+(* Merge target for worker-domain sinks, only touched under [merged_mutex]
+   by [flush_local] / [reset] and the read-side merge. *)
+let merged = make_sink ()
+let merged_mutex = Mutex.create ()
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+let clear_sink s =
+  Hashtbl.reset s.sink_counters;
+  Hashtbl.reset s.sink_gauges;
+  Hashtbl.reset s.sink_spans;
+  s.context <- [];
+  s.context_prefix <- ""
 
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset spans;
-  context := [];
-  context_prefix := ""
+  Mutex.protect merged_mutex (fun () -> clear_sink merged);
+  clear_sink (local ())
 
-let path name = if !context_prefix = "" then name else !context_prefix ^ "/" ^ name
+(* Fold [src] into [dst]: counters and span stats add, gauges overwrite. *)
+let merge_sink ~dst (src : sink) =
+  Hashtbl.iter
+    (fun key r ->
+       match Hashtbl.find_opt dst.sink_counters key with
+       | Some d -> d := !d + !r
+       | None -> Hashtbl.add dst.sink_counters key (ref !r))
+    src.sink_counters;
+  Hashtbl.iter (fun key v -> Hashtbl.replace dst.sink_gauges key v) src.sink_gauges;
+  Hashtbl.iter
+    (fun key r ->
+       match Hashtbl.find_opt dst.sink_spans key with
+       | Some d -> d := { calls = !d.calls + !r.calls; total_s = !d.total_s +. !r.total_s }
+       | None -> Hashtbl.add dst.sink_spans key (ref !r))
+    src.sink_spans
+
+let flush_local () =
+  let s = local () in
+  Mutex.protect merged_mutex (fun () -> merge_sink ~dst:merged s);
+  Hashtbl.reset s.sink_counters;
+  Hashtbl.reset s.sink_gauges;
+  Hashtbl.reset s.sink_spans
+
+(* Context propagation for the Sweep pool: a worker domain adopts the
+   submitting domain's span path so parallel work is keyed identically to
+   the serial equivalent. *)
+let context_prefix () = (local ()).context_prefix
+
+let with_context_prefix prefix f =
+  let s = local () in
+  let saved = s.context_prefix in
+  s.context_prefix <- prefix;
+  Fun.protect ~finally:(fun () -> s.context_prefix <- saved) f
+
+let path s name = if s.context_prefix = "" then name else s.context_prefix ^ "/" ^ name
 
 let count ?(n = 1) name =
-  if !enabled && n > 0 then begin
-    let key = path name in
-    match Hashtbl.find_opt counters key with
+  if Atomic.get enabled && n > 0 then begin
+    let s = local () in
+    let key = path s name in
+    match Hashtbl.find_opt s.sink_counters key with
     | Some r -> r := !r + n
-    | None -> Hashtbl.add counters key (ref n)
+    | None -> Hashtbl.add s.sink_counters key (ref n)
   end
 
-let gauge name v = if !enabled then Hashtbl.replace gauges (path name) v
+let gauge name v =
+  if Atomic.get enabled then begin
+    let s = local () in
+    Hashtbl.replace s.sink_gauges (path s name) v
+  end
 
 let span name f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
-    let saved_prefix = !context_prefix in
-    let key = path name in
-    context := name :: !context;
-    context_prefix := key;
+    let s = local () in
+    let saved_prefix = s.context_prefix in
+    let key = path s name in
+    s.context <- name :: s.context;
+    s.context_prefix <- key;
     let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
-        (match !context with _ :: rest -> context := rest | [] -> ());
-        context_prefix := saved_prefix;
+        (match s.context with _ :: rest -> s.context <- rest | [] -> ());
+        s.context_prefix <- saved_prefix;
         let dt = Unix.gettimeofday () -. t0 in
-        match Hashtbl.find_opt spans key with
+        match Hashtbl.find_opt s.sink_spans key with
         | Some r -> r := { calls = !r.calls + 1; total_s = !r.total_s +. dt }
-        | None -> Hashtbl.add spans key (ref { calls = 1; total_s = dt }))
+        | None -> Hashtbl.add s.sink_spans key (ref { calls = 1; total_s = dt }))
       f
   end
 
-(* ---- accessors ---- *)
+(* ---- accessors: local sink merged over the global accumulator ---- *)
 
-let counter name = match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+let read_both f =
+  Mutex.protect merged_mutex (fun () -> f merged (local ()))
+
+let counter name =
+  let get s = match Hashtbl.find_opt s.sink_counters name with Some r -> !r | None -> 0 in
+  read_both (fun m l -> get m + get l)
 
 (* Sum of every counter whose path is [name] or ends in "/name"; lets callers
    ask for e.g. "ode/rhs_eval" regardless of which span recorded it. *)
 let counter_total name =
   let suffix = "/" ^ name in
-  Hashtbl.fold
-    (fun key r acc ->
-       if key = name || String.ends_with ~suffix key then acc + !r else acc)
-    counters 0
+  let total s =
+    Hashtbl.fold
+      (fun key r acc ->
+         if key = name || String.ends_with ~suffix key then acc + !r else acc)
+      s.sink_counters 0
+  in
+  read_both (fun m l -> total m + total l)
 
-let span_stat name = Option.map ( ! ) (Hashtbl.find_opt spans name)
+let span_stat name =
+  read_both (fun m l ->
+      match Hashtbl.find_opt m.sink_spans name, Hashtbl.find_opt l.sink_spans name with
+      | None, None -> None
+      | Some r, None | None, Some r -> Some !r
+      | Some a, Some b ->
+        Some { calls = !a.calls + !b.calls; total_s = !a.total_s +. !b.total_s })
 
-let snapshot () =
-  let sorted tbl read = Hashtbl.fold (fun k v acc -> (k, read v) :: acc) tbl []
-                        |> List.sort compare in
-  {
-    counters = sorted counters ( ! );
-    gauges = sorted gauges Fun.id;
-    spans = sorted spans ( ! );
-  }
+let snapshot () : snapshot =
+  read_both (fun m l ->
+      let view = make_sink () in
+      merge_sink ~dst:view m;
+      merge_sink ~dst:view l;
+      let sorted tbl read =
+        Hashtbl.fold (fun k v acc -> (k, read v) :: acc) tbl [] |> List.sort compare
+      in
+      {
+        counters = sorted view.sink_counters ( ! );
+        gauges = sorted view.sink_gauges Fun.id;
+        spans = sorted view.sink_spans ( ! );
+      })
 
 (* ---- renderers ---- *)
 
-let render_text { counters; gauges; spans } =
+let render_text ({ counters; gauges; spans } : snapshot) =
   let b = Buffer.create 512 in
   let section title = Buffer.add_string b (title ^ ":\n") in
   if counters <> [] then begin
@@ -148,7 +238,7 @@ let json_float v =
   if Float.is_integer v && abs_float v < 1e15 then Printf.sprintf "%.1f" v
   else Printf.sprintf "%.17g" v
 
-let render_json { counters; gauges; spans } =
+let render_json ({ counters; gauges; spans } : snapshot) =
   let b = Buffer.create 512 in
   let entries items emit_v =
     Buffer.add_char b '{';

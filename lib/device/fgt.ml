@@ -17,13 +17,16 @@ type t = {
    SiO2's 0.9 eV affinity reproduces that barrier. *)
 let paper_electrode = Wf.Custom ("paper-default", 4.1)
 
-let make ?(vs = 0.) ?(tunnel_oxide = Oxide.sio2) ?(channel = paper_electrode)
-    ?(gate = paper_electrode) ~gcr ~xto ~xco ~area () =
+let make ?(vs = 0.) ?(tunnel_oxide = Oxide.sio2) ?control_oxide
+    ?(channel = paper_electrode) ?(gate = paper_electrode) ~gcr ~xto ~xco ~area () =
   if xto <= 0. || xco <= 0. then invalid_arg "Fgt.make: non-positive oxide thickness";
   if area <= 0. then invalid_arg "Fgt.make: non-positive area";
   if xco < xto then invalid_arg "Fgt.make: control oxide thinner than tunnel oxide";
+  (* the control-gate interface is its own dielectric: both the blocking FN
+     barrier and the CFC parallel plate come from it, not the tunnel oxide *)
+  let control_oxide = Option.value control_oxide ~default:tunnel_oxide in
   let cfc =
-    Capacitance.parallel_plate ~eps_r:tunnel_oxide.Oxide.eps_r ~area ~thickness:xco
+    Capacitance.parallel_plate ~eps_r:control_oxide.Oxide.eps_r ~area ~thickness:xco
   in
   let caps = Capacitance.of_gcr ~gcr ~cfc in
   {
@@ -32,7 +35,7 @@ let make ?(vs = 0.) ?(tunnel_oxide = Oxide.sio2) ?(channel = paper_electrode)
     xto;
     xco;
     tunnel_fn = Fn.of_interface channel tunnel_oxide;
-    control_fn = Fn.of_interface gate tunnel_oxide;
+    control_fn = Fn.of_interface gate control_oxide;
     vs;
   }
 

@@ -22,15 +22,20 @@ type t = {
 val make :
   ?vs:float ->
   ?tunnel_oxide:Gnrflash_materials.Oxide.t ->
+  ?control_oxide:Gnrflash_materials.Oxide.t ->
   ?channel:Gnrflash_materials.Workfunction.electrode ->
   ?gate:Gnrflash_materials.Workfunction.electrode ->
   gcr:float -> xto:float -> xco:float -> area:float -> unit -> t
 (** Build a device. Defaults follow the paper: SiO₂ oxides, MLGNR channel
     and CNT-contacted floating gate (both defaulting to the textbook
     Si/SiO₂-like 3.2 eV barrier via [channel]/[gate] of
-    [Custom ("paper", 4.1)]), [vs = 0]. [gcr] fixes the capacitance
-    network via {!Capacitance.of_gcr} with [cfc] from the control-oxide
-    parallel plate. @raise Invalid_argument for non-physical geometry. *)
+    [Custom ("paper", 4.1)]), [vs = 0]. [control_oxide] (default: the
+    tunnel oxide) sets the FG ↔ control-gate stack: both the blocking FN
+    barrier ([control_fn]) and the [cfc] parallel-plate permittivity come
+    from it, so a high-k blocking dielectric changes [j_out] without
+    touching the channel-side [j_in]. [gcr] fixes the capacitance network
+    via {!Capacitance.of_gcr} with [cfc] from the control-oxide parallel
+    plate. @raise Invalid_argument for non-physical geometry. *)
 
 val paper_default : t
 (** The device of the paper's worked example: GCR = 0.6, XTO = 5 nm,

@@ -1,4 +1,5 @@
 module Stats = Gnrflash_numerics.Stats
+module Sweep = Gnrflash_parallel.Sweep
 
 type spread = {
   sigma_xto : float;
@@ -14,6 +15,7 @@ type sample = {
   gcr : float;
   program_time : float;
   dvt_fixed_pulse : float;
+  solve_failed : bool;
 }
 
 let gaussian state =
@@ -35,32 +37,44 @@ let perturbed_device ~base ~spread state =
     Gnrflash_quantum.Fn.coefficients ~phi_b_ev:phi
       ~m_ox_rel:base_fn.Gnrflash_quantum.Fn.m_ox_rel
   in
+  (* only the channel <-> FG tunnel interface is perturbed; the control-gate
+     barrier is a different physical interface and keeps its base
+     coefficients *)
   let t = Fgt.with_xto (Fgt.with_gcr base gcr) xto in
-  ({ t with Fgt.tunnel_fn = fn; control_fn = fn }, xto, phi, gcr)
+  ({ t with Fgt.tunnel_fn = fn }, xto, phi, gcr)
 
+(* [Ok None] (threshold not reached within the horizon) is a legitimately
+   slow device, reported as [infinity]; only solver [Error]s count as failed
+   solves, so they can be excluded from the statistics rather than poisoning
+   them. *)
 let evaluate device =
-  let program_time =
+  let program_time, prog_failed =
     match Transient.time_to_threshold_shift device ~vgs:15. ~dvt:2. ~max_time:1. with
-    | Ok (Some t) -> t
-    | Ok None | Error _ -> infinity
+    | Ok (Some t) -> (t, false)
+    | Ok None -> (infinity, false)
+    | Error _ -> (infinity, true)
   in
-  let dvt_fixed_pulse =
+  let dvt_fixed_pulse, pulse_failed =
     match Transient.run device ~vgs:15. ~duration:100e-9 with
-    | Ok r -> r.Transient.dvt_final
-    | Error _ -> nan
+    | Ok r -> (r.Transient.dvt_final, false)
+    | Error _ -> (nan, true)
   in
-  (program_time, dvt_fixed_pulse)
+  (program_time, dvt_fixed_pulse, prog_failed || pulse_failed)
 
-let sample_devices ?(spread = default_spread) ?(seed = 2014) ~base ~n () =
+let sample_devices ?(spread = default_spread) ?(seed = 2014) ?jobs ~base ~n () =
   if n < 1 then invalid_arg "Variation.sample_devices: n < 1";
-  let state = Random.State.make [| seed |] in
-  Array.init n (fun _ ->
+  (* each sample seeds its own PRNG from splitmix(seed, index), so the draw
+     depends only on (seed, index) - never on chunking or job count - and
+     the ensemble is identical for any [jobs] *)
+  Sweep.init ?jobs n (fun index ->
+      let state = Random.State.make [| Sweep.splitmix ~seed ~index |] in
       let device, xto, phi_b_ev, gcr = perturbed_device ~base ~spread state in
-      let program_time, dvt_fixed_pulse = evaluate device in
-      { xto; phi_b_ev; gcr; program_time; dvt_fixed_pulse })
+      let program_time, dvt_fixed_pulse, solve_failed = evaluate device in
+      { xto; phi_b_ev; gcr; program_time; dvt_fixed_pulse; solve_failed })
 
 type summary = {
   n : int;
+  n_failed : int;
   t_prog_median : float;
   t_prog_p95 : float;
   t_prog_spread : float;
@@ -68,22 +82,26 @@ type summary = {
   dvt_sigma : float;
 }
 
+(* Statistics run over finite samples only, so one failed or saturated solve
+   widens [n_failed] instead of driving a percentile or mean to inf/nan. *)
 let summarize samples =
-  let times =
+  let finite_of field =
     Array.of_list
       (List.filter_map
-         (fun s -> if Float.is_finite s.program_time then Some s.program_time else None)
+         (fun s ->
+            let v = field s in
+            if Float.is_finite v && not s.solve_failed then Some v else None)
          (Array.to_list samples))
   in
+  let times = finite_of (fun s -> s.program_time) in
   if Array.length times = 0 then invalid_arg "Variation.summarize: no successful samples";
-  let dvts =
-    Array.of_list
-      (List.filter_map
-         (fun s -> if Float.is_nan s.dvt_fixed_pulse then None else Some s.dvt_fixed_pulse)
-         (Array.to_list samples))
+  let dvts = finite_of (fun s -> s.dvt_fixed_pulse) in
+  let n_failed =
+    Array.fold_left (fun acc s -> if s.solve_failed then acc + 1 else acc) 0 samples
   in
   {
     n = Array.length samples;
+    n_failed;
     t_prog_median = Stats.median times;
     t_prog_p95 = Stats.percentile 95. times;
     t_prog_spread = Stats.percentile 95. times /. Stats.percentile 5. times;

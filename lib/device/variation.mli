@@ -19,16 +19,23 @@ type sample = {
   gcr : float;
   program_time : float;   (** time to ΔVT = 2 V at 15 V [s]; [infinity] if unreached *)
   dvt_fixed_pulse : float;(** ΔVT after a fixed 100 ns pulse [V] *)
+  solve_failed : bool;    (** a transient solve returned [Error] for this device *)
 }
 
 val sample_devices :
-  ?spread:spread -> ?seed:int -> base:Fgt.t -> n:int -> unit -> sample array
+  ?spread:spread -> ?seed:int -> ?jobs:int -> base:Fgt.t -> n:int -> unit ->
+  sample array
 (** Draw [n] devices around [base] with independent Gaussian parameter
     perturbations (Box–Muller from a seeded PRNG) and evaluate each.
+    Sample [i] seeds its own PRNG from [Sweep.splitmix ~seed ~index:i], so
+    the ensemble is identical for every [jobs] (and chunking) setting;
+    [jobs] (default {!Gnrflash_parallel.Sweep.default_jobs}) spreads the
+    transient solves across a domain pool.
     @raise Invalid_argument if [n < 1]. *)
 
 type summary = {
   n : int;
+  n_failed : int;          (** samples whose transient solve errored *)
   t_prog_median : float;
   t_prog_p95 : float;      (** 95th percentile programming time *)
   t_prog_spread : float;   (** p95 / p5 ratio — decades of speed spread *)
@@ -37,8 +44,10 @@ type summary = {
 }
 
 val summarize : sample array -> summary
-(** Robust statistics over the ensemble (failed programming samples are
-    excluded from timing percentiles; at least one must succeed). *)
+(** Robust statistics over the ensemble: failed solves are counted in
+    [n_failed] and excluded — with every non-finite value — from the
+    percentiles and moments; at least one sample must have a finite
+    programming time. *)
 
 val sensitivity_xto : ?delta:float -> Fgt.t -> float
 (** d(log10 t_prog)/d(XTO) in decades per nm at the base point — the

@@ -88,16 +88,18 @@ let read_bit t ~index =
   | Ok () -> Ok (Cell.to_bit (Cell.read t.cells.(index)))
 
 let erase_all t =
-  let error = ref None in
-  let cells =
-    Array.map
-      (fun c ->
-         match !error with
-         | Some _ -> c
-         | None -> (match Cell.erase c with Ok c' -> c' | Error e -> error := Some e; c))
-      t.cells
+  (* every cell erases independently; sweep them across the domain pool and
+     report the first (lowest-index) failure for determinism *)
+  let results = Gnrflash_parallel.Sweep.map Cell.erase t.cells in
+  let error =
+    Array.fold_left
+      (fun acc r -> match acc, r with None, Error e -> Some e | _ -> acc)
+      None results
   in
-  match !error with Some e -> Error e | None -> Ok { t with cells }
+  match error with
+  | Some e -> Error e
+  | None ->
+    Ok { t with cells = Array.map (function Ok c -> c | Error _ -> assert false) results }
 
 let programming_current t ~simultaneous =
   if simultaneous < 0 then invalid_arg "Nor_array.programming_current: negative count";

@@ -68,10 +68,15 @@ let legendre_pd n x =
     (!p1, d)
   end
 
-let node_cache : (int, float array * float array) Hashtbl.t = Hashtbl.create 8
+(* Domain-local so parallel sweeps never race on the table; each domain
+   pays the (tiny) node build once per order instead of taking a lock on
+   every quadrature call. *)
+let node_cache_key : (int, float array * float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let gauss_legendre_nodes n =
   if n < 1 then invalid_arg "Quadrature.gauss_legendre_nodes: n < 1";
+  let node_cache = Domain.DLS.get node_cache_key in
   match Hashtbl.find_opt node_cache n with
   | Some nw -> Tel.count "quad/gauss_nodes_hit"; nw
   | None ->

@@ -14,7 +14,8 @@ let make ?(xlabel = "x") ?(ylabel = "y") ?(xscale = Scale.Linear)
     && (match yscale with Scale.Log10 -> y > 0. | Scale.Linear -> true)
     && Float.is_finite x && Float.is_finite y
   in
-  let series = List.map (Series.filter keep) series in
+  (* per-series filtering of dense sweeps shares the figure's job pool *)
+  let series = Gnrflash_parallel.Sweep.map_list (Series.filter keep) series in
   let non_empty = List.exists (fun s -> Array.length s.Series.points > 0) series in
   if not non_empty then invalid_arg "Figure.make: no plottable points";
   { title; xlabel; ylabel; xscale; yscale; series }

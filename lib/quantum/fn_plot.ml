@@ -1,4 +1,5 @@
 module Reg = Gnrflash_numerics.Regression
+module Sweep = Gnrflash_parallel.Sweep
 
 type extraction = {
   a : float;
@@ -7,7 +8,7 @@ type extraction = {
 }
 
 let points p ~fields =
-  Array.map
+  Sweep.map
     (fun e ->
        if e <= 0. then invalid_arg "Fn_plot.points: non-positive field";
        let j = Fn.current_density p ~field:e in
@@ -36,5 +37,5 @@ let extract ~fields ~currents =
   end
 
 let extract_from_model p ~fields =
-  let currents = Array.map (fun e -> Fn.current_density p ~field:e) fields in
+  let currents = Sweep.map (fun e -> Fn.current_density p ~field:e) fields in
   extract ~fields ~currents

@@ -84,6 +84,45 @@ let prop_currents_nonnegative =
     (fun (vgs, qfg) ->
        F.j_in t ~vgs ~qfg >= 0. && F.j_out t ~vgs ~qfg >= 0.)
 
+let test_control_oxide_decoupled () =
+  (* regression: the control-gate stack must come from the control oxide.
+     Same geometry with a high-k Al2O3 blocking dielectric: at (vgs, qfg=0)
+     the floating-gate potential GCR*VGS and both fields are unchanged, so
+     the channel-side injection j_in is bit-identical, while the blocking
+     barrier (gate/Al2O3 interface) changes j_out. *)
+  let geometry = (0.6, 5e-9, 10e-9, 32e-9 *. 32e-9) in
+  let build ?control_oxide () =
+    let gcr, xto, xco, area = geometry in
+    F.make ?control_oxide ~gcr ~xto ~xco ~area ()
+  in
+  let sio2 = build () in
+  let hik = build ~control_oxide:Gnrflash_materials.Oxide.al2o3 () in
+  check_close ~tol:1e-12 "tunnel barrier unchanged"
+    sio2.F.tunnel_fn.Gnrflash_quantum.Fn.phi_b_ev
+    hik.F.tunnel_fn.Gnrflash_quantum.Fn.phi_b_ev;
+  check_true "control barrier changed"
+    (sio2.F.control_fn.Gnrflash_quantum.Fn.phi_b_ev
+     <> hik.F.control_fn.Gnrflash_quantum.Fn.phi_b_ev);
+  check_true "high-k raises CFC"
+    (hik.F.caps.Cap.cfc > sio2.F.caps.Cap.cfc);
+  (* at a truly fixed field the tunnel current is bit-identical... *)
+  let e_fix = 1.2e9 in
+  check_abs ~tol:0. "tunnel J identical at fixed field"
+    (Gnrflash_quantum.Fn.current_density sio2.F.tunnel_fn ~field:e_fix)
+    (Gnrflash_quantum.Fn.current_density hik.F.tunnel_fn ~field:e_fix);
+  (* ...and at fixed bias j_in agrees to rounding (gcr is re-derived from
+     the capacitor network, so the field carries an ulp of cfc) *)
+  check_close ~tol:1e-9 "j_in unchanged at fixed bias"
+    (F.j_in sio2 ~vgs:15. ~qfg:0.) (F.j_in hik ~vgs:15. ~qfg:0.);
+  (* erase polarity from a 0 V gate: extraction runs through the blocking
+     stack, whose FN coefficients now differ *)
+  let jo_sio2 = F.j_out sio2 ~vgs:15. ~qfg:0. in
+  let jo_hik = F.j_out hik ~vgs:15. ~qfg:0. in
+  check_true "j_out responds to the control oxide" (jo_sio2 <> jo_hik);
+  (* default control oxide keeps the seed behavior exactly *)
+  check_abs ~tol:0. "default degenerates to tunnel oxide"
+    (F.j_out sio2 ~vgs:15. ~qfg:0.) (F.j_out t ~vgs:15. ~qfg:0.)
+
 let () =
   Alcotest.run "fgt"
     [
@@ -102,6 +141,7 @@ let () =
           case "with_xto" test_with_xto;
           case "make validation" test_make_validation;
           case "source bias" test_source_bias;
+          case "control oxide decoupled" test_control_oxide_decoupled;
           prop_vfg_linear_in_vgs;
           prop_currents_nonnegative;
         ] );

@@ -1,0 +1,172 @@
+module Sweep = Gnrflash.Sweep
+module Tel = Gnrflash_telemetry.Telemetry
+open Gnrflash_testing.Testing
+
+(* a float-heavy mapped function: parity checks below compare with (=), so
+   bit-identical means the parallel assembly really is order-preserving *)
+let work x = (sin (x *. 1.7) *. exp (-.x *. x /. 50.)) +. (x /. 3.)
+
+let prop_map_parity =
+  prop "map ~jobs ~chunk bit-identical to Array.map"
+    QCheck2.Gen.(
+      triple
+        (array_size (int_range 0 60) (float_range (-100.) 100.))
+        (int_range 1 6) (int_range 1 9))
+    (fun (xs, jobs, chunk) ->
+       Sweep.map ~jobs ~chunk work xs = Array.map work xs)
+
+let prop_mapi_parity =
+  prop "mapi carries the right index to every element"
+    QCheck2.Gen.(pair (int_range 0 50) (int_range 1 5))
+    (fun (n, jobs) ->
+       let xs = Array.init n (fun i -> float_of_int i) in
+       Sweep.mapi ~jobs (fun i x -> (i, work x)) xs
+       = Array.mapi (fun i x -> (i, work x)) xs)
+
+let test_jobs_invariant () =
+  (* same ensemble for every pool size, including chunk sizes that do not
+     divide n evenly *)
+  let xs = Array.init 41 (fun i -> (float_of_int i /. 7.) -. 2.) in
+  let reference = Sweep.map ~jobs:1 work xs in
+  List.iter
+    (fun jobs ->
+       List.iter
+         (fun chunk ->
+            check_true
+              (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
+              (Sweep.map ~jobs ~chunk work xs = reference))
+         [ 1; 3; 41; 100 ])
+    [ 1; 2; 4 ]
+
+let test_grid_layout () =
+  let outer = [| 1.; 2.; 3. |] and inner = [| 10.; 20. |] in
+  let g = Sweep.grid ~jobs:2 (fun a b -> (a, b)) ~outer ~inner in
+  Alcotest.(check int) "rows" 3 (Array.length g);
+  Array.iteri
+    (fun i row ->
+       Alcotest.(check int) "cols" 2 (Array.length row);
+       Array.iteri
+         (fun j (a, b) ->
+            check_close ~tol:0. "outer" outer.(i) a;
+            check_close ~tol:0. "inner" inner.(j) b)
+         row)
+    g
+
+let test_empty_and_edges () =
+  check_true "empty map" (Sweep.map ~jobs:4 work [||] = [||]);
+  check_true "init 0" (Sweep.init ~jobs:4 0 float_of_int = [||]);
+  check_true "singleton" (Sweep.map ~jobs:4 work [| 2. |] = [| work 2. |]);
+  check_true "map_list order"
+    (Sweep.map_list ~jobs:3 (fun x -> -x) [ 1; 2; 3; 4; 5 ]
+     = [ -1; -2; -3; -4; -5 ]);
+  check_true "empty grid"
+    (Sweep.grid ~jobs:2 (fun a b -> a +. b) ~outer:[||] ~inner:[| 1. |] = [||])
+
+let test_validation () =
+  Alcotest.check_raises "jobs 0" (Invalid_argument "Sweep: jobs < 1") (fun () ->
+      ignore (Sweep.map ~jobs:0 work [| 1.; 2. |]));
+  Alcotest.check_raises "chunk 0" (Invalid_argument "Sweep: chunk < 1") (fun () ->
+      ignore (Sweep.map ~jobs:2 ~chunk:0 work [| 1.; 2. |]));
+  Alcotest.check_raises "negative init" (Invalid_argument "Sweep.init: n < 0")
+    (fun () -> ignore (Sweep.init ~jobs:2 (-1) float_of_int))
+
+let test_exception_propagates () =
+  Alcotest.check_raises "worker exception reaches caller"
+    (Failure "boom at 17") (fun () ->
+      ignore
+        (Sweep.init ~jobs:3 ~chunk:2 40 (fun i ->
+             if i = 17 then failwith "boom at 17" else i)))
+
+let test_splitmix () =
+  let a = Sweep.splitmix ~seed:1 ~index:0 in
+  check_true "deterministic" (a = Sweep.splitmix ~seed:1 ~index:0);
+  check_true "non-negative" (a >= 0);
+  check_true "index decorrelates" (a <> Sweep.splitmix ~seed:1 ~index:1);
+  check_true "seed decorrelates" (a <> Sweep.splitmix ~seed:2 ~index:0);
+  (* no collisions over a small grid of streams *)
+  let seen = Hashtbl.create 256 in
+  for seed = 0 to 15 do
+    for index = 0 to 15 do
+      Hashtbl.replace seen (Sweep.splitmix ~seed ~index) ()
+    done
+  done;
+  Alcotest.(check int) "256 distinct hashes" 256 (Hashtbl.length seen)
+
+let test_default_jobs () =
+  let saved = Sweep.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Sweep.set_default_jobs saved)
+    (fun () ->
+       Sweep.set_default_jobs 3;
+       Alcotest.(check int) "set" 3 (Sweep.default_jobs ());
+       Sweep.set_default_jobs 0;
+       Alcotest.(check int) "clamped to 1" 1 (Sweep.default_jobs ());
+       check_true "available >= 1" (Sweep.available_jobs () >= 1))
+
+(* instrumented workload: counters + a span inside the mapped function, so
+   the totals exercise the per-domain sinks and the pool-join merge *)
+let counted_run ~jobs =
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:Tel.disable (fun () ->
+      let out =
+        Sweep.init ~jobs ~chunk:3 32 (fun i ->
+            Tel.count "sweep_test/evals";
+            Tel.span "sweep_test/inner" (fun () -> work (float_of_int i)))
+      in
+      let evals = Tel.counter_total "sweep_test/evals" in
+      let span_calls =
+        match Tel.span_stat "sweep_test/inner" with
+        | Some s -> s.Tel.calls
+        | None -> 0
+      in
+      (out, evals, span_calls))
+
+let test_telemetry_totals_match_serial () =
+  let out1, evals1, calls1 = counted_run ~jobs:1 in
+  Alcotest.(check int) "serial evals" 32 evals1;
+  Alcotest.(check int) "serial span calls" 32 calls1;
+  List.iter
+    (fun jobs ->
+       let outp, evalsp, callsp = counted_run ~jobs in
+       check_true "results match serial" (outp = out1);
+       Alcotest.(check int)
+         (Printf.sprintf "evals at jobs=%d" jobs)
+         evals1 evalsp;
+       Alcotest.(check int)
+         (Printf.sprintf "span calls at jobs=%d" jobs)
+         calls1 callsp)
+    [ 2; 4 ]
+
+let test_telemetry_context_prefix_adopted () =
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:Tel.disable (fun () ->
+      Tel.span "outer_sweep" (fun () ->
+          ignore
+            (Sweep.init ~jobs:2 ~chunk:1 8 (fun i ->
+                 Tel.count "hit";
+                 i)));
+      (* workers counted under the submitting domain's span path, exactly
+         like a serial run would *)
+      Alcotest.(check int) "prefixed key" 8 (Tel.counter "outer_sweep/hit");
+      Alcotest.(check int) "bare key unused" 0 (Tel.counter "hit"))
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "sweep",
+        [
+          case "identical across jobs and chunks" test_jobs_invariant;
+          case "grid layout" test_grid_layout;
+          case "empty and edge cases" test_empty_and_edges;
+          case "validation" test_validation;
+          case "exception propagates" test_exception_propagates;
+          case "splitmix hashing" test_splitmix;
+          case "default jobs" test_default_jobs;
+          case "telemetry totals match serial" test_telemetry_totals_match_serial;
+          case "telemetry context adopted" test_telemetry_context_prefix_adopted;
+          prop_map_parity;
+          prop_mapi_parity;
+        ] );
+    ]

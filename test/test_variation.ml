@@ -65,7 +65,35 @@ let test_summarize_empty_fails () =
       ignore
         (V.summarize
            [| { V.xto = 1e-9; phi_b_ev = 3.; gcr = 0.5; program_time = infinity;
-                dvt_fixed_pulse = nan } |]))
+                dvt_fixed_pulse = nan; solve_failed = true } |]))
+
+let test_jobs_invariant () =
+  (* per-sample splitmix seeding: the ensemble must be identical no matter
+     how it is chunked over domains *)
+  let reference = V.sample_devices ~seed:11 ~jobs:1 ~base ~n:9 () in
+  List.iter
+    (fun jobs ->
+       let run = V.sample_devices ~seed:11 ~jobs ~base ~n:9 () in
+       check_true (Printf.sprintf "jobs=%d matches serial" jobs) (run = reference))
+    [ 1; 2; 4 ]
+
+let test_summarize_with_failed_solve () =
+  let good t dvt =
+    { V.xto = 5e-9; phi_b_ev = 3.2; gcr = 0.6; program_time = t;
+      dvt_fixed_pulse = dvt; solve_failed = false }
+  in
+  let failed =
+    { V.xto = 5e-9; phi_b_ev = 3.2; gcr = 0.6; program_time = infinity;
+      dvt_fixed_pulse = nan; solve_failed = true }
+  in
+  let s = V.summarize [| good 1e-6 2.0; failed; good 4e-6 2.4 |] in
+  Alcotest.(check int) "all samples counted" 3 s.V.n;
+  Alcotest.(check int) "one failed solve" 1 s.V.n_failed;
+  (* the failure is excluded rather than poisoning the statistics *)
+  check_true "median finite" (Float.is_finite s.V.t_prog_median);
+  check_close ~tol:1e-12 "median over finite times" 2.5e-6 s.V.t_prog_median;
+  check_close ~tol:1e-12 "dvt mean over finite dvts" 2.2 s.V.dvt_mean;
+  check_true "dvt sigma finite" (Float.is_finite s.V.dvt_sigma)
 
 let () =
   Alcotest.run "variation"
@@ -80,5 +108,7 @@ let () =
           case "oxide dominates" test_oxide_sensitivity_dominates;
           case "xto sensitivity" test_sensitivity_xto;
           case "empty summary" test_summarize_empty_fails;
+          case "identical across job counts" test_jobs_invariant;
+          case "failed solve excluded from stats" test_summarize_with_failed_solve;
         ] );
     ]
