@@ -472,10 +472,42 @@ let run_benchmarks () =
 
 (* ---------- part 4: telemetry artifact ---------- *)
 
+(* Per-figure fallback/budget counter totals. Counters bumped while a
+   figure regenerates carry that figure's span-context prefix
+   (e.g. figure/fig5/transient/run/resilience/fallback_used), so summing
+   every counter under figure/<name>/ that ends with the resilience key
+   gives the figure's total. On the golden parameter set every figure must
+   solve on the first rung: any fallback use is a regression. *)
+type resilience_row = {
+  fig : string;
+  fallback_used : int;
+  budget_exhausted_n : int;
+}
+
+let resilience_rows snap =
+  let total fig key =
+    let prefix = "figure/" ^ fig ^ "/" in
+    let suffix = "resilience/" ^ key in
+    List.fold_left
+      (fun acc (name, v) ->
+         if String.starts_with ~prefix name && String.ends_with ~suffix name
+         then acc + v
+         else acc)
+      0 snap.Tel.counters
+  in
+  List.map
+    (fun (fig, _) ->
+       {
+         fig;
+         fallback_used = total fig "fallback_used";
+         budget_exhausted_n = total fig "budget_exhausted";
+       })
+    figure_generators
+
 (* Machine-readable bench trajectory: per-figure wall-clock timings, the
    serial-vs-parallel scaling rows, plus the full counter/span snapshot,
    written next to the repo's other BENCH data. *)
-let write_bench_telemetry ~path ~checks_passed ~scaling snap =
+let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience snap =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\"schema\":\"gnrflash-bench-telemetry/1\",";
   Buffer.add_string b
@@ -510,6 +542,15 @@ let write_bench_telemetry ~path ~checks_passed ~scaling snap =
     (Printf.sprintf "},\"sweep\":{\"cores\":%d,\"jobs\":%d,\"grid\":%s,\"monte_carlo\":%s}"
        scaling.cores scaling.pool_jobs (scaling_row scaling.grid)
        (scaling_row scaling.monte_carlo));
+  Buffer.add_string b ",\"resilience\":{";
+  List.iteri
+    (fun i r ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b
+         (Printf.sprintf "\"%s\":{\"fallback_used\":%d,\"budget_exhausted\":%d}"
+            r.fig r.fallback_used r.budget_exhausted_n))
+    resilience;
+  Buffer.add_char b '}';
   Buffer.add_string b ",\"telemetry\":";
   Buffer.add_string b (Tel.render_json snap);
   Buffer.add_string b "}\n";
@@ -532,9 +573,22 @@ let () =
   Tel.disable ();
   let scaling = sweep_scaling () in
   run_benchmarks ();
-  write_bench_telemetry ~path:"BENCH_telemetry.json" ~checks_passed ~scaling snap;
+  let resilience = resilience_rows snap in
+  write_bench_telemetry ~path:"BENCH_telemetry.json" ~checks_passed ~scaling
+    ~resilience snap;
+  hr "Resilience (per-figure fallback/budget counters)";
+  List.iter
+    (fun r ->
+       Printf.printf "  %-6s fallback_used=%d budget_exhausted=%d\n" r.fig
+         r.fallback_used r.budget_exhausted_n)
+    resilience;
+  let fallbacks_used = List.exists (fun r -> r.fallback_used > 0) resilience in
+  if fallbacks_used then
+    prerr_endline
+      "bench: a figure needed a fallback rung on the golden parameter set";
   hr "Done";
-  if not checks_passed then begin
-    prerr_endline "bench: qualitative shape checks FAILED";
+  if not checks_passed || fallbacks_used then begin
+    if not checks_passed then
+      prerr_endline "bench: qualitative shape checks FAILED";
     exit 1
   end

@@ -45,6 +45,33 @@ let stats_arg =
        & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
        & info [ "stats" ] ~docv:"FORMAT" ~doc)
 
+(* ---- solver budgets ---- *)
+
+module Resilience = Gnrflash.Resilience
+
+let budget_ms_arg =
+  let doc =
+    "Wall-clock budget for the solver work, in milliseconds. When the \
+     budget runs out the solvers stop cooperatively and report a typed \
+     budget_exhausted error (exit code 3) instead of running on."
+  in
+  Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS" ~doc)
+
+(* Install a wall-clock budget (when requested) for the dynamic extent of
+   [f]; an exhausted budget escaping as an exception exits with code 3. *)
+let with_budget budget_ms f =
+  match budget_ms with
+  | None -> f ()
+  | Some ms ->
+    if ms <= 0. then begin
+      prerr_endline "gnrflash: --budget-ms must be > 0";
+      exit 2
+    end;
+    (try Resilience.Budget.with_budget (Resilience.Budget.make ~wall_ms:ms ()) f
+     with Resilience.Solver_error.Solver_failure e ->
+       prerr_endline ("budget exhausted: " ^ Resilience.Solver_error.to_string e);
+       exit 3)
+
 (* Run [f] with telemetry enabled when requested, then print the snapshot. *)
 let with_stats stats f =
   match stats with
@@ -115,15 +142,17 @@ let fig_cmd =
 (* ---- check command ---- *)
 
 let check_cmd =
-  let run stats jobs =
+  let run stats jobs budget_ms =
     with_jobs jobs @@ fun () ->
     with_stats stats @@ fun () ->
+    with_budget budget_ms @@ fun () ->
     let checks = Gnrflash.Report.all_checks () in
     print_string (Gnrflash.Report.render checks);
     if List.exists (fun c -> not c.Gnrflash.Report.passed) checks then exit 1
   in
   let doc = "Run the paper-shape validation checks." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ stats_arg $ jobs_arg)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ stats_arg $ jobs_arg $ budget_ms_arg)
 
 (* ---- transient command ---- *)
 
@@ -134,14 +163,17 @@ let transient_cmd =
   let duration_arg =
     Arg.(value & opt float 10. & info [ "duration" ] ~doc:"Integration horizon [s].")
   in
-  let run vgs duration stats jobs =
+  let run vgs duration stats jobs budget_ms =
     with_jobs jobs @@ fun () ->
     with_stats stats @@ fun () ->
+    with_budget budget_ms @@ fun () ->
     let t = Gnrflash.Params.device () in
     match Gnrflash_device.Transient.run t ~vgs ~duration with
     | Error e ->
-      prerr_endline ("transient failed: " ^ e);
-      exit 1
+      prerr_endline ("transient failed: " ^ Resilience.Solver_error.to_string e);
+      (match e.Resilience.Solver_error.kind with
+       | Resilience.Solver_error.Budget_exhausted _ -> exit 3
+       | _ -> exit 1)
     | Ok r ->
       Printf.printf "%-12s %-12s %-10s %-12s %-12s\n" "time[s]" "QFG[C]" "VFG[V]"
         "Jin[A/cm2]" "Jout[A/cm2]";
@@ -166,11 +198,14 @@ let transient_cmd =
       (match Gnrflash_device.Transient.saturation_charge t ~vgs with
        | Ok q_star ->
          Printf.printf "fixed-point QFG (Jin = Jout) = %.4e C\n" q_star
-       | Error e -> Printf.printf "fixed-point solve failed: %s\n" e)
+       | Error e ->
+         Printf.printf "fixed-point solve failed: %s\n"
+           (Resilience.Solver_error.to_string e))
   in
   let doc = "Integrate one program/erase transient and print the trajectory." in
   Cmd.v (Cmd.info "transient" ~doc)
-    Term.(const run $ vgs_arg $ duration_arg $ stats_arg $ jobs_arg)
+    Term.(const run $ vgs_arg $ duration_arg $ stats_arg $ jobs_arg
+          $ budget_ms_arg)
 
 (* ---- retention command ---- *)
 
@@ -252,15 +287,20 @@ let optimize_cmd =
 let variation_cmd =
   let n_arg = Arg.(value & opt int 200 & info [ "n" ] ~doc:"Ensemble size.") in
   let seed_arg = Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run n seed jobs =
+  let run n seed jobs budget_ms =
     with_jobs jobs @@ fun () ->
+    with_budget budget_ms @@ fun () ->
     let module V = Gnrflash_device.Variation in
     let base = Gnrflash.Params.device () in
     let samples = V.sample_devices ~seed ~jobs ~base ~n () in
     let s = V.summarize samples in
     Printf.printf "ensemble of %d devices around the paper point:\n" s.V.n;
-    if s.V.n_failed > 0 then
+    if s.V.n_failed > 0 then begin
       Printf.printf "  failed solves   %d (excluded from statistics)\n" s.V.n_failed;
+      List.iter
+        (fun (cls, count) -> Printf.printf "    %-18s %d\n" cls count)
+        s.V.failed_by_class
+    end;
     Printf.printf "  t_prog median  %.3e s\n" s.V.t_prog_median;
     Printf.printf "  t_prog p95     %.3e s\n" s.V.t_prog_p95;
     Printf.printf "  p95/p5 spread  %.1fx\n" s.V.t_prog_spread;
@@ -268,7 +308,8 @@ let variation_cmd =
     Printf.printf "  XTO sensitivity %.2f decades/nm\n" (V.sensitivity_xto base)
   in
   let doc = "Monte-Carlo process-variation analysis." in
-  Cmd.v (Cmd.info "variation" ~doc) Term.(const run $ n_arg $ seed_arg $ jobs_arg)
+  Cmd.v (Cmd.info "variation" ~doc)
+    Term.(const run $ n_arg $ seed_arg $ jobs_arg $ budget_ms_arg)
 
 (* ---- ftl command ---- *)
 

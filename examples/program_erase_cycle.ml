@@ -35,7 +35,7 @@ let () =
   (* The transient inside the program pulse, as in paper Figs 4-5. *)
   print_newline ();
   (match D.Transient.run D.Fgt.paper_default ~vgs:15. ~duration:10. with
-   | Error e -> prerr_endline e
+   | Error e -> prerr_endline (Gnrflash_resilience.Solver_error.to_string e)
    | Ok r ->
      Printf.printf "programming transient (tsat = %s):\n"
        (match r.D.Transient.tsat with

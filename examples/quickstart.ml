@@ -22,7 +22,9 @@ let () =
 
   (* Program the cell for 100 us and look at the threshold shift. *)
   (match D.Transient.run fgt ~vgs:15. ~duration:100e-6 with
-   | Error e -> prerr_endline ("transient failed: " ^ e)
+   | Error e ->
+     prerr_endline
+       ("transient failed: " ^ Gnrflash_resilience.Solver_error.to_string e)
    | Ok r ->
      Printf.printf "after 100 us: QFG = %.3e C, dVT = %.2f V%s\n"
        r.D.Transient.qfg_final r.D.Transient.dvt_final

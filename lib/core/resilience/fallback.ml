@@ -1,0 +1,29 @@
+module Tel = Gnrflash_telemetry.Telemetry
+
+type 'a rung = { name : string; attempt : unit -> ('a, Solver_error.t) result }
+
+let rung name attempt = { name; attempt }
+
+let stop_escalating (e : Solver_error.t) =
+  match e.kind with
+  | Solver_error.Budget_exhausted _ | Solver_error.Invalid_input _ -> true
+  | _ -> false
+
+let run rungs =
+  if rungs = [] then invalid_arg "Fallback.run: empty ladder";
+  let rec go idx = function
+    | [] -> assert false
+    | r :: rest -> (
+      Tel.count "resilience/rung_attempt";
+      match Solver_error.protect r.attempt with
+      | Ok v ->
+        if idx > 0 then begin
+          Tel.count "resilience/fallback_used";
+          Tel.count ("resilience/fallback_rung/" ^ r.name)
+        end;
+        Ok v
+      | Error e ->
+        Tel.count "resilience/rung_failed";
+        if rest = [] || stop_escalating e then Error e else go (idx + 1) rest)
+  in
+  go 0 rungs

@@ -1,0 +1,23 @@
+(** Escalation ladders: try a primary solve strategy, then progressively
+    cheaper/looser ones, recording which rung succeeded via Telemetry.
+
+    Counters (under the caller's span context):
+    - [resilience/rung_attempt] — every rung tried
+    - [resilience/rung_failed] — rungs that returned [Error] (or raised
+      [Solver_failure])
+    - [resilience/fallback_used] — a rung other than the first succeeded
+    - [resilience/fallback_rung/<name>] — which rung rescued the solve
+
+    Escalation stops early on [Budget_exhausted] (trying a looser rung
+    cannot un-exhaust the budget) and on [Invalid_input] (the call is
+    ill-posed, not numerically unlucky). *)
+
+type 'a rung
+
+val rung : string -> (unit -> ('a, Solver_error.t) result) -> 'a rung
+(** A named strategy. Raised [Solver_failure]s are caught and treated as
+    that rung's [Error]. *)
+
+val run : 'a rung list -> ('a, Solver_error.t) result
+(** Try rungs in order, returning the first [Ok]. If every rung fails,
+    returns the last rung's error. [run []] is invalid. *)

@@ -16,7 +16,7 @@ let dvt_after_events ?(config = default_config) t ~qfg0 ~events =
     if duration <= 0. then Ok (Fgt.threshold_shift t ~qfg:qfg0)
     else
       match Transient.run ~qfg0 t ~vgs:config.v_disturb ~duration with
-      | Error e -> Error e
+      | Error e -> Error (Gnrflash_resilience.Solver_error.to_string e)
       | Ok r -> Ok r.Transient.dvt_final
   end
 

@@ -32,7 +32,7 @@ let run ?(config = default) t ~qfg0 =
       else begin
         let pulse = { Program_erase.vgs; duration = config.pulse_width } in
         match Program_erase.apply_pulse t ~qfg pulse with
-        | Error e -> Error e
+        | Error e -> Error (Gnrflash_resilience.Solver_error.to_string e)
         | Ok o ->
           let s =
             {

@@ -1,4 +1,8 @@
 module Tel = Gnrflash_telemetry.Telemetry
+module Err = Gnrflash_resilience.Solver_error
+module Budget = Gnrflash_resilience.Budget
+
+type error = Err.t
 
 type pulse = {
   vgs : float;
@@ -16,11 +20,17 @@ type outcome = {
 let default_program_pulse = { vgs = 15.; duration = 1e-3 }
 let default_erase_pulse = { vgs = -15.; duration = 1e-3 }
 
-let apply_pulse t ~qfg pulse =
-  if pulse.duration <= 0. then Error "Program_erase.apply_pulse: duration <= 0"
+let apply_pulse ?budget t ~qfg pulse =
+  if pulse.duration <= 0. then
+    Error
+      (Err.make ~solver:"Program_erase.apply_pulse"
+         (Err.Invalid_input "duration <= 0"))
   else Tel.span "program_erase/pulse" @@ fun () ->
     Tel.count "program_erase/pulse";
-    match Transient.run ~qfg0:qfg t ~vgs:pulse.vgs ~duration:pulse.duration with
+    match
+      Budget.with_opt budget @@ fun () ->
+      Transient.run ~qfg0:qfg t ~vgs:pulse.vgs ~duration:pulse.duration
+    with
     | Error e -> Error e
     | Ok r ->
       if r.Transient.tsat <> None then Tel.count "program_erase/saturated";
@@ -33,9 +43,11 @@ let apply_pulse t ~qfg pulse =
           saturated = r.Transient.tsat <> None;
         }
 
-let program ?(pulse = default_program_pulse) t ~qfg = apply_pulse t ~qfg pulse
+let program ?budget ?(pulse = default_program_pulse) t ~qfg =
+  apply_pulse ?budget t ~qfg pulse
 
-let erase ?(pulse = default_erase_pulse) t ~qfg = apply_pulse t ~qfg pulse
+let erase ?budget ?(pulse = default_erase_pulse) t ~qfg =
+  apply_pulse ?budget t ~qfg pulse
 
 let cycle ?(program_pulse = default_program_pulse) ?(erase_pulse = default_erase_pulse)
     t ~qfg =

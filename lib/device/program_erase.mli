@@ -1,4 +1,9 @@
-(** Pulse-level program and erase operations built on {!Transient}. *)
+(** Pulse-level program and erase operations built on {!Transient}.
+
+    Failures are typed [Gnrflash_resilience.Solver_error.t] values; an
+    optional [?budget] bounds the underlying transient solve. *)
+
+type error = Gnrflash_resilience.Solver_error.t
 
 type pulse = {
   vgs : float;       (** control-gate bias during the pulse [V] *)
@@ -13,15 +18,19 @@ type outcome = {
   saturated : bool;       (** the Jin = Jout event fired inside the pulse *)
 }
 
-val apply_pulse : Fgt.t -> qfg:float -> pulse -> (outcome, string) result
+val apply_pulse :
+  ?budget:Gnrflash_resilience.Budget.t ->
+  Fgt.t -> qfg:float -> pulse -> (outcome, error) result
 (** Run one bias pulse from the given initial charge. *)
 
 val program :
-  ?pulse:pulse -> Fgt.t -> qfg:float -> (outcome, string) result
+  ?budget:Gnrflash_resilience.Budget.t ->
+  ?pulse:pulse -> Fgt.t -> qfg:float -> (outcome, error) result
 (** One programming pulse; defaults to the paper's VGS = 15 V for 1 ms. *)
 
 val erase :
-  ?pulse:pulse -> Fgt.t -> qfg:float -> (outcome, string) result
+  ?budget:Gnrflash_resilience.Budget.t ->
+  ?pulse:pulse -> Fgt.t -> qfg:float -> (outcome, error) result
 (** One erase pulse; defaults to VGS = −15 V for 1 ms. *)
 
 val default_program_pulse : pulse
@@ -29,5 +38,5 @@ val default_erase_pulse : pulse
 
 val cycle :
   ?program_pulse:pulse -> ?erase_pulse:pulse -> Fgt.t -> qfg:float ->
-  ((outcome * outcome), string) result
+  ((outcome * outcome), error) result
 (** One full program-then-erase cycle; returns both outcomes. *)

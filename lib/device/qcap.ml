@@ -94,7 +94,7 @@ let run ?(stack = default_stack ()) t ~vgs ~duration =
       end
     done;
     match Transient.run t ~vgs ~duration with
-    | Error e -> Error e
+    | Error e -> Error (Gnrflash_resilience.Solver_error.to_string e)
     | Ok metal ->
       let dvt_final = Fgt.threshold_shift t ~qfg:!q in
       let dvt_final_metal = metal.Transient.dvt_final in

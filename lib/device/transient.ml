@@ -1,6 +1,11 @@
 module Ode = Gnrflash_numerics.Ode
 module Roots = Gnrflash_numerics.Roots
 module Tel = Gnrflash_telemetry.Telemetry
+module Err = Gnrflash_resilience.Solver_error
+module Budget = Gnrflash_resilience.Budget
+module Fallback = Gnrflash_resilience.Fallback
+
+type error = Err.t
 
 type sample = {
   time : float;
@@ -34,9 +39,14 @@ let imbalance t ~vgs ~qfg ~threshold =
   if s <= 0. then -1. (* nothing flowing: saturated by definition *)
   else (abs_float (ji -. jo) /. s) -. threshold
 
-let run ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs ~duration =
-  if duration <= 0. then Error "Transient.run: duration <= 0"
-  else Tel.span "transient/run" @@ fun () -> begin
+let run ?budget ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs ~duration =
+  let solver = "Transient.run" in
+  if duration <= 0. then
+    Error (Err.make ~solver (Err.Invalid_input "duration <= 0"))
+  else
+    Budget.with_opt budget @@ fun () ->
+    Err.protect @@ fun () ->
+    Tel.span "transient/run" @@ fun () -> begin
     Tel.count "transient/solve";
     (* absolute tolerance scaled to the natural charge magnitude CT·VGS so
        the controller resolves attocoulomb states *)
@@ -66,20 +76,34 @@ let run ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs ~durati
           dvt_final = Fgt.threshold_shift t ~qfg:qfg_final;
         }
     in
-    if already_balanced then begin
-      Tel.count "transient/already_balanced";
-      match Ode.rkf45 ~rtol ~atol ~f ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
-      | Error e -> Error e
-      | Ok { Ode.times; states } -> finish times states (Some 0.)
-    end
-    else
-      match Ode.rkf45_event ~rtol ~atol ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
-      | Error e -> Error e
-      | Ok { Ode.trajectory = { Ode.times; states }; event_time; _ } ->
-        finish times states event_time
+    let attempt rtol () =
+      if already_balanced then begin
+        Tel.count "transient/already_balanced";
+        match Ode.rkf45 ~rtol ~atol ~f ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
+        | Error e -> Error e
+        | Ok { Ode.times; states } -> finish times states (Some 0.)
+      end
+      else
+        match Ode.rkf45_event ~rtol ~atol ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
+        | Error e -> Error e
+        | Ok { Ode.trajectory = { Ode.times; states }; event_time; _ } ->
+          finish times states event_time
+    in
+    (* Tolerance-relaxation ladder: a transiently NaN-poisoned or stiff RHS
+       that defeats the tight tolerance often integrates fine a couple of
+       orders looser; accuracy degrades gracefully instead of the solve
+       dying outright. *)
+    Fallback.run
+      [
+        Fallback.rung "rtol" (attempt rtol);
+        Fallback.rung "rtol_x100" (attempt (rtol *. 1e2));
+        Fallback.rung "rtol_x10000" (attempt (Float.min 1e-3 (rtol *. 1e4)));
+      ]
   end
 
-let saturation_charge t ~vgs =
+let saturation_charge ?budget t ~vgs =
+  Budget.with_opt budget @@ fun () ->
+  Err.protect @@ fun () ->
   Tel.span "transient/saturation_charge" @@ fun () ->
   Tel.count "transient/fixed_point_solve";
   let f q = Fgt.j_in t ~vgs ~qfg:q -. Fgt.j_out t ~vgs ~qfg:q in
@@ -88,26 +112,53 @@ let saturation_charge t ~vgs =
      programming (mirrored for erase). *)
   let vfg_star = vgs *. t.Fgt.xto /. (t.Fgt.xto +. t.Fgt.xco) in
   let q_star = (vfg_star -. (Fgt.gcr t *. vgs)) *. Fgt.ct t in
-  if f 0. = 0. then Ok 0.
+  let ji0 = Fgt.j_in t ~vgs ~qfg:0. and jo0 = Fgt.j_out t ~vgs ~qfg:0. in
+  (* Balanced at q = 0 within rounding (an exact [f 0. = 0.] test misses
+     currents equal up to the last ulp, and both-zero is balanced too). *)
+  if ji0 +. jo0 <= 0. || abs_float (ji0 -. jo0) <= 1e-12 *. (ji0 +. jo0) then
+    Ok 0.
   else begin
     (* expand slightly beyond the divider point to guarantee a sign change *)
     let q_hi = q_star *. 1.05 in
-    match Roots.brent f 0. q_hi with
-    | Ok q -> Ok q
-    | Error _ ->
-      (match Roots.bracket_root f 0. q_star with
-       | Error e -> Error e
-       | Ok (lo, hi) -> Roots.brent f lo hi)
+    (* widest sensible search span: the divider estimate or the full-swing
+       charge CT·(1+|vgs|), whichever is larger — covers erase polarity and
+       high-GCR devices where the fixed point sits outside [0, 1.05·q*] *)
+    let span = Float.max (abs_float q_hi) (Fgt.ct t *. (1. +. abs_float vgs)) in
+    Fallback.run
+      [
+        Fallback.rung "brent_divider" (fun () -> Roots.brent f 0. q_hi);
+        Fallback.rung "rebracket_brent" (fun () ->
+            match Roots.bracket_root f 0. q_star with
+            | Error e -> Error e
+            | Ok (lo, hi) -> Roots.brent f lo hi);
+        Fallback.rung "wide_bisect" (fun () ->
+            match Roots.bracket_root ~max_iter:120 f (-.span) span with
+            | Error e -> Error e
+            | Ok (lo, hi) -> Roots.bisect f lo hi);
+      ]
   end
 
-let time_to_threshold_shift ?(qfg0 = 0.) t ~vgs ~dvt ~max_time =
-  if max_time <= 0. then Error "Transient.time_to_threshold_shift: max_time <= 0"
-  else Tel.span "transient/time_to_threshold_shift" @@ fun () -> begin
+let time_to_threshold_shift ?budget ?(qfg0 = 0.) t ~vgs ~dvt ~max_time =
+  let solver = "Transient.time_to_threshold_shift" in
+  if max_time <= 0. then
+    Error (Err.make ~solver (Err.Invalid_input "max_time <= 0"))
+  else
+    Budget.with_opt budget @@ fun () ->
+    Err.protect @@ fun () ->
+    Tel.span "transient/time_to_threshold_shift" @@ fun () -> begin
     Tel.count "transient/ttts_solve";
     let q_target = Fgt.qfg_for_threshold_shift t ~dvt in
     let f _time y = [| Fgt.dqfg_dt t ~vgs ~qfg:y.(0) |] in
     let event _time y = (y.(0) -. q_target) *. (if dvt >= 0. then 1. else -1.) in
-    match Ode.rkf45_event ~atol:(1e-10 *. Fgt.ct t *. (1. +. abs_float vgs)) ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:max_time () with
-    | Error e -> Error e
-    | Ok { Ode.event_time; _ } -> Ok event_time
+    let atol = 1e-10 *. Fgt.ct t *. (1. +. abs_float vgs) in
+    let attempt rtol () =
+      match Ode.rkf45_event ?rtol ~atol ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:max_time () with
+      | Error e -> Error e
+      | Ok { Ode.event_time; _ } -> Ok event_time
+    in
+    Fallback.run
+      [
+        Fallback.rung "rtol" (attempt None);
+        Fallback.rung "rtol_x100" (attempt (Some 1e-6));
+      ]
   end

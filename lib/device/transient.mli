@@ -4,7 +4,15 @@
     densities re-evaluated from equation (3) as the charge builds up. The
     dynamics approach the fixed point [Jin = Jout] asymptotically; following
     the paper we report [tsat] as the time where the normalized imbalance
-    [(Jin − Jout)/(Jin + Jout)] first falls below a threshold (default 1 %). *)
+    [(Jin − Jout)/(Jin + Jout)] first falls below a threshold (default 1 %).
+
+    Failures are typed [Gnrflash_resilience.Solver_error.t] values; each
+    solve runs a {!Gnrflash_resilience.Fallback} escalation ladder (e.g.
+    tolerance relaxation, re-bracketing) before giving up, recorded under
+    the [resilience/...] telemetry counters. An optional [?budget] bounds
+    wall clock / function evaluations for the whole solve. *)
+
+type error = Gnrflash_resilience.Solver_error.t
 
 type sample = {
   time : float;   (** s *)
@@ -22,25 +30,34 @@ type result = {
 }
 
 val run :
+  ?budget:Gnrflash_resilience.Budget.t ->
   ?qfg0:float -> ?imbalance_threshold:float -> ?rtol:float ->
-  Fgt.t -> vgs:float -> duration:float -> (result, string) Stdlib.result
+  Fgt.t -> vgs:float -> duration:float -> (result, error) Stdlib.result
 (** Integrate the charge balance for [duration] seconds at constant [vgs]
     (positive = programming, negative = erase) from initial charge [qfg0]
     (default 0, the paper's assumption). Integration stops early at the
-    saturation event. [rtol] defaults to [1e-8]. *)
+    saturation event. [rtol] defaults to [1e-8]; if the integration fails
+    at that tolerance a relaxation ladder retries at [rtol·1e2] then
+    [min 1e-3 (rtol·1e4)]. *)
 
 val initial_currents : Fgt.t -> vgs:float -> qfg:float -> float * float
 (** [(Jin, Jout)] at a single operating point — the t = 0 comparison of
     Figure 4. *)
 
-val saturation_charge : Fgt.t -> vgs:float -> (float, string) Stdlib.result
+val saturation_charge :
+  ?budget:Gnrflash_resilience.Budget.t ->
+  Fgt.t -> vgs:float -> (float, error) Stdlib.result
 (** The fixed-point charge solving [Jin(q) = Jout(q)] directly by root
     finding — the "maximum charge that can be accumulated" of the paper,
-    without running the transient. *)
+    without running the transient. Falls back from a Brent solve on the
+    voltage-divider bracket to [bracket_root] expansion (either side of 0)
+    and finally a wide symmetric bisection, so erase-polarity and high-GCR
+    devices still solve. *)
 
 val time_to_threshold_shift :
+  ?budget:Gnrflash_resilience.Budget.t ->
   ?qfg0:float -> Fgt.t -> vgs:float -> dvt:float -> max_time:float ->
-  (float option, string) Stdlib.result
+  (float option, error) Stdlib.result
 (** Programming time needed to move the threshold by [dvt] volts: the event
     time where [ΔVT(t) = dvt], or [None] if the target exceeds what the
     bias can reach within [max_time]. *)

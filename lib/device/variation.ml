@@ -1,5 +1,6 @@
 module Stats = Gnrflash_numerics.Stats
 module Sweep = Gnrflash_parallel.Sweep
+module Err = Gnrflash_resilience.Solver_error
 
 type spread = {
   sigma_xto : float;
@@ -16,6 +17,7 @@ type sample = {
   program_time : float;
   dvt_fixed_pulse : float;
   solve_failed : bool;
+  failure : Err.t option;
 }
 
 let gaussian state =
@@ -48,18 +50,21 @@ let perturbed_device ~base ~spread state =
    solves, so they can be excluded from the statistics rather than poisoning
    them. *)
 let evaluate device =
-  let program_time, prog_failed =
+  let program_time, prog_failure =
     match Transient.time_to_threshold_shift device ~vgs:15. ~dvt:2. ~max_time:1. with
-    | Ok (Some t) -> (t, false)
-    | Ok None -> (infinity, false)
-    | Error _ -> (infinity, true)
+    | Ok (Some t) -> (t, None)
+    | Ok None -> (infinity, None)
+    | Error e -> (infinity, Some e)
   in
-  let dvt_fixed_pulse, pulse_failed =
+  let dvt_fixed_pulse, pulse_failure =
     match Transient.run device ~vgs:15. ~duration:100e-9 with
-    | Ok r -> (r.Transient.dvt_final, false)
-    | Error _ -> (nan, true)
+    | Ok r -> (r.Transient.dvt_final, None)
+    | Error e -> (nan, Some e)
   in
-  (program_time, dvt_fixed_pulse, prog_failed || pulse_failed)
+  let failure =
+    match prog_failure with Some _ -> prog_failure | None -> pulse_failure
+  in
+  (program_time, dvt_fixed_pulse, failure)
 
 let sample_devices ?(spread = default_spread) ?(seed = 2014) ?jobs ~base ~n () =
   if n < 1 then invalid_arg "Variation.sample_devices: n < 1";
@@ -69,8 +74,9 @@ let sample_devices ?(spread = default_spread) ?(seed = 2014) ?jobs ~base ~n () =
   Sweep.init ?jobs n (fun index ->
       let state = Random.State.make [| Sweep.splitmix ~seed ~index |] in
       let device, xto, phi_b_ev, gcr = perturbed_device ~base ~spread state in
-      let program_time, dvt_fixed_pulse, solve_failed = evaluate device in
-      { xto; phi_b_ev; gcr; program_time; dvt_fixed_pulse; solve_failed })
+      let program_time, dvt_fixed_pulse, failure = evaluate device in
+      { xto; phi_b_ev; gcr; program_time; dvt_fixed_pulse;
+        solve_failed = failure <> None; failure })
 
 type summary = {
   n : int;
@@ -80,6 +86,7 @@ type summary = {
   t_prog_spread : float;
   dvt_mean : float;
   dvt_sigma : float;
+  failed_by_class : (string * int) list;
 }
 
 (* Statistics run over finite samples only, so one failed or saturated solve
@@ -99,6 +106,20 @@ let summarize samples =
   let n_failed =
     Array.fold_left (fun acc s -> if s.solve_failed then acc + 1 else acc) 0 samples
   in
+  (* typed failure causes, bucketed by error class (sorted for stable output) *)
+  let failed_by_class =
+    let tbl = Hashtbl.create 8 in
+    Array.iter
+      (fun s ->
+         match s.failure with
+         | None -> ()
+         | Some e ->
+           let k = Err.label e in
+           Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      samples;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   {
     n = Array.length samples;
     n_failed;
@@ -107,6 +128,7 @@ let summarize samples =
     t_prog_spread = Stats.percentile 95. times /. Stats.percentile 5. times;
     dvt_mean = Stats.mean dvts;
     dvt_sigma = Stats.std dvts;
+    failed_by_class;
   }
 
 let sensitivity_xto ?(delta = 0.05e-9) base =

@@ -20,6 +20,8 @@ type sample = {
   program_time : float;   (** time to ΔVT = 2 V at 15 V [s]; [infinity] if unreached *)
   dvt_fixed_pulse : float;(** ΔVT after a fixed 100 ns pulse [V] *)
   solve_failed : bool;    (** a transient solve returned [Error] for this device *)
+  failure : Gnrflash_resilience.Solver_error.t option;
+                          (** the first typed solver error, when [solve_failed] *)
 }
 
 val sample_devices :
@@ -41,6 +43,10 @@ type summary = {
   t_prog_spread : float;   (** p95 / p5 ratio — decades of speed spread *)
   dvt_mean : float;
   dvt_sigma : float;       (** σ of the fixed-pulse threshold placement *)
+  failed_by_class : (string * int) list;
+  (** failed solves bucketed by [Solver_error] class label
+      (e.g. [("bracket_failure", 2); ("budget_exhausted", 1)]), sorted by
+      label; empty when nothing failed *)
 }
 
 val summarize : sample array -> summary

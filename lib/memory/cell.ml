@@ -22,7 +22,7 @@ let apply_bias_pulse ~reliability ~pulse c =
   if c.wear.D.Reliability.broken then Error "Cell: oxide broken"
   else
     match D.Program_erase.apply_pulse c.device ~qfg:c.qfg pulse with
-    | Error e -> Error e
+    | Error e -> Error (Gnrflash_resilience.Solver_error.to_string e)
     | Ok o ->
       (* effective stress field: the tunnel-oxide field at the pulse's
          midpoint charge (the instantaneous initial field decays within

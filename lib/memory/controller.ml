@@ -75,7 +75,8 @@ let program_page t ~page ~data =
                  D.Transient.run ~qfg0:c.Cell.qfg c.Cell.device
                    ~vgs:t.disturb.D.Disturb.v_disturb ~duration
                with
-               | Error e -> (b, Some e)
+               | Error e ->
+                 (b, Some (Gnrflash_resilience.Solver_error.to_string e))
                | Ok r ->
                  ( Array_model.set b ~page ~string_:s
                      { c with Cell.qfg = r.D.Transient.qfg_final },

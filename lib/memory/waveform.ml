@@ -33,7 +33,7 @@ let apply device ~qfg0 segments =
         go (time +. s.duration) qfg ((time +. s.duration, qfg) :: acc) rest
       else
         (match D.Transient.run ~qfg0:qfg device ~vgs:s.vgs ~duration:s.duration with
-         | Error e -> Error e
+         | Error e -> Error (Gnrflash_resilience.Solver_error.to_string e)
          | Ok r ->
            let time' = time +. s.duration in
            go time' r.D.Transient.qfg_final ((time', r.D.Transient.qfg_final) :: acc) rest)

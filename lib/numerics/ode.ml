@@ -1,4 +1,9 @@
 module Tel = Gnrflash_telemetry.Telemetry
+module Err = Gnrflash_resilience.Solver_error
+module Budget = Gnrflash_resilience.Budget
+module Fault = Gnrflash_resilience.Fault
+
+type error = Err.t
 
 type trajectory = {
   times : float array;
@@ -11,7 +16,7 @@ let axpy a x y =
 
 let fixed_step_method step ~f ~t0 ~y0 ~t1 ~steps =
   if steps < 1 then invalid_arg "Ode: steps < 1";
-  let f t y = Tel.count "ode/rhs_eval_fixed"; f t y in
+  let f t y = Tel.count "ode/rhs_eval_fixed"; Budget.note_evals 1; f t y in
   Tel.count ~n:steps "ode/fixed_step";
   let h = (t1 -. t0) /. float_of_int steps in
   let times = Array.make (steps + 1) t0 in
@@ -99,55 +104,84 @@ let error_norm ~rtol ~atol y y5 y4 =
   done;
   sqrt (!acc /. float_of_int n)
 
+let all_finite y =
+  let ok = ref true in
+  for i = 0 to Array.length y - 1 do
+    if not (Float.is_finite y.(i)) then ok := false
+  done;
+  !ok
+
 let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps = 200_000)
     ~f ~t0 ~y0 ~t1 ~on_step () =
-  if t1 <= t0 then Error "Ode.rkf45: t1 <= t0"
+  let solver = "Ode.rkf45" in
+  if t1 <= t0 then
+    Error (Err.make ~solver (Err.Invalid_input "t1 <= t0"))
   else begin
     (* Each rkf45_step trial costs exactly 6 RHS evaluations; counting at the
        wrapped callable keeps the bookkeeping honest even if the tableau
-       changes. *)
-    let f t y = Tel.count "ode/rhs_eval"; f t y in
+       changes. Evaluations are charged to the ambient budget and exposed to
+       the fault injector (a NaN fault poisons the whole state vector, which
+       exercises the same shrink path as a genuine non-finite region). *)
+    let n = Array.length y0 in
+    let f t y =
+      Tel.count "ode/rhs_eval";
+      Budget.note_evals 1;
+      match Fault.outcome () with
+      | `Pass -> f t y
+      | `Nan -> Array.make n Float.nan
+      | `Fail eval -> Err.fail ~solver (Err.Fault_injected { eval })
+    in
     let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.) in
     let t = ref t0 and y = ref (Array.copy y0) in
     let steps = ref 0 in
     let err = ref None in
     let finished = ref false in
     while (not !finished) && !err = None do
-      if !steps > max_steps then err := Some "Ode.rkf45: max_steps exceeded"
-      else begin
-        incr steps;
-        if !t +. !h > t1 then h := t1 -. !t;
-        let y5, y4 = rkf45_step f !t !y !h in
-        let en = error_norm ~rtol ~atol !y y5 y4 in
-        if Float.is_nan en || Float.is_nan (Array.fold_left ( +. ) 0. y5) then begin
-          (* the trial step left the region where f is finite: shrink hard *)
-          Tel.count "ode/step_nan_shrink";
-          h := !h /. 10.;
-          if !h < h_min then err := Some "Ode.rkf45: step underflow at NaN region"
+      match Budget.check ~solver () with
+      | Error e -> err := Some e
+      | Ok () ->
+        if !steps > max_steps then
+          err := Some (Err.make ~solver (Err.Max_steps { steps = !steps; t = !t }))
+        else begin
+          incr steps;
+          if !t +. !h > t1 then h := t1 -. !t;
+          let y5, y4 = rkf45_step f !t !y !h in
+          let en = error_norm ~rtol ~atol !y y5 y4 in
+          (* A per-component finiteness check: a NaN error norm alone would
+             miss infinities (and +inf + -inf cancellation in any summed
+             test), letting the integrator accept garbage states. *)
+          if Float.is_nan en || not (all_finite y5) then begin
+            (* the trial step left the region where f is finite: shrink hard *)
+            Tel.count "ode/step_nan_shrink";
+            h := !h /. 10.;
+            if !h < h_min then
+              err := Some (Err.make ~solver (Err.Nan_region { at = !t }))
+          end
+          else if en <= 1. then begin
+            Tel.count "ode/step_accepted";
+            let t_new = !t +. !h in
+            (match on_step ~t_old:!t ~y_old:!y ~t_new ~y_new:y5 with
+             | `Stop -> finished := true
+             | `Continue -> ());
+            t := t_new;
+            y := y5;
+            if !t >= t1 -. 1e-15 *. (abs_float t1 +. 1.) then finished := true;
+            let factor = if en = 0. then 4. else min 4. (0.9 *. (en ** (-0.2))) in
+            h := !h *. factor
+          end else begin
+            Tel.count "ode/step_rejected";
+            let factor = max 0.1 (0.9 *. (en ** (-0.25))) in
+            h := !h *. factor;
+            if !h < h_min then
+              err := Some (Err.make ~solver (Err.Step_underflow { t = !t; h = !h }))
+          end
         end
-        else if en <= 1. then begin
-          Tel.count "ode/step_accepted";
-          let t_new = !t +. !h in
-          (match on_step ~t_old:!t ~y_old:!y ~t_new ~y_new:y5 with
-           | `Stop -> finished := true
-           | `Continue -> ());
-          t := t_new;
-          y := y5;
-          if !t >= t1 -. 1e-15 *. (abs_float t1 +. 1.) then finished := true;
-          let factor = if en = 0. then 4. else min 4. (0.9 *. (en ** (-0.2))) in
-          h := !h *. factor
-        end else begin
-          Tel.count "ode/step_rejected";
-          let factor = max 0.1 (0.9 *. (en ** (-0.25))) in
-          h := !h *. factor;
-          if !h < h_min then err := Some "Ode.rkf45: step size underflow"
-        end
-      end
     done;
     match !err with Some e -> Error e | None -> Ok ()
   end
 
 let rkf45 ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~t0 ~y0 ~t1 () =
+  Err.protect @@ fun () ->
   let times = ref [ t0 ] and states = ref [ Array.copy y0 ] in
   let on_step ~t_old:_ ~y_old:_ ~t_new ~y_new =
     times := t_new :: !times;
@@ -169,13 +203,32 @@ type event_result = {
   event_state : float array option;
 }
 
+(* Bisection for the event time stops when the bracket is this small
+   relative to the step interval — continuing to the fixed 60 iterations
+   would re-run 16-step RK4 integrations well past double precision. *)
+let event_time_rtol = 1e-12
+
 let rkf45_event ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~event ~t0 ~y0 ~t1 () =
+  Err.protect @@ fun () ->
   let times = ref [ t0 ] and states = ref [ Array.copy y0 ] in
   let ev_t = ref None and ev_y = ref None in
   let g0 = ref (event t0 y0) in
   let on_step ~t_old ~y_old ~t_new ~y_new =
     let g1 = event t_new y_new in
-    if !g0 *. g1 < 0. then begin
+    if g1 = 0. then begin
+      (* The event function lands exactly on zero at the accepted step:
+         that IS the crossing (the old strict [g0 * g1 < 0.] test skipped
+         it, and step functions like the saturation imbalance do return
+         exact 0./-1. values). No bisection needed. *)
+      Tel.count "ode/event_crossing";
+      let y_ev = Array.copy y_new in
+      ev_t := Some t_new;
+      ev_y := Some y_ev;
+      times := t_new :: !times;
+      states := y_ev :: !states;
+      `Stop
+    end
+    else if !g0 *. g1 < 0. then begin
       (* Locate the crossing by bisection, re-integrating the sub-interval
          with fixed RK4 steps from the accepted left state. *)
       let locate t =
@@ -185,7 +238,12 @@ let rkf45_event ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~event ~t0 ~y0 ~t1 () =
       in
       Tel.count "ode/event_crossing";
       let lo = ref t_old and hi = ref t_new in
-      for _ = 1 to 60 do
+      let width_tol =
+        event_time_rtol *. (abs_float t_new +. abs_float t_old +. 1e-300)
+      in
+      let iters = ref 0 in
+      while !iters < 60 && !hi -. !lo > width_tol do
+        incr iters;
         Tel.count "ode/event_bisect_iter";
         let mid = 0.5 *. (!lo +. !hi) in
         let gm = event mid (locate mid) in

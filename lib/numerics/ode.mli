@@ -1,7 +1,13 @@
 (** Initial-value problem solvers for systems [dy/dt = f t y].
 
     States are [float array]; right-hand sides must not mutate their
-    argument. *)
+    argument. Adaptive solvers fail with a typed
+    [Gnrflash_resilience.Solver_error.t] ([Step_underflow], [Max_steps],
+    [Nan_region], [Budget_exhausted], ...); RHS evaluations are charged
+    against the ambient {!Gnrflash_resilience.Budget} and the budget is
+    polled at step boundaries. *)
+
+type error = Gnrflash_resilience.Solver_error.t
 
 type trajectory = {
   times : float array;          (** accepted step times, increasing *)
@@ -21,10 +27,12 @@ val rkf45 :
   ?rtol:float -> ?atol:float -> ?h0:float -> ?h_min:float -> ?max_steps:int ->
   f:(float -> float array -> float array) ->
   t0:float -> y0:float array -> t1:float -> unit ->
-  (trajectory, string) result
+  (trajectory, error) result
 (** Adaptive Runge–Kutta–Fehlberg 4(5) with standard step control.
     [rtol] defaults to [1e-8], [atol] to [1e-12]. Fails if the step size
-    underflows [h_min] or [max_steps] (default [200_000]) is exceeded. *)
+    underflows [h_min] or [max_steps] (default [200_000]) is exceeded.
+    Trial states are checked component-wise for finiteness (NaN {e and}
+    infinities) and the step shrinks rather than accepting garbage. *)
 
 type event_result = {
   trajectory : trajectory;   (** trajectory up to and including the event *)
@@ -38,14 +46,16 @@ val rkf45_event :
   f:(float -> float array -> float array) ->
   event:(float -> float array -> float) ->
   t0:float -> y0:float array -> t1:float -> unit ->
-  (event_result, string) result
+  (event_result, error) result
 (** Like {!rkf45} but additionally monitors [event t y]: when its sign
-    changes across an accepted step, the crossing is located by bisection on
-    re-integrated sub-steps and integration stops there. *)
+    changes across an accepted step — including landing exactly on [0.] —
+    the crossing is located by bisection on re-integrated sub-steps (with
+    early exit once the time bracket is below a relative tolerance) and
+    integration stops there. *)
 
 val solve_scalar :
   ?rtol:float -> ?atol:float ->
   f:(float -> float -> float) -> t0:float -> y0:float -> t1:float -> unit ->
-  ((float array * float array), string) result
+  ((float array * float array), error) result
 (** Convenience wrapper of {!rkf45} for scalar equations; returns
     [(times, values)]. *)

@@ -1,8 +1,9 @@
 module Tel = Gnrflash_telemetry.Telemetry
+module Budget = Gnrflash_resilience.Budget
 
 let trapezoid f a b ~n =
   if n < 1 then invalid_arg "Quadrature.trapezoid: n < 1";
-  let f x = Tel.count "quad/fn_eval"; f x in
+  let f x = Tel.count "quad/fn_eval"; Budget.note_evals 1; f x in
   let h = (b -. a) /. float_of_int n in
   let sum = ref (0.5 *. (f a +. f b)) in
   for i = 1 to n - 1 do
@@ -22,7 +23,7 @@ let trapezoid_samples xs ys =
 
 let simpson f a b ~n =
   if n < 1 then invalid_arg "Quadrature.simpson: n < 1";
-  let f x = Tel.count "quad/fn_eval"; f x in
+  let f x = Tel.count "quad/fn_eval"; Budget.note_evals 1; f x in
   let n = if n mod 2 = 0 then n else n + 1 in
   let h = (b -. a) /. float_of_int n in
   let sum = ref (f a +. f b) in
@@ -33,10 +34,14 @@ let simpson f a b ~n =
   !sum *. h /. 3.
 
 let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 40) f a b =
-  let f x = Tel.count "quad/fn_eval"; f x in
+  let f x = Tel.count "quad/fn_eval"; Budget.note_evals 1; f x in
   let simpson3 fa fm fb a b = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb) in
   let rec go a fa b fb m fm whole tol depth =
     Tel.count "quad/adaptive_interval";
+    (* Quadrature has no result channel; an exhausted budget surfaces as a
+       Solver_failure exception, converted back to Error by the typed
+       entry points above this in the stack. *)
+    Budget.check_exn ~solver:"Quadrature.adaptive_simpson" ();
     let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
     let flm = f lm and frm = f rm in
     let left = simpson3 fa flm fm a m in
@@ -109,6 +114,7 @@ let gauss_legendre_nodes n =
 
 let gauss_legendre ?(order = 16) f a b =
   Tel.count ~n:order "quad/fn_eval";
+  Budget.note_evals order;
   let nodes, weights = gauss_legendre_nodes order in
   let half = 0.5 *. (b -. a) and mid = 0.5 *. (a +. b) in
   let sum = ref 0. in
@@ -128,6 +134,7 @@ let integrate_to_inf ?(tol = 1e-12) ?(decades = 6.) f a =
   while !continue && !k < panels do
     incr k;
     Tel.count "quad/inf_panel";
+    Budget.check_exn ~solver:"Quadrature.integrate_to_inf" ();
     let piece = gauss_legendre ~order:24 f !lo !hi in
     total := !total +. piece;
     if abs_float piece <= tol *. (abs_float !total +. 1e-300) then continue := false

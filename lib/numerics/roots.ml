@@ -1,4 +1,9 @@
 module Tel = Gnrflash_telemetry.Telemetry
+module Err = Gnrflash_resilience.Solver_error
+module Budget = Gnrflash_resilience.Budget
+module Fault = Gnrflash_resilience.Fault
+
+type error = Err.t
 
 let default_tol = 1e-12
 
@@ -8,25 +13,46 @@ let default_tol = 1e-12
 let close tol a b =
   abs_float (b -. a) <= (tol *. max (abs_float a) (abs_float b)) +. 1e-300
 
+(* Every function evaluation is counted, charged against the ambient
+   budget, and exposed to the fault injector. *)
+let instrument ~solver f x =
+  Tel.count "roots/fn_eval";
+  Budget.note_evals 1;
+  match Fault.outcome () with
+  | `Pass -> f x
+  | `Nan -> Float.nan
+  | `Fail eval -> Err.fail ~solver (Err.Fault_injected { eval })
+
 let bisect ?(tol = default_tol) ?(max_iter = 200) f a b =
-  let f x = Tel.count "roots/fn_eval"; f x in
+  let solver = "Roots.bisect" in
+  Err.protect @@ fun () ->
+  let f = instrument ~solver f in
   let fa = f a and fb = f b in
   if fa = 0. then Ok a
   else if fb = 0. then Ok b
   else if fa *. fb > 0. then begin
     Tel.count "roots/bracket_fail";
-    Error "Roots.bisect: no sign change on bracket"
+    Error (Err.make ~solver (Err.Bracket_failure { lo = a; hi = b; f_lo = fa; f_hi = fb }))
   end
   else begin
     let rec loop a fa b i =
       Tel.count "roots/bisect_iter";
-      let m = 0.5 *. (a +. b) in
-      if i >= max_iter || close tol a b then Ok m
-      else
-        let fm = f m in
-        if fm = 0. then Ok m
-        else if fa *. fm < 0. then loop a fa m (i + 1)
-        else loop m fm b (i + 1)
+      match Budget.check ~solver () with
+      | Error e -> Error e
+      | Ok () ->
+        let m = 0.5 *. (a +. b) in
+        if close tol a b then Ok m
+        else if i >= max_iter then
+          Error
+            (Err.make ~solver
+               (Err.No_convergence { iterations = i; best = m; f_best = fa }))
+        else
+          let fm = f m in
+          if Float.is_nan fm then
+            Error (Err.make ~solver (Err.Nan_region { at = m }))
+          else if fm = 0. then Ok m
+          else if fa *. fm < 0. then loop a fa m (i + 1)
+          else loop m fm b (i + 1)
     in
     loop a fa b 0
   end
@@ -35,13 +61,15 @@ let bisect ?(tol = default_tol) ?(max_iter = 200) f a b =
    inverse quadratic / secant interpolation, fall back to bisection whenever
    the candidate step is not clearly contracting. *)
 let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
-  let f x = Tel.count "roots/fn_eval"; f x in
+  let solver = "Roots.brent" in
+  Err.protect @@ fun () ->
+  let f = instrument ~solver f in
   let fa = f a and fb = f b in
   if fa = 0. then Ok a
   else if fb = 0. then Ok b
   else if fa *. fb > 0. then begin
     Tel.count "roots/bracket_fail";
-    Error "Roots.brent: no sign change on bracket"
+    Error (Err.make ~solver (Err.Bracket_failure { lo = a; hi = b; f_lo = fa; f_hi = fb }))
   end
   else begin
     let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
@@ -55,101 +83,142 @@ let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
     while !result = None && !i < max_iter do
       incr i;
       Tel.count "roots/brent_iter";
-      if !fb = 0. || close tol !a !b then result := Some !b
-      else begin
-        let s =
-          if !fa <> !fc && !fb <> !fc then
-            (* inverse quadratic interpolation *)
-            (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
-            +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
-            +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
-          else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
-        in
-        let lo = (3. *. !a +. !b) /. 4. and hi = !b in
-        let lo, hi = if lo <= hi then lo, hi else hi, lo in
-        let bad =
-          s < lo || s > hi
-          || (!mflag && abs_float (s -. !b) >= abs_float (!b -. !c) /. 2.)
-          || ((not !mflag) && abs_float (s -. !b) >= abs_float (!c -. !d) /. 2.)
-        in
-        let s = if bad then 0.5 *. (!a +. !b) else s in
-        mflag := bad;
-        let fs = f s in
-        d := !c;
-        c := !b; fc := !fb;
-        if !fa *. fs < 0. then begin b := s; fb := fs end
-        else begin a := s; fa := fs end;
-        if abs_float !fa < abs_float !fb then begin
-          let t = !a in a := !b; b := t;
-          let t = !fa in fa := !fb; fb := t
+      match Budget.check ~solver () with
+      | Error e -> result := Some (Error e)
+      | Ok () ->
+        if !fb = 0. || close tol !a !b then result := Some (Ok !b)
+        else begin
+          let s =
+            if !fa <> !fc && !fb <> !fc then
+              (* inverse quadratic interpolation *)
+              (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+              +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+              +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+            else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+          in
+          let lo = (3. *. !a +. !b) /. 4. and hi = !b in
+          let lo, hi = if lo <= hi then lo, hi else hi, lo in
+          let bad =
+            s < lo || s > hi
+            || (!mflag && abs_float (s -. !b) >= abs_float (!b -. !c) /. 2.)
+            || ((not !mflag) && abs_float (s -. !b) >= abs_float (!c -. !d) /. 2.)
+          in
+          let s = if bad then 0.5 *. (!a +. !b) else s in
+          mflag := bad;
+          let fs = f s in
+          if Float.is_nan fs then
+            result := Some (Error (Err.make ~solver (Err.Nan_region { at = s })))
+          else begin
+            d := !c;
+            c := !b; fc := !fb;
+            if !fa *. fs < 0. then begin b := s; fb := fs end
+            else begin a := s; fa := fs end;
+            if abs_float !fa < abs_float !fb then begin
+              let t = !a in a := !b; b := t;
+              let t = !fa in fa := !fb; fb := t
+            end
+          end
         end
-      end
     done;
     match !result with
-    | Some x -> Ok x
-    | None -> Ok !b
+    | Some r -> r
+    | None ->
+      (* Iteration cap hit before [close tol] held: the best iterate is NOT
+         a converged root. Silently returning it (the old behavior) let
+         unconverged values flow into device solves; fail loudly with the
+         best iterate attached so callers/fallbacks can still use it. *)
+      Error
+        (Err.make ~solver
+           (Err.No_convergence { iterations = !i; best = !b; f_best = !fb }))
   end
 
 let newton ?(tol = default_tol) ?(max_iter = 100) ~f ~df x0 =
-  let f x = Tel.count "roots/fn_eval"; f x in
-  let df x = Tel.count "roots/fn_eval"; df x in
+  let solver = "Roots.newton" in
+  Err.protect @@ fun () ->
+  let f = instrument ~solver f in
+  let df x = Tel.count "roots/fn_eval"; Budget.note_evals 1; df x in
   let rec loop x i =
-    if i >= max_iter then Error "Roots.newton: did not converge"
+    if i >= max_iter then
+      Error
+        (Err.make ~solver
+           (Err.No_convergence { iterations = i; best = x; f_best = f x }))
     else begin
       Tel.count "roots/newton_iter";
-      let fx = f x in
-      if fx = 0. then Ok x
-      else
-        let dfx = df x in
-        if dfx = 0. then Error "Roots.newton: zero derivative"
+      match Budget.check ~solver () with
+      | Error e -> Error e
+      | Ok () ->
+        let fx = f x in
+        if fx = 0. then Ok x
         else
-          let x' = x -. (fx /. dfx) in
-          if Float.is_nan x' || Float.is_nan fx then
-            Error "Roots.newton: NaN encountered"
-          else if close tol x x' then Ok x'
-          else loop x' (i + 1)
+          let dfx = df x in
+          if dfx = 0. then Error (Err.make ~solver (Err.Zero_derivative { x }))
+          else
+            let x' = x -. (fx /. dfx) in
+            if Float.is_nan x' || Float.is_nan fx then
+              Error (Err.make ~solver (Err.Nan_region { at = x }))
+            else if close tol x x' then Ok x'
+            else loop x' (i + 1)
     end
   in
   loop x0 0
 
 let secant ?(tol = default_tol) ?(max_iter = 100) f x0 x1 =
-  let f x = Tel.count "roots/fn_eval"; f x in
+  let solver = "Roots.secant" in
+  Err.protect @@ fun () ->
+  let f = instrument ~solver f in
   let rec loop x0 f0 x1 f1 i =
     Tel.count "roots/secant_iter";
-    if i >= max_iter then Error "Roots.secant: did not converge"
-    else if f1 = 0. then Ok x1
-    else if f1 = f0 then Error "Roots.secant: flat secant"
-    else
-      let x2 = x1 -. (f1 *. (x1 -. x0) /. (f1 -. f0)) in
-      if Float.is_nan x2 then Error "Roots.secant: NaN encountered"
-      else if close tol x1 x2 then Ok x2
-      else loop x1 f1 x2 (f x2) (i + 1)
+    match Budget.check ~solver () with
+    | Error e -> Error e
+    | Ok () ->
+      if i >= max_iter then
+        Error
+          (Err.make ~solver
+             (Err.No_convergence { iterations = i; best = x1; f_best = f1 }))
+      else if f1 = 0. then Ok x1
+      else if f1 = f0 then
+        Error (Err.make ~solver (Err.Zero_derivative { x = x1 }))
+      else
+        let x2 = x1 -. (f1 *. (x1 -. x0) /. (f1 -. f0)) in
+        if Float.is_nan x2 then
+          Error (Err.make ~solver (Err.Nan_region { at = x1 }))
+        else if close tol x1 x2 then Ok x2
+        else loop x1 f1 x2 (f x2) (i + 1)
   in
   loop x0 (f x0) x1 (f x1) 0
 
 let bracket_root ?(grow = 1.6) ?(max_iter = 60) f a b =
-  let f x = Tel.count "roots/fn_eval"; f x in
-  if a = b then Error "Roots.bracket_root: empty interval"
+  let solver = "Roots.bracket_root" in
+  Err.protect @@ fun () ->
+  let f = instrument ~solver f in
+  if a = b then
+    Error (Err.make ~solver (Err.Invalid_input "empty interval"))
   else begin
     let a = ref (min a b) and b = ref (max a b) in
     let fa = ref (f !a) and fb = ref (f !b) in
     let rec loop i =
-      if !fa *. !fb <= 0. then Ok (!a, !b)
-      else if i >= max_iter then begin
-        Tel.count "roots/bracket_fail";
-        Error "Roots.bracket_root: no sign change found"
-      end
-      else begin
-        Tel.count "roots/bracket_expand";
-        if abs_float !fa < abs_float !fb then begin
-          a := !a -. (grow *. (!b -. !a));
-          fa := f !a
-        end else begin
-          b := !b +. (grow *. (!b -. !a));
-          fb := f !b
-        end;
-        loop (i + 1)
-      end
+      match Budget.check ~solver () with
+      | Error e -> Error e
+      | Ok () ->
+        if !fa *. !fb <= 0. then Ok (!a, !b)
+        else if i >= max_iter then begin
+          Tel.count "roots/bracket_fail";
+          Error
+            (Err.make ~solver
+               (Err.Bracket_failure
+                  { lo = !a; hi = !b; f_lo = !fa; f_hi = !fb }))
+        end
+        else begin
+          Tel.count "roots/bracket_expand";
+          if abs_float !fa < abs_float !fb then begin
+            a := !a -. (grow *. (!b -. !a));
+            fa := f !a
+          end else begin
+            b := !b +. (grow *. (!b -. !a));
+            fb := f !b
+          end;
+          loop (i + 1)
+        end
     in
     loop 0
   end

@@ -1,39 +1,49 @@
 (** One-dimensional root finding.
 
-    All solvers return [Ok x] with [f x ~ 0], or [Error msg] when the
-    iteration fails to converge or the problem is ill-posed (e.g. no sign
-    change on the bracket). *)
+    All solvers return [Ok x] with [f x ~ 0], or a typed
+    [Gnrflash_resilience.Solver_error.t] when the iteration fails to
+    converge or the problem is ill-posed (e.g. no sign change on the
+    bracket). Function evaluations are charged against the ambient
+    {!Gnrflash_resilience.Budget} (when one is installed) and solvers
+    poll it at iteration boundaries, failing with [Budget_exhausted]
+    rather than running on. *)
+
+type error = Gnrflash_resilience.Solver_error.t
 
 val bisect :
   ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float ->
-  (float, string) result
+  (float, error) result
 (** [bisect f a b] finds a root of [f] on the bracket [[a, b]].
     Requires [f a] and [f b] to have opposite signs (an exact zero at an
     endpoint is accepted). [tol] (default [1e-12]) bounds the final bracket
-    width relative to the magnitude of the endpoints. *)
+    width relative to the magnitude of the endpoints. Exhausting [max_iter]
+    before the tolerance holds is a [No_convergence] error. *)
 
 val brent :
   ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float ->
-  (float, string) result
+  (float, error) result
 (** [brent f a b] is Brent's method on the bracket [[a, b]]: inverse
     quadratic interpolation and secant steps guarded by bisection.
     Same bracket requirement as {!bisect}; typically converges
-    super-linearly. *)
+    super-linearly. Exhausting [max_iter] without meeting the tolerance
+    returns [No_convergence] carrying the best iterate — never a silently
+    unconverged [Ok]. *)
 
 val newton :
   ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
-  float -> (float, string) result
+  float -> (float, error) result
 (** [newton ~f ~df x0] is Newton–Raphson from initial guess [x0]. Fails if
-    the derivative vanishes or the iteration does not converge. *)
+    the derivative vanishes ([Zero_derivative]) or the iteration does not
+    converge. *)
 
 val secant :
   ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float ->
-  (float, string) result
+  (float, error) result
 (** [secant f x0 x1] is the secant method from the two initial guesses. *)
 
 val bracket_root :
   ?grow:float -> ?max_iter:int -> (float -> float) -> float -> float ->
-  ((float * float), string) result
+  ((float * float), error) result
 (** [bracket_root f a b] expands the interval [[a, b]] geometrically
     (factor [grow], default [1.6]) until [f] changes sign across it,
     returning the bracketing pair. *)

@@ -45,7 +45,11 @@ let field_for_current p ~j =
     let f e = log10_current p ~field:e -. target in
     (* initial guess: ignore the E² factor, E ~ B / ln(A E²/j) — just bracket
        geometrically from a field where J is tiny to one where it is huge. *)
+    let to_string = Gnrflash_resilience.Solver_error.to_string in
     match Roots.bracket_root f (p.b /. 100.) (p.b *. 2.) with
-    | Error e -> Error e
-    | Ok (lo, hi) -> Roots.brent f lo hi
+    | Error e -> Error (to_string e)
+    | Ok (lo, hi) ->
+      (match Roots.brent f lo hi with
+       | Ok e -> Ok e
+       | Error e -> Error (to_string e))
   end

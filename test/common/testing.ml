@@ -22,6 +22,16 @@ let check_error msg = function
   | Ok _ -> Alcotest.failf "%s: expected an error" msg
   | Error _ -> ()
 
+let check_sok msg = function
+  | Ok v -> v
+  | Error e ->
+    Alcotest.failf "%s: unexpected error: %s" msg
+      (Gnrflash_resilience.Solver_error.to_string e)
+
+let check_serr msg = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" msg
+  | Error (e : Gnrflash_resilience.Solver_error.t) -> e
+
 let case name f = Alcotest.test_case name `Quick f
 
 let prop ?(count = 200) name gen p =

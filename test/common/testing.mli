@@ -19,6 +19,15 @@ val check_ok : string -> ('a, string) result -> 'a
 val check_error : string -> ('a, string) result -> unit
 (** Assert the result is an [Error]. *)
 
+val check_sok : string -> ('a, Gnrflash_resilience.Solver_error.t) result -> 'a
+(** {!check_ok} for typed solver errors (renders via [Solver_error.to_string]). *)
+
+val check_serr :
+  string -> ('a, Gnrflash_resilience.Solver_error.t) result ->
+  Gnrflash_resilience.Solver_error.t
+(** Assert the result is an [Error] and return the typed error for further
+    inspection of its [kind]. *)
+
 val case : string -> (unit -> unit) -> unit Alcotest.test_case
 (** Quick test case. *)
 

@@ -1,6 +1,10 @@
 module O = Gnrflash_numerics.Ode
 open Gnrflash_testing.Testing
 
+(* the numerics/device solvers under test return typed solver errors *)
+let check_ok msg r = check_sok msg r
+let check_error msg r = ignore (check_serr msg r)
+
 let decay _t y = [| -.y.(0) |]
 
 let last (tr : O.trajectory) = tr.O.states.(Array.length tr.O.states - 1)
@@ -86,6 +90,79 @@ let test_nan_region_recovery () =
   let tr = check_ok "nan recovery" (O.rkf45 ~h0:100. ~f ~t0:0. ~y0:[| 0. |] ~t1:1. ()) in
   check_close ~tol:1e-6 "linear growth" 0.2 (last tr).(0)
 
+let test_event_exact_zero_landing () =
+  (* regression: a step function hits g = 0. exactly at an accepted step;
+     the old strict [g0 * g1 < 0.] test never saw a sign change and the
+     crossing was silently missed *)
+  let f _t _y = [| 1. |] in
+  let event _t y = if y.(0) >= 0.5 then 0. else -1. in
+  let r =
+    check_ok "event" (O.rkf45_event ~f ~event ~t0:0. ~y0:[| 0. |] ~t1:2. ())
+  in
+  (match r.O.event_time with
+   | Some t -> check_in "crossing detected at a step past y = 0.5" ~lo:0.5 ~hi:2. t
+   | None -> Alcotest.fail "exact-zero landing missed");
+  match r.O.event_state with
+  | Some y -> check_true "state past the threshold" (y.(0) >= 0.5)
+  | None -> Alcotest.fail "no event state"
+
+let test_event_bisection_early_exit () =
+  (* regression: the crossing bisection ran a fixed 60 iterations (each one
+     a 16-step RK4 re-integration) long after the bracket was at double
+     precision; it must now stop at the relative time tolerance *)
+  let module Tel = Gnrflash_telemetry.Telemetry in
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  let event _t y = y.(0) -. 0.1 in
+  let r =
+    check_ok "event"
+      (O.rkf45_event ~rtol:1e-10 ~f:decay ~event ~t0:0. ~y0:[| 1. |] ~t1:10. ())
+  in
+  (match r.O.event_time with
+   | Some t -> check_close ~tol:1e-5 "ln 10" (log 10.) t
+   | None -> Alcotest.fail "event not detected");
+  Alcotest.(check int) "one crossing" 1 (Tel.counter_total "ode/event_crossing");
+  let iters = Tel.counter_total "ode/event_bisect_iter" in
+  check_true "bisection ran" (iters > 0);
+  check_true "bisection stopped before the 60-iteration cap" (iters < 60)
+
+let test_infinite_rhs_recovery () =
+  (* companion to the NaN test: an infinite (not NaN) trial state must also
+     be rejected by the finiteness guard rather than accepted as garbage.
+     Relaxation toward 1.5 never crosses the threshold, but the first
+     large-h trial's intermediate RK stages overshoot into the region where
+     f blows up to infinity. *)
+  let f _t y =
+    if y.(0) > 1.5 then [| infinity |] else [| 4. *. (1.5 -. y.(0)) |]
+  in
+  let module Tel = Gnrflash_telemetry.Telemetry in
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  let tr =
+    check_ok "inf recovery" (O.rkf45 ~h0:1. ~f ~t0:0. ~y0:[| 0. |] ~t1:1. ())
+  in
+  check_close ~tol:1e-6 "relaxation endpoint" (1.5 *. (1. -. exp (-4.)))
+    (last tr).(0);
+  check_true "non-finite trial steps were shrunk"
+    (Tel.counter_total "ode/step_nan_shrink" > 0);
+  Array.iter
+    (fun y -> check_true "trajectory stays finite" (Float.is_finite y.(0)))
+    tr.O.states
+
+let test_max_steps_typed () =
+  let module E = Gnrflash_resilience.Solver_error in
+  let e =
+    check_serr "max steps"
+      (O.rkf45 ~max_steps:3 ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:1e6 ())
+  in
+  match e.E.kind with
+  | E.Max_steps { steps; t } ->
+    check_true "cap recorded" (steps >= 3);
+    check_in "stopped mid-integration" ~lo:0. ~hi:1e6 t
+  | _ -> Alcotest.failf "expected Max_steps, got %s" (E.to_string e)
+
 let test_solve_scalar () =
   let times, values =
     check_ok "scalar" (O.solve_scalar ~f:(fun _t y -> -.y) ~t0:0. ~y0:1. ~t1:1. ())
@@ -117,7 +194,11 @@ let () =
           case "event: linear crossing" test_event_detection;
           case "event: decay threshold" test_event_decay_threshold;
           case "event: none" test_event_none;
+          case "event: exact-zero landing" test_event_exact_zero_landing;
+          case "event: bisection early exit" test_event_bisection_early_exit;
           case "NaN trial step recovery" test_nan_region_recovery;
+          case "infinite trial step recovery" test_infinite_rhs_recovery;
+          case "typed Max_steps" test_max_steps_typed;
           case "solve_scalar wrapper" test_solve_scalar;
           prop_rkf45_linear_growth;
         ] );

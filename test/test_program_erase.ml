@@ -2,6 +2,10 @@ module Pe = Gnrflash_device.Program_erase
 module F = Gnrflash_device.Fgt
 open Gnrflash_testing.Testing
 
+(* the numerics/device solvers under test return typed solver errors *)
+let check_ok msg r = check_sok msg r
+let check_error msg r = ignore (check_serr msg r)
+
 let t = F.paper_default
 
 let test_default_pulses () =

@@ -30,6 +30,21 @@ let test_gauss_legendre_poly () =
   let f x = x ** 9. in
   check_close ~tol:1e-12 "∫x^9 over [0,1]" 0.1 (Q.gauss_legendre ~order:5 f 0. 1.)
 
+let test_adaptive_simpson_budget_exhaustion () =
+  (* quadrature cannot return a result mid-recursion, so a starved budget
+     surfaces as the typed Solver_failure exception rather than a hang *)
+  let module B = Gnrflash_resilience.Budget in
+  let module E = Gnrflash_resilience.Solver_error in
+  let b = B.make ~max_evals:2 () in
+  B.with_budget b (fun () ->
+      match Q.adaptive_simpson exp 0. 1. with
+      | _ -> Alcotest.fail "starved integration must not complete"
+      | exception E.Solver_failure e ->
+        Alcotest.(check string) "typed budget error" "budget_exhausted"
+          (E.label e);
+        Alcotest.(check string) "solver attributed"
+          "Quadrature.adaptive_simpson" e.E.solver)
+
 let test_gauss_legendre_nodes_symmetry () =
   let nodes, weights = Q.gauss_legendre_nodes 8 in
   for i = 0 to 3 do
@@ -80,6 +95,7 @@ let () =
           case "simpson sin" test_simpson_sin;
           case "adaptive exp" test_adaptive_simpson_exp;
           case "adaptive peaked" test_adaptive_simpson_peak;
+          case "adaptive budget exhaustion" test_adaptive_simpson_budget_exhaustion;
           case "gauss-legendre degree 9" test_gauss_legendre_poly;
           case "gauss-legendre node symmetry" test_gauss_legendre_nodes_symmetry;
           case "gauss-legendre gaussian" test_gauss_legendre_gaussian;

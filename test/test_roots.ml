@@ -1,6 +1,10 @@
 module R = Gnrflash_numerics.Roots
 open Gnrflash_testing.Testing
 
+(* the numerics/device solvers under test return typed solver errors *)
+let check_ok msg r = check_sok msg r
+let check_error msg r = ignore (check_serr msg r)
+
 let cubic x = (x *. x *. x) -. (2. *. x) -. 5.
 (* real root near 2.0945514815423265 *)
 let cubic_root = 2.0945514815423265
@@ -53,6 +57,28 @@ let test_bracket_root_fails () =
   check_error "no root anywhere"
     (R.bracket_root (fun x -> (x *. x) +. 1.) 0. 1.)
 
+let test_brent_max_iter_unconverged () =
+  (* regression: exhausting max_iter used to silently return the current
+     iterate as Ok; it must be a typed No_convergence carrying the best
+     iterate instead *)
+  let module E = Gnrflash_resilience.Solver_error in
+  let e = check_serr "unconverged" (R.brent ~max_iter:2 cubic 1. 3.) in
+  match e.E.kind with
+  | E.No_convergence { iterations; best; f_best } ->
+    Alcotest.(check int) "stopped at the cap" 2 iterations;
+    check_in "best iterate stayed in the bracket" ~lo:1. ~hi:3. best;
+    check_close ~tol:1e-9 "residual attached" (cubic best) f_best
+  | _ -> Alcotest.failf "expected No_convergence, got %s" (E.to_string e)
+
+let test_brent_budget_exhausted () =
+  let module B = Gnrflash_resilience.Budget in
+  let module E = Gnrflash_resilience.Solver_error in
+  let b = B.make ~max_evals:1 () in
+  let e =
+    B.with_budget b (fun () -> check_serr "budget" (R.brent cubic 1. 3.))
+  in
+  Alcotest.(check string) "typed budget error" "budget_exhausted" (E.label e)
+
 let prop_brent_finds_linear_roots =
   prop "brent solves a(x - r) = 0"
     QCheck2.Gen.(pair (float_range (-50.) 50.) (float_range 0.1 10.))
@@ -83,6 +109,8 @@ let () =
           case "secant ln3" test_secant;
           case "bracket_root expands" test_bracket_root;
           case "bracket_root fails cleanly" test_bracket_root_fails;
+          case "brent max_iter is No_convergence" test_brent_max_iter_unconverged;
+          case "brent honors the eval budget" test_brent_budget_exhausted;
           prop_brent_finds_linear_roots;
           prop_newton_quadratic;
         ] );

@@ -3,6 +3,10 @@ module F = Gnrflash_device.Fgt
 module Tel = Gnrflash_telemetry.Telemetry
 open Gnrflash_testing.Testing
 
+(* the numerics/device solvers under test return typed solver errors *)
+let check_ok msg r = check_sok msg r
+let check_error msg r = ignore (check_serr msg r)
+
 let t = F.paper_default
 
 let run_program () =
@@ -157,6 +161,57 @@ let test_disabled_records_nothing () =
   let _ = check_ok "uninstrumented run" (Tr.run t ~vgs:15. ~duration:1e-3) in
   check_true "no counters recorded" ((Tel.snapshot ()).Tel.counters = [])
 
+let test_saturation_charge_erase_polarity () =
+  (* regression: the single [0, 1.05 q*] bracket could miss the erase-side
+     fixed point; for the symmetric paper device the erase fixed point must
+     mirror the program one *)
+  let q_prog = check_ok "program" (Tr.saturation_charge t ~vgs:15.) in
+  let q_erase = check_ok "erase" (Tr.saturation_charge t ~vgs:(-15.)) in
+  check_true "program stores electrons" (q_prog < 0.);
+  check_close ~tol:1e-6 "erase mirrors program" (-.q_prog) q_erase
+
+let test_saturation_charge_high_gcr () =
+  List.iter
+    (fun gcr ->
+       let t = F.with_gcr t gcr in
+       let label = Printf.sprintf "gcr=%.2f" gcr in
+       let q = check_ok label (Tr.saturation_charge t ~vgs:15.) in
+       let ji = F.j_in t ~vgs:15. ~qfg:q and jo = F.j_out t ~vgs:15. ~qfg:q in
+       check_close ~tol:1e-3 (label ^ ": currents balance") ji jo)
+    [ 0.3; 0.5; 0.8 ]
+
+let test_fault_injected_run_recovers () =
+  (* a single injected RHS failure kills the first ladder rung; the retry
+     rung must rescue the solve and telemetry must record the fallback *)
+  let module Fault = Gnrflash.Resilience.Fault in
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  let clean = check_ok "reference" (Tr.run t ~vgs:15. ~duration:10.) in
+  Alcotest.(check int) "nominal run needs no fallback" 0
+    (Tel.counter_total "resilience/fallback_used");
+  let faulted =
+    Fault.with_faults ~seed:3 ~limit:1 (Fault.Fail_every 1) (fun () ->
+        check_ok "faulted run recovers" (Tr.run t ~vgs:15. ~duration:10.))
+  in
+  check_true "fault actually fired"
+    (Tel.counter_total "resilience/fault_injected" > 0);
+  check_true "fallback rung rescued the solve"
+    (Tel.counter_total "resilience/fallback_used" > 0);
+  check_close ~tol:0.02 "recovered answer matches the clean one"
+    clean.Tr.qfg_final faulted.Tr.qfg_final
+
+let test_budget_exhaustion_surfaces () =
+  (* a starved budget must surface as a typed error, not a hang or a raw
+     exception *)
+  let module B = Gnrflash.Resilience.Budget in
+  let module E = Gnrflash.Resilience.Solver_error in
+  let e =
+    check_serr "starved run"
+      (Tr.run ~budget:(B.make ~max_evals:10 ()) t ~vgs:15. ~duration:10.)
+  in
+  Alcotest.(check string) "typed budget error" "budget_exhausted" (E.label e)
+
 let prop_final_dvt_bounded_by_fixed_point =
   prop "transient never overshoots the fixed point" ~count:8
     QCheck2.Gen.(float_range 12. 17.)
@@ -185,6 +240,10 @@ let () =
           case "unreachable target" test_time_to_threshold_unreachable;
           case "higher bias is faster" test_higher_vgs_faster;
           case "fixed point vs ODE on (vgs, GCR) grid" test_fixed_point_grid;
+          case "saturation charge: erase polarity" test_saturation_charge_erase_polarity;
+          case "saturation charge: GCR sweep" test_saturation_charge_high_gcr;
+          case "fault-injected run recovers via fallback" test_fault_injected_run_recovers;
+          case "budget exhaustion is typed, not a hang" test_budget_exhaustion_surfaces;
           case "telemetry consistent with samples" test_instrumentation_consistency;
           case "telemetry disabled records nothing" test_disabled_records_nothing;
           prop_final_dvt_bounded_by_fixed_point;

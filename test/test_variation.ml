@@ -65,7 +65,12 @@ let test_summarize_empty_fails () =
       ignore
         (V.summarize
            [| { V.xto = 1e-9; phi_b_ev = 3.; gcr = 0.5; program_time = infinity;
-                dvt_fixed_pulse = nan; solve_failed = true } |]))
+                dvt_fixed_pulse = nan; solve_failed = true;
+                failure =
+                  Some
+                    (Gnrflash_resilience.Solver_error.make ~solver:"test"
+                       (Gnrflash_resilience.Solver_error.No_convergence
+                          { iterations = 1; best = 0.; f_best = 0. })) } |]))
 
 let test_jobs_invariant () =
   (* per-sample splitmix seeding: the ensemble must be identical no matter
@@ -80,15 +85,23 @@ let test_jobs_invariant () =
 let test_summarize_with_failed_solve () =
   let good t dvt =
     { V.xto = 5e-9; phi_b_ev = 3.2; gcr = 0.6; program_time = t;
-      dvt_fixed_pulse = dvt; solve_failed = false }
+      dvt_fixed_pulse = dvt; solve_failed = false; failure = None }
   in
   let failed =
     { V.xto = 5e-9; phi_b_ev = 3.2; gcr = 0.6; program_time = infinity;
-      dvt_fixed_pulse = nan; solve_failed = true }
+      dvt_fixed_pulse = nan; solve_failed = true;
+      failure =
+        Some
+          (Gnrflash_resilience.Solver_error.make ~solver:"Transient.run"
+             (Gnrflash_resilience.Solver_error.Step_underflow
+                { t = 1e-9; h = 1e-301 })) }
   in
   let s = V.summarize [| good 1e-6 2.0; failed; good 4e-6 2.4 |] in
   Alcotest.(check int) "all samples counted" 3 s.V.n;
   Alcotest.(check int) "one failed solve" 1 s.V.n_failed;
+  Alcotest.(check (list (pair string int)))
+    "failure causes bucketed by class"
+    [ ("step_underflow", 1) ] s.V.failed_by_class;
   (* the failure is excluded rather than poisoning the statistics *)
   check_true "median finite" (Float.is_finite s.V.t_prog_median);
   check_close ~tol:1e-12 "median over finite times" 2.5e-6 s.V.t_prog_median;

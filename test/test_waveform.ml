@@ -50,7 +50,7 @@ let test_apply_equivalent_to_single_pulse () =
   let pts = check_ok "apply" (W.apply t ~qfg0:0. w2) in
   let q_double = snd (List.nth pts 1) in
   let single =
-    check_ok "single" (Gnrflash_device.Transient.run t ~vgs:15. ~duration:20e-9)
+    check_sok "single" (Gnrflash_device.Transient.run t ~vgs:15. ~duration:20e-9)
   in
   check_close ~tol:1e-3 "equivalence" single.Gnrflash_device.Transient.qfg_final q_double
 
