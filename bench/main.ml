@@ -213,10 +213,12 @@ let print_ablations () =
   hr "System: process variation";
   let module V = Gnrflash_device.Variation in
   let base = Gnrflash.Params.device () in
-  let s = V.summarize (V.sample_devices ~seed:2014 ~base ~n:100 ()) in
-  Printf.printf
-    "  100 devices: t_med=%.2e s, p95/p5=%.1fx, sigma(dVT)=%.3f V, dXTO sens=%.2f dec/nm\n"
-    s.V.t_prog_median s.V.t_prog_spread s.V.dvt_sigma (V.sensitivity_xto base)
+  (match V.summarize (V.sample_devices ~seed:2014 ~base ~n:100 ()) with
+   | Ok s ->
+     Printf.printf
+       "  100 devices: t_med=%.2e s, p95/p5=%.1fx, sigma(dVT)=%.3f V, dXTO sens=%.2f dec/nm\n"
+       s.V.t_prog_median s.V.t_prog_spread s.V.dvt_sigma (V.sensitivity_xto base)
+   | Error msg -> Printf.printf "  variation summary unavailable: %s\n" msg)
 
 let print_extensions () =
   hr "Ext A: JFN model comparison";
@@ -504,10 +506,32 @@ let resilience_rows snap =
        })
     figure_generators
 
+(* ---------- static-analysis gate ---------- *)
+
+module Lint = Gnrflash_lint_engine.Lint_engine
+
+(* The bench doubles as a CI gate for gnrflash-lint: record the rule
+   counts in BENCH_telemetry.json and fail the run if any unsuppressed
+   finding exists, so a lint regression cannot ship silently. *)
+let run_lint () =
+  hr "Static analysis (gnrflash-lint over lib/)";
+  let report = Lint.run ~root:(Lint.locate_root ()) ~subdir:"lib" () in
+  let unsuppressed = Lint.unsuppressed report in
+  let suppressed = Lint.suppressed report in
+  List.iter
+    (fun f -> Printf.printf "  %s\n" (Lint.render_finding f))
+    unsuppressed;
+  Printf.printf "  %d file(s), %d rule(s): %d finding(s), %d suppressed\n"
+    report.Lint.files_scanned
+    (List.length Lint.all_rules)
+    (List.length report.Lint.findings)
+    (List.length suppressed);
+  report
+
 (* Machine-readable bench trajectory: per-figure wall-clock timings, the
    serial-vs-parallel scaling rows, plus the full counter/span snapshot,
    written next to the repo's other BENCH data. *)
-let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience snap =
+let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~lint snap =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\"schema\":\"gnrflash-bench-telemetry/1\",";
   Buffer.add_string b
@@ -551,6 +575,12 @@ let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience snap =
             r.fig r.fallback_used r.budget_exhausted_n))
     resilience;
   Buffer.add_char b '}';
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"lint\":{\"rules_checked\":%d,\"findings\":%d,\"suppressed\":%d}"
+       (List.length Lint.all_rules)
+       (List.length lint.Lint.findings)
+       (List.length (Lint.suppressed lint)));
   Buffer.add_string b ",\"telemetry\":";
   Buffer.add_string b (Tel.render_json snap);
   Buffer.add_string b "}\n";
@@ -574,8 +604,9 @@ let () =
   let scaling = sweep_scaling () in
   run_benchmarks ();
   let resilience = resilience_rows snap in
+  let lint = run_lint () in
   write_bench_telemetry ~path:"BENCH_telemetry.json" ~checks_passed ~scaling
-    ~resilience snap;
+    ~resilience ~lint snap;
   hr "Resilience (per-figure fallback/budget counters)";
   List.iter
     (fun r ->
@@ -586,9 +617,12 @@ let () =
   if fallbacks_used then
     prerr_endline
       "bench: a figure needed a fallback rung on the golden parameter set";
+  let lint_failed = Lint.unsuppressed lint <> [] in
   hr "Done";
-  if not checks_passed || fallbacks_used then begin
+  if not checks_passed || fallbacks_used || lint_failed then begin
     if not checks_passed then
       prerr_endline "bench: qualitative shape checks FAILED";
+    if lint_failed then
+      prerr_endline "bench: unsuppressed gnrflash-lint findings";
     exit 1
   end

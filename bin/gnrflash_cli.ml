@@ -293,7 +293,11 @@ let variation_cmd =
     let module V = Gnrflash_device.Variation in
     let base = Gnrflash.Params.device () in
     let samples = V.sample_devices ~seed ~jobs ~base ~n () in
-    let s = V.summarize samples in
+    let s =
+      match V.summarize samples with
+      | Ok s -> s
+      | Error msg -> prerr_endline msg; exit 1
+    in
     Printf.printf "ensemble of %d devices around the paper point:\n" s.V.n;
     if s.V.n_failed > 0 then begin
       Printf.printf "  failed solves   %d (excluded from statistics)\n" s.V.n_failed;

@@ -16,9 +16,11 @@ let () =
 
   let show label spread =
     let samples = V.sample_devices ~spread ~seed:7 ~base ~n:200 () in
-    let s = V.summarize samples in
-    Printf.printf "%-28s t_med=%.2e s  t_p95=%.2e s  spread(p95/p5)=%6.1fx  sigma(dVT)=%.3f V\n"
-      label s.V.t_prog_median s.V.t_prog_p95 s.V.t_prog_spread s.V.dvt_sigma
+    match V.summarize samples with
+    | Ok s ->
+      Printf.printf "%-28s t_med=%.2e s  t_p95=%.2e s  spread(p95/p5)=%6.1fx  sigma(dVT)=%.3f V\n"
+        label s.V.t_prog_median s.V.t_prog_p95 s.V.t_prog_spread s.V.dvt_sigma
+    | Error msg -> Printf.printf "%-28s %s\n" label msg
   in
   Printf.printf "200-device ensembles (program to dVT = 2 V at 15 V):\n";
   show "all sources (default)" V.default_spread;

@@ -1,0 +1,83 @@
+(** Solver telemetry: named monotonic counters, gauges, and wall-clock span
+    timers for the tunneling → capacitive-network → transient pipeline.
+
+    Every entry point is one branch away from a no-op while disabled, so
+    the instrumentation stays permanently wired into the numeric kernels.
+    [span] pushes its name onto a per-domain context stack; every counter,
+    gauge or nested span recorded inside is keyed under the caller's path
+    (e.g. ["transient/run/ode/rhs_eval"]), attributing work to the figure
+    or experiment that asked for it.
+
+    Domain-safety: each domain records into its own lock-free
+    [Domain.DLS] sink. Worker domains spawned by the Sweep pool call
+    {!flush_local} before joining, merging into a mutex-protected global
+    accumulator; the read accessors see the merge of the global
+    accumulator and the calling domain's local sink, so single-domain
+    callers observe exactly serial semantics. *)
+
+type span_stat = {
+  calls : int;     (** number of completed span invocations *)
+  total_s : float; (** summed wall-clock seconds across invocations *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  spans : (string * span_stat) list;
+}
+(** A sorted, point-in-time view of every recorded metric. *)
+
+(** {1 Lifecycle} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded values (global accumulator and this domain's sink);
+    the enabled flag is untouched. *)
+
+val flush_local : unit -> unit
+(** Merge this domain's local sink into the global accumulator and clear
+    it — called by Sweep worker domains before they join. *)
+
+(** {1 Recording} *)
+
+val count : ?n:int -> string -> unit
+(** Increment a monotonic counter by [n] (default 1; non-positive [n] is
+    ignored), keyed under the current span context. No-op while disabled. *)
+
+val gauge : string -> float -> unit
+(** Record a last-writer-wins value, keyed under the current context. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] and attributes everything recorded inside
+    it to [context/name]. Exceptions propagate; the time still counts.
+    Calls [f] untimed while disabled. *)
+
+val context_prefix : unit -> string
+(** The current joined span path ([""] at top level). *)
+
+val with_context_prefix : string -> (unit -> 'a) -> 'a
+(** Run with the span context forced to [prefix] — used by the Sweep pool
+    so worker domains key their work exactly like the submitting domain. *)
+
+(** {1 Reading} *)
+
+val counter : string -> int
+(** Exact-key counter lookup (0 if absent). *)
+
+val counter_total : string -> int
+(** Sum of every counter whose path is [name] or ends in ["/" ^ name] —
+    e.g. ["ode/rhs_eval"] regardless of which span recorded it. *)
+
+val span_stat : string -> span_stat option
+val snapshot : unit -> snapshot
+
+(** {1 Rendering} *)
+
+val render_text : snapshot -> string
+val render_json : snapshot -> string
+
+val snapshot_of_json : string -> (snapshot, string) result
+(** Parse the output of {!render_json} back (round-trip reader). *)

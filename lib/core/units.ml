@@ -1,0 +1,3 @@
+(* Re-export so users of the umbrella library can say [Gnrflash.Units]
+   without depending on the low-level gnrflash_units library directly. *)
+include Gnrflash_units

@@ -1,4 +1,5 @@
 module C = Gnrflash_physics.Constants
+module U = Gnrflash_units
 
 type t = {
   cfc : float;
@@ -7,27 +8,57 @@ type t = {
   cfd : float;
 }
 
-let make ~cfc ~cfs ~cfb ~cfd =
-  if cfc < 0. || cfs < 0. || cfb < 0. || cfd < 0. then
+let cfc_qty t = U.farad t.cfc
+let cfs_qty t = U.farad t.cfs
+let cfb_qty t = U.farad t.cfb
+let cfd_qty t = U.farad t.cfd
+
+let make_q ~cfc ~cfs ~cfb ~cfd =
+  if U.(cfc <@ zero) || U.(cfs <@ zero) || U.(cfb <@ zero) || U.(cfd <@ zero) then
     invalid_arg "Capacitance.make: negative component";
-  if cfc +. cfs +. cfb +. cfd <= 0. then invalid_arg "Capacitance.make: zero total";
-  { cfc; cfs; cfb; cfd }
+  if U.(cfc +@ cfs +@ cfb +@ cfd <=@ zero) then
+    invalid_arg "Capacitance.make: zero total";
+  {
+    cfc = U.to_float cfc;
+    cfs = U.to_float cfs;
+    cfb = U.to_float cfb;
+    cfd = U.to_float cfd;
+  }
 
-let total t = t.cfc +. t.cfs +. t.cfb +. t.cfd
+let make ~cfc ~cfs ~cfb ~cfd =
+  make_q ~cfc:(U.farad cfc) ~cfs:(U.farad cfs) ~cfb:(U.farad cfb) ~cfd:(U.farad cfd)
 
-let gcr t = t.cfc /. total t
+let total_q t = U.(cfc_qty t +@ cfs_qty t +@ cfb_qty t +@ cfd_qty t)
+let total t = U.to_float (total_q t)
 
-let of_gcr ~gcr ~cfc =
+let gcr t = U.ratio (cfc_qty t) (total_q t)
+
+let of_gcr_q ~gcr ~cfc =
   if gcr <= 0. || gcr > 1. then invalid_arg "Capacitance.of_gcr: gcr out of (0, 1]";
-  if cfc <= 0. then invalid_arg "Capacitance.of_gcr: cfc <= 0";
-  let rest = cfc *. ((1. /. gcr) -. 1.) in
-  make ~cfc ~cfs:(0.25 *. rest) ~cfb:(0.5 *. rest) ~cfd:(0.25 *. rest)
+  if U.(cfc <=@ zero) then invalid_arg "Capacitance.of_gcr: cfc <= 0";
+  let rest = U.scale ((1. /. gcr) -. 1.) cfc in
+  make_q ~cfc ~cfs:(U.scale 0.25 rest) ~cfb:(U.scale 0.5 rest) ~cfd:(U.scale 0.25 rest)
+
+let of_gcr ~gcr ~cfc = of_gcr_q ~gcr ~cfc:(U.farad cfc)
+
+let parallel_plate_q ~eps_r ~area ~thickness =
+  if U.(thickness <=@ zero) then invalid_arg "Capacitance.parallel_plate: thickness <= 0";
+  (* no [U.(...)] open here: it would shadow the [area] argument with [U.area] *)
+  if U.( <=@ ) area U.zero then invalid_arg "Capacitance.parallel_plate: area <= 0";
+  (* ε₀·εᵣ·A/t evaluated in the historical factor order so the raw shim is
+     bit-identical; the F·m intermediate of (ε₀εᵣ)·A has no name in the
+     per-algebra, so this is a sanctioned boundary computation. *)
+  U.farad (C.eps0 *. eps_r *. U.to_float area /. U.to_float thickness)
 
 let parallel_plate ~eps_r ~area ~thickness =
-  if thickness <= 0. then invalid_arg "Capacitance.parallel_plate: thickness <= 0";
-  if area <= 0. then invalid_arg "Capacitance.parallel_plate: area <= 0";
-  C.eps0 *. eps_r *. area /. thickness
+  U.to_float
+    (parallel_plate_q ~eps_r ~area:(U.square_metre area) ~thickness:(U.metre thickness))
 
-let with_quantum_capacitance t ~cq =
-  if cq <= 0. then invalid_arg "Capacitance.with_quantum_capacitance: cq <= 0";
+let with_quantum_capacitance_q t ~cq =
+  if U.(cq <=@ zero) then invalid_arg "Capacitance.with_quantum_capacitance: cq <= 0";
+  (* series combination cfc·cq/(cfc + cq): the F² intermediate has no name
+     in the per-algebra — computed raw in the historical order. *)
+  let cq = U.to_float cq in
   { t with cfc = t.cfc *. cq /. (t.cfc +. cq) }
+
+let with_quantum_capacitance t ~cq = with_quantum_capacitance_q t ~cq:(U.farad cq)

@@ -1,6 +1,10 @@
 (** The floating-gate capacitance network of paper equation (2):
     [CT = CFC + CFS + CFB + CFD] and the gate-coupling ratio
-    [GCR = CFC / CT]. All capacitances in farads (per cell). *)
+    [GCR = CFC / CT]. All capacitances in farads (per cell).
+
+    The [_q] functions are the unit-typed primaries over
+    {!Gnrflash_units.farad} quantities; the raw-float API is a thin
+    bit-identical shim kept for the figure/CLI boundary. *)
 
 type t = {
   cfc : float;  (** floating gate ↔ control gate *)
@@ -9,17 +13,32 @@ type t = {
   cfd : float;  (** floating gate ↔ drain *)
 }
 
-val make : cfc:float -> cfs:float -> cfb:float -> cfd:float -> t
-(** Build a network. @raise Invalid_argument on a negative component or a
-    zero total. *)
+val cfc_qty : t -> Gnrflash_units.farad Gnrflash_units.qty
+val cfs_qty : t -> Gnrflash_units.farad Gnrflash_units.qty
+val cfb_qty : t -> Gnrflash_units.farad Gnrflash_units.qty
+val cfd_qty : t -> Gnrflash_units.farad Gnrflash_units.qty
 
-val total : t -> float
+val make_q :
+  cfc:Gnrflash_units.farad Gnrflash_units.qty ->
+  cfs:Gnrflash_units.farad Gnrflash_units.qty ->
+  cfb:Gnrflash_units.farad Gnrflash_units.qty ->
+  cfd:Gnrflash_units.farad Gnrflash_units.qty -> t
+(** Build a network from typed capacitances. @raise Invalid_argument on a
+    negative component or a zero total. *)
+
+val make : cfc:float -> cfs:float -> cfb:float -> cfd:float -> t
+(** Raw shim over {!make_q}. *)
+
+val total_q : t -> Gnrflash_units.farad Gnrflash_units.qty
 (** Equation (2). *)
 
-val gcr : t -> float
-(** Gate-coupling ratio [CFC/CT], in (0, 1]. *)
+val total : t -> float
+(** Raw shim over {!total_q}. *)
 
-val of_gcr : gcr:float -> cfc:float -> t
+val gcr : t -> float
+(** Gate-coupling ratio [CFC/CT], in (0, 1] — dimensionless. *)
+
+val of_gcr_q : gcr:float -> cfc:Gnrflash_units.farad Gnrflash_units.qty -> t
 (** Synthesize a network with the given [gcr] and control capacitance: the
     remaining capacitance [cfc·(1/gcr − 1)] is split between source, body
     and drain in the conventional 25/50/25 proportion. The split does not
@@ -27,10 +46,26 @@ val of_gcr : gcr:float -> cfc:float -> t
     it is recorded for completeness.
     @raise Invalid_argument unless [0 < gcr <= 1] and [cfc > 0]. *)
 
+val of_gcr : gcr:float -> cfc:float -> t
+(** Raw shim over {!of_gcr_q}. *)
+
+val parallel_plate_q :
+  eps_r:float ->
+  area:Gnrflash_units.m2 Gnrflash_units.qty ->
+  thickness:Gnrflash_units.metre Gnrflash_units.qty ->
+  Gnrflash_units.farad Gnrflash_units.qty
+(** [ε₀·εᵣ·A/t] — derive a component from geometry. The area/thickness
+    distinction is where the type layer pays off: swapping them no longer
+    type-checks. *)
+
 val parallel_plate : eps_r:float -> area:float -> thickness:float -> float
-(** [ε₀·εᵣ·A/t] — helper to derive components from geometry. *)
+(** Raw shim over {!parallel_plate_q}. *)
+
+val with_quantum_capacitance_q :
+  t -> cq:Gnrflash_units.farad Gnrflash_units.qty -> t
+(** Ext E: the MLGNR floating gate's quantum capacitance [cq] in series
+    with the control-gate coupling — returns a network whose [cfc] is
+    [cfc·cq/(cfc + cq)], lowering the effective GCR. *)
 
 val with_quantum_capacitance : t -> cq:float -> t
-(** Ext E: the MLGNR floating gate's quantum capacitance [cq] (farads) in
-    series with the control-gate coupling — returns a network whose [cfc]
-    is [cfc·cq/(cfc + cq)], lowering the effective GCR. *)
+(** Raw shim over {!with_quantum_capacitance_q}. *)

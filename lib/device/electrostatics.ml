@@ -1,5 +1,6 @@
 module C = Gnrflash_physics.Constants
 module L = Gnrflash_numerics.Linalg
+module U = Gnrflash_units
 
 type stack = {
   xco : float;
@@ -78,7 +79,24 @@ let solve stack ~vgs ~vs ~sigma_fg =
       Ok { x; potential; vfg; field_tunnel; field_control }
   end
 
+let areal_cap ~eps_r ~thickness =
+  (* ε₀εᵣ/t [F/m²] — the (F/m)/m intermediate has no name in the
+     per-algebra, so this constructor is the sanctioned boundary. *)
+  U.f_per_m2 (C.eps0 *. eps_r /. thickness)
+
+let vfg_divider_q stack ~vgs ~vs ~sigma_fg =
+  let c_co = areal_cap ~eps_r:stack.eps_r_co ~thickness:stack.xco in
+  let c_to = areal_cap ~eps_r:stack.eps_r_to ~thickness:stack.xto in
+  let num =
+    U.(areal_displacement c_co ~v:vgs +@ areal_displacement c_to ~v:vs +@ sigma_fg)
+  in
+  U.voltage_across_areal num U.(c_co +@ c_to)
+
 let vfg_divider stack ~vgs ~vs ~sigma_fg =
-  let c_co = C.eps0 *. stack.eps_r_co /. stack.xco in
-  let c_to = C.eps0 *. stack.eps_r_to /. stack.xto in
-  ((c_co *. vgs) +. (c_to *. vs) +. sigma_fg) /. (c_co +. c_to)
+  U.to_float
+    (vfg_divider_q stack ~vgs:(U.volt vgs) ~vs:(U.volt vs)
+       ~sigma_fg:(U.c_per_m2 sigma_fg))
+
+let vfg_qty sol = U.volt sol.vfg
+let field_tunnel_qty sol = U.v_per_m sol.field_tunnel
+let field_control_qty sol = U.v_per_m sol.field_control

@@ -33,8 +33,22 @@ val solve :
 (** Solve Poisson with floating-gate sheet-charge density [sigma_fg]
     [C/m²]. Fails only on a degenerate discretization. *)
 
-val vfg_divider : stack -> vgs:float -> vs:float -> sigma_fg:float -> float
+val vfg_divider_q :
+  stack ->
+  vgs:Gnrflash_units.volt Gnrflash_units.qty ->
+  vs:Gnrflash_units.volt Gnrflash_units.qty ->
+  sigma_fg:Gnrflash_units.c_per_m2 Gnrflash_units.qty ->
+  Gnrflash_units.volt Gnrflash_units.qty
 (** The closed-form series-capacitor solution of the same problem:
     [VFG = (C_co·VGS + C_to·VS + σ_FG) / (C_co + C_to)] — the equation-(3)
-    model restricted to the two plate capacitances. Used to validate
-    {!solve}. *)
+    model restricted to the two plate capacitances, with the areal
+    charge/capacitance algebra checked ([F/m²·V = C/m²],
+    [C/m² ÷ F/m² = V]). Used to validate {!solve}. *)
+
+val vfg_divider : stack -> vgs:float -> vs:float -> sigma_fg:float -> float
+(** Raw shim over {!vfg_divider_q}. *)
+
+val vfg_qty : solution -> Gnrflash_units.volt Gnrflash_units.qty
+val field_tunnel_qty : solution -> Gnrflash_units.v_per_m Gnrflash_units.qty
+val field_control_qty : solution -> Gnrflash_units.v_per_m Gnrflash_units.qty
+(** Typed views of the solved floating-gate potential and oxide fields. *)

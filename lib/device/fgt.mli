@@ -5,7 +5,12 @@
     (negative after programming — electrons). Currents are reported as the
     {e electron} fluxes the paper plots: [j_in] is electron injection into
     the FG, [j_out] electron extraction, both non-negative current
-    densities [A/m²]. *)
+    densities [A/m²].
+
+    The [_q] functions are the unit-typed primaries over
+    {!Gnrflash_units} quantities (volts, metres, m², coulombs, A/m², A);
+    the raw-float API is a thin bit-identical shim kept for the
+    figure/CLI/test boundary. *)
 
 type t = {
   caps : Capacitance.t;     (** the equation-(2) network *)
@@ -18,6 +23,21 @@ type t = {
   (** FN coefficients of the FG ↔ control-gate interface *)
   vs : float;               (** source bias during operations [V], usually 0 *)
 }
+
+val make_q :
+  ?vs:Gnrflash_units.volt Gnrflash_units.qty ->
+  ?tunnel_oxide:Gnrflash_materials.Oxide.t ->
+  ?control_oxide:Gnrflash_materials.Oxide.t ->
+  ?channel:Gnrflash_materials.Workfunction.electrode ->
+  ?gate:Gnrflash_materials.Workfunction.electrode ->
+  gcr:float ->
+  xto:Gnrflash_units.metre Gnrflash_units.qty ->
+  xco:Gnrflash_units.metre Gnrflash_units.qty ->
+  area:Gnrflash_units.m2 Gnrflash_units.qty -> unit -> t
+(** Unit-typed primary constructor: thicknesses are [metre qty], the cell
+    area an [m2 qty] (e.g. [U.area (U.metre 32e-9) (U.metre 32e-9)]), so
+    swapping an area for a thickness no longer type-checks. Semantics
+    otherwise identical to {!make}. *)
 
 val make :
   ?vs:float ->
@@ -52,6 +72,56 @@ val gcr : t -> float
 
 val ct : t -> float
 (** Total capacitance CT [F]. *)
+
+val ct_qty : t -> Gnrflash_units.farad Gnrflash_units.qty
+(** Typed total capacitance. *)
+
+val area_qty : t -> Gnrflash_units.m2 Gnrflash_units.qty
+val xto_qty : t -> Gnrflash_units.metre Gnrflash_units.qty
+val xco_qty : t -> Gnrflash_units.metre Gnrflash_units.qty
+val vs_qty : t -> Gnrflash_units.volt Gnrflash_units.qty
+
+val vfg_q :
+  t -> vgs:Gnrflash_units.volt Gnrflash_units.qty ->
+  qfg:Gnrflash_units.coulomb Gnrflash_units.qty ->
+  Gnrflash_units.volt Gnrflash_units.qty
+(** Paper equation (3), typed: [VFG = GCR·VGS + QFG/CT] — the charge/total-
+    capacitance division is the checked [coulomb //@ farad = volt]. *)
+
+val tunnel_field_q :
+  t -> vgs:Gnrflash_units.volt Gnrflash_units.qty ->
+  qfg:Gnrflash_units.coulomb Gnrflash_units.qty ->
+  Gnrflash_units.v_per_m Gnrflash_units.qty
+
+val control_field_q :
+  t -> vgs:Gnrflash_units.volt Gnrflash_units.qty ->
+  qfg:Gnrflash_units.coulomb Gnrflash_units.qty ->
+  Gnrflash_units.v_per_m Gnrflash_units.qty
+
+val j_in_q :
+  t -> vgs:Gnrflash_units.volt Gnrflash_units.qty ->
+  qfg:Gnrflash_units.coulomb Gnrflash_units.qty ->
+  Gnrflash_units.a_per_m2 Gnrflash_units.qty
+
+val j_out_q :
+  t -> vgs:Gnrflash_units.volt Gnrflash_units.qty ->
+  qfg:Gnrflash_units.coulomb Gnrflash_units.qty ->
+  Gnrflash_units.a_per_m2 Gnrflash_units.qty
+
+val dqfg_dt_q :
+  t -> vgs:Gnrflash_units.volt Gnrflash_units.qty ->
+  qfg:Gnrflash_units.coulomb Gnrflash_units.qty ->
+  Gnrflash_units.ampere Gnrflash_units.qty
+(** Net charging rate as a typed current (C/s):
+    [−(j_in − j_out)·area] with the checked [a_per_m2 *@ m2 = ampere]. *)
+
+val threshold_shift_q :
+  t -> qfg:Gnrflash_units.coulomb Gnrflash_units.qty ->
+  Gnrflash_units.volt Gnrflash_units.qty
+
+val qfg_for_threshold_shift_q :
+  t -> dvt:Gnrflash_units.volt Gnrflash_units.qty ->
+  Gnrflash_units.coulomb Gnrflash_units.qty
 
 val vfg : t -> vgs:float -> qfg:float -> float
 (** Paper equation (3): [VFG = GCR·VGS + QFG/CT]. *)

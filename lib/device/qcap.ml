@@ -2,6 +2,7 @@ module Mlgnr = Gnrflash_materials.Mlgnr
 module Gnr = Gnrflash_materials.Gnr
 module C = Gnrflash_physics.Constants
 module Roots = Gnrflash_numerics.Roots
+module Tel = Gnrflash_telemetry.Telemetry
 
 let default_stack () = Mlgnr.make (Gnr.make Gnr.Armchair 12) ~layers:3
 
@@ -9,6 +10,7 @@ let fermi_shift ~stack ~area ~qfg =
   let sigma = abs_float qfg /. area in
   if sigma <= 0. then 0.
   else begin
+    Tel.span "qcap/fermi_shift" @@ fun () ->
     (* invert storable_charge: find ef with stack charge density = sigma *)
     let f ef_ev = Mlgnr.storable_charge stack ~ef_max_ev:ef_ev -. sigma in
     match Roots.bracket_root f 1e-4 1. with
@@ -69,6 +71,7 @@ let run ?(stack = default_stack ()) t ~vgs ~duration =
        the equilibrium is unique). *)
     let q_scale = Fgt.ct t *. (1. +. abs_float vgs) in
     let q_star =
+      Tel.span "qcap/equilibrium" @@ fun () ->
       let g q = j_net q in
       let bound = -.1.2 *. q_scale in
       match Roots.brent g (if vgs >= 0. then bound else 0.)
@@ -105,7 +108,7 @@ let run ?(stack = default_stack ()) t ~vgs ~duration =
           dvt_final;
           dvt_final_metal;
           window_shrink =
-            (if dvt_final_metal = 0. then 0. else 1. -. (dvt_final /. dvt_final_metal));
+            (if Float.equal dvt_final_metal 0. then 0. else 1. -. (dvt_final /. dvt_final_metal));
           ef_final_ev = fermi_shift ~stack ~area:t.Fgt.area ~qfg:!q /. C.ev;
         }
   end

@@ -1,4 +1,5 @@
 module Ode = Gnrflash_numerics.Ode
+module U = Gnrflash_units
 module Roots = Gnrflash_numerics.Roots
 module Tel = Gnrflash_telemetry.Telemetry
 module Err = Gnrflash_resilience.Solver_error
@@ -51,7 +52,12 @@ let run ?budget ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs
     (* absolute tolerance scaled to the natural charge magnitude CT·VGS so
        the controller resolves attocoulomb states *)
     let atol = 1e-10 *. Fgt.ct t *. (1. +. abs_float vgs) in
-    let f _time y = [| Fgt.dqfg_dt t ~vgs ~qfg:y.(0) |] in
+    (* charge-balance RHS through the unit-typed current path: qfg [C],
+       dQ/dt [A] — the raw ODE state vector is the boundary *)
+    let vgs_q = U.volt vgs in
+    let f _time y =
+      [| U.to_float (Fgt.dqfg_dt_q t ~vgs:vgs_q ~qfg:(U.coulomb y.(0))) |]
+    in
     let event _time y = imbalance t ~vgs ~qfg:y.(0) ~threshold:imbalance_threshold in
     (* If the device starts already balanced (e.g. vgs = 0) the event
        function is negative at t0; integrate without the event. *)
@@ -106,7 +112,12 @@ let saturation_charge ?budget t ~vgs =
   Err.protect @@ fun () ->
   Tel.span "transient/saturation_charge" @@ fun () ->
   Tel.count "transient/fixed_point_solve";
-  let f q = Fgt.j_in t ~vgs ~qfg:q -. Fgt.j_out t ~vgs ~qfg:q in
+  let vgs_q = U.volt vgs in
+  let f q =
+    U.to_float
+      U.(Fgt.j_in_q t ~vgs:vgs_q ~qfg:(coulomb q)
+         -@ Fgt.j_out_q t ~vgs:vgs_q ~qfg:(coulomb q))
+  in
   (* Bracket between q = 0 and the charge that pins VFG to the balanced
      voltage divider point: VFGstar with VFG*/xto = (vgs - VFGstar)/xco for
      programming (mirrored for erase). *)
@@ -147,8 +158,11 @@ let time_to_threshold_shift ?budget ?(qfg0 = 0.) t ~vgs ~dvt ~max_time =
     Err.protect @@ fun () ->
     Tel.span "transient/time_to_threshold_shift" @@ fun () -> begin
     Tel.count "transient/ttts_solve";
-    let q_target = Fgt.qfg_for_threshold_shift t ~dvt in
-    let f _time y = [| Fgt.dqfg_dt t ~vgs ~qfg:y.(0) |] in
+    let q_target = U.to_float (Fgt.qfg_for_threshold_shift_q t ~dvt:(U.volt dvt)) in
+    let vgs_q = U.volt vgs in
+    let f _time y =
+      [| U.to_float (Fgt.dqfg_dt_q t ~vgs:vgs_q ~qfg:(U.coulomb y.(0))) |]
+    in
     let event _time y = (y.(0) -. q_target) *. (if dvt >= 0. then 1. else -1.) in
     let atol = 1e-10 *. Fgt.ct t *. (1. +. abs_float vgs) in
     let attempt rtol () =

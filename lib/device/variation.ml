@@ -67,6 +67,8 @@ let evaluate device =
   (program_time, dvt_fixed_pulse, failure)
 
 let sample_devices ?(spread = default_spread) ?(seed = 2014) ?jobs ~base ~n () =
+  (* lint: allow L1 — n < 1 is a caller programming bug on a pure sampling
+     helper, not a solver data condition; Invalid_argument is the contract *)
   if n < 1 then invalid_arg "Variation.sample_devices: n < 1";
   (* each sample seeds its own PRNG from splitmix(seed, index), so the draw
      depends only on (seed, index) - never on chunking or job count - and
@@ -101,7 +103,9 @@ let summarize samples =
          (Array.to_list samples))
   in
   let times = finite_of (fun s -> s.program_time) in
-  if Array.length times = 0 then invalid_arg "Variation.summarize: no successful samples";
+  if Array.length times = 0 then
+    Error "Variation.summarize: no successful samples"
+  else begin
   let dvts = finite_of (fun s -> s.dvt_fixed_pulse) in
   let n_failed =
     Array.fold_left (fun acc s -> if s.solve_failed then acc + 1 else acc) 0 samples
@@ -120,16 +124,18 @@ let summarize samples =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  {
-    n = Array.length samples;
-    n_failed;
-    t_prog_median = Stats.median times;
-    t_prog_p95 = Stats.percentile 95. times;
-    t_prog_spread = Stats.percentile 95. times /. Stats.percentile 5. times;
-    dvt_mean = Stats.mean dvts;
-    dvt_sigma = Stats.std dvts;
-    failed_by_class;
-  }
+  Ok
+    {
+      n = Array.length samples;
+      n_failed;
+      t_prog_median = Stats.median times;
+      t_prog_p95 = Stats.percentile 95. times;
+      t_prog_spread = Stats.percentile 95. times /. Stats.percentile 5. times;
+      dvt_mean = Stats.mean dvts;
+      dvt_sigma = Stats.std dvts;
+      failed_by_class;
+    }
+  end
 
 let sensitivity_xto ?(delta = 0.05e-9) base =
   let time xto =

@@ -49,11 +49,12 @@ type summary = {
       label; empty when nothing failed *)
 }
 
-val summarize : sample array -> summary
+val summarize : sample array -> (summary, string) result
 (** Robust statistics over the ensemble: failed solves are counted in
     [n_failed] and excluded — with every non-finite value — from the
-    percentiles and moments; at least one sample must have a finite
-    programming time. *)
+    percentiles and moments. Returns [Error] (instead of raising, per lint
+    rule L1) when no sample has a finite programming time — an ensemble
+    where every solve failed is a data condition, not a programming bug. *)
 
 val sensitivity_xto : ?delta:float -> Fgt.t -> float
 (** d(log10 t_prog)/d(XTO) in decades per nm at the base point — the

@@ -2,6 +2,8 @@ module C = Gnrflash_physics.Constants
 module Quad = Gnrflash_numerics.Quadrature
 module Roots = Gnrflash_numerics.Roots
 
+(* lint: allow L4 — ħ·v_F (J·m) is a derived constant outside the
+   units-layer per-algebra, which only names the FN/FGT dimensions *)
 let hv = C.hbar *. C.v_fermi_graphene
 
 let dispersion k = hv *. abs_float k
@@ -25,11 +27,14 @@ let carrier_density ~ef ~t =
     let scale = density_of_states (abs_float ef +. kt) *. upper in
     let tol = 1e-10 *. scale in
     let electrons =
+      (* lint: allow L3 — materials is a leaf library kept free of the
+         telemetry dependency; charge integrals are attributed by callers *)
       Quad.adaptive_simpson ~tol
         (fun e -> density_of_states e *. Gnrflash_physics.Fermi.occupation ~ef ~t e)
         0. upper
     in
     let holes =
+      (* lint: allow L3 — see above: leaf library, no telemetry dep *)
       Quad.adaptive_simpson ~tol
         (fun e ->
            density_of_states e
@@ -54,7 +59,7 @@ let quantum_capacitance ~ef ~t =
   end
 
 let fermi_level_for_density ~n ~t =
-  if n = 0. then 0.
+  if Float.equal n 0. then 0.
   else begin
     let f ef = carrier_density ~ef ~t -. n in
     let guess =
@@ -64,8 +69,10 @@ let fermi_level_for_density ~n ~t =
     in
     let a = min (guess /. 4.) (guess *. 4.) -. (C.k_b *. max t 1. *. 20.) in
     let b = max (guess /. 4.) (guess *. 4.) +. (C.k_b *. max t 1. *. 20.) in
+    (* lint: allow L3 — see above: leaf library, no telemetry dep *)
     match Roots.bracket_root f a b with
     | Error _ -> guess
     | Ok (lo, hi) ->
+      (* lint: allow L3 — see above: leaf library, no telemetry dep *)
       (match Roots.brent f lo hi with Ok x -> x | Error _ -> guess)
   end

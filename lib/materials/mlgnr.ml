@@ -37,6 +37,8 @@ let storable_charge s ~ef_max_ev =
   let ef = ef_max_ev *. C.ev in
   (* ∫0^Ef DOS(E) dE for linear DOS = Ef² / (π ħ² vF²); per layer, with the
      same screening weights as the quantum capacitance. *)
+  (* lint: allow L4 — (ħ·v_F)² is a derived constant outside the
+     units-layer per-algebra *)
   let per_layer = ef *. ef /. (Float.pi *. (C.hbar *. C.v_fermi_graphene) ** 2.) in
   let rec add acc weight remaining =
     if remaining = 0 then acc

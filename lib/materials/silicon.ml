@@ -9,5 +9,7 @@ let nv = 1.04e25
 
 let fermi_level_n ~nd =
   if nd <= 0. then invalid_arg "Silicon.fermi_level_n: nd <= 0";
+  (* lint: allow L4 — kT at a fixed reference temperature is a derived
+     constant; the typed path is Constants.thermal_voltage_qty *)
   let kt_ev = C.k_b *. C.room_temperature /. C.ev in
   kt_ev *. log (nc /. nd)

@@ -28,7 +28,7 @@ let apply device ~qfg0 segments =
     | [] -> Ok (List.rev acc)
     | s :: rest ->
       if s.duration <= 0. then Error "Waveform.apply: non-positive segment duration"
-      else if s.vgs = 0. then
+      else if Float.equal s.vgs 0. then
         (* grounded gap: leakage is negligible on pulse timescales *)
         go (time +. s.duration) qfg ((time +. s.duration, qfg) :: acc) rest
       else

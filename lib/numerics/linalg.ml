@@ -69,7 +69,7 @@ let solve a b =
          end;
          for r = col + 1 to n - 1 do
            let factor = m.(r).(col) /. m.(col).(col) in
-           if factor <> 0. then begin
+           if not (Float.equal factor 0.) then begin
              for c = col to n - 1 do
                m.(r).(c) <- m.(r).(c) -. (factor *. m.(col).(c))
              done;

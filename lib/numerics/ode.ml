@@ -15,6 +15,8 @@ let axpy a x y =
   Array.mapi (fun i yi -> yi +. (a *. x.(i))) y
 
 let fixed_step_method step ~f ~t0 ~y0 ~t1 ~steps =
+  (* lint: allow L1 — steps < 1 is a misuse of the API (documented
+     precondition), not a runtime solve failure; keep Invalid_argument *)
   if steps < 1 then invalid_arg "Ode: steps < 1";
   let f t y = Tel.count "ode/rhs_eval_fixed"; Budget.note_evals 1; f t y in
   Tel.count ~n:steps "ode/fixed_step";
@@ -166,7 +168,7 @@ let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps 
             t := t_new;
             y := y5;
             if !t >= t1 -. 1e-15 *. (abs_float t1 +. 1.) then finished := true;
-            let factor = if en = 0. then 4. else min 4. (0.9 *. (en ** (-0.2))) in
+            let factor = if Float.equal en 0. then 4. else min 4. (0.9 *. (en ** (-0.2))) in
             h := !h *. factor
           end else begin
             Tel.count "ode/step_rejected";
@@ -215,7 +217,7 @@ let rkf45_event ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~event ~t0 ~y0 ~t1 () =
   let g0 = ref (event t0 y0) in
   let on_step ~t_old ~y_old ~t_new ~y_new =
     let g1 = event t_new y_new in
-    if g1 = 0. then begin
+    if Float.equal g1 0. then begin
       (* The event function lands exactly on zero at the accepted step:
          that IS the crossing (the old strict [g0 * g1 < 0.] test skipped
          it, and step functions like the saturation imbalance do return

@@ -55,7 +55,7 @@ let nelder_mead ?(tol = 1e-10) ?(max_iter = 2000) ?(scale = 0.1) f x0 =
     else begin
       let v = Array.copy x0 in
       let j = i - 1 in
-      let step = if v.(j) = 0. then scale else scale *. abs_float v.(j) in
+      let step = if Float.equal v.(j) 0. then scale else scale *. abs_float v.(j) in
       v.(j) <- v.(j) +. step;
       v
     end

@@ -51,15 +51,15 @@ let fit ~deg xs ys =
   end
 
 let roots_quadratic a b c =
-  if a = 0. then None
+  if Float.equal a 0. then None
   else begin
     let disc = (b *. b) -. (4. *. a *. c) in
     if disc < 0. then None
     else begin
       let sq = sqrt disc in
-      let q = -0.5 *. (b +. (Float.of_int (compare b 0.) |> fun s -> if s = 0. then 1. else s) *. sq) in
+      let q = -0.5 *. (b +. (Float.of_int (compare b 0.) |> fun s -> if Float.equal s 0. then 1. else s) *. sq) in
       let r1 = q /. a in
-      let r2 = if q = 0. then 0. else c /. q in
+      let r2 = if Float.equal q 0. then 0. else c /. q in
       Some (min r1 r2, max r1 r2)
     end
   end

@@ -30,7 +30,7 @@ let wls ~weights xs ys =
         sxy := !sxy +. (weights.(i) *. dx *. dy);
         syy := !syy +. (weights.(i) *. dy *. dy)
       done;
-      if !sxx = 0. then Error "Regression: constant abscissae"
+      if Float.equal !sxx 0. then Error "Regression: constant abscissae"
       else begin
         let slope = !sxy /. !sxx in
         let intercept = ybar -. (slope *. xbar) in
@@ -39,7 +39,7 @@ let wls ~weights xs ys =
           let r = ys.(i) -. (intercept +. (slope *. xs.(i))) in
           ss_res := !ss_res +. (weights.(i) *. r *. r)
         done;
-        let r_squared = if !syy = 0. then 1. else 1. -. (!ss_res /. !syy) in
+        let r_squared = if Float.equal !syy 0. then 1. else 1. -. (!ss_res /. !syy) in
         let dof = float_of_int (n - 2) in
         let var = if n > 2 then !ss_res /. dof else 0. in
         let slope_stderr = sqrt (var /. !sxx) in
@@ -61,6 +61,6 @@ let through_origin xs ys =
       sxy := !sxy +. (xs.(i) *. ys.(i));
       sxx := !sxx +. (xs.(i) *. xs.(i))
     done;
-    if !sxx = 0. then Error "Regression: all abscissae zero"
+    if Float.equal !sxx 0. then Error "Regression: all abscissae zero"
     else Ok (!sxy /. !sxx)
   end

@@ -28,8 +28,8 @@ let bisect ?(tol = default_tol) ?(max_iter = 200) f a b =
   Err.protect @@ fun () ->
   let f = instrument ~solver f in
   let fa = f a and fb = f b in
-  if fa = 0. then Ok a
-  else if fb = 0. then Ok b
+  if Float.equal fa 0. then Ok a
+  else if Float.equal fb 0. then Ok b
   else if fa *. fb > 0. then begin
     Tel.count "roots/bracket_fail";
     Error (Err.make ~solver (Err.Bracket_failure { lo = a; hi = b; f_lo = fa; f_hi = fb }))
@@ -50,7 +50,7 @@ let bisect ?(tol = default_tol) ?(max_iter = 200) f a b =
           let fm = f m in
           if Float.is_nan fm then
             Error (Err.make ~solver (Err.Nan_region { at = m }))
-          else if fm = 0. then Ok m
+          else if Float.equal fm 0. then Ok m
           else if fa *. fm < 0. then loop a fa m (i + 1)
           else loop m fm b (i + 1)
     in
@@ -65,8 +65,8 @@ let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
   Err.protect @@ fun () ->
   let f = instrument ~solver f in
   let fa = f a and fb = f b in
-  if fa = 0. then Ok a
-  else if fb = 0. then Ok b
+  if Float.equal fa 0. then Ok a
+  else if Float.equal fb 0. then Ok b
   else if fa *. fb > 0. then begin
     Tel.count "roots/bracket_fail";
     Error (Err.make ~solver (Err.Bracket_failure { lo = a; hi = b; f_lo = fa; f_hi = fb }))
@@ -86,10 +86,10 @@ let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
       match Budget.check ~solver () with
       | Error e -> result := Some (Error e)
       | Ok () ->
-        if !fb = 0. || close tol !a !b then result := Some (Ok !b)
+        if Float.equal !fb 0. || close tol !a !b then result := Some (Ok !b)
         else begin
           let s =
-            if !fa <> !fc && !fb <> !fc then
+            if (not (Float.equal !fa !fc)) && not (Float.equal !fb !fc) then
               (* inverse quadratic interpolation *)
               (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
               +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
@@ -148,10 +148,10 @@ let newton ?(tol = default_tol) ?(max_iter = 100) ~f ~df x0 =
       | Error e -> Error e
       | Ok () ->
         let fx = f x in
-        if fx = 0. then Ok x
+        if Float.equal fx 0. then Ok x
         else
           let dfx = df x in
-          if dfx = 0. then Error (Err.make ~solver (Err.Zero_derivative { x }))
+          if Float.equal dfx 0. then Error (Err.make ~solver (Err.Zero_derivative { x }))
           else
             let x' = x -. (fx /. dfx) in
             if Float.is_nan x' || Float.is_nan fx then
@@ -175,8 +175,8 @@ let secant ?(tol = default_tol) ?(max_iter = 100) f x0 x1 =
         Error
           (Err.make ~solver
              (Err.No_convergence { iterations = i; best = x1; f_best = f1 }))
-      else if f1 = 0. then Ok x1
-      else if f1 = f0 then
+      else if Float.equal f1 0. then Ok x1
+      else if Float.equal f1 f0 then
         Error (Err.make ~solver (Err.Zero_derivative { x = x1 }))
       else
         let x2 = x1 -. (f1 *. (x1 -. x0) /. (f1 -. f0)) in
@@ -191,7 +191,7 @@ let bracket_root ?(grow = 1.6) ?(max_iter = 60) f a b =
   let solver = "Roots.bracket_root" in
   Err.protect @@ fun () ->
   let f = instrument ~solver f in
-  if a = b then
+  if Float.equal a b then
     Error (Err.make ~solver (Err.Invalid_input "empty interval"))
   else begin
     let a = ref (min a b) and b = ref (max a b) in

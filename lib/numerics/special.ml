@@ -77,7 +77,7 @@ let airy_series x =
     term := next;
     f := !f +. next;
     (* d/dx of c_k x^{3k} is 3k c_k x^{3k-1} = next * 3k / x *)
-    if x <> 0. then fp := !fp +. (next *. 3. *. float_of_int !k /. x);
+    if not (Float.equal x 0.) then fp := !fp +. (next *. 3. *. float_of_int !k /. x);
     if abs_float next <= 1e-18 *. (abs_float !f +. 1.) || !k > 200 then continue := false
   done;
   (* g and g' *)
@@ -91,7 +91,7 @@ let airy_series x =
     incr k;
     term := next;
     g := !g +. next;
-    if x <> 0. then gp := !gp +. (next *. ((3. *. float_of_int !k) +. 1.) /. x);
+    if not (Float.equal x 0.) then gp := !gp +. (next *. ((3. *. float_of_int !k) +. 1.) /. x);
     if abs_float next <= 1e-18 *. (abs_float !g +. 1.) || !k > 200 then continue := false
   done;
   let sqrt3 = sqrt 3. in

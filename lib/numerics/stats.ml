@@ -58,7 +58,7 @@ let histogram ~bins xs =
   non_empty "histogram" xs;
   if bins < 1 then invalid_arg "Stats.histogram: bins < 1";
   let lo, hi = min_max xs in
-  let hi = if hi = lo then lo +. 1. else hi in
+  let hi = if Float.equal hi lo then lo +. 1. else hi in
   let w = (hi -. lo) /. float_of_int bins in
   let edges = Array.init (bins + 1) (fun i -> lo +. (float_of_int i *. w)) in
   let counts = Array.make bins 0 in

@@ -42,3 +42,22 @@ val room_temperature : float
 
 val thermal_voltage : float -> float
 (** [thermal_voltage t] is [kB·t/q] in volts. *)
+
+(** {1 Unit-typed views}
+
+    The same values as above wrapped in {!Gnrflash_units} dimensions —
+    bit-identical magnitudes, compile-time dimension checking. New physics
+    code should prefer these; the raw floats remain for boundary shims. *)
+
+val q_qty : Gnrflash_units.coulomb Gnrflash_units.qty
+val ev_qty : Gnrflash_units.joule Gnrflash_units.qty
+(** One electron-volt, as a typed energy in joules. *)
+
+val m0_qty : Gnrflash_units.kg Gnrflash_units.qty
+val k_b_qty : Gnrflash_units.j_per_k Gnrflash_units.qty
+val eps0_qty : Gnrflash_units.f_per_m Gnrflash_units.qty
+val room_temperature_qty : Gnrflash_units.kelvin Gnrflash_units.qty
+
+val thermal_voltage_qty :
+  Gnrflash_units.kelvin Gnrflash_units.qty -> Gnrflash_units.volt Gnrflash_units.qty
+(** Typed {!thermal_voltage}. *)

@@ -12,14 +12,14 @@ let make kind ~lo ~hi =
   if hi < lo then invalid_arg "Scale.make: hi < lo";
   match kind with
   | Linear ->
-    if hi = lo then
-      let pad = if lo = 0. then 1. else abs_float lo *. 0.1 in
+    if Float.equal hi lo then
+      let pad = if Float.equal lo 0. then 1. else abs_float lo *. 0.1 in
       { kind; lo = lo -. pad; hi = hi +. pad }
     else { kind; lo; hi }
   | Log10 ->
     if hi <= 0. then invalid_arg "Scale.make: log scale needs positive data";
     let lo = if lo <= 0. then hi /. 1e12 else lo in
-    if hi = lo then { kind; lo = lo /. 10.; hi = hi *. 10. } else { kind; lo; hi }
+    if Float.equal hi lo then { kind; lo = lo /. 10.; hi = hi *. 10. } else { kind; lo; hi }
 
 let kind t = t.kind
 let bounds t = (t.lo, t.hi)
@@ -65,7 +65,7 @@ let tick_label t v =
   match t.kind with
   | Log10 -> Printf.sprintf "1e%.0f" (log10 v)
   | Linear ->
-    if v = 0. then "0"
+    if Float.equal v 0. then "0"
     else if abs_float v >= 1e4 || abs_float v < 1e-3 then Printf.sprintf "%.1e" v
     else if Float.is_integer v then Printf.sprintf "%.0f" v
     else Printf.sprintf "%.3g" v

@@ -65,6 +65,8 @@ let with_image_force ~eps_r b =
   let image x =
     (* image from the emitter interface at x0 *)
     let d = max (x -. x0) clamp_dist in
+    (* lint: allow L4 — the image-potential strength q²/(16π·ε) has no
+       name in the units-layer per-algebra; raw SI product kept *)
     -.(C.q *. C.q) /. (16. *. Float.pi *. C.eps0 *. eps_r *. d)
   in
   let pts =

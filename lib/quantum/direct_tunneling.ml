@@ -16,6 +16,6 @@ let ratio_to_fn p ~v_ox ~thickness =
   else begin
     let field = v_ox /. thickness in
     let j_fn = Fn.current_density p ~field in
-    if j_fn = 0. then infinity
+    if Float.equal j_fn 0. then infinity
     else current_density p ~v_ox ~thickness /. j_fn
   end

@@ -1,5 +1,7 @@
 module C = Gnrflash_physics.Constants
+module U = Gnrflash_units
 module Roots = Gnrflash_numerics.Roots
+module Tel = Gnrflash_telemetry.Telemetry
 
 type params = {
   a : float;
@@ -8,38 +10,58 @@ type params = {
   m_ox_rel : float;
 }
 
-let coefficients ~phi_b_ev ~m_ox_rel =
-  if phi_b_ev <= 0. then invalid_arg "Fn.coefficients: phi_b <= 0";
+let a_qty p = U.fn_a p.a
+let b_qty p = U.v_per_m p.b
+
+let coefficients_q ~phi_b ~m_ox_rel =
+  if U.(phi_b <=@ zero) then invalid_arg "Fn.coefficients: phi_b <= 0";
   if m_ox_rel <= 0. then invalid_arg "Fn.coefficients: m_ox <= 0";
-  let phi_j = phi_b_ev *. C.ev in
+  let phi_j = U.to_float (U.ev_to_joule phi_b) in
   let m_ox = m_ox_rel *. C.m0 in
   let a = C.q ** 3. *. C.m0 /. (8. *. Float.pi *. C.h *. m_ox *. phi_j) in
   let b = 8. *. Float.pi *. sqrt (2. *. m_ox) *. (phi_j ** 1.5) /. (3. *. C.q *. C.h) in
-  { a; b; phi_b_ev; m_ox_rel }
+  { a; b; phi_b_ev = U.to_float phi_b; m_ox_rel }
+
+let coefficients ~phi_b_ev ~m_ox_rel = coefficients_q ~phi_b:(U.ev phi_b_ev) ~m_ox_rel
 
 let of_interface electrode oxide =
   let phi_b_ev = Gnrflash_materials.Workfunction.barrier_height electrode oxide in
   if phi_b_ev <= 0. then invalid_arg "Fn.of_interface: non-positive barrier";
   coefficients ~phi_b_ev ~m_ox_rel:oxide.Gnrflash_materials.Oxide.m_ox
 
+let current_density_q p ~field =
+  if U.(field <=@ zero) then U.a_per_m2 0.
+  else
+    let quad = U.(a_qty p *@ field *@ field) in
+    U.scale (exp (-.U.ratio (b_qty p) field)) quad
+
 let current_density p ~field =
-  if field <= 0. then 0.
-  else p.a *. field *. field *. exp (-.p.b /. field)
+  U.to_float (current_density_q p ~field:(U.v_per_m field))
+
+let current_from_voltages_q p ~vfg ~vs ~xto =
+  if U.(xto <=@ zero) then invalid_arg "Fn.current_from_voltages: xto <= 0";
+  let v = U.(vfg -@ vs) in
+  if U.(v <=@ zero) then U.a_per_m2 0.
+  else current_density_q p ~field:U.(v /@ xto)
 
 let current_from_voltages p ~vfg ~vs ~xto =
-  if xto <= 0. then invalid_arg "Fn.current_from_voltages: xto <= 0";
-  let v = vfg -. vs in
-  if v <= 0. then 0. else current_density p ~field:(v /. xto)
+  U.to_float
+    (current_from_voltages_q p ~vfg:(U.volt vfg) ~vs:(U.volt vs) ~xto:(U.metre xto))
 
 let paper_eq7 p ~vfg ~xto = current_from_voltages p ~vfg ~vs:0. ~xto
 
+(* Total on the full real line, mirroring [current_density]: a non-positive
+   field carries no forward injection, so J = 0 and log10 J = -inf. *)
 let log10_current p ~field =
-  if field <= 0. then invalid_arg "Fn.log10_current: field <= 0";
-  log10 p.a +. (2. *. log10 field) -. (p.b /. field /. log 10.)
+  if field <= 0. then neg_infinity
+  else log10 p.a +. (2. *. log10 field) -. (p.b /. field /. log 10.)
+
+let log10_current_q p ~field = log10_current p ~field:(U.to_float field)
 
 let field_for_current p ~j =
   if j <= 0. then Error "Fn.field_for_current: j <= 0"
-  else begin
+  else
+    Tel.span "fn/field_for_current" @@ fun () -> begin
     (* solve log10 J(E) = log10 j; ln J is monotone increasing in E *)
     let target = log10 j in
     let f e = log10_current p ~field:e -. target in
@@ -52,4 +74,4 @@ let field_for_current p ~j =
       (match Roots.brent f lo hi with
        | Ok e -> Ok e
        | Error e -> Error (to_string e))
-  end
+    end

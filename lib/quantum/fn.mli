@@ -4,7 +4,13 @@
     [J = A·E²·exp(−B/E)] with
     [A = q³·m0 / (8π·h·m_ox·Φ_B)]  (A/V²) and
     [B = 8π·√(2 m_ox)·Φ_B^{3/2} / (3 q h)]  (V/m),
-    Φ_B in joules inside the formulas, quoted in eV at the API. *)
+    Φ_B in joules inside the formulas, quoted in eV at the API.
+
+    The [_q] entry points are the unit-typed primaries
+    ({!Gnrflash_units}): barrier heights are [ev qty], fields [v_per_m
+    qty], currents [a_per_m2 qty] — passing e.g. a [volt qty] where a
+    field is expected fails to compile. The raw-float functions are thin
+    boundary shims over them and return bit-identical values. *)
 
 type params = {
   a : float;        (** prefactor A [A/V²] *)
@@ -13,23 +19,48 @@ type params = {
   m_ox_rel : float; (** effective tunneling mass in units of m0 *)
 }
 
+val a_qty : params -> Gnrflash_units.fn_a Gnrflash_units.qty
+(** The prefactor as a typed A/m² per (V/m)² quantity. *)
+
+val b_qty : params -> Gnrflash_units.v_per_m Gnrflash_units.qty
+(** The exponent coefficient as a typed field. *)
+
+val coefficients_q :
+  phi_b:Gnrflash_units.ev Gnrflash_units.qty -> m_ox_rel:float -> params
+(** Build FN coefficients from a typed barrier height (eV — converted to
+    joules internally via the one sanctioned
+    {!Gnrflash_units.ev_to_joule} crossing) and relative effective mass.
+    @raise Invalid_argument for non-positive arguments. *)
+
 val coefficients : phi_b_ev:float -> m_ox_rel:float -> params
-(** Build FN coefficients from a barrier height and relative effective
-    mass. @raise Invalid_argument for non-positive arguments. *)
+(** Raw-float shim over {!coefficients_q}.
+    @raise Invalid_argument for non-positive arguments. *)
 
 val of_interface : Gnrflash_materials.Workfunction.electrode ->
   Gnrflash_materials.Oxide.t -> params
 (** Coefficients for a given electrode/oxide interface, deriving Φ_B from
     the work function and electron affinity, and m_ox from the oxide. *)
 
+val current_density_q :
+  params -> field:Gnrflash_units.v_per_m Gnrflash_units.qty ->
+  Gnrflash_units.a_per_m2 Gnrflash_units.qty
+(** Current density at an oxide field; [0.] for non-positive fields (the
+    formula describes forward injection only — callers handle polarity). *)
+
 val current_density : params -> field:float -> float
-(** Current density [A/m²] at oxide field [field] [V/m]; [0.] for
-    non-positive fields (the formula describes forward injection only —
-    callers handle polarity). *)
+(** Raw shim over {!current_density_q}: [A/m²] at [field] [V/m]. *)
+
+val current_from_voltages_q :
+  params -> vfg:Gnrflash_units.volt Gnrflash_units.qty ->
+  vs:Gnrflash_units.volt Gnrflash_units.qty ->
+  xto:Gnrflash_units.metre Gnrflash_units.qty ->
+  Gnrflash_units.a_per_m2 Gnrflash_units.qty
+(** Paper equation (6): field [E = (VFG − VS)/XTO], then
+    {!current_density_q}. Returns [0.] when [vfg <= vs].
+    @raise Invalid_argument when [xto <= 0]. *)
 
 val current_from_voltages : params -> vfg:float -> vs:float -> xto:float -> float
-(** Paper equation (6): field [E = (VFG − VS)/XTO], then {!current_density}.
-    [xto] in metres. Returns [0.] when [vfg <= vs]. *)
+(** Raw shim over {!current_from_voltages_q}; [xto] in metres. *)
 
 val paper_eq7 : params -> vfg:float -> xto:float -> float
 (** Paper equation (7): the [VS = 0] special case. *)
@@ -40,4 +71,11 @@ val field_for_current : params -> j:float -> (float, string) result
 
 val log10_current : params -> field:float -> float
 (** [log10 (J)] computed in log space — usable even where [J] underflows a
-    float ([field > 0] required). *)
+    float. Total on the full real line: non-positive fields return
+    [neg_infinity], consistent with {!current_density} returning [0.]
+    there ([10^(-inf) = 0]). *)
+
+val log10_current_q :
+  params -> field:Gnrflash_units.v_per_m Gnrflash_units.qty -> float
+(** Typed view of {!log10_current} (the result is a dimensionless
+    log-magnitude, hence a plain float). *)

@@ -36,7 +36,7 @@ let transmission ?(steps = 400) (b : Barrier.t) ~energy =
     let v_exit = 0. in
     let k_in = wavevector ~m:m_out ~e:energy ~v:0. in
     let k_out = wavevector ~m:m_out ~e:energy ~v:v_exit in
-    if k_out.re = 0. then 0. (* evanescent collector: no propagating exit *)
+    if Float.equal k_out.re 0. then 0. (* evanescent collector: no propagating exit *)
     else begin
       (* Build total transfer matrix M mapping collector coefficients to
          emitter coefficients, slab by slab. For the interface between
@@ -44,7 +44,7 @@ let transmission ?(steps = 400) (b : Barrier.t) ~energy =
          M_int = 1/2 [ [1 + r, 1 - r], [1 - r, 1 + r] ], r = (k_b m_a)/(k_a m_b).
          Propagation through slab of width d: diag(e^{-i k d}, e^{i k d}). *)
       let interface (ka : Complex.t) ma (kb : Complex.t) mb =
-        if ka.re = 0. && ka.im = 0. then None
+        if Float.equal ka.re 0. && Float.equal ka.im 0. then None
         else begin
           let r = div (mul kb { re = ma; im = 0. }) (mul ka { re = mb; im = 0. }) in
           let half = { re = 0.5; im = 0. } in

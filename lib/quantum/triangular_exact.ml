@@ -54,7 +54,7 @@ let rec transmission ~phi1 ~phi2 ~thickness ~m_b ~m_e ~energy =
         let cb1 = add { re = b1; im = 0. } (mul i { re = b1' /. mu1; im = 0. }) in
         let bracket = Complex.sub (mul cb2 ca1) (mul ca2 cb1) in
         let modulus = norm bracket *. Float.pi /. 2. in
-        if modulus = 0. then 1.
+        if Float.equal modulus 0. then 1.
         else begin
           let t = k2 /. k1 /. (modulus *. modulus) in
           if Float.is_nan t || t < 0. then 0. else min t 1.

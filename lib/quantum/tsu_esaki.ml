@@ -1,6 +1,7 @@
 module C = Gnrflash_physics.Constants
 module F = Gnrflash_physics.Fermi
 module Quad = Gnrflash_numerics.Quadrature
+module Tel = Gnrflash_telemetry.Telemetry
 
 type transmission_model =
   | Wkb_model
@@ -23,7 +24,10 @@ let current_density ?(model = Wkb_model) ?(temp = C.room_temperature)
     ~phi_b ~field ~thickness ~m_b ~ef () =
   if field <= 0. then 0.
   else begin
+    Tel.span "tsu_esaki/current_density" @@ fun () ->
     let qv = C.q *. field *. thickness in
+    (* lint: allow L4 — the Tsu–Esaki supply prefactor q·m0·kB/(2π²ħ³) has
+       no name in the units-layer per-algebra; kept as a raw SI product *)
     let prefactor = C.q *. C.m0 *. C.k_b *. temp
                     /. (2. *. Float.pi *. Float.pi *. (C.hbar ** 3.)) in
     (* N(E) includes the kT ln(...) factor; supply_difference already

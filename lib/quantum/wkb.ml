@@ -1,5 +1,6 @@
 module C = Gnrflash_physics.Constants
 module Quad = Gnrflash_numerics.Quadrature
+module Tel = Gnrflash_telemetry.Telemetry
 
 let action_integral b ~energy =
   match Barrier.classical_turning_points b ~energy with
@@ -13,7 +14,10 @@ let action_integral b ~energy =
        k_max * width, which is ~1e-33 in SI units *)
     let v_max = Barrier.max_height b -. energy in
     let scale = sqrt (2. *. b.Barrier.m_eff *. max v_max 1e-30) *. (x2 -. x1) in
-    let k = Quad.adaptive_simpson ~tol:(1e-9 *. scale) integrand x1 x2 in
+    let k =
+      Tel.span "wkb/action_integral" @@ fun () ->
+      Quad.adaptive_simpson ~tol:(1e-9 *. scale) integrand x1 x2
+    in
     2. /. C.hbar *. k
 
 let transmission b ~energy =

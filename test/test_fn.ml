@@ -47,6 +47,16 @@ let test_of_interface () =
   check_close ~tol:1e-9 "same B" p.Fn.b p'.Fn.b;
   check_close "phi recorded" 3.2 p'.Fn.phi_b_ev
 
+let test_log10_total_at_nonpositive_field () =
+  (* regression: log10_current used to raise Invalid_argument for
+     field <= 0 while current_density returned 0. — the contract is now
+     total and consistent: J = 0 maps to log10 J = -inf *)
+  check_true "zero field" (Fn.log10_current p ~field:0. = neg_infinity);
+  check_true "negative field" (Fn.log10_current p ~field:(-1.8e9) = neg_infinity);
+  let module U = Gnrflash_units in
+  check_true "typed view agrees"
+    (Fn.log10_current_q p ~field:(U.v_per_m 0.) = neg_infinity)
+
 let test_log10_current () =
   let field = 1.2e9 in
   let direct = log10 (Fn.current_density p ~field) in
@@ -104,6 +114,7 @@ let () =
           case "eq7 negative VFG" test_eq7_negative_vfg;
           case "interface-derived params" test_of_interface;
           case "log-space evaluation" test_log10_current;
+          case "log-space total at E <= 0" test_log10_total_at_nonpositive_field;
           case "log-space underflow" test_log10_underflow_regime;
           case "field inversion" test_field_for_current;
           case "field inversion invalid" test_field_for_current_invalid;

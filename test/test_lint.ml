@@ -1,0 +1,110 @@
+(* Self-test for gnrflash-lint: every (* EXPECT L<n> *) marker in the
+   fixture directory must produce exactly one finding of that rule on that
+   line, (* EXPECT-SUPPRESSED L<n> *) exactly one suppressed finding, and
+   nothing else may fire. Also asserts the repo itself is lint-clean. *)
+
+module E = Gnrflash_lint_engine.Lint_engine
+open Gnrflash_testing.Testing
+
+let fixtures_subdir = "tools/lint/fixtures"
+
+let fixture_config =
+  { E.solver_basenames = [ "bad_l1.ml" ]; l3_exempt_basenames = [] }
+
+let root = E.locate_root ()
+
+(* (file, line, rule, suppressed) expectations parsed from the markers *)
+let expected_findings () =
+  let dir = Filename.concat root fixtures_subdir in
+  let parse_file acc name =
+    if Filename.check_suffix name ".ml" then begin
+      let path = Filename.concat dir name in
+      let ic = open_in path in
+      let acc = ref acc in
+      let lnum = ref 0 in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lnum;
+           List.iter
+             (fun rule ->
+               let record suppressed =
+                 acc :=
+                   (Filename.concat fixtures_subdir name, !lnum, rule,
+                    suppressed)
+                   :: !acc
+               in
+               let id = E.rule_id rule in
+               if contains line (Printf.sprintf "(* EXPECT %s *)" id) then
+                 record false;
+               if
+                 contains line
+                   (Printf.sprintf "(* EXPECT-SUPPRESSED %s *)" id)
+               then record true)
+             E.all_rules
+         done
+       with End_of_file -> close_in ic);
+      !acc
+    end
+    else acc
+  in
+  Array.fold_left parse_file [] (Sys.readdir dir)
+  |> List.sort compare
+
+let test_fixtures_exact () =
+  let report = E.run ~config:fixture_config ~root ~subdir:fixtures_subdir () in
+  check_true "fixtures were scanned" (report.E.files_scanned > 0);
+  let actual =
+    List.map
+      (fun f -> (f.E.file, f.E.line, f.E.rule, f.E.suppressed))
+      report.E.findings
+    |> List.sort compare
+  in
+  let expected = expected_findings () in
+  check_true "fixture markers exist" (List.length expected > 0);
+  let show (file, line, rule, supp) =
+    Printf.sprintf "%s:%d %s%s" file line (E.rule_id rule)
+      (if supp then " (suppressed)" else "")
+  in
+  Alcotest.(check (list string))
+    "findings match EXPECT markers exactly" (List.map show expected)
+    (List.map show actual)
+
+let test_every_rule_covered () =
+  (* the fixture set must exercise all five rules, both firing and
+     suppressed *)
+  let expected = expected_findings () in
+  List.iter
+    (fun rule ->
+      check_true
+        (Printf.sprintf "%s fires in fixtures" (E.rule_id rule))
+        (List.exists (fun (_, _, r, s) -> r = rule && not s) expected);
+      check_true
+        (Printf.sprintf "%s suppressible in fixtures" (E.rule_id rule))
+        (List.exists (fun (_, _, r, s) -> r = rule && s) expected))
+    E.all_rules
+
+let test_repo_clean () =
+  let report = E.run ~root ~subdir:"lib" () in
+  check_true "repo libraries were scanned" (report.E.files_scanned > 50);
+  Alcotest.(check (list string))
+    "no unsuppressed findings in lib/" []
+    (List.map E.render_finding (E.unsuppressed report))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "lint",
+        [
+          case "fixtures match markers" test_fixtures_exact;
+          case "all rules covered" test_every_rule_covered;
+          case "repo is lint-clean" test_repo_clean;
+        ] );
+    ]

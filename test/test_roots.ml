@@ -93,6 +93,16 @@ let prop_newton_quadratic =
       | Ok x -> abs_float (x -. sqrt c) <= 1e-6 *. sqrt c
       | Error _ -> false)
 
+let test_secant_flat_function () =
+  (* regression for the lint L2 pass: the f1 = f0 guard now uses
+     Float.equal and must still catch a flat secant step *)
+  let module E = Gnrflash_resilience.Solver_error in
+  match R.secant (fun _ -> 1.) 0. 1. with
+  | Error e ->
+    check_true "zero derivative reported"
+      (match e.E.kind with E.Zero_derivative _ -> true | _ -> false)
+  | Ok _ -> Alcotest.fail "expected Zero_derivative on a flat function"
+
 let () =
   Alcotest.run "roots"
     [
@@ -100,6 +110,7 @@ let () =
         [
           case "bisect cubic" test_bisect_cubic;
           case "bisect endpoint root" test_bisect_exact_endpoint;
+          case "secant flat function" test_secant_flat_function;
           case "bisect needs sign change" test_bisect_no_sign_change;
           case "brent cubic" test_brent_cubic;
           case "brent cos" test_brent_cos;

@@ -4,6 +4,9 @@ open Gnrflash_testing.Testing
 
 let base = F.paper_default
 
+let summarize_exn samples =
+  match V.summarize samples with Ok s -> s | Error msg -> Alcotest.fail msg
+
 let test_sampling_deterministic () =
   let a = V.sample_devices ~seed:3 ~base ~n:5 () in
   let b = V.sample_devices ~seed:3 ~base ~n:5 () in
@@ -35,7 +38,7 @@ let test_spread_scales () =
 
 let test_summary () =
   let samples = V.sample_devices ~seed:7 ~base ~n:60 () in
-  let s = V.summarize samples in
+  let s = summarize_exn samples in
   Alcotest.(check int) "count" 60 s.V.n;
   check_true "median positive" (s.V.t_prog_median > 0.);
   check_true "p95 above median" (s.V.t_prog_p95 >= s.V.t_prog_median);
@@ -47,8 +50,8 @@ let test_oxide_sensitivity_dominates () =
      should move programming time noticeably *)
   let only_xto = { V.sigma_xto = 0.1e-9; sigma_phi = 0.; sigma_gcr = 0. } in
   let only_gcr = { V.sigma_xto = 0.; sigma_phi = 0.; sigma_gcr = 0.01 } in
-  let s_xto = V.summarize (V.sample_devices ~spread:only_xto ~seed:2 ~base ~n:40 ()) in
-  let s_gcr = V.summarize (V.sample_devices ~spread:only_gcr ~seed:2 ~base ~n:40 ()) in
+  let s_xto = summarize_exn (V.sample_devices ~spread:only_xto ~seed:2 ~base ~n:40 ()) in
+  let s_gcr = summarize_exn (V.sample_devices ~spread:only_gcr ~seed:2 ~base ~n:40 ()) in
   check_true "xto spread wider than gcr spread"
     (s_xto.V.t_prog_spread > s_gcr.V.t_prog_spread)
 
@@ -60,17 +63,22 @@ let test_sensitivity_xto () =
   check_true "thicker oxide is slower" (s > 0.)
 
 let test_summarize_empty_fails () =
-  Alcotest.check_raises "no successes"
-    (Invalid_argument "Variation.summarize: no successful samples") (fun () ->
-      ignore
-        (V.summarize
-           [| { V.xto = 1e-9; phi_b_ev = 3.; gcr = 0.5; program_time = infinity;
-                dvt_fixed_pulse = nan; solve_failed = true;
-                failure =
-                  Some
-                    (Gnrflash_resilience.Solver_error.make ~solver:"test"
-                       (Gnrflash_resilience.Solver_error.No_convergence
-                          { iterations = 1; best = 0.; f_best = 0. })) } |]))
+  (* regression for lint L1: an all-failed ensemble is reported as [Error],
+     not by raising Invalid_argument *)
+  match
+    V.summarize
+      [| { V.xto = 1e-9; phi_b_ev = 3.; gcr = 0.5; program_time = infinity;
+           dvt_fixed_pulse = nan; solve_failed = true;
+           failure =
+             Some
+               (Gnrflash_resilience.Solver_error.make ~solver:"test"
+                  (Gnrflash_resilience.Solver_error.No_convergence
+                     { iterations = 1; best = 0.; f_best = 0. })) } |]
+  with
+  | Ok _ -> Alcotest.fail "expected Error on all-failed ensemble"
+  | Error msg ->
+    Alcotest.(check string) "error message"
+      "Variation.summarize: no successful samples" msg
 
 let test_jobs_invariant () =
   (* per-sample splitmix seeding: the ensemble must be identical no matter
@@ -96,7 +104,7 @@ let test_summarize_with_failed_solve () =
              (Gnrflash_resilience.Solver_error.Step_underflow
                 { t = 1e-9; h = 1e-301 })) }
   in
-  let s = V.summarize [| good 1e-6 2.0; failed; good 4e-6 2.4 |] in
+  let s = summarize_exn [| good 1e-6 2.0; failed; good 4e-6 2.4 |] in
   Alcotest.(check int) "all samples counted" 3 s.V.n;
   Alcotest.(check int) "one failed solve" 1 s.V.n_failed;
   Alcotest.(check (list (pair string int)))

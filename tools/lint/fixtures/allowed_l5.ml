@@ -1,0 +1,2 @@
+(* lint: allow L5 — fixture: deliberately interface-free *) (* EXPECT-SUPPRESSED L5 *)
+let answer = 43

@@ -1,0 +1,15 @@
+(* L1 fixture: bare raises in a solver module. The self-test configures
+   [solver_basenames = ["bad_l1.ml"]] so this file is in scope. *)
+
+let unchecked_guard x =
+  if x < 0. then failwith "negative" (* EXPECT L1 *)
+  else sqrt x
+
+let invalid_guard x =
+  if x < 0. then invalid_arg "negative" (* EXPECT L1 *)
+  else sqrt x
+
+let allowed_guard x =
+  (* lint: allow L1 — fixture: documented precondition *)
+  if x < 0. then invalid_arg "negative" (* EXPECT-SUPPRESSED L1 *)
+  else sqrt x

@@ -1,0 +1,3 @@
+val unchecked_guard : float -> float
+val invalid_guard : float -> float
+val allowed_guard : float -> float

@@ -1,0 +1,11 @@
+(* L2 fixture: polymorphic (=)/(<>) at float type. *)
+
+let eq (a : float) (b : float) = a = b (* EXPECT L2 *)
+
+let neq (a : float) (b : float) = a <> b (* EXPECT L2 *)
+
+let allowed_eq (a : float) (b : float) =
+  (* lint: allow L2 — fixture: exact comparison intended *)
+  a = b (* EXPECT-SUPPRESSED L2 *)
+
+let fine (a : float) (b : float) = Float.equal a b

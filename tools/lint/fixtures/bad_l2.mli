@@ -1,0 +1,4 @@
+val eq : float -> float -> bool
+val neq : float -> float -> bool
+val allowed_eq : float -> float -> bool
+val fine : float -> float -> bool

@@ -1,0 +1,10 @@
+val f : float -> float
+
+val unattributed :
+  unit -> (float, Gnrflash_resilience.Solver_error.t) result
+
+val attributed :
+  unit -> (float, Gnrflash_resilience.Solver_error.t) result
+
+val allowed :
+  unit -> (float, Gnrflash_resilience.Solver_error.t) result

@@ -1,0 +1,3 @@
+val laundered : unit -> float
+val allowed : unit -> float
+val typed : unit -> float

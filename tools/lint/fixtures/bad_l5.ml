@@ -1,0 +1,3 @@
+(* EXPECT L5 *)
+(* L5 fixture: a non-shim module deliberately missing its .mli. *)
+let answer = 42

@@ -1,0 +1,2 @@
+(* A pure re-export shim: exempt from L5 (no .mli required). *)
+include Gnrflash_units

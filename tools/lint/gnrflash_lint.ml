@@ -1,0 +1,40 @@
+(* gnrflash-lint: run the five L1–L5 rules over the library tree.
+
+   Usage: gnrflash_lint.exe [--root DIR] [--subdir DIR] [--quiet]
+   Exits 1 when unsuppressed findings remain, 0 otherwise. *)
+
+module E = Gnrflash_lint_engine.Lint_engine
+
+let () =
+  let root = ref None in
+  let subdir = ref "lib" in
+  let quiet = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: dir :: rest ->
+        root := Some dir;
+        parse rest
+    | "--subdir" :: dir :: rest ->
+        subdir := dir;
+        parse rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse rest
+    | arg :: _ ->
+        prerr_endline ("gnrflash-lint: unknown argument " ^ arg);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let root = match !root with Some r -> r | None -> E.locate_root () in
+  let report = E.run ~root ~subdir:!subdir () in
+  let bad = E.unsuppressed report in
+  let supp = E.suppressed report in
+  if not !quiet then begin
+    List.iter (fun f -> print_endline (E.render_finding f)) report.findings;
+    Printf.printf
+      "gnrflash-lint: %d file(s), rules %s: %d finding(s), %d suppressed\n"
+      report.files_scanned
+      (String.concat "," (List.map E.rule_id E.all_rules))
+      (List.length bad) (List.length supp)
+  end;
+  exit (if bad = [] then 0 else 1)

@@ -1,0 +1,509 @@
+type rule = L1 | L2 | L3 | L4 | L5
+
+let rule_id = function
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | L3 -> "L3"
+  | L4 -> "L4"
+  | L5 -> "L5"
+
+let all_rules = [ L1; L2; L3; L4; L5 ]
+
+let rule_of_int = function
+  | 1 -> Some L1
+  | 2 -> Some L2
+  | 3 -> Some L3
+  | 4 -> Some L4
+  | 5 -> Some L5
+  | _ -> None
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  message : string;
+  suppressed : bool;
+  reason : string option;
+}
+
+type config = {
+  solver_basenames : string list;
+  l3_exempt_basenames : string list;
+}
+
+let default_config =
+  {
+    solver_basenames =
+      [ "roots.ml"; "ode.ml"; "transient.ml"; "program_erase.ml"; "variation.ml" ];
+    l3_exempt_basenames = [ "roots.ml"; "ode.ml"; "quadrature.ml" ];
+  }
+
+type report = {
+  findings : finding list;
+  files_scanned : int;
+}
+
+(* ---------- canonical names ---------- *)
+
+(* [Path.name] prints library-wrapped modules as [Lib__Module]; normalize
+   to dotted form (and drop any printer '!' marks) so one spelling covers
+   both in-library and cross-library references. *)
+let normalize_name s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '!' then incr i
+    else if !i + 1 < n && s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* Local [module M = Other.Module] aliases, so [M.f] resolves to its
+   canonical dotted name. *)
+let collect_aliases (str : Typedtree.structure) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_module mb -> (
+          match (mb.mb_name.txt, mb.mb_expr.mod_desc) with
+          | Some name, Tmod_ident (p, _) ->
+              Hashtbl.replace tbl name (normalize_name (Path.name p))
+          | _ -> ())
+      | _ -> ())
+    str.str_items;
+  tbl
+
+let resolve aliases name =
+  match String.index_opt name '.' with
+  | None -> ( match Hashtbl.find_opt aliases name with Some c -> c | None -> name)
+  | Some i -> (
+      let head = String.sub name 0 i in
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      match Hashtbl.find_opt aliases head with
+      | Some c -> c ^ "." ^ rest
+      | None -> name)
+
+(* ---------- suppression comments ---------- *)
+
+type allow = {
+  a_line : int;
+  a_rules : rule list;
+  a_reason : string option;
+}
+
+let is_rule_char c = c = 'L' || c = 'l' || ('0' <= c && c <= '9') || c = ',' || c = ' '
+
+(* Parse one source line for "lint: allow L<n>[, L<m>...] — reason". *)
+let allow_of_line lnum line =
+  let find_sub hay needle from =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then None
+      else if String.sub hay i nn = needle then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  match find_sub line "lint:" 0 with
+  | None -> None
+  | Some i -> (
+      match find_sub line "allow" (i + 5) with
+      | None -> None
+      | Some j ->
+          let start = j + 5 in
+          let n = String.length line in
+          (* rule-id segment: chars drawn from [L0-9, ] *)
+          let stop = ref start in
+          while !stop < n && is_rule_char line.[!stop] do
+            incr stop
+          done;
+          let seg = String.sub line start (!stop - start) in
+          let rules =
+            String.split_on_char ',' seg
+            |> List.concat_map (String.split_on_char ' ')
+            |> List.filter_map (fun tok ->
+                   let tok = String.trim tok in
+                   if String.length tok = 2 && (tok.[0] = 'L' || tok.[0] = 'l') then
+                     rule_of_int (Char.code tok.[1] - Char.code '0')
+                   else None)
+          in
+          if rules = [] then None
+          else
+            (* everything after the rule ids, minus the comment closer and
+               any leading dash/em-dash bytes, is the reason *)
+            let rest = String.sub line !stop (n - !stop) in
+            let rest =
+              match find_sub rest "*)" 0 with
+              | Some k -> String.sub rest 0 k
+              | None -> rest
+            in
+            let rest =
+              let len = String.length rest in
+              let k = ref 0 in
+              let continue = ref true in
+              while !continue && !k < len do
+                if rest.[!k] = '-' || rest.[!k] = ' ' then incr k
+                else if
+                  (* UTF-8 em/en dash: e2 80 93|94 *)
+                  !k + 2 < len
+                  && rest.[!k] = '\xe2'
+                  && rest.[!k + 1] = '\x80'
+                  && (rest.[!k + 2] = '\x93' || rest.[!k + 2] = '\x94')
+                then k := !k + 3
+                else continue := false
+              done;
+              String.trim (String.sub rest !k (len - !k))
+            in
+            let reason = if rest = "" then None else Some rest in
+            Some { a_line = lnum; a_rules = rules; a_reason = reason })
+
+let read_lines path =
+  try
+    let ic = open_in_bin path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  with Sys_error _ -> []
+
+(* An allow comment may span several source lines; merge the span and
+   attribute it to the line holding the comment closer, so a multi-line
+   [(* lint: allow ... *)] block directly above a finding still counts as
+   "the line above". *)
+let allows_of_file path =
+  let lines = Array.of_list (read_lines path) in
+  let has_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  let n = Array.length lines in
+  let acc = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let line = lines.(!i) in
+    if has_sub line "lint:" then begin
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf line;
+      let j = ref !i in
+      while (not (has_sub lines.(!j) "*)")) && !j < n - 1 do
+        incr j;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (String.trim lines.(!j))
+      done;
+      (match allow_of_line (!j + 1) (Buffer.contents buf) with
+       | Some a -> acc := a :: !acc
+       | None -> ());
+      i := !j + 1
+    end
+    else incr i
+  done;
+  List.rev !acc
+
+(* A finding is suppressed by an allow on its own line or the line above;
+   L5 (whole-file) by an allow anywhere. *)
+let suppression allows ~line ~rule =
+  let matches a =
+    List.mem rule a.a_rules
+    && (rule = L5 || a.a_line = line || a.a_line = line - 1)
+  in
+  match List.find_opt matches allows with
+  | Some a -> Some (Option.value a.a_reason ~default:"")
+  | None -> None
+
+(* ---------- typed-tree checks ---------- *)
+
+let l3_targets =
+  let mk m fns = List.map (fun f -> "Gnrflash_numerics." ^ m ^ "." ^ f) fns in
+  mk "Roots" [ "bisect"; "brent"; "newton"; "secant"; "bracket_root" ]
+  @ mk "Ode" [ "euler"; "rk4"; "rkf45"; "rkf45_event"; "solve_scalar" ]
+  @ mk "Quadrature"
+      [
+        "trapezoid";
+        "trapezoid_samples";
+        "simpson";
+        "adaptive_simpson";
+        "gauss_legendre";
+        "integrate_to_inf";
+      ]
+
+let span_wrappers = [ "Gnrflash_telemetry.Telemetry.span" ]
+
+let is_float_type ty =
+  match Types.get_desc ty with
+  | Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+type raw_finding = { r_rule : rule; r_line : int; r_message : string }
+
+let check_structure ~config ~basename (str : Typedtree.structure) =
+  let aliases = collect_aliases str in
+  let out = ref [] in
+  let span_depth = ref 0 in
+  let add rule loc message =
+    let line = loc.Location.loc_start.Lexing.pos_lnum in
+    out := { r_rule = rule; r_line = line; r_message = message } :: !out
+  in
+  let canon_of (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) -> Some (resolve aliases (normalize_name (Path.name p)))
+    | _ -> None
+  in
+  let is_span_head (e : Typedtree.expression) =
+    match canon_of e with
+    | Some c -> List.mem c span_wrappers
+    | None -> false
+  in
+  (* The application spine of [Tel.span name @@ fun () -> ...]: the typer
+     rewrites [f @@ x] into the application [(f) x], so the thunk hangs off
+     an apply whose head is itself the partial application [Tel.span name]
+     — walk the spine down to the ident. An unsimplified [Stdlib.@@] (e.g.
+     [( @@ )] used as a value) is handled via its first argument. *)
+  let rec head_is_span (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_apply (fn, args) -> (
+        is_span_head fn || head_is_span fn
+        ||
+        match canon_of fn with
+        | Some "Stdlib.@@" -> (
+            match args with (_, Some lhs) :: _ -> head_is_span lhs | _ -> false)
+        | _ -> false)
+    | _ -> is_span_head e
+  in
+  let enters_span (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_apply (fn, _) -> is_span_head fn || head_is_span fn
+    | _ -> false
+  in
+  let in_solver = List.mem basename config.solver_basenames in
+  let l3_scoped = not (List.mem basename config.l3_exempt_basenames) in
+  let check_apply (fn : Typedtree.expression)
+      (args : (Asttypes.arg_label * Typedtree.expression option) list)
+      (loc : Location.t) =
+    match canon_of fn with
+    | None -> ()
+    | Some cf ->
+        (* L1: escape hatches in solver modules *)
+        (if in_solver then
+           match cf with
+           | "Stdlib.failwith" | "Stdlib.invalid_arg" ->
+               add L1 loc
+                 (Printf.sprintf
+                    "bare %s in a solver module — return a typed Solver_error instead"
+                    (Filename.extension cf |> fun s ->
+                     String.sub s 1 (String.length s - 1)))
+           | "Stdlib.raise" | "Stdlib.raise_notrace" -> (
+               match args with
+               | (_, Some { exp_desc = Texp_construct (_, cd, _); _ }) :: _
+                 when cd.cstr_name = "Invalid_argument" || cd.cstr_name = "Failure" ->
+                   add L1 loc
+                     (Printf.sprintf
+                        "raise %s in a solver module — return a typed Solver_error \
+                         instead"
+                        cd.cstr_name)
+               | _ -> ())
+           | _ -> ());
+        (* L2: structural equality at float type *)
+        (match cf with
+        | "Stdlib.=" | "Stdlib.<>" ->
+            let float_arg =
+              List.exists
+                (fun (_, a) ->
+                  match a with
+                  | Some (e : Typedtree.expression) -> is_float_type e.exp_type
+                  | None -> false)
+                args
+            in
+            if float_arg then
+              add L2 loc
+                (Printf.sprintf
+                   "float equality (%s) — use Float.equal or an epsilon comparison"
+                   (if cf = "Stdlib.=" then "=" else "<>"))
+        | _ -> ());
+        (* L3: uninstrumented solver entry points *)
+        if l3_scoped && !span_depth = 0 && List.mem cf l3_targets then
+          add L3 loc
+            (Printf.sprintf
+               "call to %s outside any Telemetry.span — wrap the call site so its \
+                work is attributed"
+               cf);
+        (* L4: multiplying two raw constants without going through Units *)
+        if basename <> "constants.ml" && cf = "Stdlib.*." then
+          let is_constant_ident (a : Typedtree.expression option) =
+            match a with
+            | Some e -> (
+                match canon_of e with
+                | Some name -> (
+                    match List.rev (String.split_on_char '.' name) with
+                    | _ :: m :: _ -> m = "Constants"
+                    | _ -> false)
+                | None -> false)
+            | None -> false
+          in
+          match args with
+          | [ (_, a1); (_, a2) ] when is_constant_ident a1 && is_constant_ident a2 ->
+              add L4 loc
+                "product of two raw Constants.* floats — use the typed \
+                 Gnrflash_units layer (unit laundering)"
+          | _ -> ()
+  in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_apply (fn, args) -> check_apply fn args e.exp_loc
+    | _ -> ());
+    if enters_span e then begin
+      incr span_depth;
+      Tast_iterator.default_iterator.expr sub e;
+      decr span_depth
+    end
+    else Tast_iterator.default_iterator.expr sub e
+  in
+  let iter = { Tast_iterator.default_iterator with expr } in
+  iter.structure iter str;
+  List.rev !out
+
+(* L5: a module without an .mli, unless it is a pure re-export shim
+   (only opens/includes/module-aliases/attributes at the top level). *)
+let is_shim (str : Typedtree.structure) =
+  List.for_all
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_attribute _ | Tstr_open _ | Tstr_include _ | Tstr_modtype _ -> true
+      | Tstr_module mb -> ( match mb.mb_expr.mod_desc with Tmod_ident _ -> true | _ -> false)
+      | _ -> false)
+    str.str_items
+
+(* ---------- filesystem walking ---------- *)
+
+let rec collect_cmts dir acc =
+  match Sys.readdir dir with
+  | entries ->
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then collect_cmts path acc
+          else if Filename.check_suffix entry ".cmt" then path :: acc
+          else acc)
+        acc entries
+  | exception Sys_error _ -> acc
+
+let run ?(config = default_config) ~root ~subdir () =
+  let cmts = collect_cmts (Filename.concat root subdir) [] in
+  let seen = Hashtbl.create 64 in
+  let files = ref 0 in
+  let findings = ref [] in
+  List.iter
+    (fun cmt_path ->
+      match Cmt_format.read_cmt cmt_path with
+      | exception _ -> ()
+      | infos -> (
+          match (infos.cmt_annots, infos.cmt_sourcefile) with
+          | Implementation str, Some src
+            when Filename.check_suffix src ".ml" && not (Hashtbl.mem seen src) ->
+              Hashtbl.add seen src ();
+              incr files;
+              let basename = Filename.basename src in
+              let raw = check_structure ~config ~basename str in
+              let raw =
+                if
+                  (not (Sys.file_exists (Filename.concat root (src ^ "i"))))
+                  && not (is_shim str)
+                then
+                  raw
+                  @ [
+                      {
+                        r_rule = L5;
+                        r_line = 1;
+                        r_message =
+                          "missing .mli for a non-shim library module — document \
+                           and seal its interface";
+                      };
+                    ]
+                else raw
+              in
+              if raw <> [] then begin
+                let allows = allows_of_file (Filename.concat root src) in
+                List.iter
+                  (fun r ->
+                    let supp = suppression allows ~line:r.r_line ~rule:r.r_rule in
+                    findings :=
+                      {
+                        rule = r.r_rule;
+                        file = src;
+                        line = r.r_line;
+                        message = r.r_message;
+                        suppressed = supp <> None;
+                        reason =
+                          (match supp with Some "" -> None | other -> other);
+                      }
+                      :: !findings)
+                  raw
+              end
+          | _ -> ()))
+    cmts;
+  let ordered =
+    List.sort
+      (fun a b ->
+        match compare a.file b.file with
+        | 0 -> ( match compare a.line b.line with 0 -> compare a.rule b.rule | c -> c)
+        | c -> c)
+      !findings
+  in
+  { findings = ordered; files_scanned = !files }
+
+let unsuppressed r = List.filter (fun f -> not f.suppressed) r.findings
+let suppressed r = List.filter (fun f -> f.suppressed) r.findings
+
+let render_finding f =
+  Printf.sprintf "%s:%d: [%s] %s%s" f.file f.line (rule_id f.rule) f.message
+    (if f.suppressed then
+       match f.reason with
+       | Some reason -> Printf.sprintf "  (suppressed: %s)" reason
+       | None -> "  (suppressed)"
+     else "")
+
+(* ---------- root discovery ---------- *)
+
+let rec dir_has_cmt dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> false
+  | entries ->
+      Array.exists
+        (fun entry ->
+          let path = Filename.concat dir entry in
+          if Filename.check_suffix entry ".cmt" then true
+          else Sys.is_directory path && dir_has_cmt path)
+        entries
+
+let locate_root () =
+  let exe = Sys.executable_name in
+  let exe = if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe else exe in
+  let has_lib d =
+    let lib = Filename.concat d "lib" in
+    Sys.file_exists lib && Sys.is_directory lib
+  in
+  let rec up d = if has_lib d then Some d else
+    let parent = Filename.dirname d in
+    if parent = d then None else up parent
+  in
+  match up (Filename.dirname exe) with
+  | None -> failwith "gnrflash-lint: no lib/ ancestor of the executable"
+  | Some d ->
+      if dir_has_cmt (Filename.concat d "lib") then d
+      else
+        let ctx = Filename.concat (Filename.concat d "_build") "default" in
+        if has_lib ctx && dir_has_cmt (Filename.concat ctx "lib") then ctx else d

@@ -1,0 +1,67 @@
+(** The [gnrflash-lint] engine: typed-tree lint rules over the compiled
+    [.cmt] files of the library tree.
+
+    Rules (ids are stable, used in suppression comments):
+    - [L1] bare [failwith]/[invalid_arg]/[raise Invalid_argument|Failure]
+      inside a solver module that should return a typed [Solver_error];
+    - [L2] structural float equality ([=]/[<>] at type [float], detected
+      via the typed tree) — use [Float.equal] or an epsilon comparison;
+    - [L3] a call to a [Roots]/[Ode]/[Quadrature] entry point outside any
+      telemetry-instrumented wrapper ([Telemetry.span]);
+    - [L4] multiplying two raw [Constants.*] floats directly instead of
+      going through the [Gnrflash_units] layer (unit laundering);
+    - [L5] a non-shim library module without an [.mli].
+
+    Any rule is suppressible with a comment on the finding's line or the
+    line above: [(* lint: allow L<n> — reason *)] ([L5]: anywhere in the
+    file). The engine runs over a dune build tree: [root] is the directory
+    that contains the compiled [lib/] (normally [_build/default]), where
+    dune also copies the sources, so suppression comments are read from
+    the same tree the [.cmt]s were built from. *)
+
+type rule = L1 | L2 | L3 | L4 | L5
+
+val rule_id : rule -> string
+(** ["L1"] … ["L5"]. *)
+
+val all_rules : rule list
+
+type finding = {
+  rule : rule;
+  file : string;          (** path relative to [root], e.g. [lib/quantum/fn.ml] *)
+  line : int;
+  message : string;
+  suppressed : bool;
+  reason : string option; (** the reason text of the allow comment, if any *)
+}
+
+type config = {
+  solver_basenames : string list;
+  (** basenames of the modules [L1] holds to the typed-error contract *)
+  l3_exempt_basenames : string list;
+  (** the numeric kernels themselves — their internal mutual calls are the
+      wrappers' own implementation, not uninstrumented call sites *)
+}
+
+val default_config : config
+
+type report = {
+  findings : finding list;   (** sorted by file, line, rule *)
+  files_scanned : int;
+}
+
+val run : ?config:config -> root:string -> subdir:string -> unit -> report
+(** Scan every [.cmt] under [root/subdir] (recursively, including dune's
+    hidden [.objs] directories) and apply all five rules. *)
+
+val unsuppressed : report -> finding list
+val suppressed : report -> finding list
+
+val render_finding : finding -> string
+(** ["file:line: [L2] message"], with a [suppressed (reason)] note. *)
+
+val locate_root : unit -> string
+(** Walk up from the executable's directory to the nearest ancestor with a
+    [lib/] subdirectory, preferring the dune context root
+    ([_build/default]) where the [.cmt] files live.
+    @raise Failure if no such ancestor exists. *)
