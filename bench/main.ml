@@ -506,6 +506,151 @@ let resilience_rows snap =
        })
     figure_generators
 
+(* ---------- hot-path RHS/quadrature budgets ---------- *)
+
+(* Counter-budget regression gate for the hot-path acceleration work
+   (ISSUE 5). Budgets are derived from the seed's measured eval counts on
+   the same telemetry-on workloads (Ext A/B/D plus the figures), divided by
+   the minimum speedup the acceleration must deliver:
+
+     - program_erase pulse RHS evals: seed 3,292,338 -> budget /3
+       (FSAL stepper + warm-started pulse trains + limit-cycle replay)
+     - fixed-step re-integration RHS evals: seed 315,200 -> budget /10
+       (event times now read off the dense interpolant; expected 0)
+     - WKB quadrature fn evals inside Tsu-Esaki: seed 223,396 -> budget /5
+       (memoized closed-form transmission, one adaptive recursion per node
+        replaced by an O(segments) closed form)
+
+   Exceeding a budget fails the bench run non-zero, exactly like a shape
+   check or lint regression. Re-baselining requires editing these constants
+   and justifying the change. *)
+
+let contains_sub ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+type perf_row = {
+  metric : string;
+  measured : int;
+  budget : int;
+  seed_baseline : int;
+}
+
+let perf_rows snap =
+  let total ?(mid = "") ~suffix () =
+    List.fold_left
+      (fun acc (name, v) ->
+         if String.ends_with ~suffix name && contains_sub ~sub:mid name then
+           acc + v
+         else acc)
+      0 snap.Tel.counters
+  in
+  [
+    {
+      metric = "pulse_rhs_evals";
+      measured = total ~mid:"program_erase/pulse/" ~suffix:"ode/rhs_eval" ();
+      budget = 3_292_338 / 3;
+      seed_baseline = 3_292_338;
+    };
+    {
+      metric = "fixed_step_rhs_evals";
+      measured = total ~suffix:"ode/rhs_eval_fixed" ();
+      budget = 315_200 / 10;
+      seed_baseline = 315_200;
+    };
+    {
+      metric = "tsu_esaki_quad_fn_evals";
+      measured =
+        total ~mid:"tsu_esaki/current_density" ~suffix:"quad/fn_eval" ();
+      budget = 223_396 / 5;
+      seed_baseline = 223_396;
+    };
+  ]
+
+(* Flag plumbing probe, run while telemetry is still on: a short warm pulse
+   train and a cached Tsu-Esaki call under perf/flags_on (counters must
+   fire), then the same work with ~warm_start:false / ~wkb_cache:false
+   under perf/flags_off (the same counters must stay silent). The span
+   prefix keys the two runs apart in the snapshot. *)
+let perf_probe () =
+  let phi_b = 3.2 *. Gnrflash_physics.Constants.ev in
+  let m_b = 0.42 *. Gnrflash_physics.Constants.m0 in
+  let ef = 0.1 *. Gnrflash_physics.Constants.ev in
+  let train ~warm_start =
+    (* a fresh device record per train (with_gcr rebuilds the record at the
+       paper's own GCR): the warm cache is keyed by physical identity, so
+       this guarantees a cold, deterministic start regardless of which pulse
+       workloads ran earlier in the bench *)
+    let t = Gnrflash_device.Fgt.(with_gcr paper_default 0.6) in
+    let pp = { Gnrflash_device.Program_erase.vgs = 15.; duration = 100e-6 } in
+    let ep = { Gnrflash_device.Program_erase.vgs = -15.; duration = 100e-6 } in
+    let q = ref 0. in
+    for _ = 1 to 6 do
+      match
+        Gnrflash_device.Program_erase.cycle ~warm_start ~program_pulse:pp
+          ~erase_pulse:ep t ~qfg:!q
+      with
+      | Ok (_, e) -> q := e.Gnrflash_device.Program_erase.qfg_after
+      | Error _ -> ()
+    done
+  in
+  Tel.span "perf/flags_on" (fun () ->
+      train ~warm_start:true;
+      ignore
+        (Gnrflash_quantum.Tsu_esaki.current_density ~wkb_cache:true ~phi_b
+           ~field:1.2e9 ~thickness:5e-9 ~m_b ~ef ()));
+  Tel.span "perf/flags_off" (fun () ->
+      train ~warm_start:false;
+      ignore
+        (Gnrflash_quantum.Tsu_esaki.current_density ~wkb_cache:false ~phi_b
+           ~field:1.2e9 ~thickness:5e-9 ~m_b ~ef ()))
+
+type perf = {
+  rows : perf_row list;
+  flags_on_ok : bool;
+  flags_off_ok : bool;
+}
+
+let perf_of_snapshot snap =
+  let under prefix suffix =
+    List.fold_left
+      (fun acc (name, v) ->
+         if String.starts_with ~prefix name && String.ends_with ~suffix name
+         then acc + v
+         else acc)
+      0 snap.Tel.counters
+  in
+  let on p = under "perf/flags_on/" p and off p = under "perf/flags_off/" p in
+  {
+    rows = perf_rows snap;
+    flags_on_ok =
+      on "transient/warm_start_hit" > 0
+      && on "program_erase/pulse_replay" > 0
+      && on "wkb/cache_hit" > 0
+      && on "wkb/cache_build" > 0;
+    flags_off_ok =
+      off "transient/warm_start_hit" = 0
+      && off "program_erase/pulse_replay" = 0
+      && off "wkb/cache_hit" = 0
+      && off "wkb/cache_build" = 0;
+  }
+
+let print_perf perf =
+  hr "Perf: hot-path eval budgets (vs seed baselines)";
+  List.iter
+    (fun r ->
+       Printf.printf "  %-26s %9d evals  budget %9d  seed %9d  (%5.1fx)  %s\n"
+         r.metric r.measured r.budget r.seed_baseline
+         (float_of_int r.seed_baseline /. float_of_int (max 1 r.measured))
+         (if r.measured <= r.budget then "ok" else "OVER BUDGET"))
+    perf.rows;
+  Printf.printf "  warm-start/cache counters: flags on %s, flags off %s\n"
+    (if perf.flags_on_ok then "fire" else "SILENT (regression)")
+    (if perf.flags_off_ok then "silent" else "FIRE (flag plumbing broken)");
+  List.for_all (fun r -> r.measured <= r.budget) perf.rows
+  && perf.flags_on_ok && perf.flags_off_ok
+
 (* ---------- static-analysis gate ---------- *)
 
 module Lint = Gnrflash_lint_engine.Lint_engine
@@ -531,7 +676,7 @@ let run_lint () =
 (* Machine-readable bench trajectory: per-figure wall-clock timings, the
    serial-vs-parallel scaling rows, plus the full counter/span snapshot,
    written next to the repo's other BENCH data. *)
-let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~lint snap =
+let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~perf ~lint snap =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\"schema\":\"gnrflash-bench-telemetry/1\",";
   Buffer.add_string b
@@ -575,6 +720,19 @@ let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~lint snap =
             r.fig r.fallback_used r.budget_exhausted_n))
     resilience;
   Buffer.add_char b '}';
+  Buffer.add_string b ",\"perf\":{";
+  List.iteri
+    (fun i r ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b
+         (Printf.sprintf
+            "\"%s\":{\"measured\":%d,\"budget\":%d,\"seed_baseline\":%d,\"ok\":%b}"
+            r.metric r.measured r.budget r.seed_baseline (r.measured <= r.budget)))
+    perf.rows;
+  Buffer.add_string b
+    (Printf.sprintf "%s\"flags_on_ok\":%b,\"flags_off_ok\":%b}"
+       (if perf.rows = [] then "" else ",")
+       perf.flags_on_ok perf.flags_off_ok);
   Buffer.add_string b
     (Printf.sprintf
        ",\"lint\":{\"rules_checked\":%d,\"findings\":%d,\"suppressed\":%d}"
@@ -591,22 +749,37 @@ let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~lint snap =
     (List.length figures) (List.length snap.Tel.counters)
 
 let () =
+  (* --quick: the counter-budget smoke run wired into `dune runtest` — the
+     telemetry-on workloads, the shape checks, and the perf budgets, but no
+     bechamel timing, no scaling comparison, no lint pass, and no JSON
+     artifact. A budget regression fails the test suite, not just the full
+     bench. *)
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
   Tel.reset ();
   Tel.enable ();
   print_figures ();
   let checks_passed = print_checks () in
   print_extensions ();
   print_ablations ();
+  perf_probe ();
   let snap = Tel.snapshot () in
   (* run the scaling comparison and the microbenchmarks with telemetry
      disabled so both measure the production (counters-off) configuration *)
   Tel.disable ();
+  let perf = perf_of_snapshot snap in
+  let perf_ok = print_perf perf in
+  if quick then begin
+    hr "Done (quick)";
+    if not checks_passed then prerr_endline "bench: qualitative shape checks FAILED";
+    if not perf_ok then prerr_endline "bench: perf eval budgets exceeded";
+    exit (if checks_passed && perf_ok then 0 else 1)
+  end;
   let scaling = sweep_scaling () in
   run_benchmarks ();
   let resilience = resilience_rows snap in
   let lint = run_lint () in
   write_bench_telemetry ~path:"BENCH_telemetry.json" ~checks_passed ~scaling
-    ~resilience ~lint snap;
+    ~resilience ~perf ~lint snap;
   hr "Resilience (per-figure fallback/budget counters)";
   List.iter
     (fun r ->
@@ -619,10 +792,12 @@ let () =
       "bench: a figure needed a fallback rung on the golden parameter set";
   let lint_failed = Lint.unsuppressed lint <> [] in
   hr "Done";
-  if not checks_passed || fallbacks_used || lint_failed then begin
+  if not checks_passed || fallbacks_used || lint_failed || not perf_ok then begin
     if not checks_passed then
       prerr_endline "bench: qualitative shape checks FAILED";
     if lint_failed then
       prerr_endline "bench: unsuppressed gnrflash-lint findings";
+    if not perf_ok then
+      prerr_endline "bench: perf eval budgets exceeded or flag plumbing broken";
     exit 1
   end

@@ -74,12 +74,28 @@ let run_pool ~jobs ~nchunks work =
   Array.iter Domain.join spawned;
   match Atomic.get err with Some e -> raise e | None -> ()
 
-let mapi ?jobs ?chunk f xs =
+(* Auto-serial heuristic: spawning and joining a domain pool costs on the
+   order of a millisecond; a tiny grid of cheap closed-form evaluations
+   (e.g. a 4×4 model-comparison slice) finishes faster than the pool warms
+   up. When [serial_cutoff > 0] and a parallel run was requested, the first
+   element is evaluated serially as a probe; if the extrapolated whole-sweep
+   cost [probe_time * n] is within the cutoff the rest runs serially too
+   ([sweep/auto_serial]). Either way the probed result is reused — element 0
+   is never evaluated twice — and because both paths apply the same pure
+   function to the same inputs in input order, the output is bit-identical
+   to the pool run by construction. *)
+let default_serial_cutoff = 5e-3
+
+let mapi ?jobs ?chunk ?(serial_cutoff = default_serial_cutoff) f xs =
   let n = Array.length xs in
   let jobs = resolve_jobs jobs in
   if jobs = 1 || n <= 1 then Array.mapi f xs
   else begin
-    let chunk = resolve_chunk ~jobs ~n chunk in
+  (* validate eagerly: the auto-serial path must reject a bad [chunk] just
+     like the pool path it replaces *)
+  let chunk = resolve_chunk ~jobs ~n chunk in
+  if serial_cutoff <= 0. then begin
+    (* heuristic disabled: the pure pool path, no probe *)
     let nchunks = (n + chunk - 1) / chunk in
     let out = Array.make nchunks [||] in
     run_pool ~jobs:(min jobs nchunks) ~nchunks (fun ci ->
@@ -88,20 +104,46 @@ let mapi ?jobs ?chunk f xs =
         out.(ci) <- Array.init len (fun k -> f (lo + k) xs.(lo + k)));
     Array.concat (Array.to_list out)
   end
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let y0 = f 0 xs.(0) in
+    let probe = Unix.gettimeofday () -. t0 in
+    if probe *. float_of_int n <= serial_cutoff then begin
+      Telemetry.count "sweep/auto_serial";
+      Array.init n (fun i -> if i = 0 then y0 else f i xs.(i))
+    end
+    else begin
+      let nchunks = (n + chunk - 1) / chunk in
+      let out = Array.make nchunks [||] in
+      run_pool ~jobs:(min jobs nchunks) ~nchunks (fun ci ->
+          let lo = ci * chunk in
+          let len = min chunk (n - lo) in
+          out.(ci) <-
+            Array.init len (fun k ->
+                let i = lo + k in
+                if i = 0 then y0 else f i xs.(i)));
+      Array.concat (Array.to_list out)
+    end
+  end
+  end
 
-let map ?jobs ?chunk f xs = mapi ?jobs ?chunk (fun _ x -> f x) xs
+let map ?jobs ?chunk ?serial_cutoff f xs =
+  mapi ?jobs ?chunk ?serial_cutoff (fun _ x -> f x) xs
 
-let init ?jobs ?chunk n f =
+let init ?jobs ?chunk ?serial_cutoff n f =
   if n < 0 then invalid_arg "Sweep.init: n < 0";
-  mapi ?jobs ?chunk (fun i () -> f i) (Array.make n ())
+  mapi ?jobs ?chunk ?serial_cutoff (fun i () -> f i) (Array.make n ())
 
-let map_list ?jobs ?chunk f xs =
-  Array.to_list (map ?jobs ?chunk f (Array.of_list xs))
+let map_list ?jobs ?chunk ?serial_cutoff f xs =
+  Array.to_list (map ?jobs ?chunk ?serial_cutoff f (Array.of_list xs))
 
-let grid ?jobs ?chunk f ~outer ~inner =
+let grid ?jobs ?chunk ?serial_cutoff f ~outer ~inner =
   let no = Array.length outer and ni = Array.length inner in
   if no = 0 || ni = 0 then Array.make no [||]
   else begin
-    let flat = init ?jobs ?chunk (no * ni) (fun k -> f outer.(k / ni) inner.(k mod ni)) in
+    let flat =
+      init ?jobs ?chunk ?serial_cutoff (no * ni)
+        (fun k -> f outer.(k / ni) inner.(k mod ni))
+    in
     Array.init no (fun i -> Array.sub flat (i * ni) ni)
   end

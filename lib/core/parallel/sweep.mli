@@ -42,24 +42,49 @@ val splitmix : seed:int -> index:int -> int
     never on chunking or job count, which is what makes e.g.
     [Variation.sample_devices] reproducible across [--jobs] settings. *)
 
-val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val default_serial_cutoff : float
+(** Default [serial_cutoff]: 5 ms — roughly the cost of spawning and
+    joining a domain pool, below which parallelism can only lose. *)
+
+val map :
+  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float ->
+  ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f xs] is [Array.map f xs] evaluated on [jobs] domains.
     [chunk] is the work-queue granularity (default [max 1 (n / (8*jobs))]).
+
+    [serial_cutoff] (seconds, default {!default_serial_cutoff}) is the
+    auto-serial heuristic: when a parallel run is requested, element 0 is
+    evaluated first as a serial probe, and if the extrapolated whole-sweep
+    cost [probe_time * n] fits within the cutoff the remaining elements run
+    serially too (counted as [sweep/auto_serial]) — a tiny grid of cheap
+    evaluations finishes before a pool would even warm up. The probed
+    result is reused in both paths (element 0 is never evaluated twice),
+    and since both paths apply the same pure function to the same inputs in
+    input order, the decision never changes the result: output stays
+    bit-identical across [jobs], chunking, and the heuristic. Pass
+    [~serial_cutoff:0.] to disable the probe and force the pool path.
     @raise Invalid_argument if [jobs < 1] or [chunk < 1]. *)
 
-val mapi : ?jobs:int -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val mapi :
+  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float ->
+  (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Indexed {!map}. *)
 
-val init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+val init :
+  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float ->
+  int -> (int -> 'a) -> 'a array
 (** [init ~jobs n f] is [Array.init n f] evaluated on [jobs] domains.
     @raise Invalid_argument if [n < 0]. *)
 
-val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float ->
+  ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over a list, preserving order. *)
 
 val grid :
-  ?jobs:int -> ?chunk:int -> ('a -> 'b -> 'c) -> outer:'a array ->
-  inner:'b array -> 'c array array
+  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float ->
+  ('a -> 'b -> 'c) -> outer:'a array -> inner:'b array -> 'c array array
 (** [grid f ~outer ~inner] evaluates the full Cartesian product as one flat
     work queue — [(grid f ~outer ~inner).(i).(j) = f outer.(i) inner.(j)] —
-    so load balances across the whole surface rather than row by row. *)
+    so load balances across the whole surface rather than row by row. The
+    auto-serial probe (see {!map}) extrapolates from the flattened size. *)

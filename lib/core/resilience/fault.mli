@@ -31,3 +31,10 @@ val outcome : unit -> [ `Pass | `Nan | `Fail of int ]
 
 val injected : unit -> int
 (** Faults fired by the current plan so far (0 without a plan). *)
+
+val active : unit -> bool
+(** Whether a fault plan is installed on this domain. Memoization layers
+    (e.g. the {!Gnrflash_device.Program_erase} warm-replay cache) consult
+    this to bypass both lookup and store under fault injection, so a
+    poisoned or fault-shortened solve is never replayed as a clean one —
+    and a cached clean outcome never masks the fault path under test. *)

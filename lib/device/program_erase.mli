@@ -20,16 +20,30 @@ type outcome = {
 
 val apply_pulse :
   ?budget:Gnrflash_resilience.Budget.t ->
+  ?warm_start:bool ->
   Fgt.t -> qfg:float -> pulse -> (outcome, error) result
-(** Run one bias pulse from the given initial charge. *)
+(** Run one bias pulse from the given initial charge.
+
+    [warm_start] (default [true]) enables two levels of pulse-train reuse,
+    both domain-local and keyed to the device by physical identity:
+    the previous same-polarity pulse's first accepted step size seeds this
+    pulse's initial [dt] ([transient/warm_start_hit]), and a pulse whose
+    (vgs, duration, qfg) triple repeats bit-for-bit on the same device
+    record replays the memoized outcome without integrating
+    ([program_erase/pulse_replay] — bit-identical to a re-solve, since the
+    solve is a pure function of the key). Pass [~warm_start:false] to force
+    every pulse through a cold solve; fault-injection plans bypass the
+    cache automatically. *)
 
 val program :
   ?budget:Gnrflash_resilience.Budget.t ->
+  ?warm_start:bool ->
   ?pulse:pulse -> Fgt.t -> qfg:float -> (outcome, error) result
 (** One programming pulse; defaults to the paper's VGS = 15 V for 1 ms. *)
 
 val erase :
   ?budget:Gnrflash_resilience.Budget.t ->
+  ?warm_start:bool ->
   ?pulse:pulse -> Fgt.t -> qfg:float -> (outcome, error) result
 (** One erase pulse; defaults to VGS = −15 V for 1 ms. *)
 
@@ -37,6 +51,9 @@ val default_program_pulse : pulse
 val default_erase_pulse : pulse
 
 val cycle :
+  ?warm_start:bool ->
   ?program_pulse:pulse -> ?erase_pulse:pulse -> Fgt.t -> qfg:float ->
   ((outcome * outcome), error) result
-(** One full program-then-erase cycle; returns both outcomes. *)
+(** One full program-then-erase cycle; returns both outcomes. See
+    {!apply_pulse} for the warm-start semantics that make long cycle
+    trains cheap. *)

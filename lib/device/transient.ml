@@ -21,6 +21,7 @@ type result = {
   tsat : float option;
   qfg_final : float;
   dvt_final : float;
+  h_first : float option;
 }
 
 let sample_of (t : Fgt.t) ~vgs ~time ~qfg =
@@ -40,7 +41,21 @@ let imbalance t ~vgs ~qfg ~threshold =
   if s <= 0. then -1. (* nothing flowing: saturated by definition *)
   else (abs_float (ji -. jo) /. s) -. threshold
 
-let run ?budget ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs ~duration =
+(* Cold-start step size from the RHS scale at t = 0 (the standard
+   [h0 = 0.01·|y|/|f|] heuristic, with the natural charge magnitude
+   CT·(1+|VGS|) standing in for |y| since transients start at qfg ≈ 0).
+   The old fixed [duration/100] guess overshot straight into the region
+   where the FN exponential overflows, burning one [ode/step_nan_shrink]
+   cascade per pulse. *)
+let initial_step_size t ~vgs ~f0 ~duration =
+  let q_scale = Fgt.ct t *. (1. +. abs_float vgs) in
+  let f0 = abs_float f0 in
+  if Float.is_finite f0 && f0 > 0. then
+    Float.min (duration /. 100.) (0.01 *. q_scale /. f0)
+  else duration /. 100.
+
+let run ?budget ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) ?h0 t ~vgs
+    ~duration =
   let solver = "Transient.run" in
   if duration <= 0. then
     Error (Err.make ~solver (Err.Invalid_input "duration <= 0"))
@@ -59,6 +74,12 @@ let run ?budget ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs
       [| U.to_float (Fgt.dqfg_dt_q t ~vgs:vgs_q ~qfg:(U.coulomb y.(0))) |]
     in
     let event _time y = imbalance t ~vgs ~qfg:y.(0) ~threshold:imbalance_threshold in
+    let h0 =
+      match h0 with
+      | Some h when Float.is_finite h && h > 0. -> Float.min h duration
+      | Some _ | None ->
+        initial_step_size t ~vgs ~f0:(f 0. [| qfg0 |]).(0) ~duration
+    in
     (* If the device starts already balanced (e.g. vgs = 0) the event
        function is negative at t0; integrate without the event. *)
     let already_balanced = event 0. [| qfg0 |] <= 0. in
@@ -74,23 +95,29 @@ let run ?budget ?(qfg0 = 0.) ?(imbalance_threshold = 0.01) ?(rtol = 1e-8) t ~vgs
           times
       in
       let qfg_final = states.(Array.length states - 1).(0) in
+      let h_first =
+        if Array.length times >= 2 then Some (times.(1) -. times.(0)) else None
+      in
       Ok
         {
           samples;
           tsat;
           qfg_final;
           dvt_final = Fgt.threshold_shift t ~qfg:qfg_final;
+          h_first;
         }
     in
     let attempt rtol () =
       if already_balanced then begin
         Tel.count "transient/already_balanced";
-        match Ode.rkf45 ~rtol ~atol ~f ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
+        match Ode.rkf45 ~rtol ~atol ~h0 ~f ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
         | Error e -> Error e
         | Ok { Ode.times; states } -> finish times states (Some 0.)
       end
       else
-        match Ode.rkf45_event ~rtol ~atol ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:duration () with
+        match
+          Ode.rkf45_event ~rtol ~atol ~h0 ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:duration ()
+        with
         | Error e -> Error e
         | Ok { Ode.trajectory = { Ode.times; states }; event_time; _ } ->
           finish times states event_time
@@ -165,8 +192,11 @@ let time_to_threshold_shift ?budget ?(qfg0 = 0.) t ~vgs ~dvt ~max_time =
     in
     let event _time y = (y.(0) -. q_target) *. (if dvt >= 0. then 1. else -1.) in
     let atol = 1e-10 *. Fgt.ct t *. (1. +. abs_float vgs) in
+    let h0 = initial_step_size t ~vgs ~f0:(f 0. [| qfg0 |]).(0) ~duration:max_time in
     let attempt rtol () =
-      match Ode.rkf45_event ?rtol ~atol ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:max_time () with
+      match
+        Ode.rkf45_event ?rtol ~atol ~h0 ~f ~event ~t0:0. ~y0:[| qfg0 |] ~t1:max_time ()
+      with
       | Error e -> Error e
       | Ok { Ode.event_time; _ } -> Ok event_time
     in

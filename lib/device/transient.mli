@@ -27,18 +27,29 @@ type result = {
   tsat : float option;         (** saturation time, if reached *)
   qfg_final : float;           (** charge at the end of integration *)
   dvt_final : float;           (** threshold shift at the end *)
+  h_first : float option;      (** first accepted step size [s] — feed it
+                                   back as [?h0] to warm-start a repeat of
+                                   the same pulse *)
 }
 
 val run :
   ?budget:Gnrflash_resilience.Budget.t ->
-  ?qfg0:float -> ?imbalance_threshold:float -> ?rtol:float ->
+  ?qfg0:float -> ?imbalance_threshold:float -> ?rtol:float -> ?h0:float ->
   Fgt.t -> vgs:float -> duration:float -> (result, error) Stdlib.result
 (** Integrate the charge balance for [duration] seconds at constant [vgs]
     (positive = programming, negative = erase) from initial charge [qfg0]
     (default 0, the paper's assumption). Integration stops early at the
     saturation event. [rtol] defaults to [1e-8]; if the integration fails
     at that tolerance a relaxation ladder retries at [rtol·1e2] then
-    [min 1e-3 (rtol·1e4)]. *)
+    [min 1e-3 (rtol·1e4)].
+
+    [h0] is the initial trial step size; when omitted (the cold-start
+    case) it is derived from the RHS scale at [t = 0] as
+    [0.01·CT·(1+|VGS|)/|dQ/dt|] — small enough that the first trial stays
+    inside the finite region of the FN exponential, so a nominal run has
+    [ode/step_nan_shrink = 0]. Pass the previous pulse's
+    {!field-h_first} to warm-start a repeated pulse
+    ({!Program_erase.apply_pulse} does this automatically). *)
 
 val initial_currents : Fgt.t -> vgs:float -> qfg:float -> float * float
 (** [(Jin, Jout)] at a single operating point — the t = 0 comparison of

@@ -47,54 +47,134 @@ let rk4_step f t y h =
 let euler ~f ~t0 ~y0 ~t1 ~steps = fixed_step_method euler_step ~f ~t0 ~y0 ~t1 ~steps
 let rk4 ~f ~t0 ~y0 ~t1 ~steps = fixed_step_method rk4_step ~f ~t0 ~y0 ~t1 ~steps
 
-(* Runge--Kutta--Fehlberg 4(5) Butcher tableau. *)
-let rkf45_step f t y h =
+(* ---------- Dormand–Prince 5(4) with FSAL and dense output ---------- *)
+
+(* Butcher tableau of the DOPRI5 pair (Dormand & Prince 1980, the RKDP
+   coefficients of Hairer/Nørsett/Wanner DOPRI5). The 7th stage is evaluated
+   at (t+h, y_new) so an accepted step's k7 IS the next step's k1 — "first
+   same as last" — making the effective cost 6 RHS evaluations per trial
+   plus a single extra evaluation at the start of the integration (and after
+   a non-finite trial, whose cached slope may itself be poisoned). *)
+let a21 = 1. /. 5.
+
+let a31 = 3. /. 40.
+and a32 = 9. /. 40.
+
+let a41 = 44. /. 45.
+and a42 = -56. /. 15.
+and a43 = 32. /. 9.
+
+let a51 = 19372. /. 6561.
+and a52 = -25360. /. 2187.
+and a53 = 64448. /. 6561.
+and a54 = -212. /. 729.
+
+let a61 = 9017. /. 3168.
+and a62 = -355. /. 33.
+and a63 = 46732. /. 5247.
+and a64 = 49. /. 176.
+and a65 = -5103. /. 18656.
+
+(* 5th-order solution weights (b7 = 0; stage 7 only feeds the error
+   estimate and the dense output) *)
+let b1 = 35. /. 384.
+and b3 = 500. /. 1113.
+and b4 = 125. /. 192.
+and b5 = -2187. /. 6784.
+and b6 = 11. /. 84.
+
+(* embedded 4th-order weights *)
+let bh1 = 5179. /. 57600.
+and bh3 = 7571. /. 16695.
+and bh4 = 393. /. 640.
+and bh5 = -92097. /. 339200.
+and bh6 = 187. /. 2100.
+and bh7 = 1. /. 40.
+
+(* dense-output coefficients of the pair's native 4th-order continuous
+   extension (Hairer's rcont5 weights) *)
+let d1 = -12715105075. /. 11282082432.
+and d3 = 87487479700. /. 32700410799.
+and d4 = -10690763975. /. 1880347072.
+and d5 = 701980252875. /. 199316789632.
+and d6 = -1453857185. /. 822651844.
+and d7 = 69997945. /. 29380423.
+
+(* One trial step from (t, y) with slope k1 = f t y already in hand.
+   Returns the 5th-order solution, the embedded 4th-order solution and the
+   remaining stages (k7 last, evaluated at the trial endpoint). *)
+let dopri5_stages f t y h k1 =
   let n = Array.length y in
-  let k1 = f t y in
-  let y2 = Array.init n (fun i -> y.(i) +. (h *. k1.(i) /. 4.)) in
-  let k2 = f (t +. (h /. 4.)) y2 in
-  let y3 = Array.init n (fun i -> y.(i) +. (h *. ((3. /. 32. *. k1.(i)) +. (9. /. 32. *. k2.(i))))) in
-  let k3 = f (t +. (3. *. h /. 8.)) y3 in
+  let y2 = Array.init n (fun i -> y.(i) +. (h *. a21 *. k1.(i))) in
+  let k2 = f (t +. (h /. 5.)) y2 in
+  let y3 = Array.init n (fun i -> y.(i) +. (h *. ((a31 *. k1.(i)) +. (a32 *. k2.(i))))) in
+  let k3 = f (t +. (3. *. h /. 10.)) y3 in
   let y4 =
     Array.init n (fun i ->
-        y.(i)
-        +. (h
-            *. ((1932. /. 2197. *. k1.(i)) -. (7200. /. 2197. *. k2.(i))
-                +. (7296. /. 2197. *. k3.(i)))))
+        y.(i) +. (h *. ((a41 *. k1.(i)) +. (a42 *. k2.(i)) +. (a43 *. k3.(i)))))
   in
-  let k4 = f (t +. (12. *. h /. 13.)) y4 in
+  let k4 = f (t +. (4. *. h /. 5.)) y4 in
   let y5 =
     Array.init n (fun i ->
         y.(i)
         +. (h
-            *. ((439. /. 216. *. k1.(i)) -. (8. *. k2.(i)) +. (3680. /. 513. *. k3.(i))
-                -. (845. /. 4104. *. k4.(i)))))
+            *. ((a51 *. k1.(i)) +. (a52 *. k2.(i)) +. (a53 *. k3.(i))
+                +. (a54 *. k4.(i)))))
   in
-  let k5 = f (t +. h) y5 in
+  let k5 = f (t +. (8. *. h /. 9.)) y5 in
   let y6 =
     Array.init n (fun i ->
         y.(i)
         +. (h
-            *. ((-8. /. 27. *. k1.(i)) +. (2. *. k2.(i)) -. (3544. /. 2565. *. k3.(i))
-                +. (1859. /. 4104. *. k4.(i)) -. (11. /. 40. *. k5.(i)))))
+            *. ((a61 *. k1.(i)) +. (a62 *. k2.(i)) +. (a63 *. k3.(i))
+                +. (a64 *. k4.(i)) +. (a65 *. k5.(i)))))
   in
-  let k6 = f (t +. (h /. 2.)) y6 in
-  let y4th =
+  let k6 = f (t +. h) y6 in
+  let y_new =
     Array.init n (fun i ->
         y.(i)
         +. (h
-            *. ((25. /. 216. *. k1.(i)) +. (1408. /. 2565. *. k3.(i))
-                +. (2197. /. 4104. *. k4.(i)) -. (k5.(i) /. 5.))))
+            *. ((b1 *. k1.(i)) +. (b3 *. k3.(i)) +. (b4 *. k4.(i))
+                +. (b5 *. k5.(i)) +. (b6 *. k6.(i)))))
   in
-  let y5th =
+  let k7 = f (t +. h) y_new in
+  let y_4th =
     Array.init n (fun i ->
         y.(i)
         +. (h
-            *. ((16. /. 135. *. k1.(i)) +. (6656. /. 12825. *. k3.(i))
-                +. (28561. /. 56430. *. k4.(i)) -. (9. /. 50. *. k5.(i))
-                +. (2. /. 55. *. k6.(i)))))
+            *. ((bh1 *. k1.(i)) +. (bh3 *. k3.(i)) +. (bh4 *. k4.(i))
+                +. (bh5 *. k5.(i)) +. (bh6 *. k6.(i)) +. (bh7 *. k7.(i)))))
   in
-  (y5th, y4th)
+  (y_new, y_4th, k2, k3, k4, k5, k6, k7)
+
+(* The continuous extension over one accepted step, evaluated without any
+   further RHS work. Coefficients are built lazily so trajectory-only
+   integrations never pay for them; each evaluation is counted under
+   [ode/dense_eval]. *)
+let make_interp ~t_old ~h ~y_old ~y_new ~k1 ~k3 ~k4 ~k5 ~k6 ~k7 =
+  let n = Array.length y_old in
+  let cont =
+    lazy
+      (Array.init n (fun i ->
+           let ydiff = y_new.(i) -. y_old.(i) in
+           let bspl = (h *. k1.(i)) -. ydiff in
+           let c4 = ydiff -. (h *. k7.(i)) -. bspl in
+           let c5 =
+             h
+             *. ((d1 *. k1.(i)) +. (d3 *. k3.(i)) +. (d4 *. k4.(i))
+                 +. (d5 *. k5.(i)) +. (d6 *. k6.(i)) +. (d7 *. k7.(i)))
+           in
+           (y_old.(i), ydiff, bspl, c4, c5)))
+  in
+  fun t ->
+    Tel.count "ode/dense_eval";
+    let theta = (t -. t_old) /. h in
+    Array.map
+      (fun (c1, c2, c3, c4, c5) ->
+        c1
+        +. (theta
+            *. (c2 +. ((1. -. theta) *. (c3 +. (theta *. (c4 +. ((1. -. theta) *. c5))))))))
+      (Lazy.force cont)
 
 let error_norm ~rtol ~atol y y5 y4 =
   let n = Array.length y in
@@ -113,17 +193,24 @@ let all_finite y =
   done;
   !ok
 
+(* Adaptive driver. [on_step] additionally receives the step's dense-output
+   interpolant so event localization (and user-facing dense sampling) can
+   refine inside the accepted interval without re-integrating. The solver
+   name stays "Ode.rkf45" in typed errors: it is the stable identifier the
+   resilience layer and its tests key on. *)
 let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps = 200_000)
     ~f ~t0 ~y0 ~t1 ~on_step () =
   let solver = "Ode.rkf45" in
   if t1 <= t0 then
     Error (Err.make ~solver (Err.Invalid_input "t1 <= t0"))
   else begin
-    (* Each rkf45_step trial costs exactly 6 RHS evaluations; counting at the
-       wrapped callable keeps the bookkeeping honest even if the tableau
-       changes. Evaluations are charged to the ambient budget and exposed to
-       the fault injector (a NaN fault poisons the whole state vector, which
-       exercises the same shrink path as a genuine non-finite region). *)
+    (* Each trial step costs exactly 6 RHS evaluations thanks to FSAL (plus
+       one to seed the first step, and one re-seed after every non-finite
+       trial); counting at the wrapped callable keeps the bookkeeping honest
+       even if the tableau changes. Evaluations are charged to the ambient
+       budget and exposed to the fault injector (a NaN fault poisons the
+       whole state vector, which exercises the same shrink path as a genuine
+       non-finite region). *)
     let n = Array.length y0 in
     let f t y =
       Tel.count "ode/rhs_eval";
@@ -135,6 +222,10 @@ let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps 
     in
     let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.) in
     let t = ref t0 and y = ref (Array.copy y0) in
+    (* FSAL slope cache: f(!t, !y). Invalidated whenever a trial goes
+       non-finite, so a fault-poisoned slope cannot pin the integration in
+       the shrink loop forever. *)
+    let k1 = ref None in
     let steps = ref 0 in
     let err = ref None in
     let finished = ref false in
@@ -147,7 +238,15 @@ let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps 
         else begin
           incr steps;
           if !t +. !h > t1 then h := t1 -. !t;
-          let y5, y4 = rkf45_step f !t !y !h in
+          let k1v =
+            match !k1 with
+            | Some k -> k
+            | None ->
+              let k = f !t !y in
+              k1 := Some k;
+              k
+          in
+          let y5, y4, _k2, k3, k4, k5, k6, k7 = dopri5_stages f !t !y !h k1v in
           let en = error_norm ~rtol ~atol !y y5 y4 in
           (* A per-component finiteness check: a NaN error norm alone would
              miss infinities (and +inf + -inf cancellation in any summed
@@ -155,6 +254,7 @@ let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps 
           if Float.is_nan en || not (all_finite y5) then begin
             (* the trial step left the region where f is finite: shrink hard *)
             Tel.count "ode/step_nan_shrink";
+            k1 := None;
             h := !h /. 10.;
             if !h < h_min then
               err := Some (Err.make ~solver (Err.Nan_region { at = !t }))
@@ -162,11 +262,16 @@ let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps 
           else if en <= 1. then begin
             Tel.count "ode/step_accepted";
             let t_new = !t +. !h in
-            (match on_step ~t_old:!t ~y_old:!y ~t_new ~y_new:y5 with
+            let interp =
+              make_interp ~t_old:!t ~h:!h ~y_old:!y ~y_new:y5 ~k1:k1v ~k3 ~k4 ~k5
+                ~k6 ~k7
+            in
+            (match on_step ~t_old:!t ~y_old:!y ~t_new ~y_new:y5 ~interp with
              | `Stop -> finished := true
              | `Continue -> ());
             t := t_new;
             y := y5;
+            k1 := Some k7;
             if !t >= t1 -. 1e-15 *. (abs_float t1 +. 1.) then finished := true;
             let factor = if Float.equal en 0. then 4. else min 4. (0.9 *. (en ** (-0.2))) in
             h := !h *. factor
@@ -185,7 +290,7 @@ let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps 
 let rkf45 ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~t0 ~y0 ~t1 () =
   Err.protect @@ fun () ->
   let times = ref [ t0 ] and states = ref [ Array.copy y0 ] in
-  let on_step ~t_old:_ ~y_old:_ ~t_new ~y_new =
+  let on_step ~t_old:_ ~y_old:_ ~t_new ~y_new ~interp:_ =
     times := t_new :: !times;
     states := Array.copy y_new :: !states;
     `Continue
@@ -199,6 +304,48 @@ let rkf45 ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~t0 ~y0 ~t1 () =
         states = Array.of_list (List.rev !states);
       }
 
+let rkf45_dense ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~t0 ~y0 ~t1 ~ts () =
+  Err.protect @@ fun () ->
+  let m = Array.length ts in
+  for j = 0 to m - 1 do
+    if ts.(j) < t0 || ts.(j) > t1 then
+      Err.fail ~solver:"Ode.rkf45_dense" (Err.Invalid_input "sample time outside [t0, t1]");
+    if j > 0 && ts.(j) < ts.(j - 1) then
+      Err.fail ~solver:"Ode.rkf45_dense" (Err.Invalid_input "sample times not sorted")
+  done;
+  let out = Array.make m [||] in
+  let next = ref 0 in
+  while !next < m && ts.(!next) <= t0 do
+    out.(!next) <- Array.copy y0;
+    incr next
+  done;
+  let times = ref [ t0 ] and states = ref [ Array.copy y0 ] in
+  let on_step ~t_old:_ ~y_old:_ ~t_new ~y_new ~interp =
+    while !next < m && ts.(!next) <= t_new do
+      out.(!next) <- interp ts.(!next);
+      incr next
+    done;
+    times := t_new :: !times;
+    states := Array.copy y_new :: !states;
+    `Continue
+  in
+  match rkf45_core ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~t0 ~y0 ~t1 ~on_step () with
+  | Error e -> Error e
+  | Ok () ->
+    let last = List.hd !states in
+    (* times landing in the round-off gap between the last accepted step
+       and t1 take the final state *)
+    while !next < m do
+      out.(!next) <- Array.copy last;
+      incr next
+    done;
+    Ok
+      ( {
+          times = Array.of_list (List.rev !times);
+          states = Array.of_list (List.rev !states);
+        },
+        out )
+
 type event_result = {
   trajectory : trajectory;
   event_time : float option;
@@ -207,7 +354,7 @@ type event_result = {
 
 (* Bisection for the event time stops when the bracket is this small
    relative to the step interval — continuing to the fixed 60 iterations
-   would re-run 16-step RK4 integrations well past double precision. *)
+   would churn dense-output evaluations well past double precision. *)
 let event_time_rtol = 1e-12
 
 let rkf45_event ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~event ~t0 ~y0 ~t1 () =
@@ -215,7 +362,7 @@ let rkf45_event ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~event ~t0 ~y0 ~t1 () =
   let times = ref [ t0 ] and states = ref [ Array.copy y0 ] in
   let ev_t = ref None and ev_y = ref None in
   let g0 = ref (event t0 y0) in
-  let on_step ~t_old ~y_old ~t_new ~y_new =
+  let on_step ~t_old ~y_old:_ ~t_new ~y_new ~interp =
     let g1 = event t_new y_new in
     if Float.equal g1 0. then begin
       (* The event function lands exactly on zero at the accepted step:
@@ -231,13 +378,10 @@ let rkf45_event ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~event ~t0 ~y0 ~t1 () =
       `Stop
     end
     else if !g0 *. g1 < 0. then begin
-      (* Locate the crossing by bisection, re-integrating the sub-interval
-         with fixed RK4 steps from the accepted left state. *)
-      let locate t =
-        if t <= t_old then Array.copy y_old
-        else (rk4 ~f ~t0:t_old ~y0:y_old ~t1:t ~steps:16).states |> fun s ->
-          s.(Array.length s - 1)
-      in
+      (* Locate the crossing by bisection on the step's dense-output
+         interpolant — pure polynomial evaluation, no RHS work (the old
+         implementation re-integrated the sub-interval with 16 fixed RK4
+         steps per probe). *)
       Tel.count "ode/event_crossing";
       let lo = ref t_old and hi = ref t_new in
       let width_tol =
@@ -248,11 +392,11 @@ let rkf45_event ?rtol ?atol ?h0 ?h_min ?max_steps ~f ~event ~t0 ~y0 ~t1 () =
         incr iters;
         Tel.count "ode/event_bisect_iter";
         let mid = 0.5 *. (!lo +. !hi) in
-        let gm = event mid (locate mid) in
+        let gm = event mid (interp mid) in
         if !g0 *. gm <= 0. then hi := mid else lo := mid
       done;
       let t_ev = 0.5 *. (!lo +. !hi) in
-      let y_ev = locate t_ev in
+      let y_ev = if t_ev >= t_new then Array.copy y_new else interp t_ev in
       ev_t := Some t_ev;
       ev_y := Some y_ev;
       times := t_ev :: !times;

@@ -28,11 +28,26 @@ val rkf45 :
   f:(float -> float array -> float array) ->
   t0:float -> y0:float array -> t1:float -> unit ->
   (trajectory, error) result
-(** Adaptive Runge–Kutta–Fehlberg 4(5) with standard step control.
+(** Adaptive embedded Runge–Kutta with standard step control. The stepper
+    is the FSAL Dormand–Prince 5(4) pair (an accepted step's last stage is
+    reused as the next step's first, so a trial step costs 6 RHS
+    evaluations; one extra evaluation seeds the integration and one re-seeds
+    after each non-finite trial). The historical [rkf45] name is kept as a
+    stable shim — callers and recorded telemetry keys are unchanged.
     [rtol] defaults to [1e-8], [atol] to [1e-12]. Fails if the step size
     underflows [h_min] or [max_steps] (default [200_000]) is exceeded.
     Trial states are checked component-wise for finiteness (NaN {e and}
     infinities) and the step shrinks rather than accepting garbage. *)
+
+val rkf45_dense :
+  ?rtol:float -> ?atol:float -> ?h0:float -> ?h_min:float -> ?max_steps:int ->
+  f:(float -> float array -> float array) ->
+  t0:float -> y0:float array -> t1:float -> ts:float array -> unit ->
+  (trajectory * float array array, error) result
+(** Like {!rkf45} but additionally returns the solution sampled at the
+    user-supplied times [ts] (sorted, within [t0, t1]) via the pair's
+    native 4th-order dense-output interpolant — no extra RHS evaluations
+    are spent on the samples (counted under [ode/dense_eval]). *)
 
 type event_result = {
   trajectory : trajectory;   (** trajectory up to and including the event *)
@@ -49,9 +64,10 @@ val rkf45_event :
   (event_result, error) result
 (** Like {!rkf45} but additionally monitors [event t y]: when its sign
     changes across an accepted step — including landing exactly on [0.] —
-    the crossing is located by bisection on re-integrated sub-steps (with
-    early exit once the time bracket is below a relative tolerance) and
-    integration stops there. *)
+    the crossing is located by bisection on the step's dense-output
+    interpolant (pure polynomial evaluation, no RHS work; early exit once
+    the time bracket is below a relative tolerance) and integration stops
+    there. *)
 
 val solve_scalar :
   ?rtol:float -> ?atol:float ->

@@ -13,7 +13,7 @@ type transmission_model =
 (** Which T(E) evaluator to plug into the integral. *)
 
 val current_density :
-  ?model:transmission_model -> ?temp:float ->
+  ?model:transmission_model -> ?temp:float -> ?wkb_cache:bool ->
   phi_b:float -> field:float -> thickness:float -> m_b:float ->
   ef:float -> unit -> float
 (** [current_density ~phi_b ~field ~thickness ~m_b ~ef ()] is the net
@@ -21,7 +21,15 @@ val current_density :
     tilted by [field] (V/m) across [thickness] (m), with emitter Fermi
     level [ef] (J above the emitter band edge). The oxide potential drop
     sets the supply-function bias. [temp] defaults to 300 K, [model] to
-    {!Wkb_model}. *)
+    {!Wkb_model}.
+
+    [wkb_cache] (default [true]) memoizes the WKB transmission via
+    {!Wkb.Cache}: the piecewise-linear barrier's per-segment closed-form
+    action coefficients are computed once per call and shared across all
+    quadrature nodes, replacing one adaptive-Simpson recursion per node.
+    Cached and uncached paths run identical arithmetic, so results are
+    bit-for-bit equal either way; only the [wkb/cache_build] /
+    [wkb/cache_hit] counters differ. Ignored for non-WKB models. *)
 
 val compare_models :
   ?temp:float -> phi_b:float -> field:float -> thickness:float ->

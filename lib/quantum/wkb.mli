@@ -15,3 +15,36 @@ val transmission_triangular :
 (** Closed-form WKB transmission at the Fermi level (E = 0) through the FN
     triangle: [exp(−4√(2m)·φ_B^{3/2} / (3ħqE))]. Cross-validates
     {!transmission} on {!Barrier.triangular}. *)
+
+(** Memoized closed-form WKB evaluator for one fixed (barrier, bias)
+    shape, shared across every quadrature node of a supply-function
+    integral. Because a {!Barrier.t} is piecewise linear, the action
+    integrand [√(2m(V−E))] integrates segment-by-segment in closed form
+    ([(2/3)((V_b−E)₊^{3/2} − (V_a−E)₊^{3/2})/slope], width·√(2m(V−E)) for
+    flat segments) — exact, allocation-free per energy, and with zero
+    integrand evaluations, versus one adaptive-Simpson recursion per node
+    for {!action_integral}. Building the cache counts [wkb/cache_build];
+    each energy lookup counts [wkb/cache_hit]. The cache is immutable and
+    never invalidates: a new barrier (different bias, thickness, or
+    height) requires a new {!Cache.make}. *)
+module Cache : sig
+  type t
+
+  val make : Barrier.t -> t
+  (** Precompute per-segment geometry (width, endpoint heights, slope) and
+      √(2m). Counts [wkb/cache_build]. *)
+
+  val action : t -> energy:float -> float
+  (** Closed-form WKB exponent; agrees with {!action_integral} to the
+      adaptive quadrature's tolerance (~1e-9 relative) and is exact for
+      the piecewise-linear barrier. Counts [wkb/cache_hit]. *)
+
+  val transmission : t -> energy:float -> float
+  (** [exp (−action)], clamped to 1 above the barrier maximum. *)
+end
+
+val transmission_closed : Barrier.t -> energy:float -> float
+(** One-shot closed-form transmission: identical arithmetic to
+    {!Cache.transmission} (bit-for-bit), but recomputes the segment table
+    on every call and bumps no cache counters. This is the
+    [~wkb_cache:false] path of {!Tsu_esaki.current_density}. *)

@@ -179,6 +179,83 @@ let prop_rkf45_linear_growth =
         abs_float (y -. (3. *. a)) <= 1e-6 *. (1. +. abs_float (3. *. a))
       | Error _ -> false)
 
+(* ---------- dense output ---------- *)
+
+(* rkf45_dense must agree with the analytic solution at arbitrary off-step
+   sample times to the stepper's own accuracy — the interpolant is 4th/5th
+   order, not a secant through step endpoints. *)
+let test_dense_decay_analytic () =
+  let ts = Array.init 97 (fun i -> 2. *. float_of_int i /. 96.) in
+  let _, ys =
+    check_ok "dense decay"
+      (O.rkf45_dense ~rtol:1e-8 ~atol:1e-12 ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:2.
+         ~ts ())
+  in
+  Array.iteri
+    (fun i t ->
+       let exact = exp (-.t) in
+       check_true
+         (Printf.sprintf "dense decay @ t=%.3f" t)
+         (abs_float (ys.(i).(0) -. exact) <= 1e-6 *. (1. +. exact)))
+    ts
+
+let test_dense_endpoints_and_validation () =
+  let ts = [| 0.; 0.7; 2. |] in
+  let tr, ys =
+    check_ok "dense run"
+      (O.rkf45_dense ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:2. ~ts ())
+  in
+  (* a sample time at t0 returns the initial state verbatim *)
+  check_close ~tol:0. "t0 is y0" 1. ys.(0).(0);
+  (* the final sample time t1 returns the trajectory endpoint bit-exactly *)
+  check_close ~tol:0. "t1 matches trajectory end" (last tr).(0) ys.(2).(0);
+  check_error "unsorted ts"
+    (O.rkf45_dense ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:2. ~ts:[| 1.; 0.5 |] ());
+  check_error "ts before t0"
+    (O.rkf45_dense ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:2. ~ts:[| -1. |] ());
+  check_error "ts beyond t1"
+    (O.rkf45_dense ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:2. ~ts:[| 3. |] ())
+
+(* Property: the dense interpolant agrees with a from-scratch re-integration
+   stopped exactly at the sample time, over random stiffness-free linear
+   systems y' = a - b*y (the Fig 4/5 charging equation's shape). *)
+let prop_dense_matches_reintegration =
+  prop "dense output matches re-integration"
+    QCheck2.Gen.(
+      triple (float_range 0.1 5.) (float_range 0.1 5.) (float_range 0.1 1.9))
+    (fun (a, b, t_mid) ->
+       let f _t y = [| a -. (b *. y.(0)) |] in
+       match
+         O.rkf45_dense ~rtol:1e-8 ~atol:1e-14 ~f ~t0:0. ~y0:[| 0. |] ~t1:2.
+           ~ts:[| t_mid |] ()
+       with
+       | Error _ -> false
+       | Ok (_, ys) ->
+         (match
+            O.rkf45 ~rtol:1e-11 ~atol:1e-16 ~f ~t0:0. ~y0:[| 0. |] ~t1:t_mid ()
+          with
+          | Error _ -> false
+          | Ok tr ->
+            let y_ref = (last tr).(0) in
+            abs_float (ys.(0).(0) -. y_ref) <= 1e-6 *. (1. +. abs_float y_ref)))
+
+(* FSAL bookkeeping: one eval seeds k1, then exactly 6 evals per trial step,
+   +1 re-seed after every NaN shrink (the cached slope is poisoned). *)
+let test_fsal_eval_count () =
+  let module Tel = Gnrflash_telemetry.Telemetry in
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  let _ = check_ok "run" (O.rkf45 ~f:decay ~t0:0. ~y0:[| 1. |] ~t1:2. ()) in
+  let trials =
+    Tel.counter_total "ode/step_accepted"
+    + Tel.counter_total "ode/step_rejected"
+    + Tel.counter_total "ode/step_nan_shrink"
+  in
+  Alcotest.(check int) "6 evals per trial + 1 seed"
+    ((6 * trials) + 1 + Tel.counter_total "ode/step_nan_shrink")
+    (Tel.counter_total "ode/rhs_eval")
+
 let () =
   Alcotest.run "ode"
     [
@@ -200,6 +277,11 @@ let () =
           case "infinite trial step recovery" test_infinite_rhs_recovery;
           case "typed Max_steps" test_max_steps_typed;
           case "solve_scalar wrapper" test_solve_scalar;
+          case "dense output: analytic decay" test_dense_decay_analytic;
+          case "dense output: endpoints and validation"
+            test_dense_endpoints_and_validation;
+          case "FSAL eval accounting" test_fsal_eval_count;
           prop_rkf45_linear_growth;
+          prop_dense_matches_reintegration;
         ] );
     ]

@@ -51,6 +51,63 @@ let test_idempotent_saturation () =
   check_true "second pulse injects far less"
     (o2.Pe.injected_charge < o1.Pe.injected_charge /. 100.)
 
+(* Warm-started pulse trains: on a repeated program/erase train the step-size
+   warm start and the exact-replay memoization must both engage (counters
+   non-zero), stay silent when disabled, and never change the physics — the
+   warm train's final charge must match a fully cold train to solver
+   tolerance (replays are bit-identical by construction; the h0 reuse only
+   reshapes the step sequence). *)
+let run_train ~warm_start ~cycles =
+  let pp = { Pe.vgs = 15.; duration = 100e-6 }
+  and ep = { Pe.vgs = -15.; duration = 100e-6 } in
+  let q = ref 0. in
+  for _ = 1 to cycles do
+    match Pe.cycle ~warm_start ~program_pulse:pp ~erase_pulse:ep t ~qfg:!q with
+    | Ok (_, e) -> q := e.Pe.qfg_after
+    | Error _ -> Alcotest.fail "train cycle failed"
+  done;
+  !q
+
+let test_warm_start_counters () =
+  let module Tel = Gnrflash_telemetry.Telemetry in
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  let q_warm = run_train ~warm_start:true ~cycles:10 in
+  let warm_hits = Tel.counter_total "transient/warm_start_hit" in
+  let replays = Tel.counter_total "program_erase/pulse_replay" in
+  let rhs_warm = Tel.counter_total "ode/rhs_eval" in
+  check_true "h0 warm start engaged" (warm_hits > 0);
+  check_true "limit-cycle replay engaged" (replays > 0);
+  Alcotest.(check int) "all 20 pulses recorded" 20
+    (Tel.counter_total "program_erase/pulse");
+  Tel.reset ();
+  let q_cold = run_train ~warm_start:false ~cycles:10 in
+  Alcotest.(check int) "disabled: no warm hits" 0
+    (Tel.counter_total "transient/warm_start_hit");
+  Alcotest.(check int) "disabled: no replays" 0
+    (Tel.counter_total "program_erase/pulse_replay");
+  let rhs_cold = Tel.counter_total "ode/rhs_eval" in
+  check_true
+    (Printf.sprintf "warm train cheaper: %d vs %d RHS evals" rhs_warm rhs_cold)
+    (rhs_warm < rhs_cold);
+  check_close ~tol:1e-6 "same physics warm or cold" q_cold q_warm
+
+let test_warm_replay_bit_identical () =
+  (* the same (device, vgs, duration, qfg) pulse twice in a row: the second
+     is a replay and must reproduce the first outcome bit-for-bit *)
+  let pulse = { Pe.vgs = 15.; duration = 50e-6 } in
+  let o1 = check_ok "first" (Pe.apply_pulse t ~qfg:0. pulse) in
+  let o2 = check_ok "replayed" (Pe.apply_pulse t ~qfg:0. pulse) in
+  check_true "bit-identical replay"
+    (Int64.equal
+       (Int64.bits_of_float o1.Pe.qfg_after)
+       (Int64.bits_of_float o2.Pe.qfg_after)
+     && Int64.equal
+          (Int64.bits_of_float o1.Pe.dvt_after)
+          (Int64.bits_of_float o2.Pe.dvt_after)
+     && o1.Pe.saturated = o2.Pe.saturated)
+
 let prop_longer_pulse_more_charge =
   prop "longer pulses move at least as much charge" ~count:6
     QCheck2.Gen.(float_range 1e-9 1e-7)
@@ -73,6 +130,8 @@ let () =
           case "pulse validation" test_pulse_validation;
           case "full cycle" test_cycle;
           case "saturation idempotence" test_idempotent_saturation;
+          case "warm-start counters and parity" test_warm_start_counters;
+          case "warm replay bit-identical" test_warm_replay_bit_identical;
           prop_longer_pulse_more_charge;
         ] );
     ]

@@ -25,7 +25,8 @@ let prop_mapi_parity =
 
 let test_jobs_invariant () =
   (* same ensemble for every pool size, including chunk sizes that do not
-     divide n evenly *)
+     divide n evenly; ~serial_cutoff:0. forces the pool so this really
+     checks the parallel assembly, not the auto-serial shortcut *)
   let xs = Array.init 41 (fun i -> (float_of_int i /. 7.) -. 2.) in
   let reference = Sweep.map ~jobs:1 work xs in
   List.iter
@@ -34,7 +35,7 @@ let test_jobs_invariant () =
          (fun chunk ->
             check_true
               (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
-              (Sweep.map ~jobs ~chunk work xs = reference))
+              (Sweep.map ~jobs ~chunk ~serial_cutoff:0. work xs = reference))
          [ 1; 3; 41; 100 ])
     [ 1; 2; 4 ]
 
@@ -74,8 +75,17 @@ let test_exception_propagates () =
   Alcotest.check_raises "worker exception reaches caller"
     (Failure "boom at 17") (fun () ->
       ignore
-        (Sweep.init ~jobs:3 ~chunk:2 40 (fun i ->
-             if i = 17 then failwith "boom at 17" else i)))
+        (Sweep.init ~jobs:3 ~chunk:2 ~serial_cutoff:0. 40 (fun i ->
+             if i = 17 then failwith "boom at 17" else i)));
+  (* ... and through the auto-serial path, including from the probe itself *)
+  Alcotest.check_raises "auto-serial exception reaches caller"
+    (Failure "boom at 3") (fun () ->
+      ignore
+        (Sweep.init ~jobs:3 8 (fun i ->
+             if i = 3 then failwith "boom at 3" else i)));
+  Alcotest.check_raises "probe exception reaches caller"
+    (Failure "boom at 0") (fun () ->
+      ignore (Sweep.init ~jobs:3 8 (fun _ -> failwith "boom at 0")))
 
 let test_splitmix () =
   let a = Sweep.splitmix ~seed:1 ~index:0 in
@@ -110,7 +120,7 @@ let counted_run ~jobs =
   Tel.enable ();
   Fun.protect ~finally:Tel.disable (fun () ->
       let out =
-        Sweep.init ~jobs ~chunk:3 32 (fun i ->
+        Sweep.init ~jobs ~chunk:3 ~serial_cutoff:0. 32 (fun i ->
             Tel.count "sweep_test/evals";
             Tel.span "sweep_test/inner" (fun () -> work (float_of_int i)))
       in
@@ -144,13 +154,65 @@ let test_telemetry_context_prefix_adopted () =
   Fun.protect ~finally:Tel.disable (fun () ->
       Tel.span "outer_sweep" (fun () ->
           ignore
-            (Sweep.init ~jobs:2 ~chunk:1 8 (fun i ->
+            (Sweep.init ~jobs:2 ~chunk:1 ~serial_cutoff:0. 8 (fun i ->
                  Tel.count "hit";
                  i)));
       (* workers counted under the submitting domain's span path, exactly
          like a serial run would *)
       Alcotest.(check int) "prefixed key" 8 (Tel.counter "outer_sweep/hit");
       Alcotest.(check int) "bare key unused" 0 (Tel.counter "hit"))
+
+(* The auto-serial heuristic: a cheap tiny sweep at jobs>1 must engage it
+   (counter fires, result bit-identical), and ~serial_cutoff:0. must fully
+   disable it. *)
+let test_auto_serial_heuristic () =
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  let xs = Array.init 16 (fun i -> float_of_int i /. 3.) in
+  let serial = Array.map work xs in
+  (* a generous cutoff so the probe extrapolation cannot flake: 16 sin/exp
+     evaluations are nowhere near a second *)
+  let auto = Sweep.map ~jobs:4 ~serial_cutoff:1.0 work xs in
+  check_true "auto-serial result bit-identical" (auto = serial);
+  Alcotest.(check int) "heuristic engaged" 1 (Tel.counter_total "sweep/auto_serial");
+  let forced = Sweep.map ~jobs:4 ~serial_cutoff:0. work xs in
+  check_true "forced-pool result bit-identical" (forced = serial);
+  Alcotest.(check int) "cutoff 0 disables the heuristic" 1
+    (Tel.counter_total "sweep/auto_serial");
+  (* jobs:1 never probes and never counts *)
+  ignore (Sweep.map ~jobs:1 ~serial_cutoff:1.0 work xs);
+  Alcotest.(check int) "serial path does not count" 1
+    (Tel.counter_total "sweep/auto_serial")
+
+(* Regression guard for the pathology the heuristic removes: on a tiny cheap
+   grid, a jobs>1 call must not be dramatically slower than the serial path.
+   Wall-clock bounds flake under load, so take the best of several repeats
+   and require parallel(min) <= 1.2 * serial(min) + 1ms slack; without the
+   heuristic the pool spawn/join overhead fails this by an order of
+   magnitude. *)
+let test_tiny_grid_not_slower () =
+  let outer = Array.init 4 (fun i -> float_of_int i)
+  and inner = Array.init 4 (fun j -> float_of_int j /. 2.) in
+  let time_min f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to 20 do ignore (f ()) done;
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let t_serial =
+    time_min (fun () -> Sweep.grid ~jobs:1 (fun a b -> work (a +. b)) ~outer ~inner)
+  in
+  let t_par =
+    time_min (fun () -> Sweep.grid ~jobs:4 (fun a b -> work (a +. b)) ~outer ~inner)
+  in
+  check_true
+    (Printf.sprintf "tiny grid: parallel %.3gs within 1.2x serial %.3gs" t_par
+       t_serial)
+    (t_par <= (1.2 *. t_serial) +. 1e-3)
 
 let () =
   Alcotest.run "sweep"
@@ -166,6 +228,8 @@ let () =
           case "default jobs" test_default_jobs;
           case "telemetry totals match serial" test_telemetry_totals_match_serial;
           case "telemetry context adopted" test_telemetry_context_prefix_adopted;
+          case "auto-serial heuristic" test_auto_serial_heuristic;
+          case "tiny grid not slower than serial" test_tiny_grid_not_slower;
           prop_map_parity;
           prop_mapi_parity;
         ] );

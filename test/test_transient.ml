@@ -125,10 +125,13 @@ let test_fixed_point_grid () =
     [ 0.5; 0.6; 0.7 ]
 
 (* Instrumentation correctness: the ODE telemetry must be consistent with the
-   returned sample array. RKF45 appends exactly one sample per accepted step
-   (the event step contributes the located crossing instead of t_new), and
-   every trial step — accepted, rejected, or NaN-shrunk — costs exactly 6 RHS
-   evaluations. Guards against double-counting regressions. *)
+   returned sample array. The FSAL DOPRI5(4) stepper appends exactly one
+   sample per accepted step (the event step contributes the located crossing
+   instead of t_new), and every trial step — accepted, rejected, or
+   NaN-shrunk — costs exactly 6 RHS evaluations (stages k2..k7; k1 is the
+   FSAL slope carried over from the previous step), plus one eval to seed the
+   very first k1 and one re-seed after each NaN shrink (a poisoned cached
+   slope must not be reused). Guards against double-counting regressions. *)
 let test_instrumentation_consistency () =
   Tel.reset ();
   Tel.enable ();
@@ -143,7 +146,8 @@ let test_instrumentation_consistency () =
   check_true "rhs evaluated" (rhs > 0);
   Alcotest.(check int) "samples = accepted steps + initial state"
     (accepted + 1) (Array.length r.Tr.samples);
-  Alcotest.(check int) "rhs evals = 6 per trial step" (6 * trials) rhs;
+  Alcotest.(check int) "rhs evals = 6 per trial + FSAL seeds"
+    ((6 * trials) + 1 + nan_shrunk) rhs;
   Alcotest.(check int) "one solve recorded" 1 (Tel.counter_total "transient/solve");
   Alcotest.(check int) "tsat event recorded" 1
     (Tel.counter_total "transient/tsat_event");
@@ -212,6 +216,60 @@ let test_budget_exhaustion_surfaces () =
   in
   Alcotest.(check string) "typed budget error" "budget_exhausted" (E.label e)
 
+(* Cold-start step-size heuristic: on the nominal Fig 5 workload the first
+   trial step must succeed outright — no NaN shrink-and-retry cascade from a
+   wildly wrong initial dt. [h_first] also surfaces the accepted size for the
+   warm-start layer. *)
+let test_cold_start_no_nan_shrink () =
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  let r = check_ok "fig5 run" (Tr.run t ~vgs:15. ~duration:10.) in
+  Alcotest.(check int) "no NaN shrinks on the nominal run" 0
+    (Tel.counter_total "ode/step_nan_shrink");
+  (match r.Tr.h_first with
+   | None -> Alcotest.fail "h_first missing on a multi-step run"
+   | Some h -> check_true "h_first positive and finite" (h > 0. && Float.is_finite h));
+  (* an explicit h0 is honoured (clamped to the duration) and reproduces the
+     same endpoint within solver tolerance *)
+  let r2 =
+    check_ok "explicit h0" (Tr.run ~h0:1e-7 t ~vgs:15. ~duration:10.)
+  in
+  check_close ~tol:1e-6 "endpoint insensitive to h0" r.Tr.qfg_final r2.Tr.qfg_final
+
+(* Golden pin for the interpolated event localization. The seed (step-doubling
+   RKF45 + re-integration bisection on Jin−Jout) measured
+   ttts(2 V) = 9.94552227058640383e-09 s; locating the same crossing on the
+   DOPRI5 dense interpolant reproduces it to 7.6e-9 relative — the crossing
+   is now resolved within the *integration* tolerance rather than by
+   re-stepping, so exact bit-equality is not expected. Documented tolerance:
+   1e-7 relative (ISSUE 5); tightening it further requires re-baselining. *)
+let test_ttts_golden () =
+  let seed_ttts = 9.94552227058640383e-09 in
+  match
+    check_ok "ttts" (Tr.time_to_threshold_shift t ~vgs:15. ~dvt:2. ~max_time:1.)
+  with
+  | None -> Alcotest.fail "2 V shift must be reachable"
+  | Some ts ->
+    check_true
+      (Printf.sprintf "ttts %.17e within 1e-7 rel of seed %.17e" ts seed_ttts)
+      (abs_float (ts -. seed_ttts) /. seed_ttts <= 1e-7)
+
+(* Property: the interpolated event time, re-integrated from scratch for
+   exactly that duration, lands on the threshold — dense-output event
+   localization vs re-integration, across random (vgs, GCR) devices. *)
+let prop_event_time_vs_reintegration =
+  prop "interpolated ttts lands on threshold under re-integration" ~count:8
+    QCheck2.Gen.(pair (float_range 12. 17.) (float_range 0.45 0.7))
+    (fun (vgs, gcr) ->
+       let t = F.with_gcr t gcr in
+       match Tr.time_to_threshold_shift t ~vgs ~dvt:2. ~max_time:1. with
+       | Ok (Some ts) ->
+         (match Tr.run t ~vgs ~duration:ts with
+          | Ok r -> abs_float (r.Tr.dvt_final -. 2.) <= 1e-3
+          | Error _ -> false)
+       | _ -> false)
+
 let prop_final_dvt_bounded_by_fixed_point =
   prop "transient never overshoots the fixed point" ~count:8
     QCheck2.Gen.(float_range 12. 17.)
@@ -246,6 +304,9 @@ let () =
           case "budget exhaustion is typed, not a hang" test_budget_exhaustion_surfaces;
           case "telemetry consistent with samples" test_instrumentation_consistency;
           case "telemetry disabled records nothing" test_disabled_records_nothing;
+          case "cold start: no NaN shrink on Fig 5" test_cold_start_no_nan_shrink;
+          case "ttts golden vs seed" test_ttts_golden;
+          prop_event_time_vs_reintegration;
           prop_final_dvt_bounded_by_fixed_point;
         ] );
     ]

@@ -60,12 +60,59 @@ let prop_monotone =
     QCheck2.Gen.(float_range 1.0e9 1.8e9)
     (fun field -> j Ts.Wkb_model (field *. 1.1) > j Ts.Wkb_model field)
 
+(* The memoized WKB transmission must be a pure acceleration: cached and
+   uncached paths run the same closed-form arithmetic, so the current is
+   bit-for-bit identical across a random (barrier, bias) grid — not merely
+   close. *)
+let prop_wkb_cache_bit_identity =
+  prop "WKB cache bit-identical to uncached" ~count:25
+    QCheck2.Gen.(
+      triple (float_range 2.5 3.5) (float_range 0.5e9 1.8e9)
+        (float_range 3e-9 9e-9))
+    (fun (phi_ev, field, thickness) ->
+       let phi_b = phi_ev *. ev in
+       let jc =
+         Ts.current_density ~wkb_cache:true ~phi_b ~field ~thickness ~m_b ~ef ()
+       in
+       let ju =
+         Ts.current_density ~wkb_cache:false ~phi_b ~field ~thickness ~m_b ~ef ()
+       in
+       Int64.equal (Int64.bits_of_float jc) (Int64.bits_of_float ju))
+
+let test_wkb_cache_bit_identity () =
+  (* deterministic spot check at the paper's operating point, on top of the
+     random grid above *)
+  let jc = Ts.current_density ~wkb_cache:true ~phi_b ~field:1.2e9 ~thickness:5e-9 ~m_b ~ef () in
+  let ju = Ts.current_density ~wkb_cache:false ~phi_b ~field:1.2e9 ~thickness:5e-9 ~m_b ~ef () in
+  check_true "bit-identical at 1.2 GV/m"
+    (Int64.equal (Int64.bits_of_float jc) (Int64.bits_of_float ju))
+
+let test_wkb_cache_counters () =
+  let module Tel = Gnrflash_telemetry.Telemetry in
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  ignore (j Ts.Wkb_model 1.2e9);
+  Alcotest.(check int) "one cache build per current_density call" 1
+    (Tel.counter_total "wkb/cache_build");
+  let hits = Tel.counter_total "wkb/cache_hit" in
+  let quad_evals = Tel.counter_total "quad/fn_eval" in
+  check_true "cache consulted at every quadrature node" (hits > 0);
+  Alcotest.(check int) "one transmission lookup per quadrature node"
+    quad_evals hits;
+  Tel.reset ();
+  ignore (Ts.current_density ~wkb_cache:false ~phi_b ~field:1.2e9 ~thickness:5e-9 ~m_b ~ef ());
+  Alcotest.(check int) "flag off: no builds" 0 (Tel.counter_total "wkb/cache_build");
+  Alcotest.(check int) "flag off: no hits" 0 (Tel.counter_total "wkb/cache_hit")
+
 let () =
   Alcotest.run "tsu_esaki"
     [
       ( "tsu_esaki",
         [
           case "zero field" test_zero_field;
+          case "WKB cache bit-identity" test_wkb_cache_bit_identity;
+          case "WKB cache counters" test_wkb_cache_counters;
           case "positive and finite" test_positive_and_finite;
           case "monotone in field" test_monotone_in_field;
           case "order of closed form" test_same_order_as_closed_form;
@@ -73,5 +120,6 @@ let () =
           case "weak temperature dependence" test_temperature_dependence_weak;
           case "compare_models rows" test_compare_models_rows;
           prop_monotone;
+          prop_wkb_cache_bit_identity;
         ] );
     ]

@@ -1,0 +1,6 @@
+val barrier : Gnrflash_quantum.Barrier.t
+val adaptive_transmission_per_node : unit -> float
+val adaptive_action_per_node : unit -> float
+val allowed : unit -> float
+val cached : unit -> float
+val outside_ok : unit -> float

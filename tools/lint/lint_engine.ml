@@ -1,4 +1,4 @@
-type rule = L1 | L2 | L3 | L4 | L5
+type rule = L1 | L2 | L3 | L4 | L5 | L6
 
 let rule_id = function
   | L1 -> "L1"
@@ -6,8 +6,9 @@ let rule_id = function
   | L3 -> "L3"
   | L4 -> "L4"
   | L5 -> "L5"
+  | L6 -> "L6"
 
-let all_rules = [ L1; L2; L3; L4; L5 ]
+let all_rules = [ L1; L2; L3; L4; L5; L6 ]
 
 let rule_of_int = function
   | 1 -> Some L1
@@ -15,6 +16,7 @@ let rule_of_int = function
   | 3 -> Some L3
   | 4 -> Some L4
   | 5 -> Some L5
+  | 6 -> Some L6
   | _ -> None
 
 type finding = {
@@ -241,6 +243,27 @@ let l3_targets =
         "integrate_to_inf";
       ]
 
+(* L6 context: quadrature drivers whose argument subtrees (most importantly
+   the inline integrand lambda) count as "inside an integral". *)
+let quad_heads =
+  List.map
+    (fun f -> "Gnrflash_numerics.Quadrature." ^ f)
+    [
+      "trapezoid";
+      "trapezoid_samples";
+      "simpson";
+      "adaptive_simpson";
+      "gauss_legendre";
+      "integrate_to_inf";
+    ]
+
+(* L6 targets: adaptive WKB evaluators. Calling one per quadrature node
+   re-runs an adaptive Simpson recursion for every energy; the memoized
+   closed form ({!Gnrflash_quantum.Wkb.Cache}) does the same work once per
+   barrier. *)
+let l6_targets =
+  [ "Gnrflash_quantum.Wkb.action_integral"; "Gnrflash_quantum.Wkb.transmission" ]
+
 let span_wrappers = [ "Gnrflash_telemetry.Telemetry.span" ]
 
 let is_float_type ty =
@@ -287,6 +310,17 @@ let check_structure ~config ~basename (str : Typedtree.structure) =
   let enters_span (e : Typedtree.expression) =
     match e.exp_desc with
     | Texp_apply (fn, _) -> is_span_head fn || head_is_span fn
+    | _ -> false
+  in
+  (* An application of one of the Quadrature drivers: its argument subtrees
+     (notably the integrand closure) are "inside an integral" for L6. *)
+  let integrand_depth = ref 0 in
+  let enters_quad (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_apply (fn, _) -> (
+        match canon_of fn with
+        | Some c -> List.mem c quad_heads
+        | None -> false)
     | _ -> false
   in
   let in_solver = List.mem basename config.solver_basenames in
@@ -341,6 +375,14 @@ let check_structure ~config ~basename (str : Typedtree.structure) =
                "call to %s outside any Telemetry.span — wrap the call site so its \
                 work is attributed"
                cf);
+        (* L6: adaptive WKB evaluation inside a quadrature integrand *)
+        if !integrand_depth > 0 && List.mem cf l6_targets then
+          add L6 loc
+            (Printf.sprintf
+               "%s inside a quadrature integrand — adaptive WKB re-runs per \
+                node; build a Wkb.Cache once outside the integral and call \
+                Wkb.Cache.transmission per energy"
+               cf);
         (* L4: multiplying two raw constants without going through Units *)
         if basename <> "constants.ml" && cf = "Stdlib.*." then
           let is_constant_ident (a : Typedtree.expression option) =
@@ -365,12 +407,12 @@ let check_structure ~config ~basename (str : Typedtree.structure) =
     (match e.exp_desc with
     | Texp_apply (fn, args) -> check_apply fn args e.exp_loc
     | _ -> ());
-    if enters_span e then begin
-      incr span_depth;
-      Tast_iterator.default_iterator.expr sub e;
-      decr span_depth
-    end
-    else Tast_iterator.default_iterator.expr sub e
+    let in_span = enters_span e and in_quad = enters_quad e in
+    if in_span then incr span_depth;
+    if in_quad then incr integrand_depth;
+    Tast_iterator.default_iterator.expr sub e;
+    if in_quad then decr integrand_depth;
+    if in_span then decr span_depth
   in
   let iter = { Tast_iterator.default_iterator with expr } in
   iter.structure iter str;

@@ -10,7 +10,11 @@
       telemetry-instrumented wrapper ([Telemetry.span]);
     - [L4] multiplying two raw [Constants.*] floats directly instead of
       going through the [Gnrflash_units] layer (unit laundering);
-    - [L5] a non-shim library module without an [.mli].
+    - [L5] a non-shim library module without an [.mli];
+    - [L6] a call to an adaptive WKB evaluator ([Wkb.action_integral] /
+      [Wkb.transmission]) inside a [Quadrature] integrand — per-node
+      adaptive recursion; build a {!Gnrflash_quantum.Wkb.Cache} once
+      outside the integral instead.
 
     Any rule is suppressible with a comment on the finding's line or the
     line above: [(* lint: allow L<n> — reason *)] ([L5]: anywhere in the
@@ -19,10 +23,10 @@
     dune also copies the sources, so suppression comments are read from
     the same tree the [.cmt]s were built from. *)
 
-type rule = L1 | L2 | L3 | L4 | L5
+type rule = L1 | L2 | L3 | L4 | L5 | L6
 
 val rule_id : rule -> string
-(** ["L1"] … ["L5"]. *)
+(** ["L1"] … ["L6"]. *)
 
 val all_rules : rule list
 
@@ -52,7 +56,7 @@ type report = {
 
 val run : ?config:config -> root:string -> subdir:string -> unit -> report
 (** Scan every [.cmt] under [root/subdir] (recursively, including dune's
-    hidden [.objs] directories) and apply all five rules. *)
+    hidden [.objs] directories) and apply all six rules. *)
 
 val unsuppressed : report -> finding list
 val suppressed : report -> finding list
