@@ -586,10 +586,12 @@ let perf_probe () =
     let pp = { Gnrflash_device.Program_erase.vgs = 15.; duration = 100e-6 } in
     let ep = { Gnrflash_device.Program_erase.vgs = -15.; duration = 100e-6 } in
     let q = ref 0. in
+    (* surrogate off: it outranks the replay cache, so with it on the warm
+       counters this probe asserts on would never fire *)
     for _ = 1 to 6 do
       match
-        Gnrflash_device.Program_erase.cycle ~warm_start ~program_pulse:pp
-          ~erase_pulse:ep t ~qfg:!q
+        Gnrflash_device.Program_erase.cycle ~warm_start ~surrogate:false
+          ~program_pulse:pp ~erase_pulse:ep t ~qfg:!q
       with
       | Ok (_, e) -> q := e.Gnrflash_device.Program_erase.qfg_after
       | Error _ -> ()
@@ -605,6 +607,166 @@ let perf_probe () =
       ignore
         (Gnrflash_quantum.Tsu_esaki.current_density ~wkb_cache:false ~phi_b
            ~field:1.2e9 ~thickness:5e-9 ~m_b ~ef ()))
+
+(* ---------- pulse-surrogate probe and gates ---------- *)
+
+module Ps = Gnrflash_device.Pulse_surrogate
+module Dpe = Gnrflash_device.Program_erase
+
+(* Counter probe, telemetry on (mirrors perf_probe): a short cycle train
+   with the surrogate on must build tables and serve hits, an out-of-box
+   pulse must fall back; the same train with the flag off must leave every
+   surrogate counter silent. build_after is forced to 0 so the first pulse
+   of the train promotes immediately. *)
+let surrogate_probe () =
+  let train ~surrogate =
+    let t = Gnrflash_device.Fgt.(with_gcr paper_default 0.6) in
+    let pp = { Dpe.vgs = 15.; duration = 100e-6 } in
+    let ep = { Dpe.vgs = -15.; duration = 100e-6 } in
+    let q = ref 0. in
+    for _ = 1 to 4 do
+      match Dpe.cycle ~surrogate ~program_pulse:pp ~erase_pulse:ep t ~qfg:!q with
+      | Ok (_, e) -> q := e.Dpe.qfg_after
+      | Error _ -> ()
+    done;
+    ignore
+      (Dpe.apply_pulse ~surrogate ~warm_start:false t ~qfg:0.
+         { Dpe.vgs = 18.; duration = 100e-6 })
+  in
+  let prev = Ps.build_after () in
+  Ps.set_build_after 0;
+  Fun.protect ~finally:(fun () -> Ps.set_build_after prev) @@ fun () ->
+  Tel.span "perf/surrogate_on" (fun () -> train ~surrogate:true);
+  Tel.span "perf/surrogate_off" (fun () -> train ~surrogate:false)
+
+type surrogate_report = {
+  sur_flags_on_ok : bool;
+  sur_flags_off_ok : bool;
+  sur_builds : int;
+  sur_hits : int;
+  sur_fallbacks : int;
+  sur_bound : float;        (* worst certified bound across probed tables *)
+  sur_divergence : float;   (* worst measured divergence vs exact *)
+  sur_div_ok : bool;        (* every divergence within its table's bound *)
+  sur_exact_s : float;      (* per-pulse wall clock, exact ODE path *)
+  sur_pulse_s : float;      (* per-pulse wall clock, surrogate-served *)
+  sur_speedup : float;
+  sur_build_s : float;      (* summed table build CPU time *)
+}
+
+let surrogate_speedup_gate = 100.
+
+(* Timing + certification report, telemetry off (production config, like
+   the microbenchmarks). Divergence is checked with each table's own
+   divergence metric against a fresh exact solve at deterministic probe
+   points; the per-pulse speedup is measured through the full
+   apply_pulse serving path against cold exact solves. *)
+let surrogate_report snap =
+  let under prefix suffix =
+    List.fold_left
+      (fun acc (name, v) ->
+         if String.starts_with ~prefix name && String.ends_with ~suffix name
+         then acc + v
+         else acc)
+      0 snap.Tel.counters
+  in
+  let on s = under "perf/surrogate_on/" s and off s = under "perf/surrogate_off/" s in
+  let sur_flags_on_ok =
+    on "surrogate/build" > 0 && on "surrogate/hit" > 0 && on "surrogate/fallback" > 0
+  in
+  let sur_flags_off_ok =
+    off "surrogate/build" = 0 && off "surrogate/hit" = 0
+    && off "surrogate/fallback" = 0
+  in
+  let t = Gnrflash_device.Fgt.paper_default in
+  let build vgs =
+    match Ps.build t ~vgs with
+    | Ok tab -> tab
+    | Error e ->
+      Printf.eprintf "bench: surrogate build failed: %s\n"
+        (Gnrflash_resilience.Solver_error.to_string e);
+      exit 1
+  in
+  let tab_p = build 15. and tab_e = build (-15.) in
+  let sur_build_s = Ps.build_seconds tab_p +. Ps.build_seconds tab_e in
+  let worst_div = ref 0. and div_ok = ref true in
+  let probe tab vgs =
+    let lo, hi = Ps.qfg_range tab in
+    List.iter
+      (fun (u, d) ->
+         let qfg = lo +. (u *. (hi -. lo)) in
+         match Ps.query tab ~qfg ~duration:d with
+         | None -> ()
+         | Some r ->
+           (match Gnrflash_device.Transient.run ~qfg0:qfg t ~vgs ~duration:d with
+            | Error _ -> div_ok := false
+            | Ok ex ->
+              let dv =
+                Ps.divergence tab ~exact:ex.Gnrflash_device.Transient.qfg_final
+                  ~approx:r.Ps.qfg_after
+              in
+              if dv > !worst_div then worst_div := dv;
+              if dv > Ps.certified_bound tab then div_ok := false))
+      [ (0., 1e-6); (0.15, 1e-5); (0.35, 1e-4); (0.5, 3e-4); (0.65, 1e-3);
+        (0.85, 1e-2); (1., 1e-5); (0.5, 1e-9); (0.5, 1e-1) ]
+  in
+  probe tab_p 15.;
+  probe tab_e (-15.);
+  (* per-pulse wall clock: cold exact solves vs table-served apply_pulse *)
+  let lo, hi = Ps.qfg_range tab_p in
+  let n_exact = 8 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n_exact - 1 do
+    let qfg = lo +. (float_of_int i /. float_of_int n_exact *. (hi -. lo)) in
+    ignore (Gnrflash_device.Transient.run ~qfg0:qfg t ~vgs:15. ~duration:100e-6)
+  done;
+  let sur_exact_s = (Unix.gettimeofday () -. t0) /. float_of_int n_exact in
+  let prev = Ps.build_after () in
+  Ps.set_build_after 0;
+  let sur_pulse_s =
+    Fun.protect ~finally:(fun () -> Ps.set_build_after prev) @@ fun () ->
+    let pulse = { Dpe.vgs = 15.; duration = 100e-6 } in
+    ignore (Dpe.apply_pulse t ~qfg:0. pulse) (* warm the domain cache *);
+    let n = 20_000 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      let qfg = lo +. (float_of_int (i mod 997) /. 997. *. (hi -. lo)) in
+      ignore (Dpe.apply_pulse t ~qfg pulse)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  {
+    sur_flags_on_ok;
+    sur_flags_off_ok;
+    sur_builds = on "surrogate/build";
+    sur_hits = on "surrogate/hit";
+    sur_fallbacks = on "surrogate/fallback";
+    sur_bound = Float.max (Ps.certified_bound tab_p) (Ps.certified_bound tab_e);
+    sur_divergence = !worst_div;
+    sur_div_ok = !div_ok;
+    sur_exact_s;
+    sur_pulse_s;
+    sur_speedup = sur_exact_s /. sur_pulse_s;
+    sur_build_s;
+  }
+
+let print_surrogate s =
+  hr "Perf: certified pulse surrogate";
+  Printf.printf
+    "  probe counters: builds=%d hits=%d fallbacks=%d  flags on %s, flags off %s\n"
+    s.sur_builds s.sur_hits s.sur_fallbacks
+    (if s.sur_flags_on_ok then "fire" else "SILENT (regression)")
+    (if s.sur_flags_off_ok then "silent" else "FIRE (flag plumbing broken)");
+  Printf.printf
+    "  divergence vs exact: %.3e (certified bound %.3e)  %s\n"
+    s.sur_divergence s.sur_bound
+    (if s.sur_div_ok then "ok" else "OUT OF BOUND");
+  Printf.printf
+    "  per pulse: exact %.3e s, surrogate %.3e s  (%.0fx, gate %.0fx)  %s\n"
+    s.sur_exact_s s.sur_pulse_s s.sur_speedup surrogate_speedup_gate
+    (if s.sur_speedup >= surrogate_speedup_gate then "ok" else "TOO SLOW");
+  s.sur_flags_on_ok && s.sur_flags_off_ok && s.sur_div_ok
+  && s.sur_speedup >= surrogate_speedup_gate
 
 type perf = {
   rows : perf_row list;
@@ -676,7 +838,8 @@ let run_lint () =
 (* Machine-readable bench trajectory: per-figure wall-clock timings, the
    serial-vs-parallel scaling rows, plus the full counter/span snapshot,
    written next to the repo's other BENCH data. *)
-let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~perf ~lint snap =
+let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~perf
+    ~surrogate ~lint snap =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\"schema\":\"gnrflash-bench-telemetry/1\",";
   Buffer.add_string b
@@ -735,6 +898,18 @@ let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~perf ~lint 
        perf.flags_on_ok perf.flags_off_ok);
   Buffer.add_string b
     (Printf.sprintf
+       ",\"surrogate\":{\"build_s\":%.6e,\"builds\":%d,\"hits\":%d,\
+        \"fallbacks\":%d,\"certified_bound\":%.6e,\"max_divergence\":%.6e,\
+        \"divergence_ok\":%b,\"per_pulse_exact_s\":%.6e,\
+        \"per_pulse_surrogate_s\":%.6e,\"speedup\":%.1f,\"speedup_gate\":%.0f,\
+        \"flags_on_ok\":%b,\"flags_off_ok\":%b}"
+       surrogate.sur_build_s surrogate.sur_builds surrogate.sur_hits
+       surrogate.sur_fallbacks surrogate.sur_bound surrogate.sur_divergence
+       surrogate.sur_div_ok surrogate.sur_exact_s surrogate.sur_pulse_s
+       surrogate.sur_speedup surrogate_speedup_gate surrogate.sur_flags_on_ok
+       surrogate.sur_flags_off_ok);
+  Buffer.add_string b
+    (Printf.sprintf
        ",\"lint\":{\"rules_checked\":%d,\"findings\":%d,\"suppressed\":%d}"
        (List.length Lint.all_rules)
        (List.length lint.Lint.findings)
@@ -762,24 +937,29 @@ let () =
   print_extensions ();
   print_ablations ();
   perf_probe ();
+  surrogate_probe ();
   let snap = Tel.snapshot () in
   (* run the scaling comparison and the microbenchmarks with telemetry
      disabled so both measure the production (counters-off) configuration *)
   Tel.disable ();
   let perf = perf_of_snapshot snap in
   let perf_ok = print_perf perf in
+  let sur = surrogate_report snap in
+  let sur_ok = print_surrogate sur in
   if quick then begin
     hr "Done (quick)";
     if not checks_passed then prerr_endline "bench: qualitative shape checks FAILED";
     if not perf_ok then prerr_endline "bench: perf eval budgets exceeded";
-    exit (if checks_passed && perf_ok then 0 else 1)
+    if not sur_ok then
+      prerr_endline "bench: pulse-surrogate certification or speedup gate FAILED";
+    exit (if checks_passed && perf_ok && sur_ok then 0 else 1)
   end;
   let scaling = sweep_scaling () in
   run_benchmarks ();
   let resilience = resilience_rows snap in
   let lint = run_lint () in
   write_bench_telemetry ~path:"BENCH_telemetry.json" ~checks_passed ~scaling
-    ~resilience ~perf ~lint snap;
+    ~resilience ~perf ~surrogate:sur ~lint snap;
   hr "Resilience (per-figure fallback/budget counters)";
   List.iter
     (fun r ->
@@ -792,12 +972,16 @@ let () =
       "bench: a figure needed a fallback rung on the golden parameter set";
   let lint_failed = Lint.unsuppressed lint <> [] in
   hr "Done";
-  if not checks_passed || fallbacks_used || lint_failed || not perf_ok then begin
+  if not checks_passed || fallbacks_used || lint_failed || not perf_ok
+     || not sur_ok
+  then begin
     if not checks_passed then
       prerr_endline "bench: qualitative shape checks FAILED";
     if lint_failed then
       prerr_endline "bench: unsuppressed gnrflash-lint findings";
     if not perf_ok then
       prerr_endline "bench: perf eval budgets exceeded or flag plumbing broken";
+    if not sur_ok then
+      prerr_endline "bench: pulse-surrogate certification or speedup gate FAILED";
     exit 1
   end

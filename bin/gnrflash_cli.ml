@@ -222,20 +222,101 @@ let retention_cmd =
   Cmd.v (Cmd.info "retention" ~doc)
     Term.(const run $ dvt_arg $ format_arg $ out_dir_arg)
 
+(* ---- the certified pulse surrogate opt-out ---- *)
+
+let no_surrogate_arg =
+  let doc =
+    "Disable the certified pulse surrogate and force every pulse through \
+     the exact ODE solve. By default in-box pulses are served from \
+     tabulated trajectories within each table's certified divergence \
+     bound (see the surrogate/* telemetry counters under --stats)."
+  in
+  Arg.(value & flag & info [ "no-surrogate" ] ~doc)
+
 (* ---- endurance command ---- *)
 
 let endurance_cmd =
   let cycles_arg =
     Arg.(value & opt int 10_000 & info [ "cycles" ] ~doc:"P/E cycle budget.")
   in
-  let run cycles format out_dir =
-    let fig, survived = Gnrflash.Extensions.endurance_curve ~cycles () in
+  let run cycles format out_dir no_surrogate stats =
+    with_stats stats @@ fun () ->
+    let fig, survived =
+      Gnrflash.Extensions.endurance_curve ~cycles ~surrogate:(not no_surrogate) ()
+    in
     emit ~format ~out_dir ~name:"ext_endurance" fig;
     Printf.printf "cycles survived: %d / %d\n" survived cycles
   in
   let doc = "Endurance cycling experiment." in
   Cmd.v (Cmd.info "endurance" ~doc)
-    Term.(const run $ cycles_arg $ format_arg $ out_dir_arg)
+    Term.(const run $ cycles_arg $ format_arg $ out_dir_arg $ no_surrogate_arg
+          $ stats_arg)
+
+(* ---- pulse command ---- *)
+
+let pulse_cmd =
+  let vgs_arg =
+    Arg.(value & opt float 15. & info [ "vgs" ] ~doc:"Pulse bias [V].")
+  in
+  let width_arg =
+    Arg.(value & opt float 100e-6 & info [ "width" ] ~doc:"Pulse width [s].")
+  in
+  let count_arg =
+    Arg.(value & opt int 1 & info [ "count"; "n" ] ~doc:"Number of pulses.")
+  in
+  let qfg0_arg =
+    Arg.(value & opt float 0. & info [ "qfg0" ] ~doc:"Initial stored charge [C].")
+  in
+  let run vgs width count qfg0 no_surrogate stats budget_ms =
+    if count < 1 then begin
+      prerr_endline "gnrflash: --count must be >= 1";
+      exit 2
+    end;
+    with_stats stats @@ fun () ->
+    with_budget budget_ms @@ fun () ->
+    let t = Gnrflash.Params.device () in
+    let surrogate = not no_surrogate in
+    let pulse = { Gnrflash_device.Program_erase.vgs; duration = width } in
+    let q = ref qfg0 in
+    let last = ref None in
+    let t0 = Unix.gettimeofday () in
+    (try
+       for _ = 1 to count do
+         match Gnrflash_device.Program_erase.apply_pulse ~surrogate t ~qfg:!q pulse with
+         | Error e ->
+           prerr_endline ("pulse failed: " ^ Resilience.Solver_error.to_string e);
+           (match e.Resilience.Solver_error.kind with
+            | Resilience.Solver_error.Budget_exhausted _ -> exit 3
+            | _ -> exit 1)
+         | Ok o ->
+           q := o.Gnrflash_device.Program_erase.qfg_after;
+           last := Some o
+       done
+     with Resilience.Solver_error.Solver_failure e ->
+       prerr_endline ("pulse failed: " ^ Resilience.Solver_error.to_string e);
+       exit 3);
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (match !last with
+     | None -> ()
+     | Some o ->
+       Printf.printf "after %d pulse(s) at %+.2f V x %.3e s (%s):\n" count vgs
+         width
+         (if surrogate then "surrogate on" else "exact solver");
+       Printf.printf "  QFG  = %.6e C\n" o.Gnrflash_device.Program_erase.qfg_after;
+       Printf.printf "  dVT  = %.4f V\n" o.Gnrflash_device.Program_erase.dvt_after;
+       Printf.printf "  saturated (last pulse) = %b\n"
+         o.Gnrflash_device.Program_erase.saturated);
+    Printf.printf "  %.3e s total, %.3e s/pulse\n" elapsed
+      (elapsed /. float_of_int count)
+  in
+  let doc =
+    "Apply a train of identical bias pulses to the paper device and report \
+     the final state and the per-pulse cost (surrogate-served by default; \
+     compare against --no-surrogate)."
+  in
+  Cmd.v (Cmd.info "pulse" ~doc)
+    Term.(const run $ vgs_arg $ width_arg $ count_arg $ qfg0_arg
+          $ no_surrogate_arg $ stats_arg $ budget_ms_arg)
 
 (* ---- models command (Ext A) ---- *)
 
@@ -384,7 +465,8 @@ let ber_cmd =
 let main =
   let doc = "MLGNR-CNT floating-gate flash memory model (SOCC 2014 reproduction)" in
   Cmd.group (Cmd.info "gnrflash" ~version:"1.0.0" ~doc)
-    [ fig_cmd; check_cmd; transient_cmd; retention_cmd; endurance_cmd; models_cmd;
-      optimize_cmd; variation_cmd; ftl_cmd; energy_cmd; ber_cmd ]
+    [ fig_cmd; check_cmd; transient_cmd; pulse_cmd; retention_cmd;
+      endurance_cmd; models_cmd; optimize_cmd; variation_cmd; ftl_cmd;
+      energy_cmd; ber_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -128,12 +128,12 @@ let retention_curve ?(dvt0 = 2.0) () =
 
 (* ---------- Ext D: endurance ---------- *)
 
-let endurance_curve ?(cycles = 10_000) () =
+let endurance_curve ?(cycles = 10_000) ?surrogate () =
   let t = Params.device () in
   let short_pulse v = { D.Program_erase.vgs = v; duration = 100e-6 } in
   let run =
     M.Endurance.cycle_cell ~program_pulse:(short_pulse 15.)
-      ~erase_pulse:(short_pulse (-15.)) t ~cycles
+      ~erase_pulse:(short_pulse (-15.)) ?surrogate t ~cycles
   in
   let pts label f =
     Plot.Series.make ~label

@@ -44,9 +44,11 @@ val retention_curve :
 
 (** {1 Ext D: endurance} *)
 
-val endurance_curve : ?cycles:int -> unit -> Gnrflash_plot.Figure.t * int
+val endurance_curve :
+  ?cycles:int -> ?surrogate:bool -> unit -> Gnrflash_plot.Figure.t * int
 (** Program/erase window vs cycle count, and the number of cycles
-    survived. *)
+    survived. [surrogate] (default on) is threaded through to the
+    per-pulse {!Gnrflash_device.Pulse_surrogate} serving path. *)
 
 (** {1 Ext E: quantum-capacitance correction} *)
 

@@ -68,14 +68,38 @@ let warm_state_for t =
      ws.ws_device <- Some t);
   ws
 
-let apply_pulse ?budget ?(warm_start = true) t ~qfg pulse =
+let apply_pulse ?budget ?(warm_start = true) ?(surrogate = true) t ~qfg pulse =
   if pulse.duration <= 0. then
     Error
       (Err.make ~solver:"Program_erase.apply_pulse"
          (Err.Invalid_input "duration <= 0"))
   else Tel.span "program_erase/pulse" @@ fun () ->
     Tel.count "program_erase/pulse";
-    let warm = warm_start && not (Fault.active ()) in
+    let faulted = Fault.active () in
+    (* precedence: surrogate > exact replay > exact solve. The surrogate is
+       consulted first because it serves the whole operating box, not just
+       bit-exact key repeats; like the warm caches it is bypassed under an
+       active fault plan so a fault path is never masked by a table. *)
+    let sur =
+      if surrogate && not faulted then
+        Pulse_surrogate.pulse_response ?budget t ~vgs:pulse.vgs
+          ~duration:pulse.duration ~qfg
+      else None
+    in
+    match sur with
+    | Some r ->
+      if r.Pulse_surrogate.saturated then Tel.count "program_erase/saturated";
+      let qfg_after = r.Pulse_surrogate.qfg_after in
+      Ok
+        {
+          qfg_before = qfg;
+          qfg_after;
+          dvt_after = Fgt.threshold_shift t ~qfg:qfg_after;
+          injected_charge = abs_float (qfg_after -. qfg);
+          saturated = r.Pulse_surrogate.saturated;
+        }
+    | None ->
+    let warm = warm_start && not faulted in
     let ws = if warm then Some (warm_state_for t) else None in
     let key = (pulse.vgs, pulse.duration, qfg) in
     let replayed =
@@ -124,17 +148,17 @@ let apply_pulse ?budget ?(warm_start = true) t ~qfg pulse =
             Hashtbl.replace ws.replays key outcome);
          Ok outcome)
 
-let program ?budget ?warm_start ?(pulse = default_program_pulse) t ~qfg =
-  apply_pulse ?budget ?warm_start t ~qfg pulse
+let program ?budget ?warm_start ?surrogate ?(pulse = default_program_pulse) t ~qfg =
+  apply_pulse ?budget ?warm_start ?surrogate t ~qfg pulse
 
-let erase ?budget ?warm_start ?(pulse = default_erase_pulse) t ~qfg =
-  apply_pulse ?budget ?warm_start t ~qfg pulse
+let erase ?budget ?warm_start ?surrogate ?(pulse = default_erase_pulse) t ~qfg =
+  apply_pulse ?budget ?warm_start ?surrogate t ~qfg pulse
 
-let cycle ?warm_start ?(program_pulse = default_program_pulse)
+let cycle ?warm_start ?surrogate ?(program_pulse = default_program_pulse)
     ?(erase_pulse = default_erase_pulse) t ~qfg =
-  match program ?warm_start ~pulse:program_pulse t ~qfg with
+  match program ?warm_start ?surrogate ~pulse:program_pulse t ~qfg with
   | Error e -> Error e
   | Ok p ->
-    (match erase ?warm_start ~pulse:erase_pulse t ~qfg:p.qfg_after with
+    (match erase ?warm_start ?surrogate ~pulse:erase_pulse t ~qfg:p.qfg_after with
      | Error e -> Error e
      | Ok e -> Ok (p, e))

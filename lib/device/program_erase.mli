@@ -21,8 +21,18 @@ type outcome = {
 val apply_pulse :
   ?budget:Gnrflash_resilience.Budget.t ->
   ?warm_start:bool ->
+  ?surrogate:bool ->
   Fgt.t -> qfg:float -> pulse -> (outcome, error) result
 (** Run one bias pulse from the given initial charge.
+
+    [surrogate] (default [true]) lets in-box pulses be served from the
+    {!Pulse_surrogate} table cache: O(log n) interpolation with a
+    table-certified divergence bound instead of an adaptive ODE solve, with
+    transparent fallback to the exact path for anything the table cannot
+    certify (telemetry [surrogate/{hit,fallback,build}]). Precedence is
+    surrogate > exact replay > exact solve. Pass [~surrogate:false] for
+    bit-exact solver answers; an active fault-injection plan bypasses the
+    surrogate automatically, exactly like the warm caches below.
 
     [warm_start] (default [true]) enables two levels of pulse-train reuse,
     both domain-local and keyed to the device by physical identity:
@@ -38,12 +48,14 @@ val apply_pulse :
 val program :
   ?budget:Gnrflash_resilience.Budget.t ->
   ?warm_start:bool ->
+  ?surrogate:bool ->
   ?pulse:pulse -> Fgt.t -> qfg:float -> (outcome, error) result
 (** One programming pulse; defaults to the paper's VGS = 15 V for 1 ms. *)
 
 val erase :
   ?budget:Gnrflash_resilience.Budget.t ->
   ?warm_start:bool ->
+  ?surrogate:bool ->
   ?pulse:pulse -> Fgt.t -> qfg:float -> (outcome, error) result
 (** One erase pulse; defaults to VGS = −15 V for 1 ms. *)
 
@@ -52,6 +64,7 @@ val default_erase_pulse : pulse
 
 val cycle :
   ?warm_start:bool ->
+  ?surrogate:bool ->
   ?program_pulse:pulse -> ?erase_pulse:pulse -> Fgt.t -> qfg:float ->
   ((outcome * outcome), error) result
 (** One full program-then-erase cycle; returns both outcomes. See

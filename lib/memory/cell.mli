@@ -29,13 +29,17 @@ val to_bit : logic -> int
 val program :
   ?pulse:Gnrflash_device.Program_erase.pulse ->
   ?reliability:Gnrflash_device.Reliability.model ->
+  ?surrogate:bool ->
   t -> (t, string) result
 (** Apply a program pulse, updating charge and wear. Fails on a broken
-    oxide. *)
+    oxide. [surrogate] is passed to {!Gnrflash_device.Program_erase}
+    (default on: in-box pulses are table-served within the certified
+    bound). *)
 
 val erase :
   ?pulse:Gnrflash_device.Program_erase.pulse ->
   ?reliability:Gnrflash_device.Reliability.model ->
+  ?surrogate:bool ->
   t -> (t, string) result
 (** Apply an erase pulse, updating charge and wear. *)
 

@@ -28,7 +28,7 @@ let log_spaced_checkpoints n =
 let cycle_cell ?(reliability = D.Reliability.default)
     ?(program_pulse = D.Program_erase.default_program_pulse)
     ?(erase_pulse = D.Program_erase.default_erase_pulse) ?(window_min = 1.)
-    device ~cycles =
+    ?surrogate device ~cycles =
   if cycles < 1 then invalid_arg "Endurance.cycle_cell: cycles < 1";
   let checkpoints = log_spaced_checkpoints cycles in
   let cell = ref (Cell.make device) in
@@ -37,11 +37,11 @@ let cycle_cell ?(reliability = D.Reliability.default)
   let survived = ref 0 in
   (try
      for i = 1 to cycles do
-       (match Cell.program ~pulse:program_pulse ~reliability !cell with
+       (match Cell.program ~pulse:program_pulse ~reliability ?surrogate !cell with
         | Error e -> failure := Some e; raise Exit
         | Ok c -> cell := c);
        let vt_prog = Cell.effective_vt ~reliability !cell in
-       (match Cell.erase ~pulse:erase_pulse ~reliability !cell with
+       (match Cell.erase ~pulse:erase_pulse ~reliability ?surrogate !cell with
         | Error e -> failure := Some e; raise Exit
         | Ok c -> cell := c);
        let vt_er = Cell.effective_vt ~reliability !cell in

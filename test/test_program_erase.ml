@@ -56,13 +56,19 @@ let test_idempotent_saturation () =
    non-zero), stay silent when disabled, and never change the physics — the
    warm train's final charge must match a fully cold train to solver
    tolerance (replays are bit-identical by construction; the h0 reuse only
-   reshapes the step sequence). *)
+   reshapes the step sequence). The surrogate is switched off here: it has
+   precedence over the replay cache, so with it on these in-box pulses
+   would be table-served and the warm/replay counters under test would
+   never fire. *)
 let run_train ~warm_start ~cycles =
   let pp = { Pe.vgs = 15.; duration = 100e-6 }
   and ep = { Pe.vgs = -15.; duration = 100e-6 } in
   let q = ref 0. in
   for _ = 1 to cycles do
-    match Pe.cycle ~warm_start ~program_pulse:pp ~erase_pulse:ep t ~qfg:!q with
+    match
+      Pe.cycle ~warm_start ~surrogate:false ~program_pulse:pp ~erase_pulse:ep t
+        ~qfg:!q
+    with
     | Ok (_, e) -> q := e.Pe.qfg_after
     | Error _ -> Alcotest.fail "train cycle failed"
   done;
@@ -94,11 +100,12 @@ let test_warm_start_counters () =
   check_close ~tol:1e-6 "same physics warm or cold" q_cold q_warm
 
 let test_warm_replay_bit_identical () =
-  (* the same (device, vgs, duration, qfg) pulse twice in a row: the second
-     is a replay and must reproduce the first outcome bit-for-bit *)
+  (* the same (device, vgs, duration, qfg) pulse twice in a row on the
+     exact path (surrogate off): the second is a replay and must reproduce
+     the first outcome bit-for-bit *)
   let pulse = { Pe.vgs = 15.; duration = 50e-6 } in
-  let o1 = check_ok "first" (Pe.apply_pulse t ~qfg:0. pulse) in
-  let o2 = check_ok "replayed" (Pe.apply_pulse t ~qfg:0. pulse) in
+  let o1 = check_ok "first" (Pe.apply_pulse ~surrogate:false t ~qfg:0. pulse) in
+  let o2 = check_ok "replayed" (Pe.apply_pulse ~surrogate:false t ~qfg:0. pulse) in
   check_true "bit-identical replay"
     (Int64.equal
        (Int64.bits_of_float o1.Pe.qfg_after)
@@ -107,6 +114,41 @@ let test_warm_replay_bit_identical () =
           (Int64.bits_of_float o1.Pe.dvt_after)
           (Int64.bits_of_float o2.Pe.dvt_after)
      && o1.Pe.saturated = o2.Pe.saturated)
+
+(* Surrogate precedence over the replay cache must be deterministic: once a
+   table serves a (vgs, duration, qfg) key, it keeps serving it even if an
+   exact replay entry for the same key exists from an earlier opt-out solve
+   — and repeated surrogate answers are bit-identical (pure interpolation
+   of an immutable table). *)
+let test_surrogate_precedence_deterministic () =
+  let module Ps = Gnrflash_device.Pulse_surrogate in
+  let module Tel = Gnrflash_telemetry.Telemetry in
+  let prev = Ps.build_after () in
+  Ps.set_build_after 0;
+  Fun.protect ~finally:(fun () -> Ps.set_build_after prev) @@ fun () ->
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  let pulse = { Pe.vgs = 15.; duration = 75e-6 } in
+  (* seed a replay entry on the exact path first *)
+  let exact = check_ok "exact seed" (Pe.apply_pulse ~surrogate:false t ~qfg:0. pulse) in
+  let s1 = check_ok "surrogate 1" (Pe.apply_pulse t ~qfg:0. pulse) in
+  let s2 = check_ok "surrogate 2" (Pe.apply_pulse t ~qfg:0. pulse) in
+  check_true "surrogate served despite replay entry"
+    (Tel.counter_total "surrogate/hit" >= 2);
+  Alcotest.(check int) "replay never consulted" 0
+    (Tel.counter_total "program_erase/pulse_replay");
+  check_true "surrogate answers bit-identical"
+    (Int64.equal (Int64.bits_of_float s1.Pe.qfg_after)
+       (Int64.bits_of_float s2.Pe.qfg_after));
+  (* and the surrogate stays within its table's certified bound of the
+     exact answer it shadowed *)
+  match Gnrflash_device.Pulse_surrogate.cached t ~vgs:15. with
+  | None -> Alcotest.fail "table missing"
+  | Some tab ->
+    check_true "within certified bound of the shadowed exact answer"
+      (Ps.divergence tab ~exact:exact.Pe.qfg_after ~approx:s1.Pe.qfg_after
+       <= Ps.certified_bound tab)
 
 let prop_longer_pulse_more_charge =
   prop "longer pulses move at least as much charge" ~count:6
@@ -132,6 +174,7 @@ let () =
           case "saturation idempotence" test_idempotent_saturation;
           case "warm-start counters and parity" test_warm_start_counters;
           case "warm replay bit-identical" test_warm_replay_bit_identical;
+          case "surrogate precedence deterministic" test_surrogate_precedence_deterministic;
           prop_longer_pulse_more_charge;
         ] );
     ]
