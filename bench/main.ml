@@ -271,6 +271,9 @@ type scaling = {
   pool_jobs : int;
   grid : scaling_row;
   monte_carlo : scaling_row;
+  shard : scaling_row;
+  pool_spawned : int;  (* pool domains spawned for the in-process rows *)
+  mc_flushes : int;    (* telemetry flushes during the parallel MC sweep *)
 }
 
 let time_wall f =
@@ -301,15 +304,26 @@ let sweep_scaling () =
       ~finally:(fun () -> Sweep.set_default_jobs 1)
       (fun () -> time_wall grid_csv)
   in
-  let run_mc jobs =
+  let run_mc ?shards jobs =
     time_wall (fun () ->
-        Gnrflash_device.Variation.sample_devices ~jobs
+        Gnrflash_device.Variation.sample_devices ~jobs ?shards
           ~base:Gnrflash_device.Fgt.paper_default ~n:120 ())
   in
   let g1, tg1 = run_grid 1 in
   let gp, tgp = run_grid pool_jobs in
   let m1, tm1 = run_mc 1 in
+  let flushes_before = Tel.flush_count () in
   let mp, tmp = run_mc pool_jobs in
+  (* parallel-overhead budget: telemetry is batched (one flush per
+     participating worker per sweep) and the pool is process-lifetime (the
+     grid run spawned it; the MC run must reuse it) *)
+  let mc_flushes = Tel.flush_count () - flushes_before in
+  let pool_spawned = Sweep.pool_spawned () in
+  (* multi-process tier: forked shard workers, compared per field at the
+     Int64 bit level — NaNs defeat (=), and Marshal bytes of a recombined
+     sharded ensemble differ from serial because cross-slice string
+     sharing is lost in pipe transit, so neither is the right oracle *)
+  let msh, tmsh = run_mc ~shards:2 1 in
   let row serial_s parallel_s identical = { serial_s; parallel_s; identical } in
   let report name (r : scaling_row) =
     Printf.printf
@@ -322,13 +336,58 @@ let sweep_scaling () =
   let monte_carlo =
     row tm1 tmp (String.equal (Marshal.to_string m1 []) (Marshal.to_string mp []))
   in
+  let samples_identical (a : Gnrflash_device.Variation.sample array) b =
+    let module V = Gnrflash_device.Variation in
+    let fb = Int64.bits_of_float in
+    Array.length a = Array.length b
+    && Array.for_all Fun.id
+         (Array.mapi
+            (fun i (x : V.sample) ->
+              let y : V.sample = b.(i) in
+              fb x.V.xto = fb y.V.xto
+              && fb x.V.phi_b_ev = fb y.V.phi_b_ev
+              && fb x.V.gcr = fb y.V.gcr
+              && fb x.V.program_time = fb y.V.program_time
+              && fb x.V.dvt_fixed_pulse = fb y.V.dvt_fixed_pulse
+              && x.V.solve_failed = y.V.solve_failed
+              && Option.map Gnrflash_resilience.Solver_error.to_string x.V.failure
+                 = Option.map Gnrflash_resilience.Solver_error.to_string y.V.failure)
+            a)
+  in
+  let shard = row tm1 tmsh (samples_identical m1 msh) in
   report "fig6+fig7 grid (CSV)" grid;
   report "variation n=120" monte_carlo;
+  Printf.printf
+    "  %-24s serial %7.1f ms  2-shard  %7.1f ms  speedup %.2fx  output %s\n"
+    "variation n=120 (fork)" (shard.serial_s *. 1e3) (shard.parallel_s *. 1e3)
+    (shard.serial_s /. shard.parallel_s)
+    (if shard.identical then "identical" else "DIFFERS");
+  Printf.printf
+    "  overhead budget: pool spawned %d domain(s) (<= %d jobs), %d telemetry \
+     flush(es) on the parallel MC sweep (<= %d jobs)\n"
+    pool_spawned pool_jobs mc_flushes pool_jobs;
   if cores < pool_jobs then
     Printf.printf
       "  (host has %d core(s) for %d domains: oversubscribed, no speedup expected)\n"
       cores pool_jobs;
-  { cores; pool_jobs; grid; monte_carlo }
+  { cores; pool_jobs; grid; monte_carlo; shard; pool_spawned; mc_flushes }
+
+(* The scale-out gate: outputs must be identical on every tier, overhead
+   must stay inside budget everywhere, and on a host with real cores the
+   in-process tier must not be slower than serial (>= 0.9x guards the
+   regression this PR fixed; single-core hosts report honestly instead of
+   failing, since oversubscribed domains cannot win). *)
+let scaling_ok (s : scaling) =
+  let speedup (r : scaling_row) = r.serial_s /. r.parallel_s in
+  let identical = s.grid.identical && s.monte_carlo.identical && s.shard.identical in
+  let speedups_ok =
+    s.cores < 2
+    || (speedup s.grid >= 0.9 && speedup s.monte_carlo >= 0.9)
+  in
+  let overhead_ok =
+    s.pool_spawned <= s.pool_jobs && s.mc_flushes <= s.pool_jobs
+  in
+  identical && speedups_ok && overhead_ok
 
 (* ---------- part 3: bechamel timing ---------- *)
 
@@ -871,9 +930,13 @@ let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~perf
       r.serial_s r.parallel_s (r.serial_s /. r.parallel_s) r.identical
   in
   Buffer.add_string b
-    (Printf.sprintf "},\"sweep\":{\"cores\":%d,\"jobs\":%d,\"grid\":%s,\"monte_carlo\":%s}"
+    (Printf.sprintf
+       "},\"sweep\":{\"cores\":%d,\"jobs\":%d,\"grid\":%s,\"monte_carlo\":%s,\
+        \"shard\":%s,\"overhead\":{\"pool_spawned\":%d,\"mc_flushes\":%d},\
+        \"scaling_ok\":%b}"
        scaling.cores scaling.pool_jobs (scaling_row scaling.grid)
-       (scaling_row scaling.monte_carlo));
+       (scaling_row scaling.monte_carlo) (scaling_row scaling.shard)
+       scaling.pool_spawned scaling.mc_flushes (scaling_ok scaling));
   Buffer.add_string b ",\"resilience\":{";
   List.iteri
     (fun i r ->
@@ -971,9 +1034,10 @@ let () =
     prerr_endline
       "bench: a figure needed a fallback rung on the golden parameter set";
   let lint_failed = Lint.unsuppressed lint <> [] in
+  let scale_ok = scaling_ok scaling in
   hr "Done";
   if not checks_passed || fallbacks_used || lint_failed || not perf_ok
-     || not sur_ok
+     || not sur_ok || not scale_ok
   then begin
     if not checks_passed then
       prerr_endline "bench: qualitative shape checks FAILED";
@@ -983,5 +1047,9 @@ let () =
       prerr_endline "bench: perf eval budgets exceeded or flag plumbing broken";
     if not sur_ok then
       prerr_endline "bench: pulse-surrogate certification or speedup gate FAILED";
+    if not scale_ok then
+      prerr_endline
+        "bench: parallel scale-out gate FAILED (non-identical output, \
+         sub-0.9x speedup on a multi-core host, or overhead over budget)";
     exit 1
   end

@@ -23,6 +23,20 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let shards_arg =
+  let doc =
+    "Fork $(docv) worker processes for the sweep (multi-process tier on \
+     top of --jobs). 1 stays in-process; output is bit-identical for \
+     every $(docv)."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"S" ~doc)
+
+let check_shards shards =
+  if shards < 1 then begin
+    prerr_endline "gnrflash: --shards must be >= 1";
+    exit 2
+  end
+
 let with_jobs jobs f =
   if jobs < 1 then begin
     prerr_endline "gnrflash: --jobs must be >= 1";
@@ -239,18 +253,50 @@ let endurance_cmd =
   let cycles_arg =
     Arg.(value & opt int 10_000 & info [ "cycles" ] ~doc:"P/E cycle budget.")
   in
-  let run cycles format out_dir no_surrogate stats =
-    with_stats stats @@ fun () ->
-    let fig, survived =
-      Gnrflash.Extensions.endurance_curve ~cycles ~surrogate:(not no_surrogate) ()
+  let ensemble_arg =
+    let doc =
+      "Cycle $(docv) variation-perturbed cells (instead of the single-cell \
+       curve) and report the survival distribution; honors --jobs and \
+       --shards."
     in
-    emit ~format ~out_dir ~name:"ext_endurance" fig;
-    Printf.printf "cycles survived: %d / %d\n" survived cycles
+    Arg.(value & opt int 1 & info [ "ensemble" ] ~docv:"N" ~doc)
+  in
+  let run cycles ensemble format out_dir no_surrogate stats jobs shards =
+    with_jobs jobs @@ fun () ->
+    check_shards shards;
+    with_stats stats @@ fun () ->
+    let surrogate = not no_surrogate in
+    if ensemble < 1 then begin
+      prerr_endline "gnrflash: --ensemble must be >= 1";
+      exit 2
+    end;
+    if ensemble = 1 then begin
+      (* single-cell cycling is inherently serial; --shards has nothing to
+         fan out and is ignored *)
+      let fig, survived =
+        Gnrflash.Extensions.endurance_curve ~cycles ~surrogate ()
+      in
+      emit ~format ~out_dir ~name:"ext_endurance" fig;
+      Printf.printf "cycles survived: %d / %d\n" survived cycles
+    end
+    else begin
+      let s =
+        Gnrflash.Extensions.endurance_ensemble ~cells:ensemble ~cycles
+          ~surrogate ~jobs ~shards ()
+      in
+      Printf.printf "endurance ensemble of %d cells (budget %d cycles):\n"
+        s.Gnrflash.Extensions.cells cycles;
+      Printf.printf "  survived full budget  %d / %d\n"
+        s.Gnrflash.Extensions.survived_all s.Gnrflash.Extensions.cells;
+      Printf.printf "  cycles min/median/max %d / %d / %d\n"
+        s.Gnrflash.Extensions.cycles_min s.Gnrflash.Extensions.cycles_median
+        s.Gnrflash.Extensions.cycles_max
+    end
   in
   let doc = "Endurance cycling experiment." in
   Cmd.v (Cmd.info "endurance" ~doc)
-    Term.(const run $ cycles_arg $ format_arg $ out_dir_arg $ no_surrogate_arg
-          $ stats_arg)
+    Term.(const run $ cycles_arg $ ensemble_arg $ format_arg $ out_dir_arg
+          $ no_surrogate_arg $ stats_arg $ jobs_arg $ shards_arg)
 
 (* ---- pulse command ---- *)
 
@@ -368,12 +414,13 @@ let optimize_cmd =
 let variation_cmd =
   let n_arg = Arg.(value & opt int 200 & info [ "n" ] ~doc:"Ensemble size.") in
   let seed_arg = Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run n seed jobs budget_ms =
+  let run n seed jobs shards budget_ms =
     with_jobs jobs @@ fun () ->
+    check_shards shards;
     with_budget budget_ms @@ fun () ->
     let module V = Gnrflash_device.Variation in
     let base = Gnrflash.Params.device () in
-    let samples = V.sample_devices ~seed ~jobs ~base ~n () in
+    let samples = V.sample_devices ~seed ~jobs ~shards ~base ~n () in
     let s =
       match V.summarize samples with
       | Ok s -> s
@@ -394,7 +441,7 @@ let variation_cmd =
   in
   let doc = "Monte-Carlo process-variation analysis." in
   Cmd.v (Cmd.info "variation" ~doc)
-    Term.(const run $ n_arg $ seed_arg $ jobs_arg $ budget_ms_arg)
+    Term.(const run $ n_arg $ seed_arg $ jobs_arg $ shards_arg $ budget_ms_arg)
 
 (* ---- ftl command ---- *)
 

@@ -151,6 +151,43 @@ let endurance_curve ?(cycles = 10_000) ?surrogate () =
   in
   (fig, run.M.Endurance.cycles_survived)
 
+type endurance_ensemble_summary = {
+  cells : int;
+  survived_all : int;
+  cycles_min : int;
+  cycles_median : int;
+  cycles_max : int;
+}
+
+let endurance_ensemble ?(cells = 16) ?(cycles = 1_000) ?(seed = 2014)
+    ?surrogate ?jobs ?shards () =
+  if cells < 1 then invalid_arg "Extensions.endurance_ensemble: cells < 1";
+  let base = Params.device () in
+  let short_pulse v = { D.Program_erase.vgs = v; duration = 100e-6 } in
+  (* cell [index] cycles the same perturbed device for every jobs/shards
+     setting (Variation.perturbed seeds from splitmix(seed, index)), and
+     cycles_survived is pure data, so the ensemble is reproducible and
+     marshalable across the shard tier *)
+  let survived =
+    Sweep.init ?jobs ?shards cells (fun index ->
+        let t = D.Variation.perturbed ~seed ~index ~base () in
+        let run =
+          M.Endurance.cycle_cell ~program_pulse:(short_pulse 15.)
+            ~erase_pulse:(short_pulse (-15.)) ?surrogate t ~cycles
+        in
+        run.M.Endurance.cycles_survived)
+  in
+  let sorted = Array.copy survived in
+  Array.sort compare sorted;
+  {
+    cells;
+    survived_all =
+      Array.fold_left (fun a c -> if c >= cycles then a + 1 else a) 0 survived;
+    cycles_min = sorted.(0);
+    cycles_median = sorted.(cells / 2);
+    cycles_max = sorted.(cells - 1);
+  }
+
 (* ---------- Ext E: quantum capacitance ---------- *)
 
 let stack layers =

@@ -50,6 +50,27 @@ val endurance_curve :
     survived. [surrogate] (default on) is threaded through to the
     per-pulse {!Gnrflash_device.Pulse_surrogate} serving path. *)
 
+type endurance_ensemble_summary = {
+  cells : int;
+  survived_all : int;    (** cells that completed the full cycle budget *)
+  cycles_min : int;
+  cycles_median : int;
+  cycles_max : int;
+}
+
+val endurance_ensemble :
+  ?cells:int -> ?cycles:int -> ?seed:int -> ?surrogate:bool ->
+  ?jobs:int -> ?shards:int -> unit -> endurance_ensemble_summary
+(** Cycle an ensemble of [cells] (default 16) variation-perturbed devices
+    for up to [cycles] (default 1000) program/erase cycles each and
+    summarize the survival distribution. Cell [i]'s device comes from
+    {!Gnrflash_device.Variation.perturbed}[ ~seed ~index:i], so the
+    ensemble is identical for every [jobs] (in-process domains) and
+    [shards] (forked worker processes) setting — this is the
+    fleet-scale-endurance entry point behind the CLI's
+    [endurance --ensemble N --shards S].
+    @raise Invalid_argument if [cells < 1]. *)
+
 (** {1 Ext E: quantum-capacitance correction} *)
 
 val qcap_comparison : layers:int list -> (int * float * float) list

@@ -1,14 +1,11 @@
-(* Domain-pool sweep engine. See sweep.mli for the execution model.
+(* Sweep engine front end. See sweep.mli for the execution model.
 
-   Safety argument for the shared state:
-   - [next] is the only cross-domain coordination on the hot path: an atomic
-     fetch-and-add handing out chunk indices (work stealing at chunk
-     granularity);
-   - [out] is an array of per-chunk result arrays; each slot is written by
-     exactly one domain (the one that claimed the chunk) and only read after
-     [Domain.join], which publishes the writes;
-   - the first exception is parked in [err] via compare-and-set and re-raised
-     on the caller's domain once the pool has drained. *)
+   Three tiers, all bit-identical to serial by construction:
+   - serial: [jobs = 1], tiny inputs, or the auto-serial probe decision;
+   - in-process: chunks of the index space pulled off [Pool]'s persistent
+     domain pool (spawn cost amortized across every call in the process);
+   - multi-process: [~shards] contiguous slices forked via [Shard], each
+     slice running the in-process tier on its own pool. *)
 
 module Telemetry = Gnrflash_telemetry.Telemetry
 
@@ -18,131 +15,140 @@ let default_jobs_cell = Atomic.make 1
 let set_default_jobs n = Atomic.set default_jobs_cell (max 1 n)
 let default_jobs () = Atomic.get default_jobs_cell
 
-(* splitmix64 finalizer over (seed, index), truncated to OCaml's
-   non-negative int range. Int64 arithmetic keeps the 64-bit wraparound the
-   constants were designed for. *)
-let splitmix ~seed ~index =
-  let open Int64 in
-  let mix z =
-    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-    logxor z (shift_right_logical z 31)
-  in
-  let golden = 0x9E3779B97F4A7C15L in
-  (* two rounds of the stream: position [seed] then split by [index] *)
-  let z = mix (add (of_int seed) golden) in
-  let z = mix (add z (mul (of_int index) golden)) in
-  to_int (shift_right_logical z 2)
+let splitmix = Gnrflash_prng.Splitmix.hash
+
+let pool_spawned = Pool.spawned
+let pool_size = Pool.size
 
 let resolve_jobs = function
   | None -> default_jobs ()
   | Some j when j >= 1 -> j
   | Some _ -> invalid_arg "Sweep: jobs < 1"
 
-let resolve_chunk ~jobs ~n = function
-  | None -> max 1 (n / (8 * jobs))
-  | Some c when c >= 1 -> c
+let validate_chunk = function
+  | None -> None
+  | Some c when c >= 1 -> Some c
   | Some _ -> invalid_arg "Sweep: chunk < 1"
 
-(* Run [work] over chunk indices [0 .. nchunks-1] on [jobs] domains; the
-   calling domain is one of the workers, so [jobs - 1] domains are spawned. *)
-let run_pool ~jobs ~nchunks work =
-  let next = Atomic.make 0 in
-  let err : exn option Atomic.t = Atomic.make None in
-  let drain () =
-    let continue = ref true in
-    while !continue do
-      let chunk = Atomic.fetch_and_add next 1 in
-      if chunk >= nchunks || Atomic.get err <> None then continue := false
-      else
-        try work chunk
-        with e -> ignore (Atomic.compare_and_set err None (Some e))
-    done
-  in
-  let prefix = Telemetry.context_prefix () in
-  let worker () =
-    (* adopt the caller's span context so parallel work is attributed (and
-       keyed) exactly like the serial equivalent, then hand the
-       domain-local telemetry to the global accumulator before joining *)
-    Fun.protect
-      ~finally:Telemetry.flush_local
-      (fun () -> Telemetry.with_context_prefix prefix drain)
-  in
-  let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-  (* participate rather than idle-wait; the main domain keeps its own sink *)
-  drain ();
-  Array.iter Domain.join spawned;
-  match Atomic.get err with Some e -> raise e | None -> ()
+let resolve_shards = function
+  | None -> 1
+  | Some s when s >= 1 -> s
+  | Some _ -> invalid_arg "Sweep: shards < 1"
 
-(* Auto-serial heuristic: spawning and joining a domain pool costs on the
-   order of a millisecond; a tiny grid of cheap closed-form evaluations
-   (e.g. a 4×4 model-comparison slice) finishes faster than the pool warms
-   up. When [serial_cutoff > 0] and a parallel run was requested, the first
-   element is evaluated serially as a probe; if the extrapolated whole-sweep
-   cost [probe_time * n] is within the cutoff the rest runs serially too
-   ([sweep/auto_serial]). Either way the probed result is reused — element 0
-   is never evaluated twice — and because both paths apply the same pure
-   function to the same inputs in input order, the output is bit-identical
-   to the pool run by construction. *)
+(* Legacy fixed default, used only when the probe is disabled
+   ([serial_cutoff <= 0]) and no explicit [~chunk] was given. *)
+let legacy_chunk ~jobs ~n = max 1 (n / (8 * jobs))
+
+(* Auto-tuned chunk size: big enough that one chunk claim carries
+   [target_chunk_seconds] of work (so the atomic-queue traffic and cache
+   ping-pong are negligible against the work itself), but never so big
+   that fewer than ~2 chunks per domain remain to load-balance with. *)
+let target_chunk_seconds = 1e-3
+
+let auto_chunk ~per_element_s ~n ~jobs =
+  let per = Float.max per_element_s 1e-9 in
+  let by_cost = int_of_float (Float.ceil (target_chunk_seconds /. per)) in
+  let by_balance = max 1 ((n + (2 * jobs) - 1) / (2 * jobs)) in
+  max 1 (min by_cost by_balance)
+
+(* Run [work] over chunk indices [0 .. nchunks-1]; the calling domain
+   participates, so up to [jobs - 1] pool domains assist. *)
+let run_pool ~jobs ~nchunks work = Pool.run ~helpers:(jobs - 1) ~nchunks work
+
 let default_serial_cutoff = 5e-3
 
-let mapi ?jobs ?chunk ?(serial_cutoff = default_serial_cutoff) f xs =
+(* The in-process tier over [n] elements of [get : int -> 'a] with [f]
+   applied at global indices; [pre] returns probed results so no element is
+   evaluated twice. *)
+let run_chunked ~jobs ~chunk ~n ~pre f =
+  let nchunks = (n + chunk - 1) / chunk in
+  let out = Array.make nchunks [||] in
+  run_pool ~jobs:(min jobs nchunks) ~nchunks (fun ci ->
+      let lo = ci * chunk in
+      let len = min chunk (n - lo) in
+      out.(ci) <-
+        Array.init len (fun k ->
+            let i = lo + k in
+            match pre i with Some y -> y | None -> f i));
+  Array.concat (Array.to_list out)
+
+(* Auto-serial heuristic (probe-first): spawning is amortized by the pool,
+   but waking it and paying the chunk-queue traffic still costs ~the
+   [serial_cutoff]; a tiny grid of cheap closed-form evaluations finishes
+   faster serially. Elements 0 and 1 are evaluated serially as probes and
+   the *minimum* of the two per-element times extrapolates the whole-sweep
+   cost — the minimum, because a first-call artifact (surrogate table
+   build, WKB cache fill) inflates one probe and must not misroute every
+   later medium-sized grid. Probed results are reused either way — no
+   element is evaluated twice — and both paths apply the same pure
+   function to the same inputs in input order, so the decision never
+   changes the output. *)
+let mapi_in_process ~jobs ~chunk ~serial_cutoff f n xs_get =
+  let f i = f i (xs_get i) in
+  if jobs = 1 || n <= 1 then Array.init n f
+  else if serial_cutoff <= 0. then begin
+    (* heuristic disabled: the pure pool path, no probe *)
+    let chunk =
+      match chunk with Some c -> c | None -> legacy_chunk ~jobs ~n
+    in
+    run_chunked ~jobs ~chunk ~n ~pre:(fun _ -> None) f
+  end
+  else begin
+    let probe i =
+      let t0 = Unix.gettimeofday () in
+      let y = f i in
+      (y, Unix.gettimeofday () -. t0)
+    in
+    let y0, p0 = probe 0 in
+    let y1, p1 = probe 1 in
+    let per = Float.min p0 p1 in
+    if per *. float_of_int n <= serial_cutoff then begin
+      Telemetry.count "sweep/auto_serial";
+      Array.init n (fun i -> if i = 0 then y0 else if i = 1 then y1 else f i)
+    end
+    else if n = 2 then [| y0; y1 |]
+    else begin
+      let chunk =
+        match chunk with
+        | Some c -> c
+        | None -> auto_chunk ~per_element_s:per ~n ~jobs
+      in
+      run_chunked ~jobs ~chunk ~n
+        ~pre:(fun i -> if i = 0 then Some y0 else if i = 1 then Some y1 else None)
+        f
+    end
+  end
+
+let mapi ?jobs ?chunk ?(serial_cutoff = default_serial_cutoff) ?shards f xs =
   let n = Array.length xs in
   let jobs = resolve_jobs jobs in
-  if jobs = 1 || n <= 1 then Array.mapi f xs
-  else begin
-  (* validate eagerly: the auto-serial path must reject a bad [chunk] just
-     like the pool path it replaces *)
-  let chunk = resolve_chunk ~jobs ~n chunk in
-  if serial_cutoff <= 0. then begin
-    (* heuristic disabled: the pure pool path, no probe *)
-    let nchunks = (n + chunk - 1) / chunk in
-    let out = Array.make nchunks [||] in
-    run_pool ~jobs:(min jobs nchunks) ~nchunks (fun ci ->
-        let lo = ci * chunk in
-        let len = min chunk (n - lo) in
-        out.(ci) <- Array.init len (fun k -> f (lo + k) xs.(lo + k)));
-    Array.concat (Array.to_list out)
-  end
-  else begin
-    let t0 = Unix.gettimeofday () in
-    let y0 = f 0 xs.(0) in
-    let probe = Unix.gettimeofday () -. t0 in
-    if probe *. float_of_int n <= serial_cutoff then begin
-      Telemetry.count "sweep/auto_serial";
-      Array.init n (fun i -> if i = 0 then y0 else f i xs.(i))
-    end
-    else begin
-      let nchunks = (n + chunk - 1) / chunk in
-      let out = Array.make nchunks [||] in
-      run_pool ~jobs:(min jobs nchunks) ~nchunks (fun ci ->
-          let lo = ci * chunk in
-          let len = min chunk (n - lo) in
-          out.(ci) <-
-            Array.init len (fun k ->
-                let i = lo + k in
-                if i = 0 then y0 else f i xs.(i)));
-      Array.concat (Array.to_list out)
-    end
-  end
-  end
+  let chunk = validate_chunk chunk in
+  let shards = resolve_shards shards in
+  let slice ~lo ~len =
+    mapi_in_process ~jobs ~chunk ~serial_cutoff
+      (fun k x -> f (lo + k) x)
+      len
+      (fun k -> xs.(lo + k))
+  in
+  if shards = 1 || n <= 1 then slice ~lo:0 ~len:n
+  else Shard.run ~shards ~n ~run_slice:slice
 
-let map ?jobs ?chunk ?serial_cutoff f xs =
-  mapi ?jobs ?chunk ?serial_cutoff (fun _ x -> f x) xs
+let map ?jobs ?chunk ?serial_cutoff ?shards f xs =
+  mapi ?jobs ?chunk ?serial_cutoff ?shards (fun _ x -> f x) xs
 
-let init ?jobs ?chunk ?serial_cutoff n f =
+let init ?jobs ?chunk ?serial_cutoff ?shards n f =
   if n < 0 then invalid_arg "Sweep.init: n < 0";
-  mapi ?jobs ?chunk ?serial_cutoff (fun i () -> f i) (Array.make n ())
+  mapi ?jobs ?chunk ?serial_cutoff ?shards (fun i () -> f i) (Array.make n ())
 
-let map_list ?jobs ?chunk ?serial_cutoff f xs =
-  Array.to_list (map ?jobs ?chunk ?serial_cutoff f (Array.of_list xs))
+let map_list ?jobs ?chunk ?serial_cutoff ?shards f xs =
+  Array.to_list (map ?jobs ?chunk ?serial_cutoff ?shards f (Array.of_list xs))
 
-let grid ?jobs ?chunk ?serial_cutoff f ~outer ~inner =
+let grid ?jobs ?chunk ?serial_cutoff ?shards f ~outer ~inner =
   let no = Array.length outer and ni = Array.length inner in
   if no = 0 || ni = 0 then Array.make no [||]
   else begin
     let flat =
-      init ?jobs ?chunk ?serial_cutoff (no * ni)
+      init ?jobs ?chunk ?serial_cutoff ?shards (no * ni)
         (fun k -> f outer.(k / ni) inner.(k mod ni))
     in
     Array.init no (fun i -> Array.sub flat (i * ni) ni)

@@ -1,90 +1,142 @@
-(** Domain-parallel sweep engine for the dense parameter grids of the
+(** Parallel sweep engine for the dense parameter grids of the
     reproduction: the Fig 6–9 [(VGS, GCR)] / [(VGS, XTO)] J–V grids, the
     Monte-Carlo {!Gnrflash_device.Variation} ensembles, and the
     retention/disturb/array sweeps.
 
-    Execution model: a fixed pool of [jobs] domains (the calling domain
-    participates as one of them) pulls fixed-size chunks of the index space
-    off a shared atomic queue — cheap work stealing, so an expensive region
-    of the sweep (e.g. slow transient solves near a threshold) does not
-    leave the other domains idle. Results are written per-chunk and
-    assembled in input order after the pool joins, so the output is
-    {e bit-identical} to the serial path regardless of [jobs], chunk size,
-    or scheduling. [~jobs:1] (the default unless {!set_default_jobs} was
-    called) never spawns a domain and degrades to the plain serial code.
+    Execution model, in three tiers:
+    - {b serial} — [~jobs:1] (the default unless {!set_default_jobs} was
+      called), tiny inputs, or the auto-serial probe decision; never
+      touches a domain.
+    - {b in-process} — [jobs] domains (the calling domain participates as
+      one of them) pull chunks of the index space off a shared atomic
+      queue: cheap work stealing, so an expensive region of the sweep
+      (e.g. slow transient solves near a threshold) does not leave the
+      other domains idle. The [jobs - 1] helper domains come from a
+      lazily created {e process-lifetime pool} ({!Pool}) — spawn cost is
+      paid once per process, not per call — and chunk size is auto-tuned
+      from the probe (see below) so each chunk claim carries
+      {!target_chunk_seconds} of work.
+    - {b multi-process} — [~shards] forks worker processes, each running
+      the in-process tier over a contiguous slice and shipping results
+      back as length-prefixed binary frames ({!Shard}). Results must be
+      marshalable pure data; a dead worker surfaces as a typed
+      [Worker_failed] solver error, never a hang.
 
-    Telemetry: workers adopt the submitting domain's span context
+    Results are assembled in input order whatever the tier, so the output
+    is {e bit-identical} to the serial path regardless of [jobs], [chunk],
+    [shards], or scheduling.
+
+    Telemetry: pool workers adopt the submitting domain's span context
     ({!Gnrflash_telemetry.Telemetry.with_context_prefix}) and flush their
-    domain-local sinks into the global accumulator before the pool joins,
-    so counter totals — and the keys they are recorded under — match a
-    serial run exactly. Span [total_s] sums the time spent in {e all}
+    domain-local sinks into the global accumulator {e once per sweep}
+    (not per chunk); shard workers ship a snapshot home in the result
+    frame. Counter totals — and the keys they are recorded under — match
+    a serial run exactly. Span [total_s] sums the time spent in {e all}
     domains (CPU-time-like, may exceed wall clock).
 
     Exceptions raised by the mapped function are caught in the worker,
-    the pool drains, and the first one observed is re-raised in the
+    the sweep drains, and the first one observed is re-raised in the
     caller. *)
 
 val available_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what the hardware supports. *)
 
 val set_default_jobs : int -> unit
-(** Set the pool size used when [?jobs] is omitted (clamped to [>= 1]).
+(** Set the job count used when [?jobs] is omitted (clamped to [>= 1]).
     Wired to the CLI [--jobs] flag. *)
 
 val default_jobs : unit -> int
-(** Current default pool size; [1] (serial) unless {!set_default_jobs} was
-    called. *)
+(** Current default job count; [1] (serial) unless {!set_default_jobs}
+    was called. *)
 
 val splitmix : seed:int -> index:int -> int
-(** A non-negative 62-bit hash of [(seed, index)] (splitmix64 finalizer).
-    Use as the per-element PRNG seed of a randomized sweep so every element
-    draws an independent stream: the result depends only on [(seed, index)],
-    never on chunking or job count, which is what makes e.g.
-    [Variation.sample_devices] reproducible across [--jobs] settings. *)
+(** A non-negative 62-bit hash of [(seed, index)] (splitmix64 finalizer,
+    re-exported from {!Gnrflash_prng.Splitmix}). Use as the per-element
+    PRNG seed of a randomized sweep so every element draws an independent
+    stream: the result depends only on [(seed, index)], never on
+    chunking, job count, or shard count, which is what makes e.g.
+    [Variation.sample_devices] reproducible across [--jobs]/[--shards]
+    settings. *)
 
 val default_serial_cutoff : float
-(** Default [serial_cutoff]: 5 ms — roughly the cost of spawning and
-    joining a domain pool, below which parallelism can only lose. *)
+(** Default [serial_cutoff]: 5 ms — roughly the cost of waking the pool
+    and paying the chunk-queue traffic, below which parallelism can only
+    lose. *)
+
+val target_chunk_seconds : float
+(** Auto-chunking target: 1 ms of estimated work per chunk claim. *)
+
+val auto_chunk : per_element_s:float -> n:int -> jobs:int -> int
+(** The chunk size the probe-first path picks: large enough that one
+    chunk carries {!target_chunk_seconds} of estimated work, capped so at
+    least ~2 chunks per domain remain for load balancing, floored at 1.
+    Exposed for tests and capacity planning. *)
+
+val pool_spawned : unit -> int
+(** Total pool domains spawned in this process — the bench's
+    parallel-overhead budget: the delta across any one sweep must be
+    [<= jobs]. *)
+
+val pool_size : unit -> int
+(** Current number of live pool domains (0 until the first parallel
+    sweep; the pool persists afterwards). *)
 
 val map :
-  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float ->
+  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float -> ?shards:int ->
   ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f xs] is [Array.map f xs] evaluated on [jobs] domains.
-    [chunk] is the work-queue granularity (default [max 1 (n / (8*jobs))]).
+
+    [chunk] overrides the auto-tuned work-queue granularity (see
+    {!auto_chunk}; with the probe disabled the legacy default
+    [max 1 (n / (8*jobs))] applies). Prefer the auto-tuning — hardcoded
+    chunk sizes are what lint rule L7 flags.
 
     [serial_cutoff] (seconds, default {!default_serial_cutoff}) is the
-    auto-serial heuristic: when a parallel run is requested, element 0 is
-    evaluated first as a serial probe, and if the extrapolated whole-sweep
-    cost [probe_time * n] fits within the cutoff the remaining elements run
-    serially too (counted as [sweep/auto_serial]) — a tiny grid of cheap
-    evaluations finishes before a pool would even warm up. The probed
-    result is reused in both paths (element 0 is never evaluated twice),
-    and since both paths apply the same pure function to the same inputs in
-    input order, the decision never changes the result: output stays
-    bit-identical across [jobs], chunking, and the heuristic. Pass
-    [~serial_cutoff:0.] to disable the probe and force the pool path.
-    @raise Invalid_argument if [jobs < 1] or [chunk < 1]. *)
+    auto-serial heuristic: when a parallel run is requested, elements 0
+    and 1 are evaluated first as serial probes, and if the extrapolated
+    whole-sweep cost [min(probe0, probe1) * n] fits within the cutoff the
+    remaining elements run serially too (counted as [sweep/auto_serial])
+    — a tiny grid of cheap evaluations finishes before the pool would
+    even wake. The minimum of two probes keeps a first-call artifact
+    (surrogate table build, WKB cache fill) from inflating the estimate.
+    Probed results are reused in both paths (no element is evaluated
+    twice), and since both paths apply the same pure function to the same
+    inputs in input order, the decision never changes the result: output
+    stays bit-identical across [jobs], chunking, sharding, and the
+    heuristic. Pass [~serial_cutoff:0.] to disable the probe and force
+    the pool path.
+
+    [shards] (default 1) adds the multi-process tier: the index space
+    splits into [min shards n] contiguous slices, slices beyond the first
+    run in forked worker processes ([jobs] domains each), and results are
+    reassembled in order — see {!Shard} for the framing, error, and
+    marshalability contract.
+
+    @raise Invalid_argument if [jobs < 1], [chunk < 1], or [shards < 1].
+    @raise Gnrflash_resilience.Solver_error.Solver_failure with kind
+    [Worker_failed] if a shard worker dies. *)
 
 val mapi :
-  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float ->
+  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float -> ?shards:int ->
   (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Indexed {!map}. *)
 
 val init :
-  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float ->
+  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float -> ?shards:int ->
   int -> (int -> 'a) -> 'a array
 (** [init ~jobs n f] is [Array.init n f] evaluated on [jobs] domains.
     @raise Invalid_argument if [n < 0]. *)
 
 val map_list :
-  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float ->
+  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float -> ?shards:int ->
   ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over a list, preserving order. *)
 
 val grid :
-  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float ->
+  ?jobs:int -> ?chunk:int -> ?serial_cutoff:float -> ?shards:int ->
   ('a -> 'b -> 'c) -> outer:'a array -> inner:'b array -> 'c array array
-(** [grid f ~outer ~inner] evaluates the full Cartesian product as one flat
-    work queue — [(grid f ~outer ~inner).(i).(j) = f outer.(i) inner.(j)] —
-    so load balances across the whole surface rather than row by row. The
-    auto-serial probe (see {!map}) extrapolates from the flattened size. *)
+(** [grid f ~outer ~inner] evaluates the full Cartesian product as one
+    flat work queue — [(grid f ~outer ~inner).(i).(j) = f outer.(i)
+    inner.(j)] — so load balances across the whole surface rather than
+    row by row. The auto-serial probe (see {!map}) extrapolates from the
+    flattened size. *)

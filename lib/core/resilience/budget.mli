@@ -3,7 +3,7 @@
 
     A budget is installed for a dynamic extent with {!with_budget} (it lives
     in a process-global slot, so it is visible to solver code regardless of
-    call depth — including {!Gnrflash_parallel.Sweep} worker domains, which
+    call depth — including [Sweep] worker domains, which
     share the slot). Solvers report work via {!note_evals} and poll
     {!check} / {!check_exn}; exceeding the budget yields
     [Solver_error.Budget_exhausted]. With no budget installed every check

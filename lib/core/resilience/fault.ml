@@ -1,5 +1,5 @@
 module Tel = Gnrflash_telemetry.Telemetry
-module Sweep = Gnrflash_parallel.Sweep
+module Splitmix = Gnrflash_prng.Splitmix
 
 type mode = Fail_every of int | Nan_every of int
 
@@ -38,7 +38,7 @@ let outcome () =
     if capped then `Pass
     else
       let rate = match p.mode with Fail_every n | Nan_every n -> n in
-      let h = Sweep.splitmix ~seed:p.seed ~index:i in
+      let h = Splitmix.hash ~seed:p.seed ~index:i in
       if h mod rate <> 0 then `Pass
       else begin
         p.fired <- p.fired + 1;

@@ -4,7 +4,7 @@
     sites (root-finder function evals, ODE right-hand sides) poll
     {!outcome} and either pass through, return a NaN-poisoned value, or
     raise a typed [Fault_injected] failure. Which evals fault is decided by
-    hashing the eval index with [Sweep.splitmix], so a plan with rate [n]
+    hashing the eval index with [Splitmix.hash], so a plan with rate [n]
     faults a pseudo-random ~1/n of evals — deterministically for a fixed
     seed, independent of chunking or domain count, and (unlike a literal
     "every Nth eval" rule) without guaranteeing that every retry re-faults

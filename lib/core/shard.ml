@@ -1,0 +1,3 @@
+(* Re-export so users of the umbrella library can say [Gnrflash.Shard]
+   without depending on the low-level gnrflash_parallel library directly. *)
+include Gnrflash_parallel.Shard

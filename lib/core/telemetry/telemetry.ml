@@ -95,12 +95,29 @@ let merge_sink ~dst (src : sink) =
        | None -> Hashtbl.add dst.sink_spans key (ref !r))
     src.sink_spans
 
+(* Flushes are counted so the bench can assert the pool batches telemetry
+   (one flush per participating worker per Sweep call, not per chunk). *)
+let flushes = Atomic.make 0
+let flush_count () = Atomic.get flushes
+
 let flush_local () =
+  Atomic.incr flushes;
   let s = local () in
   Mutex.protect merged_mutex (fun () -> merge_sink ~dst:merged s);
   Hashtbl.reset s.sink_counters;
   Hashtbl.reset s.sink_gauges;
   Hashtbl.reset s.sink_spans
+
+(* Merge a snapshot produced by another process (a Shard worker) into the
+   global accumulator, as if its domains had called [flush_local] here. *)
+let absorb ({ counters; gauges; spans } : snapshot) =
+  if Atomic.get enabled then begin
+    let src = make_sink () in
+    List.iter (fun (k, v) -> Hashtbl.replace src.sink_counters k (ref v)) counters;
+    List.iter (fun (k, v) -> Hashtbl.replace src.sink_gauges k v) gauges;
+    List.iter (fun (k, v) -> Hashtbl.replace src.sink_spans k (ref v)) spans;
+    Mutex.protect merged_mutex (fun () -> merge_sink ~dst:merged src)
+  end
 
 (* Context propagation for the Sweep pool: a worker domain adopts the
    submitting domain's span path so parallel work is keyed identically to

@@ -39,7 +39,18 @@ val reset : unit -> unit
 
 val flush_local : unit -> unit
 (** Merge this domain's local sink into the global accumulator and clear
-    it — called by Sweep worker domains before they join. *)
+    it — called by Sweep pool workers once per task, after draining. *)
+
+val flush_count : unit -> int
+(** Number of {!flush_local} calls in this process so far. The bench uses
+    the delta across a [Sweep] call to assert telemetry is batched (one
+    flush per participating worker, not one per chunk). *)
+
+val absorb : snapshot -> unit
+(** Merge a snapshot produced elsewhere (e.g. a [Shard] worker process)
+    into the global accumulator under the same rules as {!flush_local}:
+    counters and span stats add, gauges overwrite. No-op while
+    disabled. *)
 
 (** {1 Recording} *)
 

@@ -24,15 +24,25 @@ type sample = {
                           (** the first typed solver error, when [solve_failed] *)
 }
 
+val perturbed :
+  ?spread:spread -> seed:int -> index:int -> base:Fgt.t -> unit -> Fgt.t
+(** The device drawn for ensemble slot [index] — the same perturbation
+    {!sample_devices} would evaluate, without evaluating it. Lets other
+    ensembles (e.g. endurance cycling) share the variation model and its
+    chunking/shard-independent seeding. *)
+
 val sample_devices :
-  ?spread:spread -> ?seed:int -> ?jobs:int -> base:Fgt.t -> n:int -> unit ->
-  sample array
+  ?spread:spread -> ?seed:int -> ?jobs:int -> ?shards:int ->
+  base:Fgt.t -> n:int -> unit -> sample array
 (** Draw [n] devices around [base] with independent Gaussian parameter
     perturbations (Box–Muller from a seeded PRNG) and evaluate each.
     Sample [i] seeds its own PRNG from [Sweep.splitmix ~seed ~index:i], so
-    the ensemble is identical for every [jobs] (and chunking) setting;
-    [jobs] (default {!Gnrflash_parallel.Sweep.default_jobs}) spreads the
-    transient solves across a domain pool.
+    the ensemble is identical for every [jobs] (and chunking, and
+    [shards]) setting; [jobs] (default
+    {!Gnrflash_parallel.Sweep.default_jobs}) spreads the transient solves
+    across the persistent domain pool, and [shards] (default 1) fans the
+    ensemble out across forked worker processes — samples are pure data,
+    so they cross the {!Gnrflash_parallel.Shard} frame contract as is.
     @raise Invalid_argument if [n < 1]. *)
 
 type summary = {

@@ -68,6 +68,8 @@ let test_validation () =
       ignore (Sweep.map ~jobs:0 work [| 1.; 2. |]));
   Alcotest.check_raises "chunk 0" (Invalid_argument "Sweep: chunk < 1") (fun () ->
       ignore (Sweep.map ~jobs:2 ~chunk:0 work [| 1.; 2. |]));
+  Alcotest.check_raises "shards 0" (Invalid_argument "Sweep: shards < 1")
+    (fun () -> ignore (Sweep.map ~shards:0 work [| 1.; 2. |]));
   Alcotest.check_raises "negative init" (Invalid_argument "Sweep.init: n < 0")
     (fun () -> ignore (Sweep.init ~jobs:2 (-1) float_of_int))
 
@@ -185,6 +187,59 @@ let test_auto_serial_heuristic () =
   Alcotest.(check int) "serial path does not count" 1
     (Tel.counter_total "sweep/auto_serial")
 
+(* Regression guard for the single-probe misroute: a first-call artifact (a
+   surrogate table build, a WKB cache fill) used to inflate the per-element
+   estimate and push cheap medium grids onto the pool path. The probe now
+   takes the minimum of elements 0 and 1, so one expensive first call must
+   not defeat the auto-serial heuristic. *)
+let test_probe_ignores_first_call_artifact () =
+  Tel.reset ();
+  Tel.enable ();
+  Fun.protect ~finally:(fun () -> Tel.disable (); Tel.reset ()) @@ fun () ->
+  let cold = ref true in
+  let f i =
+    if !cold then begin
+      (* simulate a one-off cache build: ~20 ms of busy work, far beyond
+         serial_cutoff when extrapolated over the whole sweep *)
+      cold := false;
+      let t0 = Unix.gettimeofday () in
+      while Unix.gettimeofday () -. t0 < 0.02 do () done
+    end;
+    work (float_of_int i)
+  in
+  let out = Sweep.init ~jobs:4 64 f in
+  check_true "result matches serial"
+    (out = Array.init 64 (fun i -> work (float_of_int i)));
+  Alcotest.(check int) "warm probe routes a cheap sweep serially" 1
+    (Tel.counter_total "sweep/auto_serial")
+
+(* The tentpole: the pool is process-lifetime. A second parallel sweep must
+   reuse the domains the first one spawned — spawn count stays flat. *)
+let test_pool_persists_across_calls () =
+  let xs = Array.init 64 float_of_int in
+  ignore (Sweep.map ~jobs:2 ~serial_cutoff:0. work xs);
+  check_true "pool retains at least one domain" (Sweep.pool_size () >= 1);
+  let before = Sweep.pool_spawned () in
+  for _ = 1 to 5 do
+    ignore (Sweep.map ~jobs:2 ~serial_cutoff:0. work xs)
+  done;
+  Alcotest.(check int) "no respawn across five sweeps" before
+    (Sweep.pool_spawned ())
+
+let test_auto_chunk () =
+  (* cheap elements: the chunk grows until one claim carries ~1 ms (the
+     ceil of a float ratio, so allow the one-off rounding artifact) *)
+  let c = Sweep.auto_chunk ~per_element_s:1e-6 ~n:100_000 ~jobs:2 in
+  check_true "1 us elements -> ~1000-element chunks" (c >= 1000 && c <= 1001);
+  (* expensive elements: floor at single-element chunks *)
+  Alcotest.(check int) "expensive elements -> chunk 1" 1
+    (Sweep.auto_chunk ~per_element_s:0.5 ~n:100 ~jobs:2);
+  (* small sweeps: capped so ~2 chunks per domain remain to balance *)
+  Alcotest.(check int) "balance cap at n=100 jobs=2" 25
+    (Sweep.auto_chunk ~per_element_s:1e-6 ~n:100 ~jobs:2);
+  check_true "never below 1"
+    (Sweep.auto_chunk ~per_element_s:1. ~n:1 ~jobs:8 >= 1)
+
 (* Regression guard for the pathology the heuristic removes: on a tiny cheap
    grid, a jobs>1 call must not be dramatically slower than the serial path.
    Wall-clock bounds flake under load, so take the best of several repeats
@@ -229,6 +284,10 @@ let () =
           case "telemetry totals match serial" test_telemetry_totals_match_serial;
           case "telemetry context adopted" test_telemetry_context_prefix_adopted;
           case "auto-serial heuristic" test_auto_serial_heuristic;
+          case "probe ignores first-call artifact"
+            test_probe_ignores_first_call_artifact;
+          case "pool persists across calls" test_pool_persists_across_calls;
+          case "auto-chunk sizing" test_auto_chunk;
           case "tiny grid not slower than serial" test_tiny_grid_not_slower;
           prop_map_parity;
           prop_mapi_parity;

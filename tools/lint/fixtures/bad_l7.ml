@@ -1,0 +1,26 @@
+(* L7 fixture: hardcoded ~chunk constants at Sweep call sites. The
+   constant that balanced one machine's queue traffic is wrong on the
+   next; the probe-based auto-tuning (Sweep.auto_chunk) picks per-call. *)
+
+module Sweep = Gnrflash_parallel.Sweep
+
+let xs = Array.init 64 float_of_int
+
+let hardcoded_map () = Sweep.map ~jobs:2 ~chunk:4 (fun x -> x *. 2.) xs (* EXPECT L7 *)
+
+let hardcoded_init () = Sweep.init ~chunk:16 64 float_of_int (* EXPECT L7 *)
+
+let hardcoded_grid () =
+  Sweep.grid ~jobs:2 ~chunk:8 (fun a b -> a +. b) ~outer:xs ~inner:xs (* EXPECT L7 *)
+
+let allowed () =
+  (* lint: allow L7 — fixture: chunk pinned to reproduce a scheduling-order bug *)
+  Sweep.map ~jobs:2 ~chunk:4 (fun x -> x *. 2.) xs (* EXPECT-SUPPRESSED L7 *)
+
+(* the blessed shape: no ~chunk, the probe auto-tunes it *)
+let auto () = Sweep.map ~jobs:2 (fun x -> x *. 2.) xs
+
+(* a computed chunk is a decision, not a magic constant — not flagged *)
+let computed () =
+  let chunk = max 1 (Array.length xs / 4) in
+  Sweep.map ~jobs:2 ~chunk (fun x -> x *. 2.) xs

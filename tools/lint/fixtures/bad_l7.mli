@@ -1,0 +1,7 @@
+val xs : float array
+val hardcoded_map : unit -> float array
+val hardcoded_init : unit -> float array
+val hardcoded_grid : unit -> float array array
+val allowed : unit -> float array
+val auto : unit -> float array
+val computed : unit -> float array

@@ -14,7 +14,9 @@
     - [L6] a call to an adaptive WKB evaluator ([Wkb.action_integral] /
       [Wkb.transmission]) inside a [Quadrature] integrand — per-node
       adaptive recursion; build a {!Gnrflash_quantum.Wkb.Cache} once
-      outside the integral instead.
+      outside the integral instead;
+    - [L7] a hardcoded [~chunk] constant at a [Sweep.*] call site,
+      overriding the probe-based chunk auto-tuning.
 
     Any rule is suppressible with a comment on the finding's line or the
     line above: [(* lint: allow L<n> — reason *)] ([L5]: anywhere in the
@@ -23,10 +25,10 @@
     dune also copies the sources, so suppression comments are read from
     the same tree the [.cmt]s were built from. *)
 
-type rule = L1 | L2 | L3 | L4 | L5 | L6
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7
 
 val rule_id : rule -> string
-(** ["L1"] … ["L6"]. *)
+(** ["L1"] … ["L7"]. *)
 
 val all_rules : rule list
 
@@ -56,7 +58,7 @@ type report = {
 
 val run : ?config:config -> root:string -> subdir:string -> unit -> report
 (** Scan every [.cmt] under [root/subdir] (recursively, including dune's
-    hidden [.objs] directories) and apply all six rules. *)
+    hidden [.objs] directories) and apply all seven rules. *)
 
 val unsuppressed : report -> finding list
 val suppressed : report -> finding list
