@@ -114,7 +114,7 @@ let print_ablations () =
            ~ops:8000 ~read_fraction:0.
        in
        match F.run_trace ftl trace with
-       | Error e -> Printf.printf "  %-12s failed: %s\n" name e
+       | Error e -> Printf.printf "  %-12s failed: %s\n" name (F.error_to_string e)
        | Ok ftl ->
          let s = F.stats ftl in
          Printf.printf "  %-12s WA=%.3f gc=%d wear-spread=%.0f\n" name
@@ -872,6 +872,133 @@ let print_perf perf =
   List.for_all (fun r -> r.measured <= r.budget) perf.rows
   && perf.flags_on_ok && perf.flags_off_ok
 
+(* ---------- command-level service fleet gate ---------- *)
+
+module Svc = Gnrflash_memory.Service
+module Wkl = Gnrflash_memory.Workload
+
+(* End-to-end gate for the command-level NOR service (ISSUE 8): a fleet of
+   independent service instances pushes host traffic through the FTL and
+   mirrors every journaled physical op onto the JEDEC command FSM. Gates:
+   zero lost ops, zero data mismatches, zero protocol errors, FTL
+   invariants intact, and the fleet's folded trace/state digests
+   bit-identical across the execution tiers (--jobs 2 and --shards 2 vs
+   the serial run). The full bench drives >= 1e5 aggregate ops; --quick
+   runs a reduced fleet with the same gates. *)
+
+type service_stats = {
+  svc_instances : int;
+  svc_per_instance : int;
+  svc_ops : int;
+  svc_lost : int;
+  svc_mismatches : int;
+  svc_bad_sequences : int;
+  svc_invariant_failures : string list;
+  svc_trace_digest : int;
+  svc_state_digest : int;
+  svc_jobs_identical : bool;
+  svc_shards_identical : bool;
+  svc_wall_s : float;
+  svc_ops_per_s : float;
+  svc_p50 : float;
+  svc_p95 : float;
+  svc_p99 : float;
+}
+
+let service_fleet ~jobs ~shards ~instances ~per_instance ~seed =
+  (* serial_cutoff 0: force the pool path so the jobs tier is actually
+     exercised, not auto-serialized away *)
+  Gnrflash.Sweep.init ~jobs ~shards ~serial_cutoff:0. instances (fun i ->
+      let seed_i = Gnrflash.Sweep.splitmix ~seed ~index:i in
+      let s = Svc.create (Gnrflash.Params.device ()) in
+      let r = Svc.run_trace ~seed:seed_i ~ops:per_instance s in
+      (r, Svc.latencies s))
+
+let fleet_digests results =
+  let fold f =
+    Array.fold_left
+      (fun acc (r, _) -> Wkl.digest_fold acc (f r))
+      Wkl.digest_empty results
+  in
+  (fold (fun r -> r.Svc.trace_digest), fold (fun r -> r.Svc.state_digest))
+
+let service_report ~quick () =
+  let instances = 8 in
+  let per_instance = if quick then 250 else 13_000 in
+  let seed = 2014 in
+  let t0 = Unix.gettimeofday () in
+  let base = service_fleet ~jobs:1 ~shards:1 ~instances ~per_instance ~seed in
+  let wall = Unix.gettimeofday () -. t0 in
+  let jobs2 = service_fleet ~jobs:2 ~shards:1 ~instances ~per_instance ~seed in
+  let shards2 =
+    service_fleet ~jobs:1 ~shards:2 ~instances ~per_instance ~seed
+  in
+  let td, sd = fleet_digests base in
+  let sum f = Array.fold_left (fun a (r, _) -> a + f r) 0 base in
+  let lats = Array.concat (Array.to_list (Array.map snd base)) in
+  Array.sort compare lats;
+  let pct p =
+    if Array.length lats = 0 then 0.
+    else
+      lats.(int_of_float
+              (Float.round (p *. float_of_int (Array.length lats - 1))))
+  in
+  let ops = sum (fun r -> r.Svc.ops) in
+  {
+    svc_instances = instances;
+    svc_per_instance = per_instance;
+    svc_ops = ops;
+    svc_lost = sum (fun r -> r.Svc.lost_ops);
+    svc_mismatches =
+      sum (fun r -> r.Svc.read_mismatches + r.Svc.verify_mismatches);
+    svc_bad_sequences =
+      sum (fun r -> r.Svc.fsm.Gnrflash_memory.Command_fsm.bad_sequences);
+    svc_invariant_failures =
+      Array.fold_left
+        (fun acc (r, _) ->
+           match r.Svc.invariant_error with None -> acc | Some e -> e :: acc)
+        [] base;
+    svc_trace_digest = td;
+    svc_state_digest = sd;
+    svc_jobs_identical = fleet_digests jobs2 = (td, sd);
+    svc_shards_identical = fleet_digests shards2 = (td, sd);
+    svc_wall_s = wall;
+    svc_ops_per_s = float_of_int ops /. Float.max wall 1e-9;
+    svc_p50 = pct 0.50;
+    svc_p95 = pct 0.95;
+    svc_p99 = pct 0.99;
+  }
+
+let service_ok s =
+  s.svc_lost = 0 && s.svc_mismatches = 0 && s.svc_bad_sequences = 0
+  && s.svc_invariant_failures = [] && s.svc_jobs_identical
+  && s.svc_shards_identical
+
+let print_service s =
+  hr "Service: command-level NOR fleet (FTL -> JEDEC command FSM)";
+  Printf.printf "  fleet            %d instances x %d host commands\n"
+    s.svc_instances s.svc_per_instance;
+  Printf.printf "  throughput       %.0f ops/s wall (%.2f s serial tier)\n"
+    s.svc_ops_per_s s.svc_wall_s;
+  Printf.printf "  latency p50/p95/p99  %.3e / %.3e / %.3e s (model)\n"
+    s.svc_p50 s.svc_p95 s.svc_p99;
+  Printf.printf "  lost ops         %d  %s\n" s.svc_lost
+    (if s.svc_lost = 0 then "ok" else "LOST");
+  Printf.printf "  data mismatches  %d  %s\n" s.svc_mismatches
+    (if s.svc_mismatches = 0 then "ok" else "CORRUPT");
+  Printf.printf "  protocol errors  %d  %s\n" s.svc_bad_sequences
+    (if s.svc_bad_sequences = 0 then "ok" else "BAD SEQUENCE");
+  List.iter
+    (fun e -> Printf.printf "  INVARIANT VIOLATION: %s\n" e)
+    s.svc_invariant_failures;
+  Printf.printf "  trace digest     0x%016X\n" s.svc_trace_digest;
+  Printf.printf "  state digest     0x%016X\n" s.svc_state_digest;
+  Printf.printf "  --jobs 2 tier    %s\n"
+    (if s.svc_jobs_identical then "bit-identical" else "DIVERGED");
+  Printf.printf "  --shards 2 tier  %s\n"
+    (if s.svc_shards_identical then "bit-identical" else "DIVERGED");
+  service_ok s
+
 (* ---------- static-analysis gate ---------- *)
 
 module Lint = Gnrflash_lint_engine.Lint_engine
@@ -898,7 +1025,7 @@ let run_lint () =
    serial-vs-parallel scaling rows, plus the full counter/span snapshot,
    written next to the repo's other BENCH data. *)
 let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~perf
-    ~surrogate ~lint snap =
+    ~surrogate ~service ~lint snap =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\"schema\":\"gnrflash-bench-telemetry/1\",";
   Buffer.add_string b
@@ -973,6 +1100,20 @@ let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~perf
        surrogate.sur_flags_off_ok);
   Buffer.add_string b
     (Printf.sprintf
+       ",\"service\":{\"instances\":%d,\"ops\":%d,\"ops_per_s\":%.1f,\
+        \"latency_model_s\":{\"p50\":%.6e,\"p95\":%.6e,\"p99\":%.6e},\
+        \"lost_ops\":%d,\"mismatches\":%d,\"bad_sequences\":%d,\
+        \"invariant_failures\":%d,\"trace_digest\":\"0x%016X\",\
+        \"state_digest\":\"0x%016X\",\"jobs_identical\":%b,\
+        \"shards_identical\":%b,\"ok\":%b}"
+       service.svc_instances service.svc_ops service.svc_ops_per_s
+       service.svc_p50 service.svc_p95 service.svc_p99 service.svc_lost
+       service.svc_mismatches service.svc_bad_sequences
+       (List.length service.svc_invariant_failures) service.svc_trace_digest
+       service.svc_state_digest service.svc_jobs_identical
+       service.svc_shards_identical (service_ok service));
+  Buffer.add_string b
+    (Printf.sprintf
        ",\"lint\":{\"rules_checked\":%d,\"findings\":%d,\"suppressed\":%d}"
        (List.length Lint.all_rules)
        (List.length lint.Lint.findings)
@@ -1009,20 +1150,28 @@ let () =
   let perf_ok = print_perf perf in
   let sur = surrogate_report snap in
   let sur_ok = print_surrogate sur in
+  (* telemetry already off: the service fleet must not inflate the
+     hot-path eval budgets measured above *)
+  let service = service_report ~quick () in
+  let service_passed = print_service service in
   if quick then begin
     hr "Done (quick)";
     if not checks_passed then prerr_endline "bench: qualitative shape checks FAILED";
     if not perf_ok then prerr_endline "bench: perf eval budgets exceeded";
     if not sur_ok then
       prerr_endline "bench: pulse-surrogate certification or speedup gate FAILED";
-    exit (if checks_passed && perf_ok && sur_ok then 0 else 1)
+    if not service_passed then
+      prerr_endline
+        "bench: command-level service gate FAILED (lost ops, data \
+         mismatch, protocol error, or tier divergence)";
+    exit (if checks_passed && perf_ok && sur_ok && service_passed then 0 else 1)
   end;
   let scaling = sweep_scaling () in
   run_benchmarks ();
   let resilience = resilience_rows snap in
   let lint = run_lint () in
   write_bench_telemetry ~path:"BENCH_telemetry.json" ~checks_passed ~scaling
-    ~resilience ~perf ~surrogate:sur ~lint snap;
+    ~resilience ~perf ~surrogate:sur ~service ~lint snap;
   hr "Resilience (per-figure fallback/budget counters)";
   List.iter
     (fun r ->
@@ -1037,7 +1186,7 @@ let () =
   let scale_ok = scaling_ok scaling in
   hr "Done";
   if not checks_passed || fallbacks_used || lint_failed || not perf_ok
-     || not sur_ok || not scale_ok
+     || not sur_ok || not scale_ok || not service_passed
   then begin
     if not checks_passed then
       prerr_endline "bench: qualitative shape checks FAILED";
@@ -1051,5 +1200,9 @@ let () =
       prerr_endline
         "bench: parallel scale-out gate FAILED (non-identical output, \
          sub-0.9x speedup on a multi-core host, or overhead over budget)";
+    if not service_passed then
+      prerr_endline
+        "bench: command-level service gate FAILED (lost ops, data \
+         mismatch, protocol error, or tier divergence)";
     exit 1
   end

@@ -459,7 +459,7 @@ let ftl_cmd =
              ~ops ~read_fraction:0.
          in
          match F.run_trace ftl trace with
-         | Error e -> Printf.printf "%-12s failed: %s\n" name e
+         | Error e -> Printf.printf "%-12s failed: %s\n" name (F.error_to_string e)
          | Ok ftl ->
            let s = F.stats ftl in
            Printf.printf "%-12s %-8.3f %-8d %-8d %.0f\n" name s.F.write_amplification
@@ -473,6 +473,119 @@ let ftl_cmd =
   in
   let doc = "Flash-translation-layer workload study." in
   Cmd.v (Cmd.info "ftl" ~doc) Term.(const run $ ops_arg)
+
+(* ---- serve command ---- *)
+
+let serve_cmd =
+  let ops_arg =
+    Arg.(value & opt int 20000
+         & info [ "ops" ] ~doc:"Total host commands across the fleet.")
+  in
+  let instances_arg =
+    Arg.(value & opt int 8
+         & info [ "instances" ] ~doc:"Independent service instances.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"PRNG seed.")
+  in
+  let poll_arg =
+    Arg.(value & opt float 0.
+         & info [ "poll" ]
+             ~doc:"DQ6 status-poll interval in model seconds; 0 uses \
+                   RY/BY#-style waits.")
+  in
+  let run ops instances seed poll jobs shards =
+    with_jobs jobs @@ fun () ->
+    check_shards shards;
+    if ops < 1 || instances < 1 then begin
+      prerr_endline "gnrflash: --ops and --instances must be >= 1";
+      exit 2
+    end;
+    let module S = Gnrflash_memory.Service in
+    let module W = Gnrflash_memory.Workload in
+    let per_instance = max 1 (ops / instances) in
+    let config = { S.default_config with S.poll_interval = poll } in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Gnrflash.Sweep.init ~shards instances (fun i ->
+          let seed_i = Gnrflash.Sweep.splitmix ~seed ~index:i in
+          let s = S.create ~config (Gnrflash.Params.device ()) in
+          let r = S.run_trace ~seed:seed_i ~ops:per_instance s in
+          (r, S.latencies s))
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let sum f = Array.fold_left (fun acc (r, _) -> acc + f r) 0 results in
+    let total_ops = sum (fun r -> r.S.ops) in
+    let lost = sum (fun r -> r.S.lost_ops) in
+    let mismatches =
+      sum (fun r -> r.S.read_mismatches + r.S.verify_mismatches)
+    in
+    let bad_seq = sum (fun r -> r.S.fsm.Gnrflash_memory.Command_fsm.bad_sequences) in
+    let invariant_failures =
+      Array.fold_left
+        (fun acc (r, _) ->
+           match r.S.invariant_error with
+           | None -> acc
+           | Some e -> (e :: acc))
+        [] results
+    in
+    let trace_digest =
+      Array.fold_left
+        (fun acc (r, _) -> W.digest_fold acc r.S.trace_digest)
+        W.digest_empty results
+    in
+    let state_digest =
+      Array.fold_left
+        (fun acc (r, _) -> W.digest_fold acc r.S.state_digest)
+        W.digest_empty results
+    in
+    let lats =
+      Array.concat (Array.to_list (Array.map (fun (_, l) -> l) results))
+    in
+    Array.sort compare lats;
+    let pct p =
+      if Array.length lats = 0 then 0.
+      else
+        lats.(int_of_float
+                (Float.round (p *. float_of_int (Array.length lats - 1))))
+    in
+    let model_time =
+      Array.fold_left (fun acc (r, _) -> acc +. r.S.model_time) 0. results
+    in
+    Printf.printf "fleet of %d service instances, %d host commands each:\n"
+      instances per_instance;
+    Printf.printf "  ops submitted    %d\n" total_ops;
+    Printf.printf "  reads            %d (%d mapped)\n"
+      (sum (fun r -> r.S.reads)) (sum (fun r -> r.S.read_hits));
+    Printf.printf "  writes           %d (+%d rejected Device_full)\n"
+      (sum (fun r -> r.S.writes)) (sum (fun r -> r.S.rejected_full));
+    Printf.printf "  trims            %d\n" (sum (fun r -> r.S.trims));
+    Printf.printf "  lost ops         %d\n" lost;
+    Printf.printf "  data mismatches  %d\n" mismatches;
+    Printf.printf "  protocol errors  %d\n" bad_seq;
+    Printf.printf "  model time       %.4e s (sum over fleet)\n" model_time;
+    Printf.printf "  latency p50/p95/p99  %.3e / %.3e / %.3e s (model)\n"
+      (pct 0.50) (pct 0.95) (pct 0.99);
+    Printf.printf "  wall clock       %.2f s (%.0f ops/s)\n" wall
+      (float_of_int total_ops /. Float.max wall 1e-9);
+    Printf.printf "  trace digest     0x%016X\n" trace_digest;
+    Printf.printf "  state digest     0x%016X\n" state_digest;
+    List.iter
+      (fun e -> Printf.printf "  INVARIANT VIOLATION: %s\n" e)
+      invariant_failures;
+    if lost > 0 || mismatches > 0 || bad_seq > 0 || invariant_failures <> []
+    then begin
+      prerr_endline "gnrflash serve: accounting or integrity gate FAILED";
+      exit 1
+    end
+  in
+  let doc =
+    "Command-level NOR memory service: run host traffic through the FTL \
+     and a behavioral JEDEC command-set device."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ ops_arg $ instances_arg $ seed_arg $ poll_arg
+          $ jobs_arg $ shards_arg)
 
 (* ---- energy command ---- *)
 
@@ -514,6 +627,6 @@ let main =
   Cmd.group (Cmd.info "gnrflash" ~version:"1.0.0" ~doc)
     [ fig_cmd; check_cmd; transient_cmd; pulse_cmd; retention_cmd;
       endurance_cmd; models_cmd; optimize_cmd; variation_cmd; ftl_cmd;
-      energy_cmd; ber_cmd ]
+      serve_cmd; energy_cmd; ber_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -15,7 +15,7 @@ let run_workload name pattern =
       ~read_fraction:0.
   in
   match F.run_trace ftl ops with
-  | Error e -> Printf.printf "%-12s FAILED: %s\n" name e
+  | Error e -> Printf.printf "%-12s FAILED: %s\n" name (F.error_to_string e)
   | Ok ftl ->
     let s = F.stats ftl in
     Printf.printf "%-12s WA=%.3f  gc=%-5d erases=%-5d wear=[%d..%d] spread=%.0f\n"

@@ -71,7 +71,7 @@ let drain t =
   let continue = ref true in
   while !continue do
     let chunk = Atomic.fetch_and_add t.next 1 in
-    if chunk >= t.nchunks || Atomic.get t.err <> None then continue := false
+    if chunk >= t.nchunks || Option.is_some (Atomic.get t.err) then continue := false
     else
       try t.work chunk
       with e -> ignore (Atomic.compare_and_set t.err None (Some e))

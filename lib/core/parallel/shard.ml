@@ -28,7 +28,7 @@ type 'b payload =
 
 (* Set (only) in forked children, before the slice runs. *)
 let worker_slot : int option ref = ref None
-let in_worker () = !worker_slot <> None
+let in_worker () = Option.is_some !worker_slot
 let worker_index () = !worker_slot
 
 let shard_seed ~seed ~shard = Gnrflash_prng.Splitmix.hash ~seed ~index:shard

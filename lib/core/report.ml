@@ -53,7 +53,7 @@ let check_fig5 () =
     };
     {
       name = "fig5: saturation (Jin = Jout) reached";
-      passed = tsat <> None && converged;
+      passed = Option.is_some tsat && converged;
       detail =
         (match tsat with
          | Some t -> Printf.sprintf "tsat = %.3e s" t

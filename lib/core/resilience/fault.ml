@@ -24,7 +24,7 @@ let with_faults ?(seed = 0) ?limit mode f =
 let injected () =
   match Domain.DLS.get slot with None -> 0 | Some p -> p.fired
 
-let active () = Domain.DLS.get slot <> None
+let active () = Option.is_some (Domain.DLS.get slot)
 
 let outcome () =
   match Domain.DLS.get slot with

@@ -33,7 +33,7 @@ let events_to_failure ?(config = default_config) t ~qfg0 ~dvt_fail ~max_events =
             (* binary refine between n/2 and n *)
             let lo = ref (n / 2) and hi = ref n in
             let err = ref None in
-            while !hi - !lo > 1 && !err = None do
+            while !hi - !lo > 1 && Option.is_none !err do
               let mid = (!lo + !hi) / 2 in
               match dvt_after_events ~config t ~qfg0 ~events:mid with
               | Error e -> err := Some e

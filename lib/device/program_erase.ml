@@ -127,14 +127,14 @@ let apply_pulse ?budget ?(warm_start = true) ?(surrogate = true) t ~qfg pulse =
        with
        | Error e -> Error e
        | Ok r ->
-         if r.Transient.tsat <> None then Tel.count "program_erase/saturated";
+         if Option.is_some r.Transient.tsat then Tel.count "program_erase/saturated";
          let outcome =
            {
              qfg_before = qfg;
              qfg_after = r.Transient.qfg_final;
              dvt_after = r.Transient.dvt_final;
              injected_charge = abs_float (r.Transient.qfg_final -. qfg);
-             saturated = r.Transient.tsat <> None;
+             saturated = Option.is_some r.Transient.tsat;
            }
          in
          (match ws with

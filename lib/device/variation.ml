@@ -84,7 +84,7 @@ let sample_devices ?(spread = default_spread) ?(seed = 2014) ?jobs ?shards ~base
       let device, xto, phi_b_ev, gcr = perturbed_device ~base ~spread state in
       let program_time, dvt_fixed_pulse, failure = evaluate device in
       { xto; phi_b_ev; gcr; program_time; dvt_fixed_pulse;
-        solve_failed = failure <> None; failure })
+        solve_failed = Option.is_some failure; failure })
 
 type summary = {
   n : int;

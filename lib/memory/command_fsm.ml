@@ -1,0 +1,570 @@
+module D = Gnrflash_device
+module Tel = Gnrflash_telemetry.Telemetry
+
+type config = {
+  sectors : int;
+  words_per_sector : int;
+  word_bits : int;
+  write_buffer_words : int;
+  t_cycle : float;
+  program_pulse : D.Program_erase.pulse;
+  erase_pulse : D.Program_erase.pulse;
+  max_pulses : int;
+  surrogate : bool;
+}
+
+let default_config =
+  {
+    sectors = 8;
+    words_per_sector = 32;
+    word_bits = 13;
+    write_buffer_words = 16;
+    t_cycle = 100e-9;
+    program_pulse = D.Program_erase.default_program_pulse;
+    erase_pulse = D.Program_erase.default_erase_pulse;
+    max_pulses = 8;
+    surrogate = true;
+  }
+
+type read_result =
+  | Data of int array
+  | Status of { dq7 : int; dq6 : int; dq5 : int; dq2 : int }
+
+type error =
+  | Bad_sequence of { state : string; addr : int; data : int }
+  | Busy of { operation : string }
+  | Not_erasing
+  | Not_suspended
+  | Buffer_overflow of { count : int; capacity : int }
+  | Buffer_sector_crossing of { sector : int; addr : int }
+  | Physics of string
+
+let error_to_string = function
+  | Bad_sequence { state; addr; data } ->
+    Printf.sprintf "Command_fsm: command 0x%X @ 0x%X not accepted in state %s"
+      data addr state
+  | Busy { operation } ->
+    Printf.sprintf "Command_fsm: bus write while %s is running" operation
+  | Not_erasing -> "Command_fsm: erase suspend with no sector erase in flight"
+  | Not_suspended -> "Command_fsm: erase resume with no suspended erase"
+  | Buffer_overflow { count; capacity } ->
+    Printf.sprintf "Command_fsm: write buffer count %d exceeds capacity %d" count
+      capacity
+  | Buffer_sector_crossing { sector; addr } ->
+    Printf.sprintf "Command_fsm: buffered word @ 0x%X outside sector %d" addr sector
+  | Physics e -> "Command_fsm: pulse solve failed: " ^ e
+
+type stats = {
+  bus_cycles : int;
+  data_reads : int;
+  status_reads : int;
+  programs : int;
+  words_programmed : int;
+  sector_erases : int;
+  chip_erases : int;
+  suspends : int;
+  resumes : int;
+  resets : int;
+  program_pulses : int;
+  erase_pulses : int;
+  verify_timeouts : int;
+  disturb_events : int;
+  bad_sequences : int;
+}
+
+type mstats = {
+  mutable m_bus_cycles : int;
+  mutable m_data_reads : int;
+  mutable m_status_reads : int;
+  mutable m_programs : int;
+  mutable m_words_programmed : int;
+  mutable m_sector_erases : int;
+  mutable m_chip_erases : int;
+  mutable m_suspends : int;
+  mutable m_resumes : int;
+  mutable m_resets : int;
+  mutable m_program_pulses : int;
+  mutable m_erase_pulses : int;
+  mutable m_verify_timeouts : int;
+  mutable m_disturb_events : int;
+  mutable m_bad_sequences : int;
+}
+
+type op_kind =
+  | Op_program of { dq7 : int }
+  | Op_sector_erase of { sector : int }
+  | Op_chip_erase
+
+type busy_op = {
+  kind : op_kind;
+  mutable ends_at : float;
+  mutable remaining : float; (* busy seconds left when suspended *)
+}
+
+type seq =
+  | Idle
+  | Unlock1
+  | Unlocked
+  | Word_program
+  | Erase_setup
+  | Erase_unlock1
+  | Erase_unlocked
+  | Buf_count of { sector : int }
+  | Buf_load of { sector : int; remaining : int; acc : (int * int) list }
+  | Buf_confirm of { sector : int; acc : (int * int) list }
+
+type t = {
+  cfg : config;
+  cells : Cell.t array; (* [addr * word_bits + bit] *)
+  mutable seq : seq;
+  mutable clock : float;
+  mutable op : busy_op option;
+  mutable suspended : busy_op option;
+  mutable dq6 : int; (* toggles on status reads while busy *)
+  mutable dq2 : int; (* toggles on suspended-sector status reads *)
+  ms : mstats;
+}
+
+let create ?(config = default_config) device =
+  if config.sectors < 1 || config.words_per_sector < 1 || config.word_bits < 1
+     || config.write_buffer_words < 1 || config.max_pulses < 1
+     || config.t_cycle <= 0.
+  then invalid_arg "Command_fsm.create: bad geometry";
+  let n = config.sectors * config.words_per_sector * config.word_bits in
+  (* Private copy of the device record: the pulse caches (surrogate
+     tables, warm starts, exact-replay memos) are keyed by physical
+     identity, so a fresh identity makes every instance start cold and
+     end bit-identical, whatever ran before it on this domain. *)
+  let device = { device with D.Fgt.vs = device.D.Fgt.vs } in
+  {
+    cfg = config;
+    cells = Array.init n (fun _ -> Cell.make device);
+    seq = Idle;
+    clock = 0.;
+    op = None;
+    suspended = None;
+    dq6 = 0;
+    dq2 = 0;
+    ms =
+      {
+        m_bus_cycles = 0;
+        m_data_reads = 0;
+        m_status_reads = 0;
+        m_programs = 0;
+        m_words_programmed = 0;
+        m_sector_erases = 0;
+        m_chip_erases = 0;
+        m_suspends = 0;
+        m_resumes = 0;
+        m_resets = 0;
+        m_program_pulses = 0;
+        m_erase_pulses = 0;
+        m_verify_timeouts = 0;
+        m_disturb_events = 0;
+        m_bad_sequences = 0;
+      };
+  }
+
+let config t = t.cfg
+let words t = t.cfg.sectors * t.cfg.words_per_sector
+let sector_of t ~addr = addr mod words t / t.cfg.words_per_sector
+let now t = t.clock
+
+let state_name t =
+  match t.seq with
+  | Idle -> if Option.is_some t.suspended then "erase_suspended" else "idle"
+  | Unlock1 -> "unlock1"
+  | Unlocked -> "unlocked"
+  | Word_program -> "word_program"
+  | Erase_setup -> "erase_setup"
+  | Erase_unlock1 -> "erase_unlock1"
+  | Erase_unlocked -> "erase_unlocked"
+  | Buf_count _ -> "buffer_count"
+  | Buf_load _ -> "buffer_load"
+  | Buf_confirm _ -> "buffer_confirm"
+
+let commit t =
+  match t.op with
+  | Some op when t.clock >= op.ends_at -> t.op <- None
+  | _ -> ()
+
+let tick t =
+  t.clock <- t.clock +. t.cfg.t_cycle;
+  t.ms.m_bus_cycles <- t.ms.m_bus_cycles + 1;
+  commit t
+
+let step_to t target =
+  if target > t.clock then t.clock <- target;
+  commit t
+
+let ready t = Option.is_none t.op
+
+let wait_ready t = match t.op with None -> () | Some op -> step_to t op.ends_at
+
+(* ---------- physics ---------- *)
+
+exception Pulse_failed of string
+
+let bit_of_cell c = Cell.to_bit (Cell.state c)
+
+(* Embedded program of one word: pulse-and-verify per target-0 bit, bits in
+   parallel on the word line (busy time = the slowest bit's pulse count).
+   AND semantics: a target 1 over a programmed cell cannot raise it — that
+   is a verify timeout, not an error, exactly like hardware. *)
+let program_word_cells t ~addr ~data =
+  let base = addr * t.cfg.word_bits in
+  let max_pulses_used = ref 0 in
+  let timeout = ref false in
+  for i = 0 to t.cfg.word_bits - 1 do
+    let target = (data lsr i) land 1 in
+    let c = ref t.cells.(base + i) in
+    if target = 0 then begin
+      let p = ref 0 in
+      while bit_of_cell !c = 1 && !p < t.cfg.max_pulses do
+        (match
+           Cell.program ~pulse:t.cfg.program_pulse ~surrogate:t.cfg.surrogate !c
+         with
+         | Error e -> raise (Pulse_failed e)
+         | Ok c' -> c := c');
+        incr p
+      done;
+      t.cells.(base + i) <- !c;
+      if bit_of_cell !c = 1 then timeout := true;
+      t.ms.m_program_pulses <- t.ms.m_program_pulses + !p;
+      if !p > !max_pulses_used then max_pulses_used := !p
+    end
+    else if bit_of_cell !c = 0 then timeout := true
+  done;
+  (* every program pulse gate-disturbs the unselected words of the sector *)
+  t.ms.m_disturb_events <-
+    t.ms.m_disturb_events + (!max_pulses_used * (t.cfg.words_per_sector - 1));
+  if !timeout then t.ms.m_verify_timeouts <- t.ms.m_verify_timeouts + 1;
+  t.ms.m_words_programmed <- t.ms.m_words_programmed + 1;
+  float_of_int !max_pulses_used *. t.cfg.program_pulse.D.Program_erase.duration
+
+(* Embedded sector erase: erase pulses hit every cell of the sector each
+   round (over-erasing already-clean cells — the real NOR over-erase
+   hazard), verify per cell, repeat until the whole sector reads erased. *)
+let erase_sector_cells t ~sector =
+  let base = sector * t.cfg.words_per_sector * t.cfg.word_bits in
+  let ncells = t.cfg.words_per_sector * t.cfg.word_bits in
+  let rounds = ref 0 in
+  let all_erased () =
+    let ok = ref true in
+    for i = base to base + ncells - 1 do
+      if bit_of_cell t.cells.(i) = 0 then ok := false
+    done;
+    !ok
+  in
+  while (not (all_erased ())) && !rounds < t.cfg.max_pulses do
+    for i = base to base + ncells - 1 do
+      match Cell.erase ~pulse:t.cfg.erase_pulse ~surrogate:t.cfg.surrogate t.cells.(i) with
+      | Error e -> raise (Pulse_failed e)
+      | Ok c' -> t.cells.(i) <- c'
+    done;
+    t.ms.m_erase_pulses <- t.ms.m_erase_pulses + ncells;
+    incr rounds
+  done;
+  if not (all_erased ()) then t.ms.m_verify_timeouts <- t.ms.m_verify_timeouts + 1;
+  float_of_int !rounds *. t.cfg.erase_pulse.D.Program_erase.duration
+
+let launch t kind duration =
+  t.op <- Some { kind; ends_at = t.clock +. duration; remaining = 0. };
+  commit t (* zero-duration operations (nothing to do) complete at once *)
+
+(* ---------- bus ---------- *)
+
+let sense_word t ~addr =
+  let addr = addr mod words t in
+  let base = addr * t.cfg.word_bits in
+  Array.init t.cfg.word_bits (fun i -> bit_of_cell t.cells.(base + i))
+
+let status_read t ~addr ~toggle6 =
+  t.ms.m_status_reads <- t.ms.m_status_reads + 1;
+  if toggle6 then t.dq6 <- 1 - t.dq6;
+  let in_suspended_sector =
+    match t.suspended with
+    | Some { kind = Op_sector_erase { sector }; _ } -> sector_of t ~addr = sector
+    | _ -> false
+  in
+  if in_suspended_sector then t.dq2 <- 1 - t.dq2;
+  let dq7 =
+    match t.op with
+    | Some { kind = Op_program { dq7 }; _ } -> dq7
+    | Some _ -> 0 (* erasing: DQ7 reads 0 until done *)
+    | None -> 1
+  in
+  let dq5 =
+    (* timeout bit: internal verify exhausted max_pulses at least once *)
+    if t.ms.m_verify_timeouts > 0 then 1 else 0
+  in
+  Status { dq7; dq6 = t.dq6; dq5; dq2 = t.dq2 }
+
+let read t ~addr =
+  tick t;
+  let addr = addr mod words t in
+  match t.op with
+  | Some _ -> status_read t ~addr ~toggle6:true
+  | None ->
+    let suspended_here =
+      match t.suspended with
+      | Some { kind = Op_sector_erase { sector }; _ } -> sector_of t ~addr = sector
+      | _ -> false
+    in
+    if suspended_here then
+      (* DQ6 does not toggle during suspend; DQ2 does *)
+      status_read t ~addr ~toggle6:false
+    else begin
+      t.ms.m_data_reads <- t.ms.m_data_reads + 1;
+      Data (sense_word t ~addr)
+    end
+
+let poll_ready t ~interval =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match read t ~addr:0 with
+    | Data _ -> continue := false
+    | Status _ ->
+      incr n;
+      step_to t (t.clock +. interval)
+  done;
+  !n
+
+let suspended_sector t =
+  match t.suspended with
+  | Some { kind = Op_sector_erase { sector }; _ } -> Some sector
+  | _ -> None
+
+let bad t ~addr ~data =
+  t.ms.m_bad_sequences <- t.ms.m_bad_sequences + 1;
+  let state = state_name t in
+  t.seq <- Idle;
+  Error (Bad_sequence { state; addr; data })
+
+let run_physics t f =
+  match f () with
+  | duration -> Ok duration
+  | exception Pulse_failed e ->
+    t.seq <- Idle;
+    Error (Physics e)
+
+let write t ~addr ~data =
+  tick t;
+  let addr = addr mod words t in
+  let u1 = 0x555 mod words t and u2 = 0x2AA mod words t in
+  match t.op with
+  | Some op when data = 0xB0 ->
+    (* erase suspend: only a sector erase can be suspended *)
+    (match op.kind with
+     | Op_sector_erase _ ->
+       op.remaining <- op.ends_at -. t.clock;
+       t.suspended <- Some op;
+       t.op <- None;
+       t.seq <- Idle;
+       t.ms.m_suspends <- t.ms.m_suspends + 1;
+       Tel.count "command_fsm/suspend";
+       Ok ()
+     | Op_program _ | Op_chip_erase -> Error Not_erasing)
+  | Some op ->
+    let operation =
+      match op.kind with
+      | Op_program _ -> "an embedded program"
+      | Op_sector_erase _ -> "a sector erase"
+      | Op_chip_erase -> "a chip erase"
+    in
+    Error (Busy { operation })
+  | None -> (
+    match t.seq with
+    | Word_program -> (
+      (* data cycle of the single-word program *)
+      t.seq <- Idle;
+      match suspended_sector t with
+      | Some sector when sector_of t ~addr = sector ->
+        t.ms.m_bad_sequences <- t.ms.m_bad_sequences + 1;
+        Error (Bad_sequence { state = "erase_suspended"; addr; data })
+      | _ -> (
+        match run_physics t (fun () -> program_word_cells t ~addr ~data) with
+        | Error e -> Error e
+        | Ok duration ->
+          t.ms.m_programs <- t.ms.m_programs + 1;
+          Tel.count "command_fsm/program";
+          launch t (Op_program { dq7 = 1 - (data land 1) }) duration;
+          Ok ()))
+    | Buf_count { sector } ->
+      (* JEDEC encodes the word count as N-1 *)
+      let count = data + 1 in
+      if sector_of t ~addr <> sector then begin
+        t.seq <- Idle;
+        Error (Buffer_sector_crossing { sector; addr })
+      end
+      else if count > t.cfg.write_buffer_words then begin
+        t.seq <- Idle;
+        Error (Buffer_overflow { count; capacity = t.cfg.write_buffer_words })
+      end
+      else begin
+        t.seq <- Buf_load { sector; remaining = count; acc = [] };
+        Ok ()
+      end
+    | Buf_load { sector; remaining; acc } ->
+      if sector_of t ~addr <> sector then begin
+        t.seq <- Idle;
+        Error (Buffer_sector_crossing { sector; addr })
+      end
+      else begin
+        let acc = (addr, data) :: acc in
+        t.seq <-
+          (if remaining = 1 then Buf_confirm { sector; acc }
+           else Buf_load { sector; remaining = remaining - 1; acc });
+        Ok ()
+      end
+    | Buf_confirm { sector; acc } ->
+      if data <> 0x29 || sector_of t ~addr <> sector then bad t ~addr ~data
+      else (
+        t.seq <- Idle;
+        match suspended_sector t with
+        | Some s when s = sector ->
+          t.ms.m_bad_sequences <- t.ms.m_bad_sequences + 1;
+          Error (Bad_sequence { state = "erase_suspended"; addr; data })
+        | _ -> (
+          (* program buffered words sequentially (last loaded value per
+             address wins, like the hardware buffer) *)
+          let words_in_order = List.rev acc in
+          match
+            run_physics t (fun () ->
+                List.fold_left
+                  (fun d (a, w) -> d +. program_word_cells t ~addr:a ~data:w)
+                  0. words_in_order)
+          with
+          | Error e -> Error e
+          | Ok duration ->
+            t.ms.m_programs <- t.ms.m_programs + 1;
+            Tel.count "command_fsm/buffer_program";
+            let dq7 =
+              match List.rev words_in_order with
+              | (_, w) :: _ -> 1 - (w land 1)
+              | [] -> 1
+            in
+            launch t (Op_program { dq7 }) duration;
+            Ok ()))
+    | _ when data = 0xF0 ->
+      t.seq <- Idle;
+      t.ms.m_resets <- t.ms.m_resets + 1;
+      Ok ()
+    | _ when data = 0xB0 -> Error Not_erasing
+    | Idle when data = 0x30 && Option.is_some t.suspended -> (
+      (* erase resume (0x30 doubles as the resume command) *)
+      match t.suspended with
+      | Some op ->
+        op.ends_at <- t.clock +. op.remaining;
+        t.suspended <- None;
+        t.op <- Some op;
+        t.ms.m_resumes <- t.ms.m_resumes + 1;
+        Tel.count "command_fsm/resume";
+        Ok ()
+      | None -> Error Not_suspended)
+    | Idle when addr = u1 && data = 0xAA ->
+      t.seq <- Unlock1;
+      Ok ()
+    | Unlock1 when addr = u2 && data = 0x55 ->
+      t.seq <- Unlocked;
+      Ok ()
+    | Unlocked when addr = u1 && data = 0xA0 ->
+      t.seq <- Word_program;
+      Ok ()
+    | Unlocked when data = 0x25 ->
+      t.seq <- Buf_count { sector = sector_of t ~addr };
+      Ok ()
+    | Unlocked when addr = u1 && data = 0x80 ->
+      t.seq <- Erase_setup;
+      Ok ()
+    | Erase_setup when addr = u1 && data = 0xAA ->
+      t.seq <- Erase_unlock1;
+      Ok ()
+    | Erase_unlock1 when addr = u2 && data = 0x55 ->
+      t.seq <- Erase_unlocked;
+      Ok ()
+    | Erase_unlocked when data = 0x30 -> (
+      t.seq <- Idle;
+      let sector = sector_of t ~addr in
+      match t.suspended with
+      | Some _ ->
+        (* no nested erase while another sector erase is suspended *)
+        t.ms.m_bad_sequences <- t.ms.m_bad_sequences + 1;
+        Error (Bad_sequence { state = "erase_suspended"; addr; data })
+      | None -> (
+        match run_physics t (fun () -> erase_sector_cells t ~sector) with
+        | Error e -> Error e
+        | Ok duration ->
+          t.ms.m_sector_erases <- t.ms.m_sector_erases + 1;
+          Tel.count "command_fsm/sector_erase";
+          launch t (Op_sector_erase { sector }) duration;
+          Ok ()))
+    | Erase_unlocked when addr = u1 && data = 0x10 -> (
+      t.seq <- Idle;
+      if Option.is_some t.suspended then begin
+        t.ms.m_bad_sequences <- t.ms.m_bad_sequences + 1;
+        Error (Bad_sequence { state = "erase_suspended"; addr; data })
+      end
+      else
+        match
+          run_physics t (fun () ->
+              let d = ref 0. in
+              for sector = 0 to t.cfg.sectors - 1 do
+                d := !d +. erase_sector_cells t ~sector
+              done;
+              !d)
+        with
+        | Error e -> Error e
+        | Ok duration ->
+          t.ms.m_chip_erases <- t.ms.m_chip_erases + 1;
+          Tel.count "command_fsm/chip_erase";
+          launch t Op_chip_erase duration;
+          Ok ())
+    | _ -> bad t ~addr ~data)
+
+let stats t =
+  let m = t.ms in
+  {
+    bus_cycles = m.m_bus_cycles;
+    data_reads = m.m_data_reads;
+    status_reads = m.m_status_reads;
+    programs = m.m_programs;
+    words_programmed = m.m_words_programmed;
+    sector_erases = m.m_sector_erases;
+    chip_erases = m.m_chip_erases;
+    suspends = m.m_suspends;
+    resumes = m.m_resumes;
+    resets = m.m_resets;
+    program_pulses = m.m_program_pulses;
+    erase_pulses = m.m_erase_pulses;
+    verify_timeouts = m.m_verify_timeouts;
+    disturb_events = m.m_disturb_events;
+    bad_sequences = m.m_bad_sequences;
+  }
+
+let state_digest t =
+  let f = Workload.digest_fold in
+  let float h x = f h (Int64.to_int (Int64.bits_of_float x)) in
+  let h = ref Workload.digest_empty in
+  Array.iter
+    (fun (c : Cell.t) ->
+       h := float !h c.Cell.qfg;
+       let w = c.Cell.wear in
+       h := float !h w.D.Reliability.fluence;
+       h := float !h w.D.Reliability.traps;
+       h := f !h w.D.Reliability.cycles;
+       h := f !h (if w.D.Reliability.broken then 1 else 0))
+    t.cells;
+  h := float !h t.clock;
+  let m = t.ms in
+  List.iter
+    (fun v -> h := f !h v)
+    [
+      m.m_bus_cycles; m.m_data_reads; m.m_status_reads; m.m_programs;
+      m.m_words_programmed; m.m_sector_erases; m.m_chip_erases; m.m_suspends;
+      m.m_resumes; m.m_resets; m.m_program_pulses; m.m_erase_pulses;
+      m.m_verify_timeouts; m.m_disturb_events; m.m_bad_sequences;
+    ];
+  h := f !h (Hashtbl.hash (state_name t));
+  !h

@@ -1,0 +1,166 @@
+(** Behavioral command-level NOR flash device, modeled on the classic
+    JEDEC/AMD command set: unlock cycles, embedded word program with
+    internal program-and-verify, a write buffer, sector erase with
+    suspend/resume, busy/ready status with data-toggle semantics, and
+    typed command-sequence errors.
+
+    Every program and erase resolves through the device physics of
+    {!Gnrflash_device.Program_erase} (surrogate-accelerated by default),
+    so busy durations, over-erase drift and wear are consequences of the
+    paper's floating-gate model rather than datasheet constants. Time is
+    {e model time} in seconds — each bus cycle costs [t_cycle] and each
+    embedded operation holds the device busy for its accumulated pulse
+    time — which makes latency measurements bit-deterministic and
+    independent of the execution tier running the simulation.
+
+    State machine (command cycles, addresses taken modulo the device
+    span; [SA] = any address inside the target sector):
+
+    {v
+                0xAA@0x555      0x55@0x2AA
+        Idle ────────────► U1 ────────────► Unlocked
+          ▲                                  │ │ │
+          │ 0xF0 (reset, from any            │ │ └─ 0x25@SA ► Buf_count
+          │      non-busy state)             │ │              │ N-1@SA
+          │                                  │ │              ▼
+          │                    0xA0@0x555 ◄──┘ │          Buf_load (N words @SA)
+          │                        │           │              │
+          │                        ▼           │              ▼
+          │                  Word_program      │          Buf_confirm ── 0x29@SA ─► BUSY
+          │                  (addr,data) ─► BUSY
+          │                                    └─ 0x80@0x555 ► Erase_setup
+          │                                         │ 0xAA@0x555, 0x55@0x2AA
+          │                                         ▼
+          │                                    Erase_unlocked
+          │                                      │ 0x30@SA ─► BUSY (sector erase)
+          │                                      │ 0x10@0x555 ► BUSY (chip erase)
+          │        while erasing: 0xB0 ─► SUSPENDED ─ 0x30 ─► BUSY (resume)
+    v}
+
+    While busy, reads return {!constructor-Status} (DQ7 = complement of
+    programmed data, DQ6 toggles on every status read, DQ2 toggles for
+    the suspended sector); bus writes other than suspend/reset are
+    rejected with a typed error and leave the operation running. *)
+
+type config = {
+  sectors : int;
+  words_per_sector : int;
+  word_bits : int;            (** cells per word (data + ECC bits) *)
+  write_buffer_words : int;   (** capacity of the program buffer *)
+  t_cycle : float;            (** bus cycle time [s] *)
+  program_pulse : Gnrflash_device.Program_erase.pulse;
+  erase_pulse : Gnrflash_device.Program_erase.pulse;
+  max_pulses : int;           (** internal program/erase verify retries *)
+  surrogate : bool;           (** serve pulses from the certified surrogate *)
+}
+
+val default_config : config
+(** 8 sectors × 32 words × 13 bits, 16-word buffer, 100 ns cycles,
+    the paper's ±15 V / 1 ms pulses, 8 verify retries, surrogate on. *)
+
+type t
+(** Mutable device instance (one word line of cells per word, flat).
+    Not thread-safe; each execution-tier worker owns its instances. *)
+
+(** Result of one bus read cycle. *)
+type read_result =
+  | Data of int array
+      (** sensed word bits, [word_bits] entries of 0/1 *)
+  | Status of { dq7 : int; dq6 : int; dq5 : int; dq2 : int }
+      (** embedded-operation status: [dq7] is the complement of the bit
+          being programmed (1 while erasing), [dq6] toggles on every
+          status read while busy, [dq2] toggles for reads inside an
+          erase-suspended sector, [dq5] sets on internal verify timeout *)
+
+type error =
+  | Bad_sequence of { state : string; addr : int; data : int }
+      (** command cycle that no edge of the state machine accepts *)
+  | Busy of { operation : string }
+      (** bus write while an embedded operation is running *)
+  | Not_erasing  (** suspend with no erase in flight *)
+  | Not_suspended  (** resume with no suspended erase *)
+  | Buffer_overflow of { count : int; capacity : int }
+  | Buffer_sector_crossing of { sector : int; addr : int }
+  | Physics of string
+      (** the underlying pulse solve failed (typed solver error text) *)
+
+val error_to_string : error -> string
+
+type stats = {
+  bus_cycles : int;
+  data_reads : int;
+  status_reads : int;
+  programs : int;          (** embedded program operations (word or buffer) *)
+  words_programmed : int;
+  sector_erases : int;
+  chip_erases : int;
+  suspends : int;
+  resumes : int;
+  resets : int;
+  program_pulses : int;    (** physics pulses, program polarity *)
+  erase_pulses : int;
+  verify_timeouts : int;   (** words/sectors that hit [max_pulses] *)
+  disturb_events : int;    (** program pulses seen by unselected words *)
+  bad_sequences : int;
+}
+
+val create : ?config:config -> Gnrflash_device.Fgt.t -> t
+(** Fresh device, all cells erased (neutral charge), model clock at 0.
+    @raise Invalid_argument on non-positive geometry. *)
+
+val config : t -> config
+val words : t -> int
+(** Total word span ([sectors × words_per_sector]); addresses wrap
+    modulo this. *)
+
+val sector_of : t -> addr:int -> int
+
+val now : t -> float
+(** Model clock [s]. *)
+
+val ready : t -> bool
+(** RY/BY# — false while an embedded operation is running (a suspended
+    erase with no nested program reports ready). *)
+
+val write : t -> addr:int -> data:int -> (unit, error) result
+(** One bus write cycle (advances the clock by [t_cycle]). Drives the
+    command state machine; completed unlock sequences launch embedded
+    operations. For the program data cycle, [data] is the target word:
+    bit [i] of [data] is the target for cell [i] (AND semantics — a 1
+    over a programmed 0 cannot erase it; the internal verify then records
+    a timeout, which is why the firmware layer must erase before
+    program). Errors leave the device state unchanged apart from the
+    consumed bus cycle and the [bad_sequences] counter. *)
+
+val read : t -> addr:int -> read_result
+(** One bus read cycle (advances the clock by [t_cycle]). Returns
+    {!constructor-Status} while the device is busy, or for addresses in
+    the suspended sector while an erase is suspended. *)
+
+val step_to : t -> float -> unit
+(** Advance the model clock to [max now t], completing any embedded
+    operation whose busy window ends by then. *)
+
+val wait_ready : t -> unit
+(** RY/BY#-style wait: jump the clock to the end of the current busy
+    window (no-op when ready). *)
+
+val poll_ready : t -> interval:float -> int
+(** Data-toggle polling loop: status-read the device every [interval]
+    model seconds until DQ6 stops toggling; returns the number of status
+    reads. The classic alternative to the RY/BY# pin. *)
+
+val sense_word : t -> addr:int -> int array
+(** Direct array sense for verification harnesses: bypasses the bus (no
+    clock advance, no status gating, works while busy or suspended). *)
+
+val stats : t -> stats
+
+val state_name : t -> string
+(** Current command-sequence state, for diagnostics ("idle",
+    "unlocked", "erase_suspended", ...). *)
+
+val state_digest : t -> int
+(** Order-sensitive digest of the full device state: cell charges and
+    wear (bit patterns of the floats), command state, clock, counters.
+    Bit-identical runs produce equal digests across jobs/shards tiers. *)

@@ -37,7 +37,7 @@ let program_page t ~page ~data =
   let error = ref None in
   Array.iteri
     (fun s bit ->
-       if !error = None && bit = 0 then begin
+       if Option.is_none !error && bit = 0 then begin
          let c = Array_model.get !block ~page ~string_:s in
          match D.Ispp.run ~config:t.ispp c.Cell.device ~qfg0:c.Cell.qfg with
          | Error e -> error := Some e

@@ -10,6 +10,24 @@ type config = {
   endurance_limit : int;
 }
 
+type error =
+  | Out_of_range of int
+  | Device_full
+  | No_victim
+  | No_free_block
+
+let error_to_string = function
+  | Out_of_range lpn -> Printf.sprintf "Ftl: lpn %d out of range" lpn
+  | Device_full -> "Ftl: device full"
+  | No_victim -> "Ftl: nothing to collect"
+  | No_free_block -> "Ftl: no free block to open"
+
+(* Physical operations, journaled in the order the device would see them so
+   a command-level front end (Service) can mirror the op stream. *)
+type phys_op =
+  | Phys_program of { block : int; page : int; lpn : int; gc : bool }
+  | Phys_erase of { block : int; retired : bool }
+
 type t = {
   config : config;
   pages : page_state array array;   (* [block].[page] *)
@@ -21,6 +39,7 @@ type t = {
   device_writes : int;
   gc_runs : int;
   erases : int;
+  journal : phys_op list;             (* reverse chronological *)
 }
 
 let default_config =
@@ -47,8 +66,10 @@ let create config =
     device_writes = 0;
     gc_runs = 0;
     erases = 0;
+    journal = [];
   }
 
+let config t = t.config
 let logical_capacity t = Array.length t.mapping
 
 let free_pages t =
@@ -86,6 +107,16 @@ let fully_free_blocks t =
     t.pages;
   !n
 
+(* Exactly the condition under which [allocate] can program a page: either
+   the open block still has room, or a fully-free block exists to open.
+   Free pages scattered across partially-written non-open blocks do NOT
+   count — the allocator cannot consume them. *)
+let writable t =
+  (match t.write_point with
+   | Some (_, p) when p < t.config.pages_per_block -> true
+   | _ -> false)
+  || Option.is_some (pick_open_block t ~exclude:(-1))
+
 let copy t =
   {
     t with
@@ -102,9 +133,9 @@ let rec allocate t =
   | _ ->
     (match pick_open_block t ~exclude:(-1) with
      | Some b -> Ok ({ t with write_point = Some (b, 0) }, b, 0)
-     | None -> Error "Ftl: no free block to open")
+     | None -> Error No_free_block)
 
-and program_page t ~lpn =
+and program_page ?(gc = false) t ~lpn =
   match allocate t with
   | Error e -> Error e
   | Ok (t, b, p) ->
@@ -115,7 +146,13 @@ and program_page t ~lpn =
      | Some (ob, op) -> t.pages.(ob).(op) <- Invalid
      | None -> ());
     t.mapping.(lpn) <- Some (b, p);
-    Ok { t with write_point = Some (b, p + 1); device_writes = t.device_writes + 1 }
+    Ok
+      {
+        t with
+        write_point = Some (b, p + 1);
+        device_writes = t.device_writes + 1;
+        journal = Phys_program { block = b; page = p; lpn; gc } :: t.journal;
+      }
 
 (* Greedy victim selection: most invalid pages; ties broken toward higher
    erase count being avoided (wear leveling). Never the open block. *)
@@ -148,11 +185,16 @@ let erase_block t b =
     | Some (wb, _) when wb = b -> None
     | wp -> wp
   in
-  { t with erases = t.erases + 1; write_point }
+  {
+    t with
+    erases = t.erases + 1;
+    write_point;
+    journal = Phys_erase { block = b; retired = t.retired.(b) } :: t.journal;
+  }
 
 let garbage_collect t =
   match pick_victim t with
-  | None -> Error "Ftl: nothing to collect"
+  | None -> Error No_victim
   | Some victim ->
     (* Move valid pages of the victim through the write point. With at
        least one fully-free block in reserve this always fits: the victim
@@ -163,7 +205,7 @@ let garbage_collect t =
       else
         match t.pages.(victim).(p) with
         | Valid lpn ->
-          (match program_page t ~lpn with
+          (match program_page ~gc:true t ~lpn with
            | Error e -> Error e
            | Ok t -> move t (p + 1))
         | Free | Invalid -> move t (p + 1)
@@ -185,11 +227,14 @@ let rec ensure_space t =
     match garbage_collect t with
     | Ok t -> ensure_space t
     | Error _ ->
-      (* no invalid pages to reclaim: accept writes while room remains *)
-      if free_pages t > 0 then Ok t else Error "Ftl: device full"
+      (* No reclaimable pages. Accept the write only if the allocator can
+         actually place it — free pages stranded in partially-written,
+         non-open blocks are unusable until their block is collected, so
+         [free_pages t > 0] alone is NOT sufficient here. *)
+      if writable t then Ok t else Error Device_full
 
 let write t ~lpn =
-  if lpn < 0 || lpn >= logical_capacity t then Error "Ftl.write: lpn out of range"
+  if lpn < 0 || lpn >= logical_capacity t then Error (Out_of_range lpn)
   else
     match ensure_space t with
     | Error e -> Error e
@@ -212,6 +257,8 @@ let trim t ~lpn =
       t.mapping.(lpn) <- None;
       t
 
+let drain_journal t = ({ t with journal = [] }, List.rev t.journal)
+
 type stats = {
   host_writes : int;
   device_writes : int;
@@ -225,11 +272,16 @@ type stats = {
 
 let stats t =
   let retired_blocks = Array.fold_left (fun n r -> if r then n + 1 else n) 0 t.retired in
+  (* Minimum over ALL blocks: a retired block carries exactly
+     endurance_limit erases, which never undercuts a live block, and on a
+     fully-retired device the true minimum is the endurance limit — not 0,
+     which would make wear_spread read as max_erase_count on a dead
+     device. *)
   let max_e = ref 0 and min_e = ref max_int in
-  Array.iteri
-    (fun b e ->
+  Array.iter
+    (fun e ->
        max_e := max !max_e e;
-       if not t.retired.(b) then min_e := min !min_e e)
+       min_e := min !min_e e)
     t.erase_counts;
   {
     host_writes = t.host_writes;
@@ -248,6 +300,54 @@ let wear_spread t =
   let s = stats t in
   float_of_int (s.max_erase_count - s.min_erase_count)
 
+exception Violation of string
+
+let check_invariants t =
+  let ppb = t.config.pages_per_block in
+  let check cond fmt =
+    Printf.ksprintf (fun s -> if not cond then raise (Violation s)) fmt
+  in
+  try
+    (* mapping -> pages *)
+    Array.iteri
+      (fun lpn loc ->
+         match loc with
+         | None -> ()
+         | Some (b, p) ->
+           check (b >= 0 && b < t.config.blocks && p >= 0 && p < ppb)
+             "lpn %d maps to out-of-range (%d,%d)" lpn b p;
+           check (t.pages.(b).(p) = Valid lpn)
+             "lpn %d maps to (%d,%d) which does not hold it" lpn b p)
+      t.mapping;
+    (* pages -> mapping: no aliasing, every Valid page is the mapped one *)
+    Array.iteri
+      (fun b row ->
+         Array.iteri
+           (fun p s ->
+              match s with
+              | Valid lpn ->
+                check (lpn >= 0 && lpn < Array.length t.mapping)
+                  "page (%d,%d) holds out-of-range lpn %d" b p lpn;
+                check (t.mapping.(lpn) = Some (b, p))
+                  "page (%d,%d) holds lpn %d but mapping disagrees" b p lpn
+              | Free | Invalid -> ())
+           row)
+      t.pages;
+    (* write point sanity *)
+    (match t.write_point with
+     | None -> ()
+     | Some (b, p) ->
+       check (b >= 0 && b < t.config.blocks && p >= 0 && p <= ppb)
+         "write point (%d,%d) out of range" b p;
+       check (not t.retired.(b)) "write point on retired block %d" b);
+    (* counters *)
+    check (t.device_writes >= t.host_writes)
+      "device_writes %d < host_writes %d" t.device_writes t.host_writes;
+    check (t.erases = Array.fold_left ( + ) 0 t.erase_counts)
+      "erases counter %d disagrees with per-block erase counts" t.erases;
+    Ok ()
+  with Violation s -> Error s
+
 let run_trace t ops =
   let capacity = logical_capacity t in
   List.fold_left
@@ -259,3 +359,45 @@ let run_trace t ops =
           | Workload.Read _ -> Ok t
           | Workload.Write { page; _ } -> write t ~lpn:(page mod capacity)))
     (Ok t) ops
+
+module For_testing = struct
+  let of_state ~config:cfg ?erase_counts ~pages ~write_point () =
+    if Array.length pages <> cfg.blocks
+       || Array.exists (fun row -> Array.length row <> cfg.pages_per_block) pages
+    then invalid_arg "Ftl.For_testing.of_state: page map dimensions";
+    let erase_counts =
+      match erase_counts with
+      | None -> Array.make cfg.blocks 0
+      | Some ec ->
+        if Array.length ec <> cfg.blocks || Array.exists (fun c -> c < 0) ec
+        then invalid_arg "Ftl.For_testing.of_state: erase counts";
+        Array.copy ec
+    in
+    let retired = Array.map (fun c -> c >= cfg.endurance_limit) erase_counts in
+    let erases = Array.fold_left ( + ) 0 erase_counts in
+    let t = create cfg in
+    let t =
+      { t with
+        pages = Array.map Array.copy pages;
+        write_point;
+        erase_counts;
+        retired;
+        erases;
+      }
+    in
+    Array.iteri
+      (fun b row ->
+         Array.iteri
+           (fun p s ->
+              match s with
+              | Valid lpn ->
+                if lpn < 0 || lpn >= Array.length t.mapping then
+                  invalid_arg "Ftl.For_testing.of_state: lpn out of range";
+                if Option.is_some t.mapping.(lpn) then
+                  invalid_arg "Ftl.For_testing.of_state: duplicate lpn";
+                t.mapping.(lpn) <- Some (b, p)
+              | Free | Invalid -> ())
+           row)
+      pages;
+    t
+end

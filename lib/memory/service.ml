@@ -1,0 +1,399 @@
+module D = Gnrflash_device
+module Tel = Gnrflash_telemetry.Telemetry
+
+type config = {
+  ftl : Ftl.config;
+  strings : int;
+  poll_interval : float;
+  t_cycle : float;
+  max_pulses : int;
+  surrogate : bool;
+}
+
+let default_config =
+  {
+    ftl = Ftl.default_config;
+    strings = 8;
+    poll_interval = 0.;
+    t_cycle = 100e-9;
+    max_pulses = 8;
+    surrogate = true;
+  }
+
+type latency_summary = {
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+type report = {
+  ops : int;
+  reads : int;
+  read_hits : int;
+  writes : int;
+  rejected_full : int;
+  trims : int;
+  lost_ops : int;
+  read_mismatches : int;
+  verify_mismatches : int;
+  model_time : float;
+  latency : latency_summary;
+  trace_digest : int;
+  state_digest : int;
+  fsm : Command_fsm.stats;
+  ftl : Ftl.stats;
+  invariant_error : string option;
+}
+
+type t = {
+  cfg : config;
+  fsm : Command_fsm.t;
+  mutable ftl : Ftl.t;
+  store : int array option array; (* ground truth per logical page *)
+  mutable ops : int;
+  mutable reads : int;
+  mutable read_hits : int;
+  mutable writes : int;
+  mutable rejected_full : int;
+  mutable trims : int;
+  mutable read_mismatches : int;
+  mutable trace : int;
+  mutable lats : float list;
+}
+
+let word_bits_for strings = strings + Ecc.overhead strings
+
+let create ?(config = default_config) device =
+  if config.strings <= 0 then invalid_arg "Service.create: strings must be > 0";
+  let fsm_config =
+    {
+      Command_fsm.default_config with
+      sectors = config.ftl.Ftl.blocks;
+      words_per_sector = config.ftl.Ftl.pages_per_block;
+      word_bits = word_bits_for config.strings;
+      t_cycle = config.t_cycle;
+      max_pulses = config.max_pulses;
+      surrogate = config.surrogate;
+    }
+  in
+  let ftl = Ftl.create config.ftl in
+  {
+    cfg = config;
+    fsm = Command_fsm.create ~config:fsm_config device;
+    ftl;
+    store = Array.make (Ftl.logical_capacity ftl) None;
+    ops = 0;
+    reads = 0;
+    read_hits = 0;
+    writes = 0;
+    rejected_full = 0;
+    trims = 0;
+    read_mismatches = 0;
+    trace = Workload.digest_empty;
+    lats = [];
+  }
+
+let logical_pages s = Array.length s.store
+let device s = s.fsm
+let ftl s = s.ftl
+
+(* ---------- bus helpers ---------- *)
+
+let bus_write s ~addr ~data =
+  match Command_fsm.write s.fsm ~addr ~data with
+  | Ok () -> ()
+  | Error e ->
+    failwith
+      (Printf.sprintf "Service: device rejected 0x%X @ 0x%X: %s" data addr
+         (Command_fsm.error_to_string e))
+
+let u1 s = 0x555 mod Command_fsm.words s.fsm
+let u2 s = 0x2AA mod Command_fsm.words s.fsm
+
+let finish s =
+  if s.cfg.poll_interval > 0. then
+    ignore (Command_fsm.poll_ready s.fsm ~interval:s.cfg.poll_interval)
+  else Command_fsm.wait_ready s.fsm
+
+let word_of_bits bits =
+  Array.to_list bits
+  |> List.mapi (fun i b -> b lsl i)
+  |> List.fold_left ( lor ) 0
+
+let codeword_for data = Ecc.encode data |> word_of_bits
+
+let addr_of s ~block ~page =
+  (block * s.cfg.ftl.Ftl.pages_per_block) + page
+
+(* ---------- mirrored device operations ---------- *)
+
+let program_word s ~addr ~word =
+  bus_write s ~addr:(u1 s) ~data:0xAA;
+  bus_write s ~addr:(u2 s) ~data:0x55;
+  bus_write s ~addr:(u1 s) ~data:0xA0;
+  bus_write s ~addr ~data:word;
+  finish s
+
+let program_buffer s ~sector ~words =
+  let sa = sector * s.cfg.ftl.Ftl.pages_per_block in
+  bus_write s ~addr:(u1 s) ~data:0xAA;
+  bus_write s ~addr:(u2 s) ~data:0x55;
+  bus_write s ~addr:sa ~data:0x25;
+  bus_write s ~addr:sa ~data:(List.length words - 1);
+  List.iter (fun (addr, word) -> bus_write s ~addr ~data:word) words;
+  bus_write s ~addr:sa ~data:0x29;
+  finish s
+
+let erase_sector s ~sector ~suspend =
+  let sa = sector * s.cfg.ftl.Ftl.pages_per_block in
+  bus_write s ~addr:(u1 s) ~data:0xAA;
+  bus_write s ~addr:(u2 s) ~data:0x55;
+  bus_write s ~addr:(u1 s) ~data:0x80;
+  bus_write s ~addr:(u1 s) ~data:0xAA;
+  bus_write s ~addr:(u2 s) ~data:0x55;
+  bus_write s ~addr:sa ~data:0x30;
+  if suspend && not (Command_fsm.ready s.fsm) then begin
+    (* let the erase run a little, then suspend it and peek at the device *)
+    let cfg = Command_fsm.config s.fsm in
+    Command_fsm.step_to s.fsm
+      (Command_fsm.now s.fsm
+      +. (0.25 *. cfg.Command_fsm.erase_pulse.D.Program_erase.duration));
+    if not (Command_fsm.ready s.fsm) then begin
+      bus_write s ~addr:sa ~data:0xB0;
+      (* a read inside the suspended sector answers with DQ2 toggling... *)
+      ignore (Command_fsm.read s.fsm ~addr:sa);
+      (* ...while other sectors serve data as usual *)
+      if cfg.Command_fsm.sectors > 1 then
+        ignore
+          (Command_fsm.read s.fsm
+             ~addr:
+               ((sector + 1) mod cfg.Command_fsm.sectors
+               * cfg.Command_fsm.words_per_sector));
+      bus_write s ~addr:sa ~data:0x30 (* resume *)
+    end
+  end;
+  finish s
+
+(* Data for one journaled program: GC relocations replay the stored
+   ground truth; the single host-initiated entry carries the new data. *)
+let data_for s ~host_lpn ~host_data ~lpn ~gc =
+  if gc then
+    match s.store.(lpn) with
+    | Some d -> d
+    | None ->
+      failwith
+        (Printf.sprintf "Service: GC relocated lpn %d with no ground truth" lpn)
+  else if lpn <> host_lpn then
+    failwith
+      (Printf.sprintf "Service: host program journaled for lpn %d, expected %d"
+         lpn host_lpn)
+  else host_data
+
+let mirror s ~host_lpn ~host_data ~suspend phys_ops =
+  let buffer_cap = (Command_fsm.config s.fsm).Command_fsm.write_buffer_words in
+  let first_erase = ref true in
+  (* batch maximal same-sector runs of programs through the write buffer *)
+  let rec go = function
+    | [] -> ()
+    | Ftl.Phys_erase { block; retired = _ } :: rest ->
+      let suspend_this = suspend && !first_erase in
+      first_erase := false;
+      erase_sector s ~sector:block ~suspend:suspend_this;
+      go rest
+    | Ftl.Phys_program { block; _ } :: _ as ops ->
+      let rec take n acc = function
+        | Ftl.Phys_program { block = b; page; lpn; gc } :: rest
+          when b = block && n < buffer_cap ->
+          let word = codeword_for (data_for s ~host_lpn ~host_data ~lpn ~gc) in
+          take (n + 1) ((addr_of s ~block ~page, word) :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let batch, rest = take 0 [] ops in
+      (match batch with
+       | [ (addr, word) ] -> program_word s ~addr ~word
+       | words -> program_buffer s ~sector:block ~words);
+      go rest
+  in
+  go phys_ops
+
+(* ---------- host commands ---------- *)
+
+let fold v s = s.trace <- Workload.digest_fold s.trace v
+
+let fold_float x s =
+  s.trace <- Workload.digest_fold s.trace (Int64.to_int (Int64.bits_of_float x))
+
+let record_latency s t0 =
+  let dt = Command_fsm.now s.fsm -. t0 in
+  s.lats <- dt :: s.lats;
+  fold_float dt s
+
+let exec_read s ~lpn =
+  s.reads <- s.reads + 1;
+  fold 1 s;
+  fold lpn s;
+  match Ftl.read s.ftl ~lpn with
+  | None -> fold 0 s
+  | Some (block, page) -> (
+    s.read_hits <- s.read_hits + 1;
+    let addr = addr_of s ~block ~page in
+    match Command_fsm.read s.fsm ~addr with
+    | Command_fsm.Status _ ->
+      (* the service always waits for ready, so a status answer on the
+         read path is a protocol violation *)
+      failwith "Service: data read answered with status while ready"
+    | Command_fsm.Data bits -> (
+      let matches =
+        match (Ecc.decode ~k:s.cfg.strings bits, s.store.(lpn)) with
+        | (Ecc.Clean d | Ecc.Corrected (d, _)), Some expect -> d = expect
+        | Ecc.Uncorrectable, _ | _, None -> false
+      in
+      fold (Bool.to_int matches) s;
+      if not matches then begin
+        s.read_mismatches <- s.read_mismatches + 1;
+        Tel.count "service/read_mismatch"
+      end))
+
+let exec_write s ~lpn ~data ~suspend =
+  if Array.length data <> s.cfg.strings then
+    invalid_arg "Service.exec: data width does not match [strings]";
+  match Ftl.write s.ftl ~lpn with
+  | Error Ftl.Device_full ->
+    s.rejected_full <- s.rejected_full + 1;
+    fold 3 s;
+    fold lpn s;
+    Tel.count "service/rejected_full"
+  | Error e ->
+    (* No_free_block / No_victim escaping here is exactly the FTL
+       space-accounting bug this PR fixes — fail loudly. *)
+    failwith ("Service: FTL internal error escaped: " ^ Ftl.error_to_string e)
+  | Ok ftl' ->
+    let ftl', phys_ops = Ftl.drain_journal ftl' in
+    s.ftl <- ftl';
+    mirror s ~host_lpn:lpn ~host_data:data ~suspend phys_ops;
+    s.store.(lpn) <- Some data;
+    s.writes <- s.writes + 1;
+    fold 2 s;
+    fold lpn s;
+    Array.iter (fun b -> fold b s) data
+
+let exec s cmd =
+  s.ops <- s.ops + 1;
+  let t0 = Command_fsm.now s.fsm in
+  (match cmd with
+   | Workload.Cmd_read { lpn } -> exec_read s ~lpn:(lpn mod logical_pages s)
+   | Workload.Cmd_trim { lpn } ->
+     let lpn = lpn mod logical_pages s in
+     s.trims <- s.trims + 1;
+     s.ftl <- Ftl.trim s.ftl ~lpn;
+     s.store.(lpn) <- None;
+     fold 4 s;
+     fold lpn s
+   | Workload.Cmd_write { lpn; data; suspend } ->
+     exec_write s ~lpn:(lpn mod logical_pages s) ~data ~suspend);
+  record_latency s t0
+
+(* ---------- reporting ---------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+let latencies s =
+  let lats = Array.of_list s.lats in
+  Array.sort compare lats;
+  lats
+
+let latency_summary s =
+  let lats = latencies s in
+  let n = Array.length lats in
+  let mean =
+    if n = 0 then 0.
+    else Array.fold_left ( +. ) 0. lats /. float_of_int n
+  in
+  {
+    mean;
+    p50 = percentile lats 0.50;
+    p95 = percentile lats 0.95;
+    p99 = percentile lats 0.99;
+    max = (if n = 0 then 0. else lats.(n - 1));
+  }
+
+let verify_scan s =
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun lpn stored ->
+       match stored with
+       | None -> ()
+       | Some expect -> (
+         match Ftl.read s.ftl ~lpn with
+         | None -> incr mismatches
+         | Some (block, page) -> (
+           let bits = Command_fsm.sense_word s.fsm ~addr:(addr_of s ~block ~page) in
+           match Ecc.decode ~k:s.cfg.strings bits with
+           | Ecc.Clean d | Ecc.Corrected (d, _) ->
+             if d <> expect then incr mismatches
+           | Ecc.Uncorrectable -> incr mismatches)))
+    s.store;
+  !mismatches
+
+let state_digest s =
+  let h = ref (Command_fsm.state_digest s.fsm) in
+  let f v = h := Workload.digest_fold !h v in
+  Array.iteri
+    (fun lpn _ ->
+       match Ftl.read s.ftl ~lpn with
+       | None -> f (-1)
+       | Some (block, page) -> f (addr_of s ~block ~page))
+    s.store;
+  let st = Ftl.stats s.ftl in
+  List.iter f
+    [
+      st.Ftl.host_writes; st.Ftl.device_writes; st.Ftl.gc_runs; st.Ftl.erases;
+      st.Ftl.retired_blocks; st.Ftl.max_erase_count; st.Ftl.min_erase_count;
+    ];
+  !h
+
+let report s =
+  let accounted = s.reads + s.writes + s.rejected_full + s.trims in
+  {
+    ops = s.ops;
+    reads = s.reads;
+    read_hits = s.read_hits;
+    writes = s.writes;
+    rejected_full = s.rejected_full;
+    trims = s.trims;
+    lost_ops = s.ops - accounted;
+    read_mismatches = s.read_mismatches;
+    verify_mismatches = verify_scan s;
+    model_time = Command_fsm.now s.fsm;
+    latency = latency_summary s;
+    trace_digest = s.trace;
+    state_digest = state_digest s;
+    fsm = Command_fsm.stats s.fsm;
+    ftl = Ftl.stats s.ftl;
+    invariant_error =
+      (match Ftl.check_invariants s.ftl with
+       | Ok () -> None
+       | Error msg -> Some msg);
+  }
+
+let run s cmds =
+  Array.iter (exec s) cmds;
+  report s
+
+let run_trace ?profile ~seed ~ops s =
+  let profile =
+    match profile with
+    | Some p -> { p with Workload.pages = logical_pages s; strings = s.cfg.strings }
+    | None ->
+      {
+        Workload.default_profile with
+        Workload.pages = logical_pages s;
+        strings = s.cfg.strings;
+      }
+  in
+  run s (Workload.generate_commands ~seed ~profile ~ops)

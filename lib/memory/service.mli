@@ -1,0 +1,101 @@
+(** Command-level NOR memory service: the glue that runs host commands
+    ({!Workload.host_cmd}) through the {!Ftl} space manager and mirrors
+    every journaled physical operation ({!Ftl.phys_op}) onto a behavioral
+    {!Command_fsm} device as real JEDEC command sequences — unlock
+    cycles, word or write-buffer programs, sector erases, and
+    suspend/resume dances for suspend-flagged host writes.
+
+    Data pages are SEC-DED encoded ({!Ecc}) before programming and
+    decoded on every host read, so the service observes the device the
+    way firmware does: through codewords, busy polling and status bits.
+    All timing is model time (see {!Command_fsm}), which makes latency
+    percentiles and the trace digest bit-identical across execution
+    tiers ([--jobs]/[--shards]) for a fixed seed. *)
+
+type config = {
+  ftl : Ftl.config;      (** FTL geometry; blocks become device sectors *)
+  strings : int;         (** data bits per page (GNR strings) *)
+  poll_interval : float; (** >0: DQ6 data-toggle polling every this many
+                             model seconds; 0: RY/BY#-style wait *)
+  t_cycle : float;       (** bus cycle time [s] *)
+  max_pulses : int;      (** device-internal verify retries *)
+  surrogate : bool;      (** serve pulses from the certified surrogate *)
+}
+
+val default_config : config
+(** {!Ftl.default_config} geometry, 8 data bits (13-bit codewords),
+    RY/BY# waits, 100 ns cycles, 8 retries, surrogate on. *)
+
+type t
+(** Mutable service instance (owns a {!Command_fsm.t} and an {!Ftl.t}).
+    Not thread-safe; each execution-tier worker owns its instances. *)
+
+type latency_summary = {
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+(** Host-command latencies in model seconds. *)
+
+type report = {
+  ops : int;               (** host commands submitted *)
+  reads : int;
+  read_hits : int;         (** reads of a mapped logical page *)
+  writes : int;            (** host writes accepted by the FTL *)
+  rejected_full : int;     (** host writes rejected with [Device_full] —
+                               accounted, never lost *)
+  trims : int;
+  lost_ops : int;          (** [ops] minus all accounted outcomes; 0 on a
+                               correct run *)
+  read_mismatches : int;   (** decoded page differed from ground truth *)
+  verify_mismatches : int; (** final full-scan decode mismatches *)
+  model_time : float;      (** device model clock at the end [s] *)
+  latency : latency_summary;
+  trace_digest : int;      (** order-sensitive digest of every host-command
+                               outcome and its latency *)
+  state_digest : int;      (** digest of final device cells/wear, FTL
+                               mapping and counters *)
+  fsm : Command_fsm.stats;
+  ftl : Ftl.stats;
+  invariant_error : string option;  (** {!Ftl.check_invariants} failure *)
+}
+
+val create : ?config:config -> Gnrflash_device.Fgt.t -> t
+(** Fresh service over a fresh device. @raise Invalid_argument if the
+    geometry is non-positive. *)
+
+val logical_pages : t -> int
+(** Logical address space exposed to host commands
+    ({!Ftl.logical_capacity}). *)
+
+val device : t -> Command_fsm.t
+val ftl : t -> Ftl.t
+
+val exec : t -> Workload.host_cmd -> unit
+(** Run one host command to completion (the device is always ready
+    again when this returns). Logical page numbers wrap modulo
+    {!logical_pages}. [Device_full] rejections are recorded, not raised.
+    @raise Failure on a service-level protocol violation (an FSM command
+    rejected mid-mirror, or an FTL internal error escaping — the bugs
+    this PR's regression suite pins down). *)
+
+val latencies : t -> float array
+(** All host-command latencies so far, sorted ascending (model seconds) —
+    lets a fleet driver merge per-instance distributions before taking
+    percentiles. *)
+
+val report : t -> report
+(** Totals since [create]; computes the final verify scan (every live
+    logical page is sensed from the cell array and SEC-DED decoded
+    against ground truth) and the digests. *)
+
+val run : t -> Workload.host_cmd array -> report
+(** [exec] every command in order, then {!report}. *)
+
+val run_trace :
+  ?profile:Workload.command_profile -> seed:int -> ops:int -> t -> report
+(** Generate {!Workload.generate_commands} traffic (profile defaults to
+    {!Workload.default_profile} with [pages]/[strings] clamped to this
+    service's geometry) and {!run} it. *)

@@ -229,7 +229,7 @@ let rkf45_core ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?(h_min = 1e-300) ?(max_steps 
     let steps = ref 0 in
     let err = ref None in
     let finished = ref false in
-    while (not !finished) && !err = None do
+    while (not !finished) && Option.is_none !err do
       match Budget.check ~solver () with
       | Error e -> err := Some e
       | Ok () ->

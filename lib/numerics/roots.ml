@@ -80,7 +80,7 @@ let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
     let c = ref !a and fc = ref !fa and d = ref 0. and mflag = ref true in
     let result = ref None in
     let i = ref 0 in
-    while !result = None && !i < max_iter do
+    while Option.is_none !result && !i < max_iter do
       incr i;
       Tel.count "roots/brent_iter";
       match Budget.check ~solver () with

@@ -89,7 +89,7 @@ let classical_turning_points b ~energy =
   Array.iter
     (fun x ->
        if above x then begin
-         if !first = None then first := Some x;
+         if Option.is_none !first then first := Some x;
          last := Some x
        end)
     xs;

@@ -22,6 +22,10 @@ let check_error msg = function
   | Ok _ -> Alcotest.failf "%s: expected an error" msg
   | Error _ -> ()
 
+let check_ok_with to_string msg = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error: %s" msg (to_string e)
+
 let check_sok msg = function
   | Ok v -> v
   | Error e ->

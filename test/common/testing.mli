@@ -19,6 +19,9 @@ val check_ok : string -> ('a, string) result -> 'a
 val check_error : string -> ('a, string) result -> unit
 (** Assert the result is an [Error]. *)
 
+val check_ok_with : ('e -> string) -> string -> ('a, 'e) result -> 'a
+(** {!check_ok} for any typed error, rendered with the given printer. *)
+
 val check_sok : string -> ('a, Gnrflash_resilience.Solver_error.t) result -> 'a
 (** {!check_ok} for typed solver errors (renders via [Solver_error.to_string]). *)
 

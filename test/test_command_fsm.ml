@@ -1,0 +1,384 @@
+module C = Gnrflash_memory.Command_fsm
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+(* Small geometry keeps the physics cheap; every pulse still goes through
+   the surrogate-backed Program_erase path. *)
+let small =
+  { C.default_config with
+    C.sectors = 2;
+    words_per_sector = 4;
+    word_bits = 5;
+    write_buffer_words = 4;
+    max_pulses = 4;
+  }
+
+let mk () = C.create ~config:small F.paper_default
+
+let ok msg r = check_ok_with C.error_to_string msg r
+
+let u1 t = 0x555 mod C.words t
+let u2 t = 0x2AA mod C.words t
+
+let unlock t =
+  ok "unlock1" (C.write t ~addr:(u1 t) ~data:0xAA);
+  ok "unlock2" (C.write t ~addr:(u2 t) ~data:0x55)
+
+let issue_program t ~addr ~data =
+  unlock t;
+  ok "program setup" (C.write t ~addr:(u1 t) ~data:0xA0);
+  ok "program data" (C.write t ~addr ~data)
+
+let program t ~addr ~data =
+  issue_program t ~addr ~data;
+  C.wait_ready t
+
+let issue_erase t ~sector =
+  unlock t;
+  ok "erase setup" (C.write t ~addr:(u1 t) ~data:0x80);
+  unlock t;
+  ok "erase confirm"
+    (C.write t ~addr:(sector * small.C.words_per_sector) ~data:0x30)
+
+let erase t ~sector =
+  issue_erase t ~sector;
+  C.wait_ready t
+
+let word_at t ~addr =
+  match C.read t ~addr with
+  | C.Data bits -> bits
+  | C.Status _ -> Alcotest.fail "expected data, device still busy"
+
+let as_int bits = Array.to_list bits |> List.mapi (fun i b -> b lsl i) |> List.fold_left ( lor ) 0
+
+let all_ones = (1 lsl small.C.word_bits) - 1
+
+(* ---- unit tests ------------------------------------------------------ *)
+
+let test_fresh_device () =
+  let t = mk () in
+  check_true "ready" (C.ready t);
+  Alcotest.(check string) "idle" "idle" (C.state_name t);
+  for addr = 0 to C.words t - 1 do
+    Alcotest.(check int) "erased word" all_ones (as_int (C.sense_word t ~addr))
+  done
+
+let test_word_program_roundtrip () =
+  let t = mk () in
+  program t ~addr:1 ~data:0b00101;
+  Alcotest.(check int) "programmed word reads back" 0b00101
+    (as_int (word_at t ~addr:1));
+  Alcotest.(check int) "neighbor untouched" all_ones (as_int (word_at t ~addr:0));
+  let s = C.stats t in
+  Alcotest.(check int) "one program op" 1 s.C.programs;
+  check_true "pulses spent" (s.C.program_pulses > 0);
+  Alcotest.(check int) "no timeouts" 0 s.C.verify_timeouts
+
+let test_busy_status_and_rejection () =
+  let t = mk () in
+  issue_program t ~addr:0 ~data:0;
+  check_false "busy after launch" (C.ready t);
+  (match C.read t ~addr:0 with
+   | C.Status { dq7; _ } -> Alcotest.(check int) "dq7 complements data" 1 dq7
+   | C.Data _ -> Alcotest.fail "read data while busy");
+  (* DQ6 toggles between consecutive status reads *)
+  (match (C.read t ~addr:0, C.read t ~addr:0) with
+   | C.Status { dq6 = a; _ }, C.Status { dq6 = b; _ } ->
+     check_true "dq6 toggles" (a <> b)
+   | _ -> Alcotest.fail "read data while busy");
+  (match C.write t ~addr:0 ~data:0xAA with
+   | Error (C.Busy _) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+   | Ok () -> Alcotest.fail "bus write accepted while busy");
+  C.wait_ready t;
+  Alcotest.(check int) "programmed" 0 (as_int (word_at t ~addr:0))
+
+let test_model_time_advances () =
+  let t = mk () in
+  let t0 = C.now t in
+  program t ~addr:0 ~data:0;
+  let cfg = C.config t in
+  (* at least 4 bus cycles plus one program pulse of busy time *)
+  check_true "busy window charged"
+    (C.now t -. t0
+     >= (4. *. cfg.C.t_cycle) +. cfg.C.program_pulse.Gnrflash_device.Program_erase.duration)
+
+let test_and_semantics_need_erase () =
+  let t = mk () in
+  program t ~addr:2 ~data:0;
+  program t ~addr:2 ~data:all_ones;
+  (* 1-bits cannot be raised by programming: the word stays 0 and the
+     internal verify records the timeout — firmware must erase first *)
+  Alcotest.(check int) "still programmed" 0 (as_int (word_at t ~addr:2));
+  check_true "verify timeout recorded" ((C.stats t).C.verify_timeouts > 0);
+  erase t ~sector:0;
+  Alcotest.(check int) "erase restores" all_ones (as_int (word_at t ~addr:2));
+  program t ~addr:2 ~data:all_ones;
+  Alcotest.(check int) "program after erase works" all_ones
+    (as_int (word_at t ~addr:2))
+
+let test_sector_erase_is_local () =
+  let t = mk () in
+  program t ~addr:0 ~data:0;
+  program t ~addr:4 ~data:0b01010;
+  erase t ~sector:0;
+  Alcotest.(check int) "sector 0 erased" all_ones (as_int (word_at t ~addr:0));
+  Alcotest.(check int) "sector 1 untouched" 0b01010 (as_int (word_at t ~addr:4))
+
+let test_chip_erase () =
+  let t = mk () in
+  program t ~addr:0 ~data:0;
+  program t ~addr:5 ~data:0;
+  unlock t;
+  ok "erase setup" (C.write t ~addr:(u1 t) ~data:0x80);
+  unlock t;
+  ok "chip erase" (C.write t ~addr:(u1 t) ~data:0x10);
+  C.wait_ready t;
+  for addr = 0 to C.words t - 1 do
+    Alcotest.(check int) "chip erased" all_ones (as_int (C.sense_word t ~addr))
+  done;
+  Alcotest.(check int) "counted" 1 (C.stats t).C.chip_erases
+
+let test_write_buffer () =
+  let t = mk () in
+  let sa = 0 in
+  unlock t;
+  ok "buffer cmd" (C.write t ~addr:sa ~data:0x25);
+  ok "count" (C.write t ~addr:sa ~data:2) (* N-1 = 2 -> 3 words *);
+  ok "w0" (C.write t ~addr:0 ~data:0b00001);
+  ok "w1" (C.write t ~addr:1 ~data:0b00010);
+  ok "w2" (C.write t ~addr:2 ~data:0b00100);
+  ok "confirm" (C.write t ~addr:sa ~data:0x29);
+  C.wait_ready t;
+  Alcotest.(check int) "w0" 0b00001 (as_int (word_at t ~addr:0));
+  Alcotest.(check int) "w1" 0b00010 (as_int (word_at t ~addr:1));
+  Alcotest.(check int) "w2" 0b00100 (as_int (word_at t ~addr:2));
+  let s = C.stats t in
+  Alcotest.(check int) "one buffered program op" 1 s.C.programs;
+  Alcotest.(check int) "three words" 3 s.C.words_programmed
+
+let test_buffer_overflow_and_crossing () =
+  let t = mk () in
+  unlock t;
+  ok "buffer cmd" (C.write t ~addr:0 ~data:0x25);
+  (match C.write t ~addr:0 ~data:(small.C.write_buffer_words + 3) with
+   | Error (C.Buffer_overflow { capacity; _ }) ->
+     Alcotest.(check int) "capacity reported" small.C.write_buffer_words capacity
+   | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+   | Ok () -> Alcotest.fail "oversized buffer accepted");
+  unlock t;
+  ok "buffer cmd" (C.write t ~addr:0 ~data:0x25);
+  ok "count" (C.write t ~addr:0 ~data:1);
+  (match C.write t ~addr:small.C.words_per_sector ~data:0 with
+   | Error (C.Buffer_sector_crossing { sector = 0; _ }) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+   | Ok () -> Alcotest.fail "cross-sector load accepted");
+  (* the device recovers: a fresh valid program still lands *)
+  program t ~addr:1 ~data:0;
+  Alcotest.(check int) "recovered" 0 (as_int (word_at t ~addr:1))
+
+let test_suspend_resume () =
+  let t = mk () in
+  program t ~addr:0 ~data:0;
+  issue_erase t ~sector:0;
+  check_false "erasing" (C.ready t);
+  ok "suspend" (C.write t ~addr:0 ~data:0xB0);
+  check_true "ready while suspended" (C.ready t);
+  Alcotest.(check string) "state" "erase_suspended" (C.state_name t);
+  (* reads inside the suspended sector answer with DQ2 toggling *)
+  (match (C.read t ~addr:0, C.read t ~addr:0) with
+   | C.Status { dq2 = a; dq6 = a6; _ }, C.Status { dq2 = b; dq6 = b6; _ } ->
+     check_true "dq2 toggles" (a <> b);
+     check_true "dq6 frozen during suspend" (a6 = b6)
+   | _ -> Alcotest.fail "suspended sector served data");
+  (* other sectors serve data as usual *)
+  (match C.read t ~addr:small.C.words_per_sector with
+   | C.Data _ -> ()
+   | C.Status _ -> Alcotest.fail "other sector blocked during suspend");
+  ok "resume" (C.write t ~addr:0 ~data:0x30);
+  check_false "busy again" (C.ready t);
+  C.wait_ready t;
+  Alcotest.(check int) "erase completed" all_ones (as_int (word_at t ~addr:0));
+  let s = C.stats t in
+  Alcotest.(check int) "suspend counted" 1 s.C.suspends;
+  Alcotest.(check int) "resume counted" 1 s.C.resumes
+
+let test_program_other_sector_during_suspend () =
+  let t = mk () in
+  program t ~addr:0 ~data:0;
+  issue_erase t ~sector:0;
+  ok "suspend" (C.write t ~addr:0 ~data:0xB0);
+  (* programming inside the suspended sector is rejected... *)
+  unlock t;
+  ok "program setup" (C.write t ~addr:(u1 t) ~data:0xA0);
+  (match C.write t ~addr:1 ~data:0 with
+   | Error (C.Bad_sequence { state = "erase_suspended"; _ }) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+   | Ok () -> Alcotest.fail "program into suspended sector accepted");
+  (* ...but another sector accepts a nested program *)
+  issue_program t ~addr:small.C.words_per_sector ~data:0;
+  C.wait_ready t;
+  Alcotest.(check int) "nested program landed" 0
+    (as_int (C.sense_word t ~addr:small.C.words_per_sector));
+  ok "resume" (C.write t ~addr:0 ~data:0x30);
+  C.wait_ready t;
+  Alcotest.(check int) "erase still completed" all_ones
+    (as_int (word_at t ~addr:0))
+
+let test_suspend_resume_errors () =
+  let t = mk () in
+  (match C.write t ~addr:0 ~data:0xB0 with
+   | Error C.Not_erasing -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+   | Ok () -> Alcotest.fail "suspend accepted while idle");
+  (* a program cannot be suspended *)
+  issue_program t ~addr:0 ~data:0;
+  if not (C.ready t) then (
+    match C.write t ~addr:0 ~data:0xB0 with
+    | Error C.Not_erasing -> ()
+    | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+    | Ok () -> Alcotest.fail "suspend accepted during program");
+  C.wait_ready t
+
+let test_reset_and_bad_sequences () =
+  let t = mk () in
+  unlock t;
+  ok "reset mid-sequence" (C.write t ~addr:0 ~data:0xF0);
+  Alcotest.(check string) "back to idle" "idle" (C.state_name t);
+  (match C.write t ~addr:3 ~data:0x90 with
+   | Error (C.Bad_sequence { state = "idle"; addr = 3; data = 0x90 }) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+   | Ok () -> Alcotest.fail "stray command accepted");
+  (* wrong second unlock cycle *)
+  ok "unlock1" (C.write t ~addr:(u1 t) ~data:0xAA);
+  (match C.write t ~addr:(u1 t) ~data:0x99 with
+   | Error (C.Bad_sequence _) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+   | Ok () -> Alcotest.fail "bad unlock accepted");
+  check_true "rejections counted" ((C.stats t).C.bad_sequences >= 2);
+  (* the machine still works afterwards *)
+  program t ~addr:0 ~data:0b00011;
+  Alcotest.(check int) "recovered" 0b00011 (as_int (word_at t ~addr:0))
+
+let test_poll_ready () =
+  let t = mk () in
+  issue_program t ~addr:0 ~data:0;
+  let cfg = C.config t in
+  let polls =
+    C.poll_ready t
+      ~interval:(cfg.C.program_pulse.Gnrflash_device.Program_erase.duration /. 8.)
+  in
+  check_true "polled at least once" (polls >= 1);
+  check_true "ready after polling" (C.ready t);
+  Alcotest.(check int) "programmed" 0 (as_int (word_at t ~addr:0))
+
+let test_digest_determinism () =
+  let script t =
+    program t ~addr:0 ~data:0b00110;
+    erase t ~sector:0;
+    program t ~addr:5 ~data:0b10001
+  in
+  let a = mk () and b = mk () in
+  script a;
+  script b;
+  Alcotest.(check int) "same script, same digest" (C.state_digest a)
+    (C.state_digest b);
+  let c = mk () in
+  program c ~addr:0 ~data:0b00110;
+  check_true "different history, different digest"
+    (C.state_digest c <> C.state_digest a)
+
+(* ---- properties ------------------------------------------------------ *)
+
+let prop_program_read_roundtrip =
+  prop "programmed word always reads back" ~count:25
+    QCheck2.Gen.(pair (int_range 0 7) (int_range 0 31))
+    (fun (addr, data) ->
+       let t = mk () in
+       program t ~addr ~data;
+       as_int (word_at t ~addr) = data)
+
+let prop_busy_until_wait =
+  prop "reads answer status until the busy window closes" ~count:25
+    QCheck2.Gen.(pair (int_range 0 7) (int_range 0 30))
+    (fun (addr, data) ->
+       let t = mk () in
+       issue_program t ~addr ~data;
+       (* data < 31 guarantees at least one 0 bit, hence a busy window *)
+       let was_busy = not (C.ready t) in
+       let status_while_busy =
+         match C.read t ~addr with C.Status _ -> true | C.Data _ -> false
+       in
+       C.wait_ready t;
+       let data_after =
+         match C.read t ~addr with C.Data _ -> true | C.Status _ -> false
+       in
+       was_busy && status_while_busy && data_after)
+
+let prop_suspend_resume_transparent =
+  prop "suspended erase converges to the uninterrupted result" ~count:15
+    QCheck2.Gen.(int_range 0 31)
+    (fun data ->
+       let straight = mk () and suspended = mk () in
+       program straight ~addr:0 ~data;
+       erase straight ~sector:0;
+       program suspended ~addr:0 ~data;
+       issue_erase suspended ~sector:0;
+       (match C.write suspended ~addr:0 ~data:0xB0 with
+        | Ok () ->
+          ignore (C.read suspended ~addr:0);
+          (match C.write suspended ~addr:0 ~data:0x30 with
+           | Ok () -> ()
+           | Error _ -> ())
+        | Error C.Not_erasing -> () (* zero-length busy window: already done *)
+        | Error _ -> ());
+       C.wait_ready suspended;
+       let sense t =
+         List.init (C.words t) (fun addr -> as_int (C.sense_word t ~addr))
+       in
+       sense straight = sense suspended)
+
+let prop_garbage_cycle_rejected_then_recovers =
+  prop "arbitrary first cycles are rejected and leave the machine usable"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 0 7) (int_range 0 255))
+    (fun (addr, data) ->
+       let t = mk () in
+       let garbage_rejected =
+         if addr = u1 t && data = 0xAA then true (* legitimate unlock start *)
+         else
+           match C.write t ~addr ~data with
+           | Ok () -> data = 0xF0 (* reset is always accepted *)
+           | Error (C.Bad_sequence _) | Error C.Not_erasing -> true
+           | Error _ -> false
+       in
+       ok "reset" (C.write t ~addr:0 ~data:0xF0);
+       program t ~addr:0 ~data:0b00111;
+       garbage_rejected && as_int (word_at t ~addr:0) = 0b00111)
+
+let () =
+  Alcotest.run "command_fsm"
+    [
+      ( "command_fsm",
+        [
+          case "fresh device" test_fresh_device;
+          case "word program roundtrip" test_word_program_roundtrip;
+          case "busy status and rejection" test_busy_status_and_rejection;
+          case "model time advances" test_model_time_advances;
+          case "AND semantics need erase" test_and_semantics_need_erase;
+          case "sector erase is local" test_sector_erase_is_local;
+          case "chip erase" test_chip_erase;
+          case "write buffer" test_write_buffer;
+          case "buffer overflow and crossing" test_buffer_overflow_and_crossing;
+          case "suspend and resume" test_suspend_resume;
+          case "program during suspend" test_program_other_sector_during_suspend;
+          case "suspend/resume errors" test_suspend_resume_errors;
+          case "reset and bad sequences" test_reset_and_bad_sequences;
+          case "poll ready" test_poll_ready;
+          case "digest determinism" test_digest_determinism;
+          prop_program_read_roundtrip;
+          prop_busy_until_wait;
+          prop_suspend_resume_transparent;
+          prop_garbage_cycle_rejected_then_recovers;
+        ] );
+    ]

@@ -1,8 +1,11 @@
 module F = Gnrflash_memory.Ftl
 module W = Gnrflash_memory.Workload
+module Sm = Gnrflash_prng.Splitmix
 open Gnrflash_testing.Testing
 
 let small = { F.blocks = 4; pages_per_block = 8; gc_threshold = 4; endurance_limit = 1000 }
+
+let check_fok msg r = check_ok_with F.error_to_string msg r
 
 let test_create () =
   let t = F.create small in
@@ -18,7 +21,7 @@ let test_create_validation () =
 
 let test_write_and_read () =
   let t = F.create small in
-  let t = check_ok "write" (F.write t ~lpn:5) in
+  let t = check_fok "write" (F.write t ~lpn:5) in
   (match F.read t ~lpn:5 with
    | Some _ -> ()
    | None -> Alcotest.fail "mapping missing");
@@ -26,9 +29,9 @@ let test_write_and_read () =
 
 let test_rewrite_moves_page () =
   let t = F.create small in
-  let t = check_ok "w1" (F.write t ~lpn:3) in
+  let t = check_fok "w1" (F.write t ~lpn:3) in
   let loc1 = F.read t ~lpn:3 in
-  let t = check_ok "w2" (F.write t ~lpn:3) in
+  let t = check_fok "w2" (F.write t ~lpn:3) in
   let loc2 = F.read t ~lpn:3 in
   check_true "out-of-place update" (loc1 <> loc2);
   let s = F.stats t in
@@ -36,18 +39,21 @@ let test_rewrite_moves_page () =
 
 let test_out_of_range () =
   let t = F.create small in
-  check_error "lpn" (F.write t ~lpn:99)
+  match F.write t ~lpn:99 with
+  | Error (F.Out_of_range 99) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (F.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Out_of_range"
 
 let test_trim () =
   let t = F.create small in
-  let t = check_ok "write" (F.write t ~lpn:1) in
+  let t = check_fok "write" (F.write t ~lpn:1) in
   let t = F.trim t ~lpn:1 in
   check_true "unmapped after trim" (F.read t ~lpn:1 = None)
 
 let test_gc_triggers_under_pressure () =
   let t = F.create small in
   (* hammer one logical page enough to exhaust free pages repeatedly *)
-  let rec hammer t n = if n = 0 then t else hammer (check_ok "write" (F.write t ~lpn:0)) (n - 1) in
+  let rec hammer t n = if n = 0 then t else hammer (check_fok "write" (F.write t ~lpn:0)) (n - 1) in
   let t = hammer t 100 in
   let s = F.stats t in
   check_true "GC ran" (s.F.gc_runs > 0);
@@ -59,7 +65,7 @@ let test_gc_triggers_under_pressure () =
 let test_write_amplification_bounds () =
   let t = F.create small in
   let ops = W.generate ~seed:5 W.Uniform ~pages:28 ~strings:1 ~ops:300 ~read_fraction:0. in
-  let t = check_ok "trace" (F.run_trace t ops) in
+  let t = check_fok "trace" (F.run_trace t ops) in
   let s = F.stats t in
   check_true "wa >= 1" (s.F.write_amplification >= 1.);
   check_true "wa sane" (s.F.write_amplification < 10.)
@@ -67,19 +73,22 @@ let test_write_amplification_bounds () =
 let test_wear_leveling_spread () =
   let t = F.create { small with F.blocks = 8 } in
   let ops = W.generate ~seed:9 W.Uniform ~pages:56 ~strings:1 ~ops:2000 ~read_fraction:0. in
-  let t = check_ok "trace" (F.run_trace t ops) in
+  let t = check_fok "trace" (F.run_trace t ops) in
   let s = F.stats t in
   check_true "work spread over blocks" (s.F.min_erase_count > 0);
   (* allocation prefers cold blocks: spread stays a small multiple of min *)
   check_true "bounded spread"
-    (float_of_int s.F.max_erase_count <= (3. *. float_of_int s.F.min_erase_count) +. 5.)
+    (float_of_int s.F.max_erase_count <= (3. *. float_of_int s.F.min_erase_count) +. 5.);
+  check_close ~tol:1e-12 "wear_spread agrees with stats"
+    (float_of_int (s.F.max_erase_count - s.F.min_erase_count))
+    (F.wear_spread t)
 
 let test_sequential_vs_random_wa () =
   (* sequential rewrites invalidate whole blocks: cheaper GC than random *)
   let run pattern =
     let t = F.create { small with F.blocks = 8 } in
     let ops = W.generate ~seed:4 pattern ~pages:56 ~strings:1 ~ops:1500 ~read_fraction:0. in
-    let t = check_ok "trace" (F.run_trace t ops) in
+    let t = check_fok "trace" (F.run_trace t ops) in
     (F.stats t).F.write_amplification
   in
   let wa_seq = run W.Sequential in
@@ -100,6 +109,94 @@ let test_endurance_retirement () =
      check_true "some retirement happened" (s.F.retired_blocks > 0)
    | Error _ -> () (* running out of space after retirement is the expected end state *));
   ()
+
+(* ---- PR regression: the space-accounting bug ------------------------- *)
+
+(* Crash-recovery-style snapshot with the write point lost and every free
+   page stranded mid-block: [free_pages > 0] but no open block has room and
+   no fully-free block exists to open, and with zero Invalid pages GC has
+   nothing to reclaim. Space accounting used to accept this state
+   ([free_pages > 0]) and let the allocator's internal [No_free_block]
+   escape to the host; the fixed predicate ([Ftl.writable]) must turn it
+   into a typed [Device_full]. *)
+let scattered_free_state () =
+  let valid_run ~first ~count ~len =
+    Array.init len (fun i -> if i < count then F.Valid (first + i) else F.Free)
+  in
+  F.For_testing.of_state ~config:small
+    ~pages:
+      [|
+        valid_run ~first:0 ~count:8 ~len:8;
+        valid_run ~first:8 ~count:8 ~len:8;
+        valid_run ~first:16 ~count:3 ~len:8;
+        valid_run ~first:19 ~count:2 ~len:8;
+      |]
+    ~write_point:None ()
+
+let test_scattered_free_is_device_full () =
+  let t = scattered_free_state () in
+  check_true "free pages exist" (F.free_pages t > 0);
+  check_false "but none are allocatable" (F.writable t);
+  (match F.ensure_space t with
+   | Error F.Device_full -> ()
+   | Error e ->
+     Alcotest.failf "ensure_space: wrong error: %s" (F.error_to_string e)
+   | Ok _ -> Alcotest.fail "ensure_space accepted an unwritable device");
+  (* the host-facing write must surface the typed full condition, never an
+     internal allocator error *)
+  match F.write t ~lpn:0 with
+  | Error F.Device_full -> ()
+  | Error e ->
+    Alcotest.failf "write: internal error escaped: %s" (F.error_to_string e)
+  | Ok _ -> Alcotest.fail "write succeeded with no allocatable page"
+
+let test_scattered_free_recovers_after_trim () =
+  (* trimming opens up Invalid pages; GC can then reclaim and the same
+     device accepts writes again *)
+  let t = scattered_free_state () in
+  let t = F.trim t ~lpn:0 in
+  let t = F.trim t ~lpn:1 in
+  let t = F.trim t ~lpn:2 in
+  (* a whole block's worth of invalid pages in block 0 is reclaimable even
+     though there is still no fully-free block: GC needs nothing to move
+     once enough pages of the victim are dead *)
+  let rec trim_all t lpn = if lpn > 7 then t else trim_all (F.trim t ~lpn) (lpn + 1) in
+  let t = trim_all t 3 in
+  let t = check_fok "write after trim" (F.write t ~lpn:0) in
+  check_ok "invariants" (F.check_invariants t)
+
+let test_all_retired_wear_stats () =
+  (* A fully-retired device: every block wore out at exactly the endurance
+     limit, so the true minimum erase count is the limit. The old stats
+     folded only over non-retired blocks and reported 0 — wildly wrong
+     wear-spread on an end-of-life device. (The immutable write path
+     cannot reach this state because the last reclaiming erase is
+     discarded when ensure_space ultimately fails, hence the snapshot
+     constructor.) *)
+  let limit = 2 in
+  let cfg = { small with F.endurance_limit = limit } in
+  let t =
+    F.For_testing.of_state ~config:cfg
+      ~erase_counts:(Array.make cfg.F.blocks limit)
+      ~pages:
+        (Array.init cfg.F.blocks (fun _ -> Array.make cfg.F.pages_per_block F.Free))
+      ~write_point:None ()
+  in
+  let s = F.stats t in
+  Alcotest.(check int) "all blocks retired" cfg.F.blocks s.F.retired_blocks;
+  Alcotest.(check int) "min erase count is the endurance limit" limit
+    s.F.min_erase_count;
+  Alcotest.(check int) "max erase count is the endurance limit" limit
+    s.F.max_erase_count;
+  check_close ~tol:1e-12 "wear spread is flat" 0. (F.wear_spread t);
+  check_false "retired free pages are not writable" (F.writable t);
+  (match F.write t ~lpn:0 with
+   | Error F.Device_full -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (F.error_to_string e)
+   | Ok _ -> Alcotest.fail "write accepted on a fully-retired device");
+  check_ok "invariants" (F.check_invariants t)
+
+(* ---- properties ------------------------------------------------------ *)
 
 let prop_mapping_consistent_after_random_trace =
   prop "every mapping points at a Valid page holding that lpn" ~count:20
@@ -141,6 +238,75 @@ let prop_written_pages_stay_mapped =
           | Error _ -> false
           | Ok t -> F.read t ~lpn:target <> None))
 
+(* Drive a low-endurance device to exhaustion with random writes and trims.
+   At every step: internal allocator errors never escape, the structural
+   invariants hold, and space accounting agrees with the allocator —
+   [ensure_space = Ok] implies the next write can be placed. *)
+let prop_random_ops_to_exhaustion =
+  prop "write/trim/GC to exhaustion keeps invariants and typed errors" ~count:15
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+       let cfg = { small with F.endurance_limit = 4 } in
+       let t = ref (F.create cfg) in
+       let capacity = F.logical_capacity !t in
+       let ok = ref true in
+       let full = ref false in
+       let step = ref 0 in
+       while !ok && not !full && !step < 600 do
+         let h = Sm.hash ~seed ~index:!step in
+         let lpn = h mod capacity in
+         let trim = Sm.hash ~seed:h ~index:1 mod 10 = 0 in
+         (if trim then t := F.trim !t ~lpn
+          else
+            match F.write !t ~lpn with
+            | Ok t' -> t := t'
+            | Error F.Device_full ->
+              (* a full device must also say so via ensure_space *)
+              (match F.ensure_space !t with
+               | Error F.Device_full -> ()
+               | _ -> ok := false);
+              full := true
+            | Error _ -> ok := false);
+         (match F.check_invariants !t with Ok () -> () | Error _ -> ok := false);
+         (match F.ensure_space !t with
+          | Ok t' -> if not (F.writable t') then ok := false
+          | Error F.Device_full -> ()
+          | Error _ -> ok := false);
+         incr step
+       done;
+       let s = F.stats !t in
+       !ok && s.F.device_writes >= s.F.host_writes)
+
+let prop_journal_mirrors_counters =
+  prop "drained journal agrees with the write counters" ~count:20
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       let t = F.create small in
+       let capacity = F.logical_capacity t in
+       let rec go t n =
+         if n = 0 then Ok t
+         else
+           match F.write t ~lpn:(Sm.hash ~seed ~index:n mod capacity) with
+           | Ok t -> go t (n - 1)
+           | Error F.Device_full -> Ok t
+           | Error _ -> Error ()
+       in
+       match go t 120 with
+       | Error () -> false
+       | Ok t ->
+         let _, ops = F.drain_journal t in
+         let programs, gc_copies, erases =
+           List.fold_left
+             (fun (p, g, e) -> function
+                | F.Phys_program { gc; _ } -> ((p + 1), (if gc then g + 1 else g), e)
+                | F.Phys_erase _ -> (p, g, e + 1))
+             (0, 0, 0) ops
+         in
+         let s = F.stats t in
+         programs = s.F.device_writes
+         && gc_copies = s.F.device_writes - s.F.host_writes
+         && erases = s.F.erases)
+
 let () =
   Alcotest.run "ftl"
     [
@@ -157,7 +323,12 @@ let () =
           case "wear leveling" test_wear_leveling_spread;
           case "sequential vs random" test_sequential_vs_random_wa;
           case "endurance retirement" test_endurance_retirement;
+          case "scattered free space is Device_full" test_scattered_free_is_device_full;
+          case "scattered free space recovers after trim" test_scattered_free_recovers_after_trim;
+          case "all-retired wear stats" test_all_retired_wear_stats;
           prop_mapping_consistent_after_random_trace;
           prop_written_pages_stay_mapped;
+          prop_random_ops_to_exhaustion;
+          prop_journal_mirrors_counters;
         ] );
     ]

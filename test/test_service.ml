@@ -1,0 +1,142 @@
+module S = Gnrflash_memory.Service
+module C = Gnrflash_memory.Command_fsm
+module W = Gnrflash_memory.Workload
+module Ftl = Gnrflash_memory.Ftl
+module E = Gnrflash_memory.Ecc
+module F = Gnrflash_device.Fgt
+open Gnrflash_testing.Testing
+
+(* Small geometry: 4 blocks x 8 pages -> 21 logical pages, 4-bit data
+   words carried in 8-bit SEC-DED codewords. *)
+let small_cfg =
+  { S.default_config with
+    S.ftl = { Ftl.blocks = 4; pages_per_block = 8; gc_threshold = 4; endurance_limit = 1000 };
+    strings = 4;
+  }
+
+let mk ?(config = small_cfg) () = S.create ~config F.paper_default
+
+let profile =
+  { W.default_profile with
+    W.pattern = W.Zipf 1.1;
+    read_fraction = 0.3;
+    trim_fraction = 0.05;
+    suspend_fraction = 0.1;
+  }
+
+let test_geometry () =
+  let s = mk () in
+  Alcotest.(check int) "logical pages" 21 (S.logical_pages s);
+  let dc = C.config (S.device s) in
+  Alcotest.(check int) "sectors = blocks" 4 dc.C.sectors;
+  Alcotest.(check int) "words per sector = pages per block" 8
+    dc.C.words_per_sector;
+  Alcotest.(check int) "codeword width" (4 + E.overhead 4) dc.C.word_bits
+
+let test_end_to_end_trace () =
+  let s = mk () in
+  let r = S.run_trace ~profile ~seed:7 ~ops:600 s in
+  Alcotest.(check int) "all ops submitted" 600 r.S.ops;
+  Alcotest.(check int) "no op lost" 0 r.S.lost_ops;
+  Alcotest.(check int) "no read mismatches" 0 r.S.read_mismatches;
+  Alcotest.(check int) "final scan clean" 0 r.S.verify_mismatches;
+  Alcotest.(check int) "no protocol errors" 0 r.S.fsm.C.bad_sequences;
+  check_true "invariants hold" (r.S.invariant_error = None);
+  check_true "device time advanced" (r.S.model_time > 0.);
+  check_true "writes landed" (r.S.writes > 0);
+  check_true "reads hit mapped pages" (r.S.read_hits > 0);
+  check_true "GC erases mirrored to the device"
+    (r.S.fsm.C.sector_erases = r.S.ftl.Ftl.erases);
+  Alcotest.(check int) "journal fully mirrored" r.S.ftl.Ftl.device_writes
+    r.S.fsm.C.words_programmed;
+  (* latency percentiles are ordered and positive *)
+  let l = r.S.latency in
+  check_true "p50 > 0" (l.S.p50 > 0.);
+  check_true "percentiles ordered"
+    (l.S.p50 <= l.S.p95 && l.S.p95 <= l.S.p99 && l.S.p99 <= l.S.max);
+  check_true "mean within range" (l.S.mean > 0. && l.S.mean <= l.S.max)
+
+let test_determinism_across_instances () =
+  let run () =
+    let s = mk () in
+    S.run_trace ~profile ~seed:11 ~ops:400 s
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "trace digest stable" a.S.trace_digest b.S.trace_digest;
+  Alcotest.(check int) "state digest stable" a.S.state_digest b.S.state_digest;
+  let c = mk () in
+  let c = S.run_trace ~profile ~seed:12 ~ops:400 c in
+  check_true "different seed, different trace"
+    (c.S.trace_digest <> a.S.trace_digest)
+
+let test_suspend_exercised () =
+  let s = mk () in
+  let r =
+    S.run_trace
+      ~profile:{ profile with W.read_fraction = 0.; trim_fraction = 0.; suspend_fraction = 1. }
+      ~seed:3 ~ops:800 s
+  in
+  check_true "suspends happened" (r.S.fsm.C.suspends > 0);
+  Alcotest.(check int) "every suspend resumed" r.S.fsm.C.suspends
+    r.S.fsm.C.resumes;
+  Alcotest.(check int) "no op lost" 0 r.S.lost_ops;
+  Alcotest.(check int) "final scan clean" 0 r.S.verify_mismatches
+
+let test_device_full_is_accounted () =
+  (* tiny endurance: the device dies mid-trace; rejected writes must be
+     typed and accounted, never lost, and never an escaped internal error *)
+  let s =
+    mk
+      ~config:
+        { small_cfg with
+          S.ftl = { small_cfg.S.ftl with Ftl.endurance_limit = 3 } }
+      ()
+  in
+  let r =
+    S.run_trace
+      ~profile:{ profile with W.read_fraction = 0.1; trim_fraction = 0. }
+      ~seed:5 ~ops:1500 s
+  in
+  check_true "device filled up" (r.S.rejected_full > 0);
+  Alcotest.(check int) "no op lost" 0 r.S.lost_ops;
+  check_true "invariants hold at end of life" (r.S.invariant_error = None);
+  check_true "blocks retired" (r.S.ftl.Ftl.retired_blocks > 0)
+
+let test_exec_single_commands () =
+  let s = mk () in
+  S.exec s (W.Cmd_write { lpn = 3; data = [| 1; 0; 1; 1 |]; suspend = false });
+  S.exec s (W.Cmd_read { lpn = 3 });
+  S.exec s (W.Cmd_trim { lpn = 3 });
+  S.exec s (W.Cmd_read { lpn = 3 });
+  let r = S.report s in
+  Alcotest.(check int) "ops" 4 r.S.ops;
+  Alcotest.(check int) "one write" 1 r.S.writes;
+  Alcotest.(check int) "two reads" 2 r.S.reads;
+  Alcotest.(check int) "one hit (pre-trim)" 1 r.S.read_hits;
+  Alcotest.(check int) "one trim" 1 r.S.trims;
+  Alcotest.(check int) "clean" 0 r.S.read_mismatches
+
+let prop_no_op_lost =
+  prop "every command is accounted under random profiles" ~count:10
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       let s = mk () in
+       let r = S.run_trace ~profile ~seed ~ops:200 s in
+       r.S.lost_ops = 0 && r.S.verify_mismatches = 0
+       && r.S.invariant_error = None
+       && r.S.reads + r.S.writes + r.S.rejected_full + r.S.trims = r.S.ops)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "service",
+        [
+          case "geometry" test_geometry;
+          case "end to end trace" test_end_to_end_trace;
+          case "determinism" test_determinism_across_instances;
+          case "suspend exercised" test_suspend_exercised;
+          case "device full accounted" test_device_full_is_accounted;
+          case "single commands" test_exec_single_commands;
+          prop_no_op_lost;
+        ] );
+    ]

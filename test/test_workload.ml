@@ -46,6 +46,66 @@ let test_generate_validation () =
     (Invalid_argument "Workload.generate: zipf exponent <= 0") (fun () ->
       ignore (W.generate ~seed:1 (W.Zipf 0.) ~pages:2 ~strings:2 ~ops:5 ~read_fraction:0.))
 
+(* ---- PR regression: structural determinism of the generator ---------- *)
+
+(* Golden digest, pinned. Op [i] is a pure function of [(seed, i)] via
+   per-op splitmix streams, so this value is independent of evaluation
+   order, list-building strategy and execution tier. The pre-fix generator
+   threaded one mutable PRNG through [List.init], whose evaluation order
+   is an implementation detail of the stdlib — any reordering silently
+   produced a different trace. A digest change here means every archived
+   trace and benchmark baseline is invalidated: bump deliberately. *)
+let test_golden_trace_digest () =
+  let ops = W.generate ~seed:123 (W.Zipf 1.1) ~pages:64 ~strings:8 ~ops:256 ~read_fraction:0.3 in
+  Alcotest.(check int) "pinned op-trace digest" 0x14184D2B34E5B1C2 (W.digest_ops ops)
+
+let test_golden_command_digest () =
+  let cmds = W.generate_commands ~seed:123 ~profile:W.default_profile ~ops:256 in
+  Alcotest.(check int) "pinned command-trace digest" 0x25B28F51A731F4AC
+    (W.digest_commands cmds)
+
+let test_prefix_stability () =
+  (* per-op seeding: a longer trace extends a shorter one, op for op *)
+  let long = W.generate ~seed:42 W.Uniform ~pages:16 ~strings:4 ~ops:100 ~read_fraction:0.4 in
+  let short = W.generate ~seed:42 W.Uniform ~pages:16 ~strings:4 ~ops:40 ~read_fraction:0.4 in
+  check_true "prefix equal" (short = List.filteri (fun i _ -> i < 40) long)
+
+let test_generate_commands_shape () =
+  let profile = { W.default_profile with W.pages = 32; strings = 6 } in
+  let cmds = W.generate_commands ~seed:5 ~profile ~ops:300 in
+  Alcotest.(check int) "command count" 300 (Array.length cmds);
+  Array.iter
+    (function
+      | W.Cmd_read { lpn } | W.Cmd_trim { lpn } ->
+        check_true "lpn in range" (lpn >= 0 && lpn < 32)
+      | W.Cmd_write { lpn; data; _ } ->
+        check_true "lpn in range" (lpn >= 0 && lpn < 32);
+        Alcotest.(check int) "data width" 6 (Array.length data);
+        Array.iter (fun b -> check_true "bits" (b = 0 || b = 1)) data)
+    cmds;
+  let again = W.generate_commands ~seed:5 ~profile ~ops:300 in
+  check_true "deterministic" (W.digest_commands cmds = W.digest_commands again)
+
+let test_generate_commands_fractions () =
+  let all_reads =
+    W.generate_commands ~seed:3
+      ~profile:{ W.default_profile with W.read_fraction = 1.; trim_fraction = 0. }
+      ~ops:64
+  in
+  check_true "all reads"
+    (Array.for_all (function W.Cmd_read _ -> true | _ -> false) all_reads);
+  let all_suspend =
+    W.generate_commands ~seed:3
+      ~profile:
+        { W.default_profile with
+          W.read_fraction = 0.; trim_fraction = 0.; suspend_fraction = 1. }
+      ~ops:64
+  in
+  check_true "all writes flagged for suspend"
+    (Array.for_all
+       (function W.Cmd_write { suspend; _ } -> suspend | _ -> false)
+       all_suspend)
+
 let test_replay_small_trace () =
   let pages = 2 and strings = 4 in
   let ctrl = Ctl.make (Am.make F.paper_default ~pages ~strings) in
@@ -74,6 +134,11 @@ let () =
           case "sequential pattern" test_sequential_pattern;
           case "zipf skew" test_zipf_skew;
           case "generate validation" test_generate_validation;
+          case "golden trace digest" test_golden_trace_digest;
+          case "golden command digest" test_golden_command_digest;
+          case "prefix stability" test_prefix_stability;
+          case "generate_commands shape" test_generate_commands_shape;
+          case "generate_commands fractions" test_generate_commands_fractions;
           case "replay small trace" test_replay_small_trace;
           case "rewrite triggers erase" test_replay_rewrite_triggers_erase;
         ] );

@@ -1,4 +1,5 @@
-(* L2 fixture: polymorphic (=)/(<>) at float type. *)
+(* L2 fixture: polymorphic (=)/(<>) at float type, and polymorphic
+   equality against the literal None. *)
 
 let eq (a : float) (b : float) = a = b (* EXPECT L2 *)
 
@@ -9,3 +10,15 @@ let allowed_eq (a : float) (b : float) =
   a = b (* EXPECT-SUPPRESSED L2 *)
 
 let fine (a : float) (b : float) = Float.equal a b
+
+(* The classic short-circuit over an accumulated error payload: comparing
+   the whole option drags the error value through polymorphic compare. *)
+let no_error (err : string option) = err = None (* EXPECT L2 *)
+
+let some_error (err : (string * int) option) = err <> None (* EXPECT L2 *)
+
+let allowed_none (err : string option) =
+  (* lint: allow L2 — fixture: structural comparison intended *)
+  err = None (* EXPECT-SUPPRESSED L2 *)
+
+let fine_none (err : string option) = Option.is_none err

@@ -2,3 +2,7 @@ val eq : float -> float -> bool
 val neq : float -> float -> bool
 val allowed_eq : float -> float -> bool
 val fine : float -> float -> bool
+val no_error : string option -> bool
+val some_error : (string * int) option -> bool
+val allowed_none : string option -> bool
+val fine_none : string option -> bool

@@ -366,7 +366,10 @@ let check_structure ~config ~basename (str : Typedtree.structure) =
                         cd.cstr_name)
                | _ -> ())
            | _ -> ());
-        (* L2: structural equality at float type *)
+        (* L2: structural equality at float type, or polymorphic equality
+           against the literal [None] — the latter drags the whole payload
+           (errors, closures, floats) through [compare] when only the
+           constructor matters *)
         (match cf with
         | "Stdlib.=" | "Stdlib.<>" ->
             let float_arg =
@@ -377,11 +380,28 @@ let check_structure ~config ~basename (str : Typedtree.structure) =
                   | None -> false)
                 args
             in
+            let none_arg =
+              List.exists
+                (fun (_, a) ->
+                  match a with
+                  | Some ({ exp_desc = Texp_construct (_, cd, []); _ } :
+                           Typedtree.expression) ->
+                      cd.Types.cstr_name = "None"
+                  | _ -> false)
+                args
+            in
+            let op = if cf = "Stdlib.=" then "=" else "<>" in
             if float_arg then
               add L2 loc
                 (Printf.sprintf
                    "float equality (%s) — use Float.equal or an epsilon comparison"
-                   (if cf = "Stdlib.=" then "=" else "<>"))
+                   op)
+            else if none_arg then
+              add L2 loc
+                (Printf.sprintf
+                   "polymorphic equality against None (%s) — use \
+                    Option.is_none / Option.is_some"
+                   op)
         | _ -> ());
         (* L3: uninstrumented solver entry points *)
         if l3_scoped && !span_depth = 0 && List.mem cf l3_targets then
