@@ -1019,6 +1019,12 @@ let run_lint () =
     (List.length Lint.all_rules)
     (List.length report.Lint.findings)
     (List.length suppressed);
+  List.iter
+    (fun (r, unsup, sup) ->
+      if unsup + sup > 0 then
+        Printf.printf "    %s: %d unsuppressed, %d suppressed\n"
+          (Lint.rule_id r) unsup sup)
+    (Lint.by_rule report);
   report
 
 (* Machine-readable bench trajectory: per-figure wall-clock timings, the
@@ -1114,10 +1120,17 @@ let write_bench_telemetry ~path ~checks_passed ~scaling ~resilience ~perf
        service.svc_shards_identical (service_ok service));
   Buffer.add_string b
     (Printf.sprintf
-       ",\"lint\":{\"rules_checked\":%d,\"findings\":%d,\"suppressed\":%d}"
+       ",\"lint\":{\"rules_checked\":%d,\"findings\":%d,\"suppressed\":%d,\
+        \"by_rule\":{%s}}"
        (List.length Lint.all_rules)
        (List.length lint.Lint.findings)
-       (List.length (Lint.suppressed lint)));
+       (List.length (Lint.suppressed lint))
+       (String.concat ","
+          (List.map
+             (fun (r, unsup, sup) ->
+               Printf.sprintf "\"%s\":{\"unsuppressed\":%d,\"suppressed\":%d}"
+                 (Lint.rule_id r) unsup sup)
+             (Lint.by_rule lint))));
   Buffer.add_string b ",\"telemetry\":";
   Buffer.add_string b (Tel.render_json snap);
   Buffer.add_string b "}\n";

@@ -6,6 +6,8 @@ module Mat = Gnrflash_materials
 module U = Gnrflash_physics.Units
 module C = Gnrflash_physics.Constants
 module Grid = Gnrflash_numerics.Grid
+module Tel = Gnrflash_telemetry.Telemetry
+module Err = Gnrflash_resilience.Solver_error
 
 (* ---------- Ext A: model accuracy ---------- *)
 
@@ -68,7 +70,10 @@ let evaluate_design ~gcr ~xto_nm =
   let program_time =
     match D.Transient.time_to_threshold_shift t ~vgs ~dvt:2.0 ~max_time:1.0 with
     | Ok (Some time) -> time
-    | Ok None | Error _ -> infinity
+    | Ok None -> infinity
+    | Error e ->
+      Tel.count ("extensions/program_time_fallback/" ^ Err.label e);
+      infinity
   in
   let endurance = M.Endurance.predicted_endurance t ~vgs in
   let breakdown = Mat.Oxide.sio2.Mat.Oxide.breakdown_field in
@@ -233,7 +238,9 @@ let retention_after_cycling ?(cycles_list = [ 0; 100; 1_000; 10_000 ]) () =
   let per_cycle =
     match D.Transient.saturation_charge t ~vgs:Params.vgs_program with
     | Ok q -> 2. *. abs_float q /. t.D.Fgt.area /. C.q  (* electrons/m^2 *)
-    | Error _ -> 0.
+    | Error e ->
+      Tel.count ("extensions/fluence_fallback/" ^ Err.label e);
+      0.
   in
   (* self-field of a 2 V-programmed cell, the retention bias point *)
   let qfg0 = D.Fgt.qfg_for_threshold_shift t ~dvt:2. in

@@ -111,9 +111,10 @@ let worker_loop st =
     end
   done
 
-(* Joining the pool at process exit keeps the runtime shutdown orderly. The
-   flag is only mutated under [st.mutex] inside [run]. *)
-let exit_hook_installed = ref false
+(* Joining the pool at process exit keeps the runtime shutdown orderly.
+   An [Atomic] so concurrent first submissions from different domains race
+   benignly: exactly one wins the compare-and-set and installs the hook. *)
+let exit_hook_installed = Atomic.make false
 
 let shutdown_state st =
   Mutex.lock st.mutex;
@@ -126,10 +127,10 @@ let shutdown_state st =
   List.iter Domain.join ds
 
 let ensure_workers st want =
-  if not !exit_hook_installed then begin
-    exit_hook_installed := true;
-    at_exit (fun () -> shutdown_state !state)
-  end;
+  if Atomic.compare_and_set exit_hook_installed false true then
+    (* lint: allow L8 — the hook runs once, at process exit, after every
+       sweep has drained; [state] swaps only in quiesce/reset_after_fork *)
+    at_exit (fun () -> shutdown_state !state);
   while st.size < want do
     let d = Domain.spawn (fun () -> worker_loop st) in
     st.domains <- d :: st.domains;

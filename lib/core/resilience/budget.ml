@@ -7,6 +7,9 @@ type t = {
   started : float;
 }
 
+(* lint: allow L9 — the wall-clock budget is intentionally nondeterministic
+   in *when* it trips, but exhaustion surfaces as a typed Budget_exhausted
+   error, never as a silently different numeric result *)
 let now () = Unix.gettimeofday ()
 
 let make ?wall_ms ?max_evals () =

@@ -81,13 +81,17 @@ let reset () =
 
 (* Fold [src] into [dst]: counters and span stats add, gauges overwrite. *)
 let merge_sink ~dst (src : sink) =
+  (* lint: allow L9 — counter merge is commutative addition keyed by name;
+     the iteration order over [src] cannot change any merged total *)
   Hashtbl.iter
     (fun key r ->
        match Hashtbl.find_opt dst.sink_counters key with
        | Some d -> d := !d + !r
        | None -> Hashtbl.add dst.sink_counters key (ref !r))
     src.sink_counters;
+  (* lint: allow L9 — last-writer-wins gauges are documented as approximate *)
   Hashtbl.iter (fun key v -> Hashtbl.replace dst.sink_gauges key v) src.sink_gauges;
+  (* lint: allow L9 — span stats add like counters; order-insensitive *)
   Hashtbl.iter
     (fun key r ->
        match Hashtbl.find_opt dst.sink_spans key with
@@ -155,11 +159,14 @@ let span name f =
     let key = path s name in
     s.context <- name :: s.context;
     s.context_prefix <- key;
+    (* lint: allow L9 — span durations are observability data alongside the
+       sweep results, never an input to them *)
     let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
         (match s.context with _ :: rest -> s.context <- rest | [] -> ());
         s.context_prefix <- saved_prefix;
+        (* lint: allow L9 — see above: timing telemetry only *)
         let dt = Unix.gettimeofday () -. t0 in
         match Hashtbl.find_opt s.sink_spans key with
         | Some r -> r := { calls = !r.calls + 1; total_s = !r.total_s +. dt }

@@ -7,18 +7,30 @@ let half_select ~vgs_program ~pulse_width = { v_disturb = vgs_program /. 2.; pul
 
 let default_config = half_select ~vgs_program:15. ~pulse_width:10e-6
 
-let dvt_after_events ?(config = default_config) t ~qfg0 ~events =
-  if events < 0 then Error "Disturb.dvt_after_events: negative events"
+(* The disturb bias is constant across events, so n events of width w are
+   one transient of duration n*w. *)
+let run_events ?(config = default_config) t ~qfg0 ~events =
+  if events < 0 then Error "Disturb: negative events"
   else begin
-    (* The disturb bias is constant across events, so n events of width w
-       are one transient of duration n*w. *)
     let duration = float_of_int events *. config.pulse_width in
-    if duration <= 0. then Ok (Fgt.threshold_shift t ~qfg:qfg0)
+    if duration <= 0. then Ok None
     else
       match Transient.run ~qfg0 t ~vgs:config.v_disturb ~duration with
       | Error e -> Error (Gnrflash_resilience.Solver_error.to_string e)
-      | Ok r -> Ok r.Transient.dvt_final
+      | Ok r -> Ok (Some r)
   end
+
+let dvt_after_events ?config t ~qfg0 ~events =
+  match run_events ?config t ~qfg0 ~events with
+  | Error e -> Error e
+  | Ok None -> Ok (Fgt.threshold_shift t ~qfg:qfg0)
+  | Ok (Some r) -> Ok r.Transient.dvt_final
+
+let qfg_after_events ?config t ~qfg0 ~events =
+  match run_events ?config t ~qfg0 ~events with
+  | Error e -> Error e
+  | Ok None -> Ok qfg0
+  | Ok (Some r) -> Ok r.Transient.qfg_final
 
 let events_to_failure ?(config = default_config) t ~qfg0 ~dvt_fail ~max_events =
   if dvt_fail <= 0. then Error "Disturb.events_to_failure: dvt_fail <= 0"

@@ -17,6 +17,12 @@ val dvt_after_events :
     pulses (sequential transient integration; charge carries over between
     events). *)
 
+val qfg_after_events :
+  ?config:config -> Fgt.t -> qfg0:float -> events:int -> (float, string) result
+(** Stored charge of the victim cell after [events] neighbouring program
+    pulses — the feedback quantity an array model writes back into the
+    victim so accumulated disturb becomes visible to later reads. *)
+
 val events_to_failure :
   ?config:config -> Fgt.t -> qfg0:float -> dvt_fail:float -> max_events:int ->
   (int option, string) result

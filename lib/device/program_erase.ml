@@ -61,6 +61,9 @@ let max_replay_entries = 64
 let warm_state_for t =
   let ws = Domain.DLS.get warm_key in
   (match ws.ws_device with
+   (* lint: allow L9 — [==] here is a conservative same-device check on the
+      per-domain warm cache: a false negative only resets the cache and
+      recomputes identical values *)
    | Some d when d == t -> ()
    | _ ->
      Hashtbl.reset ws.replays;

@@ -121,6 +121,8 @@ let bound_floor = 2e-6
 let build ?budget ?(box = paper_box) ?(span = 1.5) device ~vgs:v =
   Tel.span "surrogate/build" @@ fun () ->
   Tel.count "surrogate/build";
+  (* lint: allow L9 — build_s is a telemetry field reporting construction
+     cost; interpolation tables themselves are deterministic in the knots *)
   let cpu0 = Sys.time () in
   match Budget.with_opt budget (fun () -> Transient.saturation_charge device ~vgs:v) with
   | Error e -> Error e
@@ -245,6 +247,7 @@ let build ?budget ?(box = paper_box) ?(span = 1.5) device ~vgs:v =
             {
               table with
               q_of_t; t_of_q; bound; measured; knots = m;
+              (* lint: allow L9 — see above: reported cost, not a result *)
               build_s = Sys.time () -. cpu0;
             }
         end
@@ -276,6 +279,8 @@ let max_tables = 32
 let cache_for device =
   let c = Domain.DLS.get cache_key in
   (match c.cache_device with
+   (* lint: allow L9 — conservative same-device identity check on the
+      per-domain table cache; a miss only rebuilds identical tables *)
    | Some d when d == device -> ()
    | _ ->
      Hashtbl.reset c.tables;
@@ -324,7 +329,8 @@ let table_for ?budget ?box device ~vgs =
         (* transient starvation: leave the slot empty and retry on a
            later, possibly better-funded, pulse *)
         None
-      | Error _ ->
+      | Error e ->
+        Tel.count ("surrogate/unusable/" ^ Err.label e);
         Hashtbl.replace c.tables key Unusable;
         None
     end

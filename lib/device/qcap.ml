@@ -3,6 +3,7 @@ module Gnr = Gnrflash_materials.Gnr
 module C = Gnrflash_physics.Constants
 module Roots = Gnrflash_numerics.Roots
 module Tel = Gnrflash_telemetry.Telemetry
+module Err = Gnrflash_resilience.Solver_error
 
 let default_stack () = Mlgnr.make (Gnr.make Gnr.Armchair 12) ~layers:3
 
@@ -14,11 +15,15 @@ let fermi_shift ~stack ~area ~qfg =
     (* invert storable_charge: find ef with stack charge density = sigma *)
     let f ef_ev = Mlgnr.storable_charge stack ~ef_max_ev:ef_ev -. sigma in
     match Roots.bracket_root f 1e-4 1. with
-    | Error _ -> 0.
+    | Error e ->
+      Tel.count ("qcap/fermi_shift_fallback/" ^ Err.label e);
+      0.
     | Ok (lo, hi) ->
       (match Roots.brent f lo hi with
        | Ok ef_ev -> ef_ev *. C.ev
-       | Error _ -> 0.)
+       | Error e ->
+         Tel.count ("qcap/fermi_shift_fallback/" ^ Err.label e);
+         0.)
   end
 
 let vfg_effective t ~stack ~vgs ~qfg =
@@ -77,7 +82,9 @@ let run ?(stack = default_stack ()) t ~vgs ~duration =
       match Roots.brent g (if vgs >= 0. then bound else 0.)
               (if vgs >= 0. then 0. else -.bound) with
       | Ok q -> q
-      | Error _ -> 0.
+      | Error e ->
+        Tel.count ("qcap/equilibrium_fallback/" ^ Err.label e);
+        0.
     in
     let q = ref 0. and time = ref 0. in
     let continue = ref true in

@@ -1,6 +1,7 @@
 module Stats = Gnrflash_numerics.Stats
 module Sweep = Gnrflash_parallel.Sweep
 module Err = Gnrflash_resilience.Solver_error
+module Tel = Gnrflash_telemetry.Telemetry
 
 type spread = {
   sigma_xto : float;
@@ -62,7 +63,7 @@ let evaluate device =
     | Error e -> (nan, Some e)
   in
   let failure =
-    match prog_failure with Some _ -> prog_failure | None -> pulse_failure
+    match prog_failure with Some e -> Some e | None -> pulse_failure
   in
   (program_time, dvt_fixed_pulse, failure)
 
@@ -148,7 +149,10 @@ let sensitivity_xto ?(delta = 0.05e-9) base =
     let t = Fgt.with_xto base xto in
     match Transient.time_to_threshold_shift t ~vgs:15. ~dvt:2. ~max_time:10. with
     | Ok (Some time) -> time
-    | Ok None | Error _ -> nan
+    | Ok None -> nan
+    | Error e ->
+      Tel.count ("variation/sensitivity_fallback/" ^ Err.label e);
+      nan
   in
   let t_plus = time (base.Fgt.xto +. delta) in
   let t_minus = time (base.Fgt.xto -. delta) in

@@ -11,6 +11,9 @@ type config = {
   erase_pulse : D.Program_erase.pulse;
   max_pulses : int;
   surrogate : bool;
+  disturb : D.Disturb.config option;
+      (* when set, every program pulse feeds its gate disturb back into the
+         erased cells of the sector's unselected words *)
 }
 
 let default_config =
@@ -24,6 +27,7 @@ let default_config =
     erase_pulse = D.Program_erase.default_erase_pulse;
     max_pulses = 8;
     surrogate = true;
+    disturb = None;
   }
 
 type read_result =
@@ -207,6 +211,46 @@ exception Pulse_failed of string
 
 let bit_of_cell c = Cell.to_bit (Cell.state c)
 
+(* Feed the counted gate-disturb events back into the victim cells: every
+   erased cell of the sector's unselected words integrates [events] disturb
+   pulses from its current charge. Victims at the same charge share one
+   solve (fresh erased cells are all identical), so the cost per program
+   stays at a handful of transients, not one per cell. *)
+let apply_disturb t ~addr ~events =
+  match t.cfg.disturb with
+  | None -> ()
+  | Some dcfg ->
+    let sector = sector_of t ~addr in
+    let memo = Hashtbl.create 4 in
+    let shifted (c : Cell.t) =
+      let key = Int64.bits_of_float c.Cell.qfg in
+      match Hashtbl.find_opt memo key with
+      | Some q -> q
+      | None -> (
+        match
+          D.Disturb.qfg_after_events ~config:dcfg c.Cell.device
+            ~qfg0:c.Cell.qfg ~events
+        with
+        | Error e -> raise (Pulse_failed e)
+        | Ok q ->
+          Hashtbl.add memo key q;
+          q)
+    in
+    let victims = ref 0 in
+    let base_word = sector * t.cfg.words_per_sector in
+    for w = base_word to base_word + t.cfg.words_per_sector - 1 do
+      if w <> addr then
+        for i = 0 to t.cfg.word_bits - 1 do
+          let idx = (w * t.cfg.word_bits) + i in
+          let c = t.cells.(idx) in
+          if bit_of_cell c = 1 then begin
+            t.cells.(idx) <- { c with Cell.qfg = shifted c };
+            incr victims
+          end
+        done
+    done;
+    if !victims > 0 then Tel.count ~n:!victims "command_fsm/disturb_feedback"
+
 (* Embedded program of one word: pulse-and-verify per target-0 bit, bits in
    parallel on the word line (busy time = the slowest bit's pulse count).
    AND semantics: a target 1 over a programmed cell cannot raise it — that
@@ -238,6 +282,7 @@ let program_word_cells t ~addr ~data =
   (* every program pulse gate-disturbs the unselected words of the sector *)
   t.ms.m_disturb_events <-
     t.ms.m_disturb_events + (!max_pulses_used * (t.cfg.words_per_sector - 1));
+  if !max_pulses_used > 0 then apply_disturb t ~addr ~events:!max_pulses_used;
   if !timeout then t.ms.m_verify_timeouts <- t.ms.m_verify_timeouts + 1;
   t.ms.m_words_programmed <- t.ms.m_words_programmed + 1;
   float_of_int !max_pulses_used *. t.cfg.program_pulse.D.Program_erase.duration

@@ -52,11 +52,18 @@ type config = {
   erase_pulse : Gnrflash_device.Program_erase.pulse;
   max_pulses : int;           (** internal program/erase verify retries *)
   surrogate : bool;           (** serve pulses from the certified surrogate *)
+  disturb : Gnrflash_device.Disturb.config option;
+  (** when set, the gate disturb counted in [disturb_events] is fed back
+      into the stored charge of the erased cells of the sector's
+      unselected words (one {!Gnrflash_device.Disturb} transient per
+      distinct victim charge); [None] (default) keeps disturb as pure
+      accounting *)
 }
 
 val default_config : config
 (** 8 sectors × 32 words × 13 bits, 16-word buffer, 100 ns cycles,
-    the paper's ±15 V / 1 ms pulses, 8 verify retries, surrogate on. *)
+    the paper's ±15 V / 1 ms pulses, 8 verify retries, surrogate on,
+    disturb feedback off. *)
 
 type t
 (** Mutable device instance (one word line of cells per word, flat).

@@ -1,4 +1,6 @@
 module D = Gnrflash_device
+module Tel = Gnrflash_telemetry.Telemetry
+module Err = Gnrflash_resilience.Solver_error
 
 type cycle_sample = {
   cycle : int;
@@ -67,7 +69,9 @@ let cycle_cell ?(reliability = D.Reliability.default)
 
 let predicted_endurance ?(reliability = D.Reliability.default) device ~vgs =
   match D.Transient.saturation_charge device ~vgs with
-  | Error _ -> 0.
+  | Error e ->
+    Tel.count ("endurance/saturation_fallback/" ^ Err.label e);
+    0.
   | Ok q_sat ->
     let per_cycle = 2. *. abs_float q_sat in
     (* program + erase both stress the tunnel oxide *)

@@ -1,4 +1,6 @@
 module D = Gnrflash_device
+module Tel = Gnrflash_telemetry.Telemetry
+module Err = Gnrflash_resilience.Solver_error
 module Q = Gnrflash_quantum
 
 type op_energy = {
@@ -17,7 +19,9 @@ let fn_program_energy ?(pump = default_pump) device ~vgs ~pulse_width =
     | Ok r ->
       let q = abs_float r.D.Transient.qfg_final in
       (q, q /. pulse_width)
-    | Error _ -> (0., 0.)
+    | Error e ->
+      Tel.count ("energy/transient_fallback/" ^ Err.label e);
+      (0., 0.)
   in
   let stages = D.Charge_pump.stages_for pump ~v_target:vgs ~i_load:mean_current in
   let pump = { pump with D.Charge_pump.stages } in

@@ -1,4 +1,6 @@
 module D = Gnrflash_device
+module Tel = Gnrflash_telemetry.Telemetry
+module Err = Gnrflash_resilience.Solver_error
 module Q = Gnrflash_quantum
 
 type config = {
@@ -59,7 +61,9 @@ let program_bit t ~index =
       let q_floor =
         match D.Transient.saturation_charge c.Cell.device ~vgs:cfg.vgs_program with
         | Ok q -> q
-        | Error _ -> c.Cell.qfg -. dose
+        | Error e ->
+          Tel.count ("nor_array/saturation_fallback/" ^ Err.label e);
+          c.Cell.qfg -. dose
       in
       let qfg = max q_floor (c.Cell.qfg -. dose) in
       let injected = c.Cell.qfg -. qfg in

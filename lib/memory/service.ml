@@ -8,6 +8,7 @@ type config = {
   t_cycle : float;
   max_pulses : int;
   surrogate : bool;
+  disturb : Gnrflash_device.Disturb.config option;
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     t_cycle = 100e-9;
     max_pulses = 8;
     surrogate = true;
+    disturb = None;
   }
 
 type latency_summary = {
@@ -76,6 +78,7 @@ let create ?(config = default_config) device =
       t_cycle = config.t_cycle;
       max_pulses = config.max_pulses;
       surrogate = config.surrogate;
+      disturb = config.disturb;
     }
   in
   let ftl = Ftl.create config.ftl in

@@ -20,11 +20,16 @@ type config = {
   t_cycle : float;       (** bus cycle time [s] *)
   max_pulses : int;      (** device-internal verify retries *)
   surrogate : bool;      (** serve pulses from the certified surrogate *)
+  disturb : Gnrflash_device.Disturb.config option;
+  (** forwarded to {!Command_fsm}: when set, counted gate-disturb events
+      shift the charge of erased victim cells; [None] (default) keeps
+      disturb as pure accounting *)
 }
 
 val default_config : config
 (** {!Ftl.default_config} geometry, 8 data bits (13-bit codewords),
-    RY/BY# waits, 100 ns cycles, 8 retries, surrogate on. *)
+    RY/BY# waits, 100 ns cycles, 8 retries, surrogate on, disturb
+    feedback off. *)
 
 type t
 (** Mutable service instance (owns a {!Command_fsm.t} and an {!Ftl.t}).

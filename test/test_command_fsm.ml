@@ -288,6 +288,35 @@ let test_digest_determinism () =
   check_true "different history, different digest"
     (C.state_digest c <> C.state_digest a)
 
+(* Disturb feedback: with [disturb = Some _] the gate-disturb events that
+   were previously pure accounting shift the stored charge of the erased
+   cells in the sector's unselected words. The shift must track the event
+   count (no pulses -> no shift), stay deterministic, and leave the
+   counted statistics identical to the accounting-only run. *)
+let test_disturb_feedback () =
+  let dcfg =
+    Gnrflash_device.Disturb.half_select ~vgs_program:15. ~pulse_width:10e-6
+  in
+  let run disturb ~data =
+    let t = C.create ~config:{ small with C.disturb } F.paper_default in
+    program t ~addr:0 ~data;
+    t
+  in
+  let off = run None ~data:0 and on_ = run (Some dcfg) ~data:0 in
+  check_true "events were counted" ((C.stats on_).C.disturb_events > 0);
+  Alcotest.(check int) "feedback does not change the event count"
+    (C.stats off).C.disturb_events (C.stats on_).C.disturb_events;
+  check_true "feedback shifts the victim cells"
+    (C.state_digest on_ <> C.state_digest off);
+  Alcotest.(check int) "feedback is deterministic" (C.state_digest on_)
+    (C.state_digest (run (Some dcfg) ~data:0));
+  (* programming all-ones over erased cells needs zero pulses, so there
+     are no disturb events and the feedback path must not fire at all *)
+  let off1 = run None ~data:all_ones and on1 = run (Some dcfg) ~data:all_ones in
+  Alcotest.(check int) "no pulses, no events" 0 (C.stats on1).C.disturb_events;
+  Alcotest.(check int) "no events, no feedback" (C.state_digest off1)
+    (C.state_digest on1)
+
 (* ---- properties ------------------------------------------------------ *)
 
 let prop_program_read_roundtrip =
@@ -376,6 +405,7 @@ let () =
           case "reset and bad sequences" test_reset_and_bad_sequences;
           case "poll ready" test_poll_ready;
           case "digest determinism" test_digest_determinism;
+          case "disturb feedback" test_disturb_feedback;
           prop_program_read_roundtrip;
           prop_busy_until_wait;
           prop_suspend_resume_transparent;

@@ -13,6 +13,11 @@ let fixture_config =
 
 let root = E.locate_root ()
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 (* (file, line, rule, suppressed) expectations parsed from the markers *)
 let expected_findings () =
   let dir = Filename.concat root fixtures_subdir in
@@ -22,13 +27,6 @@ let expected_findings () =
       let ic = open_in path in
       let acc = ref acc in
       let lnum = ref 0 in
-      let contains hay needle =
-        let nh = String.length hay and nn = String.length needle in
-        let rec go i =
-          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
-        in
-        go 0
-      in
       (try
          while true do
            let line = input_line ic in
@@ -91,6 +89,77 @@ let test_every_rule_covered () =
         (List.exists (fun (_, _, r, s) -> r = rule && s) expected))
     E.all_rules
 
+(* The inter-procedural phase exposes its resolved call graph through the
+   report; the cg_stress fixture pins the shapes that historically broke
+   naive walkers: mutual recursion (a cycle the BFS must traverse without
+   looping), functor bodies (instantiation aliases must resolve into them),
+   and first-class modules (must not crash the walker). *)
+let test_callgraph () =
+  let report = E.run ~config:fixture_config ~root ~subdir:fixtures_subdir () in
+  let graph = report.E.graph in
+  check_true "call graph is non-empty" (graph <> []);
+  let ends_with suffix s =
+    let ls = String.length s and lf = String.length suffix in
+    ls >= lf && String.sub s (ls - lf) lf = suffix
+  in
+  let node suffix =
+    match List.find_opt (fun (id, _) -> ends_with suffix id) graph with
+    | Some n -> n
+    | None ->
+        Alcotest.failf "node *.%s not in graph: %s" suffix
+          (String.concat ", " (List.map fst graph))
+  in
+  let has_edge caller callee =
+    let _, callees = node caller in
+    List.exists (ends_with callee) callees
+  in
+  check_true "cycle edge even_step -> odd_step"
+    (has_edge "Cg_stress.even_step" "Cg_stress.odd_step");
+  check_true "cycle edge odd_step -> even_step"
+    (has_edge "Cg_stress.odd_step" "Cg_stress.even_step");
+  (* the functor body got its own node, so [C0.bump] calls resolve there *)
+  ignore (node "Cg_stress.Counter.bump");
+  (* the two-hop chain behind the seeded L8 race *)
+  check_true "edge log_hit -> bump"
+    (has_edge "Bad_l8.log_hit" "Bad_l8.bump");
+  (* first-class modules did not crash phase 1 and the caller still has a
+     node (the packed body itself is a documented resolution miss) *)
+  ignore (node "Cg_stress.through_pack")
+
+let test_engine_api () =
+  check_true "rule_of_string L8" (E.rule_of_string "L8" = Some E.L8);
+  check_true "rule_of_string lowercase" (E.rule_of_string "l11" = Some E.L11);
+  check_true "rule_of_string out of range" (E.rule_of_string "L13" = None);
+  check_true "rule_of_string junk" (E.rule_of_string "Lx" = None);
+  let report = E.run ~config:fixture_config ~root ~subdir:fixtures_subdir () in
+  let counts = E.by_rule report in
+  check_true "by_rule covers every rule"
+    (List.length counts = List.length E.all_rules);
+  let unsup = List.fold_left (fun a (_, u, _) -> a + u) 0 counts in
+  let sup = List.fold_left (fun a (_, _, s) -> a + s) 0 counts in
+  check_true "by_rule counts sum to the findings"
+    (unsup = List.length (E.unsuppressed report)
+    && sup = List.length (E.suppressed report));
+  let only8 = E.filter_rules [ E.L8 ] report in
+  check_true "filter_rules keeps only L8"
+    (only8.E.findings <> []
+    && List.for_all (fun f -> f.E.rule = E.L8) only8.E.findings);
+  let json = E.render_json report in
+  check_true "json lists findings" (contains json "\"findings\"");
+  check_true "json has per-rule counts" (contains json "\"by_rule\"");
+  check_true "json mentions L8" (contains json "\"L8\"")
+
+let test_baseline_roundtrip () =
+  let report = E.run ~config:fixture_config ~root ~subdir:fixtures_subdir () in
+  let b = E.baseline_of_report report in
+  check_true "fixture baseline is non-empty" (b <> []);
+  let b' = E.baseline_of_string (E.baseline_to_string b) in
+  check_true "baseline text round-trips"
+    (List.sort compare b' = List.sort compare b);
+  Alcotest.(check (list string))
+    "applying a report's own baseline silences it" []
+    (List.map E.render_finding (E.unsuppressed (E.apply_baseline b report)))
+
 let test_repo_clean () =
   let report = E.run ~root ~subdir:"lib" () in
   check_true "repo libraries were scanned" (report.E.files_scanned > 50);
@@ -105,6 +174,9 @@ let () =
         [
           case "fixtures match markers" test_fixtures_exact;
           case "all rules covered" test_every_rule_covered;
+          case "call graph shapes" test_callgraph;
+          case "engine api" test_engine_api;
+          case "baseline round-trip" test_baseline_roundtrip;
           case "repo is lint-clean" test_repo_clean;
         ] );
     ]

@@ -116,6 +116,27 @@ let test_exec_single_commands () =
   Alcotest.(check int) "one trim" 1 r.S.trims;
   Alcotest.(check int) "clean" 0 r.S.read_mismatches
 
+(* Disturb feedback threads through the service config down to the FSM:
+   the enabled run counts the same events but lands on a different final
+   cell state, deterministically. *)
+let test_disturb_feedback_threaded () =
+  let dcfg =
+    Gnrflash_device.Disturb.half_select ~vgs_program:15. ~pulse_width:10e-6
+  in
+  let run disturb =
+    let s = mk ~config:{ small_cfg with S.disturb } () in
+    S.run_trace ~profile ~seed:21 ~ops:40 s
+  in
+  let off = run None and on_ = run (Some dcfg) in
+  check_true "events counted" (on_.S.fsm.C.disturb_events > 0);
+  Alcotest.(check int) "same events either way" off.S.fsm.C.disturb_events
+    on_.S.fsm.C.disturb_events;
+  Alcotest.(check int) "no op lost with feedback on" 0 on_.S.lost_ops;
+  check_true "feedback shifts the final state"
+    (on_.S.state_digest <> off.S.state_digest);
+  Alcotest.(check int) "feedback is deterministic" on_.S.state_digest
+    (run (Some dcfg)).S.state_digest
+
 let prop_no_op_lost =
   prop "every command is accounted under random profiles" ~count:10
     QCheck2.Gen.(int_range 0 10_000)
@@ -137,6 +158,7 @@ let () =
           case "suspend exercised" test_suspend_exercised;
           case "device full accounted" test_device_full_is_accounted;
           case "single commands" test_exec_single_commands;
+          case "disturb feedback threaded" test_disturb_feedback_threaded;
           prop_no_op_lost;
         ] );
     ]

@@ -226,6 +226,27 @@ let test_pool_persists_across_calls () =
   Alcotest.(check int) "no respawn across five sweeps" before
     (Sweep.pool_spawned ())
 
+(* Regression for the exit-hook installation race: first submissions from
+   several fresh domains race to install the pool's at_exit hook (an Atomic
+   compare-and-set — exactly one may win), and every racing sweep must
+   still return the serial result bit-for-bit. Callers that find the pool
+   busy fall back to the serial loop, so the race is safe by construction;
+   this pins it. *)
+let test_first_submission_race () =
+  ignore (Gnrflash_parallel.Pool.quiesce ());
+  let xs = Array.init 128 float_of_int in
+  let expected = Array.map work xs in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Sweep.map ~jobs:2 ~serial_cutoff:0. work xs))
+  in
+  List.iter
+    (fun d ->
+      check_true "racing sweep matches serial" (Domain.join d = expected))
+    domains;
+  check_true "pool still serviceable after the race"
+    (Sweep.map ~jobs:2 ~serial_cutoff:0. work xs = expected)
+
 let test_auto_chunk () =
   (* cheap elements: the chunk grows until one claim carries ~1 ms (the
      ceil of a float ratio, so allow the one-off rounding artifact) *)
@@ -287,6 +308,7 @@ let () =
           case "probe ignores first-call artifact"
             test_probe_ignores_first_call_artifact;
           case "pool persists across calls" test_pool_persists_across_calls;
+          case "first submissions race safely" test_first_submission_race;
           case "auto-chunk sizing" test_auto_chunk;
           case "tiny grid not slower than serial" test_tiny_grid_not_slower;
           prop_map_parity;

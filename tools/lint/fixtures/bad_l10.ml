@@ -1,0 +1,24 @@
+(* L10 fixture: marshal-unsafe values at the Shard process boundary —
+   sharded sweeps whose result frames hold closures or OS handles cannot
+   round-trip through Marshal. Plain data and unsharded sweeps are fine. *)
+
+module Sweep = Gnrflash_parallel.Sweep
+module Shard = Gnrflash_parallel.Shard
+
+let closure_frames xs = Sweep.map ~shards:2 (fun x -> fun () -> x) xs (* EXPECT L10 *)
+
+let channel_frames xs = Sweep.map ~shards:2 (fun _ -> stdin) xs (* EXPECT L10 *)
+
+let shard_closures ~n =
+  Shard.run ~shards:2 ~n ~run_slice:(fun ~lo ~len -> (* EXPECT L10 *)
+      Array.init len (fun i () -> lo + i))
+
+let suppressed_frames xs =
+  (* lint: allow L10 — fixture: exercised in-process only, never sharded in CI *)
+  Sweep.map ~shards:2 (fun x -> fun () -> x) xs (* EXPECT-SUPPRESSED L10 *)
+
+(* plain marshalable data across the boundary: not flagged *)
+let plain_frames xs = Sweep.map ~shards:2 (fun x -> (x, x *. 2.)) xs
+
+(* closures in an unsharded sweep stay in-process: not flagged *)
+let in_process xs = Sweep.map (fun x -> fun () -> x) xs

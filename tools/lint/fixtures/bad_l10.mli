@@ -1,0 +1,6 @@
+val closure_frames : int array -> (unit -> int) array
+val channel_frames : int array -> in_channel array
+val shard_closures : n:int -> (unit -> int) array
+val suppressed_frames : int array -> (unit -> int) array
+val plain_frames : float array -> (float * float) array
+val in_process : int array -> (unit -> int) array

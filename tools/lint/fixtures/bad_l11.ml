@@ -1,0 +1,41 @@
+(* L11 fixture: typed-error erasure. A wildcard that swallows a
+   Solver_error (directly or through a local [type error = Err.t]
+   abbreviation, as the device layer writes it) loses the failure class;
+   Result.get_ok turns it into an anonymous Invalid_argument. Binding the
+   error, or visibly rebinding it with [as], is fine. *)
+
+module Err = Gnrflash_resilience.Solver_error
+
+type error = Err.t
+
+let solve_ish (x : float) : (float, error) result =
+  if x > 0. then Ok (sqrt x)
+  else Error (Err.make ~solver:"fixture" (Err.Invalid_input "negative"))
+
+let erased x =
+  match solve_ish x with
+  | Ok y -> y
+  | Error _ -> 0. (* EXPECT L11 *)
+
+let got x = Result.get_ok (solve_ish x) (* EXPECT L11 *)
+
+let suppressed_erase x =
+  match solve_ish x with
+  | Ok y -> y
+  (* lint: allow L11 — fixture: class already counted by the caller *)
+  | Error _ -> 0. (* EXPECT-SUPPRESSED L11 *)
+
+(* binding the error keeps the class observable: not flagged *)
+let bound x =
+  match solve_ish x with
+  | Ok y -> y
+  | Error e ->
+    ignore (Err.label e);
+    0.
+
+(* a wildcard at the whole result type is a control-flow shortcut, not an
+   error erasure: not flagged *)
+let is_ok x = match solve_ish x with Ok _ -> true | _ -> false
+
+(* [as] visibly rebinds the value — the wildcard underneath is fine *)
+let aliased x = match solve_ish x with Ok y -> Some y | Error _ as _failed -> None

@@ -1,0 +1,9 @@
+type error = Gnrflash_resilience.Solver_error.t
+
+val solve_ish : float -> (float, error) result
+val erased : float -> float
+val got : float -> float
+val suppressed_erase : float -> float
+val bound : float -> float
+val is_ok : float -> bool
+val aliased : float -> float option

@@ -1,0 +1,12 @@
+(* L12 fixture: Domain.DLS.new_key away from module toplevel — a key
+   minted per call leaks one DLS slot per invocation and defeats the
+   per-domain cache it was meant to implement. *)
+
+let fresh_key () = Domain.DLS.new_key (fun () -> 0) (* EXPECT L12 *)
+
+let suppressed_key () =
+  (* lint: allow L12 — fixture: deliberately per-call for an isolation test *)
+  Domain.DLS.new_key (fun () -> 0) (* EXPECT-SUPPRESSED L12 *)
+
+(* the blessed shape: minted once at module load *)
+let toplevel_key = Domain.DLS.new_key (fun () -> 0)

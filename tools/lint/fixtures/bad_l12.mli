@@ -1,0 +1,3 @@
+val fresh_key : unit -> int Domain.DLS.key
+val suppressed_key : unit -> int Domain.DLS.key
+val toplevel_key : int Domain.DLS.key

@@ -1,0 +1,60 @@
+(* L8 fixture: unsynchronized module-level mutable state reachable from a
+   sweep worker — including the seeded inter-procedural race two calls
+   deep (worker -> log_hit -> bump), a read-only race, a suppressed
+   variant, and the three blessed shapes (Atomic, Mutex, Domain.DLS). *)
+
+module Sweep = Gnrflash_parallel.Sweep
+
+let hits = ref 0
+let tally : (int, int) Hashtbl.t = Hashtbl.create 8
+
+(* the race is two calls below the worker closure *)
+let bump n = hits := !hits + n (* EXPECT L8 *)
+
+let log_hit n =
+  bump n;
+  Hashtbl.replace tally n 1 (* EXPECT L8 *)
+
+let race_two_deep xs =
+  Sweep.map
+    (fun x ->
+      log_hit x;
+      x)
+    xs
+
+(* a worker that only reads still races with the writer elsewhere *)
+let shared_mode = ref 0
+let set_mode m = shared_mode := m
+
+let read_racy xs = Sweep.map (fun x -> x + !shared_mode) xs (* EXPECT L8 *)
+
+let suppressed_hits = ref 0
+
+let bump_suppressed () =
+  (* lint: allow L8 — fixture: single-writer phase, documented *)
+  incr suppressed_hits (* EXPECT-SUPPRESSED L8 *)
+
+let suppressed_sweep xs =
+  Sweep.map
+    (fun x ->
+      bump_suppressed ();
+      x)
+    xs
+
+(* the blessed shapes: none of these may fire *)
+let safe_hits = Atomic.make 0
+let safe_bump () = Atomic.incr safe_hits
+let lock = Mutex.create ()
+let locked_hits = ref 0
+let locked_bump () = Mutex.protect lock (fun () -> incr locked_hits)
+let dls_hits = Domain.DLS.new_key (fun () -> ref 0)
+let dls_bump () = incr (Domain.DLS.get dls_hits)
+
+let safe_sweep xs =
+  Sweep.map
+    (fun x ->
+      safe_bump ();
+      locked_bump ();
+      dls_bump ();
+      x)
+    xs

@@ -1,0 +1,19 @@
+val hits : int ref
+val tally : (int, int) Hashtbl.t
+val bump : int -> unit
+val log_hit : int -> unit
+val race_two_deep : int array -> int array
+val shared_mode : int ref
+val set_mode : int -> unit
+val read_racy : int array -> int array
+val suppressed_hits : int ref
+val bump_suppressed : unit -> unit
+val suppressed_sweep : int array -> int array
+val safe_hits : int Atomic.t
+val safe_bump : unit -> unit
+val lock : Mutex.t
+val locked_hits : int ref
+val locked_bump : unit -> unit
+val dls_hits : int ref Domain.DLS.key
+val dls_bump : unit -> unit
+val safe_sweep : int array -> int array

@@ -1,0 +1,36 @@
+(* L9 fixture: nondeterminism in sweep-reachable code — the global Random
+   PRNG, wall-clock reads, hash-order dependent folds, and physical
+   equality on boxed values — plus a suppressed variant and the two
+   blessed shapes (unreached nondet, seeded Random.State). *)
+
+module Sweep = Gnrflash_parallel.Sweep
+
+let jitter () = Random.float 1.0 (* EXPECT L9 *)
+let noisy xs = Sweep.map (fun x -> x +. jitter ()) xs
+let stamp () = Unix.gettimeofday () (* EXPECT L9 *)
+let stamped xs = Sweep.map (fun x -> x +. stamp ()) xs
+
+let weights : (int, float) Hashtbl.t = Hashtbl.create 8
+
+let folded xs =
+  Sweep.map (fun x -> Hashtbl.fold (fun _ w acc -> acc +. w) weights x) xs (* EXPECT L9 *)
+
+let rows_eq (xs : float array array) =
+  Sweep.map (fun row -> if row == row then 1 else 0) xs (* EXPECT L9 *)
+
+let timed xs =
+  Sweep.map
+    (fun x ->
+      (* lint: allow L9 — fixture: timing is observability, not a result *)
+      let t0 = Unix.gettimeofday () in (* EXPECT-SUPPRESSED L9 *)
+      x +. (t0 -. t0))
+    xs
+
+(* nondet that no worker reaches is not reported *)
+let unreached () = Random.float 2.0
+
+(* the blessed shape: a per-element seeded generator *)
+let seeded xs =
+  Sweep.mapi
+    (fun i x -> x +. Random.State.float (Random.State.make [| i |]) 1.0)
+    xs

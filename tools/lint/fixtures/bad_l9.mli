@@ -1,0 +1,10 @@
+val jitter : unit -> float
+val noisy : float array -> float array
+val stamp : unit -> float
+val stamped : float array -> float array
+val weights : (int, float) Hashtbl.t
+val folded : float array -> float array
+val rows_eq : float array array -> int array
+val timed : float array -> float array
+val unreached : unit -> float
+val seeded : float array -> float array

@@ -1,0 +1,54 @@
+(* Call-graph stress fixture: mutual recursion (the reachability BFS must
+   terminate and still find effects inside the cycle), functor
+   instantiation (calls through the instantiated alias resolve into the
+   functor body), and first-class modules (must not crash; calls through
+   them are documented resolution misses). *)
+
+module Sweep = Gnrflash_parallel.Sweep
+
+let trace = ref 0
+
+let rec even_step n = if n = 0 then 0 else odd_step (n - 1)
+
+and odd_step n =
+  trace := n; (* EXPECT L8 *)
+  if n = 0 then 1 else even_step (n - 1)
+
+let cyclic xs = Sweep.map (fun x -> even_step x) xs
+
+module Counter (U : sig
+  val unit_step : int
+end) =
+struct
+  let cell = ref 0
+  let bump () = cell := !cell + U.unit_step (* EXPECT L8 *)
+end
+
+module C0 = Counter (struct
+  let unit_step = 1
+end)
+
+let through_functor xs =
+  Sweep.map
+    (fun x ->
+      C0.bump ();
+      x)
+    xs
+
+module type STEPPER = sig
+  val step : float -> float
+end
+
+(* the packed structure's body is not walked (documented approximation):
+   the Random.float inside is a silent false negative, never a crash *)
+let packed : (module STEPPER) =
+  (module struct
+    let step x = x +. Random.float 1.0
+  end)
+
+let through_pack xs =
+  Sweep.map
+    (fun x ->
+      let (module S) = packed in
+      S.step x)
+    xs

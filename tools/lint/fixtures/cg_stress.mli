@@ -1,0 +1,25 @@
+val trace : int ref
+val even_step : int -> int
+val odd_step : int -> int
+val cyclic : int array -> int array
+
+module Counter (_ : sig
+  val unit_step : int
+end) : sig
+  val cell : int ref
+  val bump : unit -> unit
+end
+
+module C0 : sig
+  val cell : int ref
+  val bump : unit -> unit
+end
+
+val through_functor : int array -> int array
+
+module type STEPPER = sig
+  val step : float -> float
+end
+
+val packed : (module STEPPER)
+val through_pack : float array -> float array

@@ -1,4 +1,4 @@
-type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
 
 let rule_id = function
   | L1 -> "L1"
@@ -8,8 +8,13 @@ let rule_id = function
   | L5 -> "L5"
   | L6 -> "L6"
   | L7 -> "L7"
+  | L8 -> "L8"
+  | L9 -> "L9"
+  | L10 -> "L10"
+  | L11 -> "L11"
+  | L12 -> "L12"
 
-let all_rules = [ L1; L2; L3; L4; L5; L6; L7 ]
+let all_rules = [ L1; L2; L3; L4; L5; L6; L7; L8; L9; L10; L11; L12 ]
 
 let rule_of_int = function
   | 1 -> Some L1
@@ -19,7 +24,20 @@ let rule_of_int = function
   | 5 -> Some L5
   | 6 -> Some L6
   | 7 -> Some L7
+  | 8 -> Some L8
+  | 9 -> Some L9
+  | 10 -> Some L10
+  | 11 -> Some L11
+  | 12 -> Some L12
   | _ -> None
+
+let rule_of_string s =
+  let s = String.trim s in
+  if String.length s >= 2 && (s.[0] = 'L' || s.[0] = 'l') then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n -> rule_of_int n
+    | None -> None
+  else None
 
 type finding = {
   rule : rule;
@@ -45,29 +63,13 @@ let default_config =
 type report = {
   findings : finding list;
   files_scanned : int;
+  graph : (string * string list) list;
 }
 
 (* ---------- canonical names ---------- *)
 
-(* [Path.name] prints library-wrapped modules as [Lib__Module]; normalize
-   to dotted form (and drop any printer '!' marks) so one spelling covers
-   both in-library and cross-library references. *)
-let normalize_name s =
-  let b = Buffer.create (String.length s) in
-  let n = String.length s in
-  let i = ref 0 in
-  while !i < n do
-    if s.[!i] = '!' then incr i
-    else if !i + 1 < n && s.[!i] = '_' && s.[!i + 1] = '_' then begin
-      Buffer.add_char b '.';
-      i := !i + 2
-    end
-    else begin
-      Buffer.add_char b s.[!i];
-      incr i
-    end
-  done;
-  Buffer.contents b
+(* Shared with the inter-procedural analyzer (Effects/Callgraph). *)
+let normalize_name = Effects.normalize_name
 
 (* Local [module M = Other.Module] aliases, so [M.f] resolves to its
    canonical dotted name. *)
@@ -85,15 +87,7 @@ let collect_aliases (str : Typedtree.structure) =
     str.str_items;
   tbl
 
-let resolve aliases name =
-  match String.index_opt name '.' with
-  | None -> ( match Hashtbl.find_opt aliases name with Some c -> c | None -> name)
-  | Some i -> (
-      let head = String.sub name 0 i in
-      let rest = String.sub name (i + 1) (String.length name - i - 1) in
-      match Hashtbl.find_opt aliases head with
-      | Some c -> c ^ "." ^ rest
-      | None -> name)
+let resolve = Effects.resolve
 
 (* ---------- suppression comments ---------- *)
 
@@ -133,11 +127,7 @@ let allow_of_line lnum line =
           let rules =
             String.split_on_char ',' seg
             |> List.concat_map (String.split_on_char ' ')
-            |> List.filter_map (fun tok ->
-                   let tok = String.trim tok in
-                   if String.length tok = 2 && (tok.[0] = 'L' || tok.[0] = 'l') then
-                     rule_of_int (Char.code tok.[1] - Char.code '0')
-                   else None)
+            |> List.filter_map (fun tok -> rule_of_string (String.trim tok))
           in
           if rules = [] then None
           else
@@ -504,11 +494,29 @@ let rec collect_cmts dir acc =
         acc entries
   | exception Sys_error _ -> acc
 
+let raw_of_callgraph (rw : Callgraph.raw) =
+  match rule_of_int rw.rw_rule with
+  | Some rule ->
+      Some { r_rule = rule; r_line = rw.rw_line; r_message = rw.rw_message }
+  | None -> None
+
 let run ?(config = default_config) ~root ~subdir () =
   let cmts = collect_cmts (Filename.concat root subdir) [] in
   let seen = Hashtbl.create 64 in
   let files = ref 0 in
-  let findings = ref [] in
+  (* per-file raw findings: the intra-file rules (L1–L7), the analyzer's
+     direct findings (L11/L12), then — once every summary is in — the
+     reachability findings (L8/L9/L10) from phase 2 *)
+  let per_file : (string, raw_finding list ref) Hashtbl.t = Hashtbl.create 64 in
+  let raws_for src =
+    match Hashtbl.find_opt per_file src with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add per_file src r;
+        r
+  in
+  let summaries = ref [] in
   List.iter
     (fun cmt_path ->
       match Cmt_format.read_cmt cmt_path with
@@ -538,26 +546,50 @@ let run ?(config = default_config) ~root ~subdir () =
                     ]
                 else raw
               in
-              if raw <> [] then begin
-                let allows = allows_of_file (Filename.concat root src) in
-                List.iter
-                  (fun r ->
-                    let supp = suppression allows ~line:r.r_line ~rule:r.r_rule in
-                    findings :=
-                      {
-                        rule = r.r_rule;
-                        file = src;
-                        line = r.r_line;
-                        message = r.r_message;
-                        suppressed = supp <> None;
-                        reason =
-                          (match supp with Some "" -> None | other -> other);
-                      }
-                      :: !findings)
-                  raw
-              end
+              let summary =
+                Callgraph.extract
+                  ~modname:(normalize_name infos.cmt_modname)
+                  ~file:src str
+              in
+              summaries := summary :: !summaries;
+              let raw =
+                raw
+                @ List.filter_map raw_of_callgraph summary.Callgraph.fs_direct
+              in
+              let cell = raws_for src in
+              cell := !cell @ raw
           | _ -> ()))
     cmts;
+  let analysis = Callgraph.analyze (List.rev !summaries) in
+  List.iter
+    (fun (src, rw) ->
+      match raw_of_callgraph rw with
+      | Some r ->
+          let cell = raws_for src in
+          cell := !cell @ [ r ]
+      | None -> ())
+    analysis.Callgraph.an_findings;
+  let findings = ref [] in
+  Hashtbl.iter
+    (fun src cell ->
+      if !cell <> [] then begin
+        let allows = allows_of_file (Filename.concat root src) in
+        List.iter
+          (fun r ->
+            let supp = suppression allows ~line:r.r_line ~rule:r.r_rule in
+            findings :=
+              {
+                rule = r.r_rule;
+                file = src;
+                line = r.r_line;
+                message = r.r_message;
+                suppressed = supp <> None;
+                reason = (match supp with Some "" -> None | other -> other);
+              }
+              :: !findings)
+          !cell
+      end)
+    per_file;
   let ordered =
     List.sort
       (fun a b ->
@@ -566,7 +598,7 @@ let run ?(config = default_config) ~root ~subdir () =
         | c -> c)
       !findings
   in
-  { findings = ordered; files_scanned = !files }
+  { findings = ordered; files_scanned = !files; graph = analysis.Callgraph.an_graph }
 
 let unsuppressed r = List.filter (fun f -> not f.suppressed) r.findings
 let suppressed r = List.filter (fun f -> f.suppressed) r.findings
@@ -578,6 +610,125 @@ let render_finding f =
        | Some reason -> Printf.sprintf "  (suppressed: %s)" reason
        | None -> "  (suppressed)"
      else "")
+
+(* ---------- report post-processing ---------- *)
+
+let by_rule r =
+  List.map
+    (fun rule ->
+      let mine = List.filter (fun f -> f.rule = rule) r.findings in
+      let supp, unsupp = List.partition (fun f -> f.suppressed) mine in
+      (rule, List.length unsupp, List.length supp))
+    all_rules
+
+let filter_rules rules r =
+  { r with findings = List.filter (fun f -> List.mem f.rule rules) r.findings }
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_json r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"files_scanned\":%d,\"rules_checked\":%d,"
+       r.files_scanned (List.length all_rules));
+  Buffer.add_string b
+    (Printf.sprintf "\"findings\":%d,\"suppressed\":%d,"
+       (List.length (unsuppressed r))
+       (List.length (suppressed r)));
+  Buffer.add_string b "\"by_rule\":{";
+  List.iteri
+    (fun i (rule, unsupp, supp) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":{\"unsuppressed\":%d,\"suppressed\":%d}"
+           (rule_id rule) unsupp supp))
+    (by_rule r);
+  Buffer.add_string b "},\"results\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"suppressed\":%b,\
+            \"reason\":%s,\"message\":\"%s\"}"
+           (json_escape f.file) f.line (rule_id f.rule) f.suppressed
+           (match f.reason with
+           | Some reason -> Printf.sprintf "\"%s\"" (json_escape reason)
+           | None -> "null")
+           (json_escape f.message)))
+    r.findings;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ---------- baseline mode ---------- *)
+
+type baseline = (string * rule * int) list
+
+let baseline_of_report r =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if not f.suppressed then
+        let k = (f.file, f.rule) in
+        Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    r.findings;
+  Hashtbl.fold (fun (file, rule) n acc -> (file, rule, n) :: acc) tbl []
+  |> List.sort compare
+
+let baseline_to_string b =
+  let lines =
+    List.map (fun (file, rule, n) -> Printf.sprintf "%s\t%s\t%d" file (rule_id rule) n) b
+  in
+  "# gnrflash-lint baseline: file<TAB>rule<TAB>allowed-count\n"
+  ^ String.concat "\n" lines
+  ^ (if lines = [] then "" else "\n")
+
+let baseline_of_string s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char '\t' line with
+           | [ file; rid; n ] -> (
+               match (rule_of_string rid, int_of_string_opt n) with
+               | Some rule, Some n when n > 0 -> Some (file, rule, n)
+               | _ -> None)
+           | _ -> None)
+
+(* Findings inside the baseline budget are downgraded to suppressed (with
+   a "baselined" reason) so a new rule can land before its fixes without
+   breaking the build; anything beyond the recorded count still fails. *)
+let apply_baseline b r =
+  let budget = Hashtbl.create 16 in
+  List.iter (fun (file, rule, n) -> Hashtbl.replace budget (file, rule) n) b;
+  let findings =
+    List.map
+      (fun f ->
+        if f.suppressed then f
+        else
+          let k = (f.file, f.rule) in
+          match Hashtbl.find_opt budget k with
+          | Some n when n > 0 ->
+              Hashtbl.replace budget k (n - 1);
+              { f with suppressed = true; reason = Some "baselined" }
+          | _ -> f)
+      r.findings
+  in
+  { r with findings }
 
 (* ---------- root discovery ---------- *)
 

@@ -1,7 +1,7 @@
 (** The [gnrflash-lint] engine: typed-tree lint rules over the compiled
     [.cmt] files of the library tree.
 
-    Rules (ids are stable, used in suppression comments):
+    Intra-file rules (checked per module):
     - [L1] bare [failwith]/[invalid_arg]/[raise Invalid_argument|Failure]
       inside a solver module that should return a typed [Solver_error];
     - [L2] structural float equality ([=]/[<>] at type [float], detected
@@ -18,6 +18,25 @@
     - [L7] a hardcoded [~chunk] constant at a [Sweep.*] call site,
       overriding the probe-based chunk auto-tuning.
 
+    Inter-procedural rules (the {!Callgraph} two-phase analyzer; these
+    certify the bit-identical-to-serial determinism contract of the
+    [Sweep]/[Pool]/[Shard] scale-out tiers):
+    - [L8] unsynchronized module-level mutable state ([ref], [Hashtbl],
+      [Buffer], arrays, mutable record fields) written — or read while
+      written elsewhere — in code reachable from a sweep worker closure,
+      unless it goes through [Atomic], a [Mutex], or [Domain.DLS];
+    - [L9] nondeterminism reachable from a sweep worker: the global
+      [Random] PRNG, wall/process clocks ([Unix.gettimeofday],
+      [Sys.time]), hash-order dependent [Hashtbl.fold]/[iter], physical
+      equality on boxed values;
+    - [L10] marshal-unsafe values (closures, first-class modules, custom
+      blocks like [Mutex.t]/channels) in the frame type of a [Shard]
+      process-boundary call;
+    - [L11] typed-error erasure: a wildcard pattern matching a
+      [Solver_error.t] payload, or [Result.get_ok] on a solver result;
+    - [L12] [Domain.DLS.new_key] in non-toplevel position (leaks one DLS
+      slot per call and defeats the per-domain cache).
+
     Any rule is suppressible with a comment on the finding's line or the
     line above: [(* lint: allow L<n> — reason *)] ([L5]: anywhere in the
     file). The engine runs over a dune build tree: [root] is the directory
@@ -25,12 +44,15 @@
     dune also copies the sources, so suppression comments are read from
     the same tree the [.cmt]s were built from. *)
 
-type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
 
 val rule_id : rule -> string
-(** ["L1"] … ["L7"]. *)
+(** ["L1"] … ["L12"]. *)
 
 val all_rules : rule list
+
+val rule_of_string : string -> rule option
+(** Parse ["L8"] / ["l8"] (case-insensitive prefix, any digit count). *)
 
 type finding = {
   rule : rule;
@@ -54,17 +76,41 @@ val default_config : config
 type report = {
   findings : finding list;   (** sorted by file, line, rule *)
   files_scanned : int;
+  graph : (string * string list) list;
+      (** the resolved call graph from the inter-procedural phase:
+          node id -> sorted callee node ids (for tooling and tests) *)
 }
 
 val run : ?config:config -> root:string -> subdir:string -> unit -> report
 (** Scan every [.cmt] under [root/subdir] (recursively, including dune's
-    hidden [.objs] directories) and apply all seven rules. *)
+    hidden [.objs] directories) and apply all twelve rules. *)
 
 val unsuppressed : report -> finding list
 val suppressed : report -> finding list
 
 val render_finding : finding -> string
 (** ["file:line: [L2] message"], with a [suppressed (reason)] note. *)
+
+val by_rule : report -> (rule * int * int) list
+(** Per-rule [(rule, unsuppressed, suppressed)] counts, for all rules. *)
+
+val filter_rules : rule list -> report -> report
+(** Keep only findings of the given rules ([--rules L8,L9]). *)
+
+val render_json : report -> string
+(** Machine-readable report: file/line/rule/suppressed/reason/message per
+    finding plus per-rule summary counts. *)
+
+type baseline = (string * rule * int) list
+(** Allowed unsuppressed-finding counts per (file, rule). *)
+
+val baseline_of_report : report -> baseline
+val baseline_to_string : baseline -> string
+val baseline_of_string : string -> baseline
+
+val apply_baseline : baseline -> report -> report
+(** Downgrade findings within the baseline budget to suppressed (reason
+    ["baselined"]); anything beyond the recorded counts still fails. *)
 
 val locate_root : unit -> string
 (** Walk up from the executable's directory to the nearest ancestor with a
