@@ -540,9 +540,8 @@ let serve_cmd =
         W.digest_empty results
     in
     let lats =
-      Array.concat (Array.to_list (Array.map (fun (_, l) -> l) results))
+      S.merge_latencies (Array.to_list (Array.map (fun (_, l) -> l) results))
     in
-    Array.sort compare lats;
     let pct p =
       if Array.length lats = 0 then 0.
       else

@@ -335,6 +335,23 @@ let table_for ?budget ?box device ~vgs =
         None
     end
 
+(* Whether [pulse_response] has become a pure function of [qfg] for this
+   (device, vgs, duration): either the pulse never enters the box (the
+   promotion counters are never touched), or this domain's cache is keyed
+   to this device and the (device, vgs) slot is settled — Ready or
+   poisoned — so a consult can no longer count, build, or reset anything.
+   Until then every consult advances the build-after promotion, and
+   skipping one would shift the build onto a different pulse. *)
+let response_static ?box device ~vgs ~duration =
+  (not (in_box ?box device ~vgs ~duration))
+  ||
+  let c = Domain.DLS.get cache_key in
+  (match c.cache_device with
+   (* lint: allow L9 — same conservative identity check as the cache
+      itself: a false negative only delays downstream memoization *)
+   | Some d when d == device -> Hashtbl.mem c.tables (Int64.bits_of_float vgs)
+   | _ -> false)
+
 let pulse_response ?budget ?box device ~vgs ~duration ~qfg =
   let fallback () =
     Tel.count "surrogate/fallback";

@@ -130,6 +130,15 @@ val cached : Fgt.t -> vgs:float -> t option
 (** Peek at this domain's cache without counting, building, or promoting —
     for tests and the bench to reach the serving table's bound. *)
 
+val response_static : ?box:box -> Fgt.t -> vgs:float -> duration:float -> bool
+(** Whether {!pulse_response} has become a {e pure} function of [qfg] for
+    this (device, vgs, duration) in the calling domain: the pulse never
+    enters the box, or the (device, vgs) table slot is settled (built or
+    poisoned) so a consult can no longer count toward promotion, build, or
+    reset anything. Downstream memo layers ({!Gnrflash_memory.Cell_store})
+    use this to decide when an out-of-box outcome may be cached without
+    changing how often the promotion counters advance. *)
+
 val pulse_response :
   ?budget:Gnrflash_resilience.Budget.t ->
   ?box:box ->

@@ -1,0 +1,298 @@
+[@@@gnrflash.hot]
+module D = Gnrflash_device
+module U = Gnrflash_units
+
+type t = {
+  device : D.Fgt.t;
+  cfc : float; (* control-coupling capacitance, hoisted for O(1) readout *)
+  n : int;
+  qfg : float array;
+  fluence : float array;
+  traps : float array;
+  cycles : int array;
+  broken : Bytes.t; (* '\000' intact, '\001' broken *)
+}
+
+let create ?(qfg = 0.) ~n device =
+  if n < 1 then invalid_arg "Cell_store.create: n < 1";
+  {
+    device;
+    cfc = U.to_float (D.Capacitance.cfc_qty device.D.Fgt.caps);
+    n;
+    qfg = Array.make n qfg;
+    fluence = Array.make n 0.;
+    traps = Array.make n 0.;
+    cycles = Array.make n 0;
+    broken = Bytes.make n '\000';
+  }
+
+let length t = t.n
+let device t = t.device
+let qfg t i = t.qfg.(i)
+let fluence t i = t.fluence.(i)
+let traps t i = t.traps.(i)
+let cycles t i = t.cycles.(i)
+let broken t i = Bytes.get t.broken i <> '\000'
+let set_qfg t i q = t.qfg.(i) <- q
+
+(* Same float expression as Fgt.threshold_shift (the units layer is
+   identities over float), with cfc read once at [create]. *)
+let dvt t i = -.t.qfg.(i) /. t.cfc
+
+let bit ?(dvt_threshold = 1.0) t i =
+  if -.t.qfg.(i) /. t.cfc > dvt_threshold then 0 else 1
+
+let view t i =
+  {
+    Cell.device = t.device;
+    qfg = t.qfg.(i);
+    wear =
+      {
+        D.Reliability.fluence = t.fluence.(i);
+        traps = t.traps.(i);
+        cycles = t.cycles.(i);
+        broken = broken t i;
+      };
+  }
+
+let set t i (c : Cell.t) =
+  t.qfg.(i) <- c.Cell.qfg;
+  let w = c.Cell.wear in
+  t.fluence.(i) <- w.D.Reliability.fluence;
+  t.traps.(i) <- w.D.Reliability.traps;
+  t.cycles.(i) <- w.D.Reliability.cycles;
+  Bytes.set t.broken i (if w.D.Reliability.broken then '\001' else '\000')
+
+(* ---------- batched pulses ---------- *)
+
+type entry = {
+  e_qfg_after : float;
+  e_dfluence : float; (* injected /. area *)
+  e_dtraps : float; (* trap_per_charge *. electrons_per_area *)
+  e_qbd : float; (* breakdown fluence at this pulse's stress field *)
+}
+
+(* Open-addressed flat-column memo keyed by the starting charge: probing
+   compares raw float bits (no boxed [Int64] key, no bucket cells), and a
+   hit replays the deltas straight out of the float columns — the hot
+   loop's zero-allocation path. *)
+type memo = {
+  mutable m_occ : Bytes.t; (* '\000' empty, '\001' occupied *)
+  mutable m_keys : float array; (* starting charges *)
+  mutable m_qafter : float array;
+  mutable m_dfl : float array;
+  mutable m_dtr : float array;
+  mutable m_qbd : float array;
+  mutable m_mask : int; (* capacity - 1, capacity a power of two *)
+  mutable m_used : int;
+}
+
+let memo_cap0 = 64
+
+let memo () =
+  {
+    m_occ = Bytes.make memo_cap0 '\000';
+    m_keys = Array.make memo_cap0 0.;
+    m_qafter = Array.make memo_cap0 0.;
+    m_dfl = Array.make memo_cap0 0.;
+    m_dtr = Array.make memo_cap0 0.;
+    m_qbd = Array.make memo_cap0 0.;
+    m_mask = memo_cap0 - 1;
+    m_used = 0;
+  }
+
+(* Bit equality for non-NaN floats without boxing: equal floats are
+   bit-equal except +0. / -0., which [1. /. x] tells apart (charges are
+   never NaN — the solver returns a typed error instead). *)
+(* lint: allow L2 — exact bit equality is the point: the memo key must
+   distinguish every distinct charge, an epsilon would alias entries *)
+let same_key k q = k = q && (k <> 0. || 1. /. k = 1. /. q)
+
+let find_slot m q =
+  let i = ref (Hashtbl.hash q land m.m_mask) in
+  while
+    Bytes.unsafe_get m.m_occ !i <> '\000'
+    && not (same_key (Array.unsafe_get m.m_keys !i) q)
+  do
+    i := (!i + 1) land m.m_mask
+  done;
+  !i
+
+let rec memo_add m q ~qfg_after ~dfl ~dtr ~qbd =
+  if 2 * (m.m_used + 1) > m.m_mask + 1 then begin
+    (* keep load factor under 1/2: rehash into twice the capacity *)
+    let old_occ = m.m_occ
+    and old_keys = m.m_keys
+    and old_qa = m.m_qafter
+    and old_dfl = m.m_dfl
+    and old_dtr = m.m_dtr
+    and old_qbd = m.m_qbd in
+    let cap = 2 * (m.m_mask + 1) in
+    m.m_occ <- Bytes.make cap '\000';
+    m.m_keys <- Array.make cap 0.;
+    m.m_qafter <- Array.make cap 0.;
+    m.m_dfl <- Array.make cap 0.;
+    m.m_dtr <- Array.make cap 0.;
+    m.m_qbd <- Array.make cap 0.;
+    m.m_mask <- cap - 1;
+    m.m_used <- 0;
+    for i = 0 to Bytes.length old_occ - 1 do
+      if Bytes.get old_occ i <> '\000' then
+        memo_add m old_keys.(i) ~qfg_after:old_qa.(i) ~dfl:old_dfl.(i)
+          ~dtr:old_dtr.(i) ~qbd:old_qbd.(i)
+    done;
+    memo_add m q ~qfg_after ~dfl ~dtr ~qbd
+  end
+  else begin
+    let i = find_slot m q in
+    Bytes.set m.m_occ i '\001';
+    m.m_keys.(i) <- q;
+    m.m_qafter.(i) <- qfg_after;
+    m.m_dfl.(i) <- dfl;
+    m.m_dtr.(i) <- dtr;
+    m.m_qbd.(i) <- qbd;
+    m.m_used <- m.m_used + 1
+  end
+
+(* The per-cell deltas of one Cell.apply_bias_pulse for starting charge
+   [q0] whose pulse left the charge at [qfg_after]. The expressions mirror
+   Cell.apply_bias_pulse / Reliability.after_pulse term by term so
+   replaying [fluence +. e_dfluence] etc. is bit-identical to the record
+   path. *)
+let entry_of t ~rel ~pulse q0 qfg_after =
+  (* both solver paths report |ΔQFG| exactly as this difference *)
+  let injected = abs_float (qfg_after -. q0) in
+  let area = t.device.D.Fgt.area in
+  (* effective stress field at the pulse's midpoint charge *)
+  let q_mid = 0.5 *. (q0 +. qfg_after) in
+  let field =
+    abs_float
+      (D.Fgt.tunnel_field t.device ~vgs:pulse.D.Program_erase.vgs ~qfg:q_mid)
+  in
+  let dfluence = injected /. area in
+  let electrons_per_area = injected /. area /. Gnrflash_physics.Constants.q in
+  {
+    e_qfg_after = qfg_after;
+    e_dfluence = dfluence;
+    e_dtraps = rel.D.Reliability.trap_per_charge *. electrons_per_area;
+    e_qbd = D.Reliability.qbd rel ~field:(max field 1e6);
+  }
+
+let apply_entry t i e =
+  let fl = t.fluence.(i) +. e.e_dfluence in
+  t.fluence.(i) <- fl;
+  t.traps.(i) <- t.traps.(i) +. e.e_dtraps;
+  t.cycles.(i) <- t.cycles.(i) + 1;
+  if fl >= e.e_qbd then Bytes.set t.broken i '\001';
+  t.qfg.(i) <- e.e_qfg_after
+
+(* Full apply_pulse round trip for the paths that must stay un-memoized:
+   surrogate off, fault plans, non-positive durations. These take the same
+   apply_pulse call the record path took, in the same order. *)
+let apply_exact t ~rel ~pulse ~surrogate i q0 =
+  match D.Program_erase.apply_pulse ~surrogate t.device ~qfg:q0 pulse with
+  | Error e -> Error (Gnrflash_resilience.Solver_error.to_string e)
+  | Ok o ->
+    apply_entry t i (entry_of t ~rel ~pulse q0 o.D.Program_erase.qfg_after);
+    Ok ()
+
+let apply_pulse_at ?(reliability = D.Reliability.default) t ~memo ~pulse
+    ~surrogate i =
+  if Bytes.get t.broken i <> '\000' then Error "Cell: oxide broken"
+  else begin
+    let q0 = t.qfg.(i) in
+    (* Memoization is sound only for surrogate-served pulses: the table is
+       a pure function of (device, vgs, duration, qfg) with no
+       call-history state. Everything else — surrogate off, active fault
+       plan (a memo must never mask a fault path), non-positive duration,
+       out-of-box charge — takes the same apply_pulse call the record
+       path took, in the same order. *)
+    if
+      (not surrogate)
+      || pulse.D.Program_erase.duration <= 0.
+      || Gnrflash_resilience.Fault.active ()
+    then apply_exact t ~rel:reliability ~pulse ~surrogate i q0
+    else begin
+      let s = find_slot memo q0 in
+      if Bytes.unsafe_get memo.m_occ s <> '\000' then begin
+        (* hit: replay the deltas straight from the columns — no solve,
+           no allocation *)
+        let fl = t.fluence.(i) +. Array.unsafe_get memo.m_dfl s in
+        t.fluence.(i) <- fl;
+        t.traps.(i) <- t.traps.(i) +. Array.unsafe_get memo.m_dtr s;
+        t.cycles.(i) <- t.cycles.(i) + 1;
+        if fl >= Array.unsafe_get memo.m_qbd s then Bytes.set t.broken i '\001';
+        t.qfg.(i) <- Array.unsafe_get memo.m_qafter s;
+        Ok ()
+      end
+      else begin
+        match
+          D.Pulse_surrogate.pulse_response t.device
+            ~vgs:pulse.D.Program_erase.vgs
+            ~duration:pulse.D.Program_erase.duration ~qfg:q0
+        with
+        | Some r ->
+          let e =
+            entry_of t ~rel:reliability ~pulse q0 r.D.Pulse_surrogate.qfg_after
+          in
+          memo_add memo q0 ~qfg_after:e.e_qfg_after ~dfl:e.e_dfluence
+            ~dtr:e.e_dtraps ~qbd:e.e_qbd;
+          apply_entry t i e;
+          Ok ()
+        | None -> begin
+          (* the consult above already counted toward this (device, vgs)
+             promotion — go exact WITHOUT a second consult, so the
+             surrogate's build-after counter advances exactly as often as
+             under the record path's single apply_pulse consult *)
+          match
+            D.Program_erase.apply_pulse ~surrogate:false t.device ~qfg:q0
+              pulse
+          with
+          | Error e -> Error (Gnrflash_resilience.Solver_error.to_string e)
+          | Ok o ->
+            let e =
+              entry_of t ~rel:reliability ~pulse q0 o.D.Program_erase.qfg_after
+            in
+            (* Out-of-box outcomes come from Program_erase's exact-replay
+               table, pure in (vgs, duration, qfg) — memoizable once the
+               surrogate consult can no longer mutate promotion state
+               (slot settled or pulse never in the box). Before that,
+               every pulse must keep consulting, or the build would land
+               on a different pulse than under the record path. *)
+            if
+              D.Pulse_surrogate.response_static t.device
+                ~vgs:pulse.D.Program_erase.vgs
+                ~duration:pulse.D.Program_erase.duration
+            then
+              memo_add memo q0 ~qfg_after:e.e_qfg_after ~dfl:e.e_dfluence
+                ~dtr:e.e_dtraps ~qbd:e.e_qbd;
+            apply_entry t i e;
+            Ok ()
+        end
+      end
+    end
+  end
+
+let apply_pulse_range ?(reliability = D.Reliability.default) t ~memo ~pulse
+    ~surrogate ~lo ~hi =
+  let err = ref None in
+  let i = ref lo in
+  while Option.is_none !err && !i <= hi do
+    (match apply_pulse_at t ~reliability ~memo ~pulse ~surrogate !i with
+     | Ok () -> ()
+     | Error e -> err := Some e);
+    incr i
+  done;
+  match !err with None -> Ok () | Some e -> Error e
+
+let fold_digest t f h0 =
+  let fbits x = Int64.to_int (Int64.bits_of_float x) in
+  let h = ref h0 in
+  for i = 0 to t.n - 1 do
+    h := f !h (fbits t.qfg.(i));
+    h := f !h (fbits t.fluence.(i));
+    h := f !h (fbits t.traps.(i));
+    h := f !h t.cycles.(i);
+    h := f !h (if Bytes.get t.broken i <> '\000' then 1 else 0)
+  done;
+  !h

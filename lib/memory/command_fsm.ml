@@ -1,4 +1,10 @@
+[@@@gnrflash.hot]
+(* lint: this module's program/erase/disturb loops are the bench-critical
+   hot path — L13 flags allocating record updates and closures inside
+   them (the SoA Cell_store keeps them allocation-free). *)
+
 module D = Gnrflash_device
+module S = Cell_store
 module Tel = Gnrflash_telemetry.Telemetry
 
 type config = {
@@ -119,7 +125,12 @@ type seq =
 
 type t = {
   cfg : config;
-  cells : Cell.t array; (* [addr * word_bits + bit] *)
+  store : S.t; (* cell [addr * word_bits + bit] *)
+  pmemo : S.memo; (* program-pulse outcomes, keyed by starting charge *)
+  ememo : S.memo; (* erase-pulse outcomes *)
+  dmemo : (int64 * int, float) Hashtbl.t;
+  (* disturb outcomes keyed by (victim charge bits, event count) — hoisted
+     to the instance so repeated programs at the same charge reuse it *)
   mutable seq : seq;
   mutable clock : float;
   mutable op : busy_op option;
@@ -142,7 +153,10 @@ let create ?(config = default_config) device =
   let device = { device with D.Fgt.vs = device.D.Fgt.vs } in
   {
     cfg = config;
-    cells = Array.init n (fun _ -> Cell.make device);
+    store = S.create ~n device;
+    pmemo = S.memo ();
+    ememo = S.memo ();
+    dmemo = Hashtbl.create 16;
     seq = Idle;
     clock = 0.;
     op = None;
@@ -209,32 +223,29 @@ let wait_ready t = match t.op with None -> () | Some op -> step_to t op.ends_at
 
 exception Pulse_failed of string
 
-let bit_of_cell c = Cell.to_bit (Cell.state c)
-
 (* Feed the counted gate-disturb events back into the victim cells: every
    erased cell of the sector's unselected words integrates [events] disturb
    pulses from its current charge. Victims at the same charge share one
-   solve (fresh erased cells are all identical), so the cost per program
-   stays at a handful of transients, not one per cell. *)
+   solve (fresh erased cells are all identical), memoized on the instance,
+   so repeated programs at the same charge cost zero transients. *)
 let apply_disturb t ~addr ~events =
   match t.cfg.disturb with
   | None -> ()
   | Some dcfg ->
     let sector = sector_of t ~addr in
-    let memo = Hashtbl.create 4 in
-    let shifted (c : Cell.t) =
-      let key = Int64.bits_of_float c.Cell.qfg in
-      match Hashtbl.find_opt memo key with
-      | Some q -> q
+    let shifted q =
+      let key = (Int64.bits_of_float q, events) in
+      match Hashtbl.find_opt t.dmemo key with
+      | Some q' -> q'
       | None -> (
         match
-          D.Disturb.qfg_after_events ~config:dcfg c.Cell.device
-            ~qfg0:c.Cell.qfg ~events
+          D.Disturb.qfg_after_events ~config:dcfg (S.device t.store) ~qfg0:q
+            ~events
         with
         | Error e -> raise (Pulse_failed e)
-        | Ok q ->
-          Hashtbl.add memo key q;
-          q)
+        | Ok q' ->
+          Hashtbl.add t.dmemo key q';
+          q')
     in
     let victims = ref 0 in
     let base_word = sector * t.cfg.words_per_sector in
@@ -242,9 +253,8 @@ let apply_disturb t ~addr ~events =
       if w <> addr then
         for i = 0 to t.cfg.word_bits - 1 do
           let idx = (w * t.cfg.word_bits) + i in
-          let c = t.cells.(idx) in
-          if bit_of_cell c = 1 then begin
-            t.cells.(idx) <- { c with Cell.qfg = shifted c };
+          if S.bit t.store idx = 1 then begin
+            S.set_qfg t.store idx (shifted (S.qfg t.store idx));
             incr victims
           end
         done
@@ -261,23 +271,45 @@ let program_word_cells t ~addr ~data =
   let timeout = ref false in
   for i = 0 to t.cfg.word_bits - 1 do
     let target = (data lsr i) land 1 in
-    let c = ref t.cells.(base + i) in
+    let idx = base + i in
     if target = 0 then begin
+      (* seed semantics: the record path buffered the cell in a ref and
+         only wrote it back after a clean verify loop, so a mid-loop solve
+         failure discards that bit's partial pulses — snapshot and restore
+         to keep the in-place store bit-identical on the error path too *)
+      let q0 = S.qfg t.store idx and fl0 = S.fluence t.store idx in
+      let tr0 = S.traps t.store idx and cy0 = S.cycles t.store idx in
+      let bk0 = S.broken t.store idx in
       let p = ref 0 in
-      while bit_of_cell !c = 1 && !p < t.cfg.max_pulses do
-        (match
-           Cell.program ~pulse:t.cfg.program_pulse ~surrogate:t.cfg.surrogate !c
-         with
-         | Error e -> raise (Pulse_failed e)
-         | Ok c' -> c := c');
-        incr p
+      let failed = ref "" in
+      while
+        String.length !failed = 0
+        && S.bit t.store idx = 1
+        && !p < t.cfg.max_pulses
+      do
+        match
+          S.apply_pulse_at t.store ~memo:t.pmemo ~pulse:t.cfg.program_pulse
+            ~surrogate:t.cfg.surrogate idx
+        with
+        | Error e -> failed := e
+        | Ok () -> incr p
       done;
-      t.cells.(base + i) <- !c;
-      if bit_of_cell !c = 1 then timeout := true;
+      if String.length !failed > 0 then begin
+        S.set t.store idx
+          {
+            Cell.device = S.device t.store;
+            qfg = q0;
+            wear =
+              { D.Reliability.fluence = fl0; traps = tr0; cycles = cy0;
+                broken = bk0 };
+          };
+        raise (Pulse_failed !failed)
+      end;
+      if S.bit t.store idx = 1 then timeout := true;
       t.ms.m_program_pulses <- t.ms.m_program_pulses + !p;
       if !p > !max_pulses_used then max_pulses_used := !p
     end
-    else if bit_of_cell !c = 0 then timeout := true
+    else if S.bit t.store idx = 0 then timeout := true
   done;
   (* every program pulse gate-disturbs the unselected words of the sector *)
   t.ms.m_disturb_events <-
@@ -297,16 +329,17 @@ let erase_sector_cells t ~sector =
   let all_erased () =
     let ok = ref true in
     for i = base to base + ncells - 1 do
-      if bit_of_cell t.cells.(i) = 0 then ok := false
+      if S.bit t.store i = 0 then ok := false
     done;
     !ok
   in
   while (not (all_erased ())) && !rounds < t.cfg.max_pulses do
-    for i = base to base + ncells - 1 do
-      match Cell.erase ~pulse:t.cfg.erase_pulse ~surrogate:t.cfg.surrogate t.cells.(i) with
-      | Error e -> raise (Pulse_failed e)
-      | Ok c' -> t.cells.(i) <- c'
-    done;
+    (match
+       S.apply_pulse_range t.store ~memo:t.ememo ~pulse:t.cfg.erase_pulse
+         ~surrogate:t.cfg.surrogate ~lo:base ~hi:(base + ncells - 1)
+     with
+     | Ok () -> ()
+     | Error e -> raise (Pulse_failed e));
     t.ms.m_erase_pulses <- t.ms.m_erase_pulses + ncells;
     incr rounds
   done;
@@ -322,7 +355,7 @@ let launch t kind duration =
 let sense_word t ~addr =
   let addr = addr mod words t in
   let base = addr * t.cfg.word_bits in
-  Array.init t.cfg.word_bits (fun i -> bit_of_cell t.cells.(base + i))
+  Array.init t.cfg.word_bits (fun i -> S.bit t.store (base + i))
 
 let status_read t ~addr ~toggle6 =
   t.ms.m_status_reads <- t.ms.m_status_reads + 1;
@@ -588,19 +621,17 @@ let stats t =
     bad_sequences = m.m_bad_sequences;
   }
 
+let cell t ~idx =
+  if idx < 0 || idx >= S.length t.store then
+    invalid_arg "Command_fsm.cell: index out of range";
+  S.view t.store idx
+
+let cell_count t = S.length t.store
+
 let state_digest t =
   let f = Workload.digest_fold in
   let float h x = f h (Int64.to_int (Int64.bits_of_float x)) in
-  let h = ref Workload.digest_empty in
-  Array.iter
-    (fun (c : Cell.t) ->
-       h := float !h c.Cell.qfg;
-       let w = c.Cell.wear in
-       h := float !h w.D.Reliability.fluence;
-       h := float !h w.D.Reliability.traps;
-       h := f !h w.D.Reliability.cycles;
-       h := f !h (if w.D.Reliability.broken then 1 else 0))
-    t.cells;
+  let h = ref (S.fold_digest t.store f Workload.digest_empty) in
   h := float !h t.clock;
   let m = t.ms in
   List.iter

@@ -161,6 +161,16 @@ val sense_word : t -> addr:int -> int array
 (** Direct array sense for verification harnesses: bypasses the bus (no
     clock advance, no status gating, works while busy or suspended). *)
 
+val cell_count : t -> int
+(** Total cells ([words × word_bits]). *)
+
+val cell : t -> idx:int -> Cell.t
+(** Boxed {!Cell.t} view of cell [idx] (flat index
+    [addr × word_bits + bit]) out of the struct-of-arrays store — the
+    single-cell window the side-by-side regression tests compare
+    charge and wear through, bit for bit.
+    @raise Invalid_argument when [idx] is out of range. *)
+
 val stats : t -> stats
 
 val state_name : t -> string

@@ -33,20 +33,31 @@ let cycle_cell ?(reliability = D.Reliability.default)
     ?surrogate device ~cycles =
   if cycles < 1 then invalid_arg "Endurance.cycle_cell: cycles < 1";
   let checkpoints = log_spaced_checkpoints cycles in
-  let cell = ref (Cell.make device) in
+  (* P/E cycling alternates exactly two charge states once the loop
+     settles, so a 1-cell store with per-pulse memos turns the long
+     cycling run into O(1) replays after the first few solves *)
+  let store = Cell_store.create ~n:1 device in
+  let pmemo = Cell_store.memo () and ememo = Cell_store.memo () in
+  let surrogate = Option.value surrogate ~default:true in
   let samples = ref [] in
   let failure = ref None in
   let survived = ref 0 in
   (try
      for i = 1 to cycles do
-       (match Cell.program ~pulse:program_pulse ~reliability ?surrogate !cell with
+       (match
+          Cell_store.apply_pulse_at ~reliability store ~memo:pmemo
+            ~pulse:program_pulse ~surrogate 0
+        with
         | Error e -> failure := Some e; raise Exit
-        | Ok c -> cell := c);
-       let vt_prog = Cell.effective_vt ~reliability !cell in
-       (match Cell.erase ~pulse:erase_pulse ~reliability ?surrogate !cell with
+        | Ok () -> ());
+       let vt_prog = Cell.effective_vt ~reliability (Cell_store.view store 0) in
+       (match
+          Cell_store.apply_pulse_at ~reliability store ~memo:ememo
+            ~pulse:erase_pulse ~surrogate 0
+        with
         | Error e -> failure := Some e; raise Exit
-        | Ok c -> cell := c);
-       let vt_er = Cell.effective_vt ~reliability !cell in
+        | Ok () -> ());
+       let vt_er = Cell.effective_vt ~reliability (Cell_store.view store 0) in
        survived := i;
        let window = vt_prog -. vt_er in
        if List.mem i checkpoints then
@@ -56,7 +67,7 @@ let cycle_cell ?(reliability = D.Reliability.default)
              vt_programmed = vt_prog;
              vt_erased = vt_er;
              window;
-             fluence = !cell.Cell.wear.D.Reliability.fluence;
+             fluence = Cell_store.fluence store 0;
            }
            :: !samples;
        if window < window_min then begin

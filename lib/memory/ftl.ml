@@ -28,18 +28,40 @@ type phys_op =
   | Phys_program of { block : int; page : int; lpn : int; gc : bool }
   | Phys_erase of { block : int; retired : bool }
 
+(* Flat hot-path representation. The page map is one int array indexed by
+   [block * pages_per_block + page] holding the resident lpn, [p_free] or
+   [p_invalid]; the logical map holds the flat physical location or
+   [unmapped]. Per-block Free/Invalid populations are maintained
+   incrementally so allocation, GC-victim selection and space accounting
+   are O(blocks) instead of O(blocks * pages_per_block) scans with
+   polymorphic equality.
+
+   Persistence contract (unchanged from the record-of-arrays version):
+   every public operation returns a value that shares no mutable state it
+   will ever write through — one deep copy per accepting [write]/[trim]
+   and one per garbage-collection run, never one per relocated page. The
+   in-place [_in] helpers below may only be applied to such a private
+   working copy. *)
+
+let p_free = -1
+let p_invalid = -2
+let unmapped = -1
+
 type t = {
   config : config;
-  pages : page_state array array;   (* [block].[page] *)
-  mapping : (int * int) option array; (* lpn -> (block, page) *)
+  pages : int array; (* [block * ppb + page] -> lpn | p_free | p_invalid *)
+  mapping : int array; (* lpn -> flat physical location | unmapped *)
   erase_counts : int array;
   retired : bool array;
-  write_point : (int * int) option;   (* current open (block, next page) *)
-  host_writes : int;
-  device_writes : int;
-  gc_runs : int;
-  erases : int;
-  journal : phys_op list;             (* reverse chronological *)
+  free_cnt : int array; (* per-block Free pages, maintained incrementally *)
+  invalid_cnt : int array; (* per-block Invalid pages, ditto *)
+  mutable wp_block : int; (* open block, -1 when none *)
+  mutable wp_page : int; (* next page in the open block; may equal ppb *)
+  mutable host_writes : int;
+  mutable device_writes : int;
+  mutable gc_runs : int;
+  mutable erases : int;
+  mutable journal : phys_op list; (* reverse chronological *)
 }
 
 let default_config =
@@ -57,11 +79,14 @@ let create config =
   then invalid_arg "Ftl.create: unreasonable gc threshold";
   {
     config;
-    pages = Array.init config.blocks (fun _ -> Array.make config.pages_per_block Free);
-    mapping = Array.make (logical_capacity_of config) None;
+    pages = Array.make (config.blocks * config.pages_per_block) p_free;
+    mapping = Array.make (logical_capacity_of config) unmapped;
     erase_counts = Array.make config.blocks 0;
     retired = Array.make config.blocks false;
-    write_point = None;
+    free_cnt = Array.make config.blocks config.pages_per_block;
+    invalid_cnt = Array.make config.blocks 0;
+    wp_block = -1;
+    wp_page = 0;
     host_writes = 0;
     device_writes = 0;
     gc_runs = 0;
@@ -74,147 +99,160 @@ let logical_capacity t = Array.length t.mapping
 
 let free_pages t =
   let n = ref 0 in
-  Array.iteri
-    (fun b row ->
-       if not t.retired.(b) then
-         Array.iter (fun s -> if s = Free then incr n) row)
-    t.pages;
+  for b = 0 to t.config.blocks - 1 do
+    if not t.retired.(b) then n := !n + t.free_cnt.(b)
+  done;
   !n
 
 (* Pick the block with the lowest erase count among blocks that are fully
-   free (candidates to open for writing). *)
+   free (candidates to open for writing); earliest block wins erase-count
+   ties. Returns -1 when none qualifies. *)
 let pick_open_block t ~exclude =
-  let best = ref None in
-  Array.iteri
-    (fun b row ->
-       if (not t.retired.(b)) && b <> exclude
-          && Array.for_all (fun s -> s = Free) row then begin
-         match !best with
-         | Some b' when t.erase_counts.(b') <= t.erase_counts.(b) -> ()
-         | _ -> best := Some b
-       end)
-    t.pages;
+  let best = ref (-1) in
+  for b = 0 to t.config.blocks - 1 do
+    if
+      (not t.retired.(b))
+      && b <> exclude
+      && t.free_cnt.(b) = t.config.pages_per_block
+      && (!best < 0 || t.erase_counts.(b) < t.erase_counts.(!best))
+    then best := b
+  done;
   !best
 
 (* Fully-free blocks not currently open for writing — the GC headroom. *)
 let fully_free_blocks t =
-  let open_block = match t.write_point with Some (b, _) -> b | None -> -1 in
   let n = ref 0 in
-  Array.iteri
-    (fun b row ->
-       if (not t.retired.(b)) && b <> open_block
-          && Array.for_all (fun s -> s = Free) row then incr n)
-    t.pages;
+  for b = 0 to t.config.blocks - 1 do
+    if
+      (not t.retired.(b))
+      && b <> t.wp_block
+      && t.free_cnt.(b) = t.config.pages_per_block
+    then incr n
+  done;
   !n
 
-(* Exactly the condition under which [allocate] can program a page: either
-   the open block still has room, or a fully-free block exists to open.
-   Free pages scattered across partially-written non-open blocks do NOT
-   count — the allocator cannot consume them. *)
+(* Exactly the condition under which the allocator can program a page:
+   either the open block still has room, or a fully-free block exists to
+   open. Free pages scattered across partially-written non-open blocks do
+   NOT count — the allocator cannot consume them. *)
 let writable t =
-  (match t.write_point with
-   | Some (_, p) when p < t.config.pages_per_block -> true
-   | _ -> false)
-  || Option.is_some (pick_open_block t ~exclude:(-1))
+  (t.wp_block >= 0 && t.wp_page < t.config.pages_per_block)
+  || pick_open_block t ~exclude:(-1) >= 0
 
 let copy t =
   {
     t with
-    pages = Array.map Array.copy t.pages;
+    pages = Array.copy t.pages;
     mapping = Array.copy t.mapping;
     erase_counts = Array.copy t.erase_counts;
     retired = Array.copy t.retired;
+    free_cnt = Array.copy t.free_cnt;
+    invalid_cnt = Array.copy t.invalid_cnt;
   }
 
-(* Program one physical page at the write point; opens a block if needed. *)
-let rec allocate t =
-  match t.write_point with
-  | Some (b, p) when p < t.config.pages_per_block -> Ok (t, b, p)
-  | _ ->
-    (match pick_open_block t ~exclude:(-1) with
-     | Some b -> Ok ({ t with write_point = Some (b, 0) }, b, 0)
-     | None -> Error No_free_block)
+(* ---------- in-place core (private working copies only) ---------- *)
 
-and program_page ?(gc = false) t ~lpn =
-  match allocate t with
+(* Ensure the write point can take one page; opens a block if needed. *)
+let allocate_in t =
+  if t.wp_block >= 0 && t.wp_page < t.config.pages_per_block then Ok ()
+  else
+    match pick_open_block t ~exclude:(-1) with
+    | -1 -> Error No_free_block
+    | b ->
+      t.wp_block <- b;
+      t.wp_page <- 0;
+      Ok ()
+
+let program_page_in ?(gc = false) t ~lpn =
+  match allocate_in t with
   | Error e -> Error e
-  | Ok (t, b, p) ->
-    let t = copy t in
-    t.pages.(b).(p) <- Valid lpn;
+  | Ok () ->
+    let ppb = t.config.pages_per_block in
+    let b = t.wp_block and p = t.wp_page in
+    t.pages.((b * ppb) + p) <- lpn;
+    t.free_cnt.(b) <- t.free_cnt.(b) - 1;
     (* invalidate the previous location *)
-    (match t.mapping.(lpn) with
-     | Some (ob, op) -> t.pages.(ob).(op) <- Invalid
-     | None -> ());
-    t.mapping.(lpn) <- Some (b, p);
-    Ok
-      {
-        t with
-        write_point = Some (b, p + 1);
-        device_writes = t.device_writes + 1;
-        journal = Phys_program { block = b; page = p; lpn; gc } :: t.journal;
-      }
+    let old = t.mapping.(lpn) in
+    if old >= 0 then begin
+      t.pages.(old) <- p_invalid;
+      t.invalid_cnt.(old / ppb) <- t.invalid_cnt.(old / ppb) + 1
+    end;
+    t.mapping.(lpn) <- (b * ppb) + p;
+    t.wp_page <- p + 1;
+    t.device_writes <- t.device_writes + 1;
+    t.journal <- Phys_program { block = b; page = p; lpn; gc } :: t.journal;
+    Ok ()
 
 (* Greedy victim selection: most invalid pages; ties broken toward higher
-   erase count being avoided (wear leveling). Never the open block. *)
+   erase count being avoided (wear leveling). Never the open block.
+   Returns -1 when nothing is collectable. *)
 let pick_victim t =
-  let open_block = match t.write_point with Some (b, _) -> b | None -> -1 in
-  let best = ref None in
-  Array.iteri
-    (fun b row ->
-       if (not t.retired.(b)) && b <> open_block then begin
-         let invalid = Array.fold_left (fun n s -> if s = Invalid then n + 1 else n) 0 row in
-         if invalid > 0 then begin
-           match !best with
-           | Some (_, best_invalid, best_erases)
-             when best_invalid > invalid
-                  || (best_invalid = invalid && best_erases <= t.erase_counts.(b)) ->
-             ()
-           | _ -> best := Some (b, invalid, t.erase_counts.(b))
-         end
-       end)
-    t.pages;
-  Option.map (fun (b, _, _) -> b) !best
+  let best = ref (-1) and best_invalid = ref 0 and best_erases = ref 0 in
+  for b = 0 to t.config.blocks - 1 do
+    if (not t.retired.(b)) && b <> t.wp_block then begin
+      let invalid = t.invalid_cnt.(b) in
+      if
+        invalid > 0
+        && not
+             (!best >= 0
+             && (!best_invalid > invalid
+                || (!best_invalid = invalid && !best_erases <= t.erase_counts.(b))
+                ))
+      then begin
+        best := b;
+        best_invalid := invalid;
+        best_erases := t.erase_counts.(b)
+      end
+    end
+  done;
+  !best
 
-let erase_block t b =
-  let t = copy t in
-  Array.fill t.pages.(b) 0 t.config.pages_per_block Free;
+let erase_block_in t b =
+  let ppb = t.config.pages_per_block in
+  Array.fill t.pages (b * ppb) ppb p_free;
+  t.free_cnt.(b) <- ppb;
+  t.invalid_cnt.(b) <- 0;
   t.erase_counts.(b) <- t.erase_counts.(b) + 1;
   if t.erase_counts.(b) >= t.config.endurance_limit then t.retired.(b) <- true;
-  let write_point =
-    match t.write_point with
-    | Some (wb, _) when wb = b -> None
-    | wp -> wp
-  in
-  {
-    t with
-    erases = t.erases + 1;
-    write_point;
-    journal = Phys_erase { block = b; retired = t.retired.(b) } :: t.journal;
-  }
+  t.erases <- t.erases + 1;
+  if t.wp_block = b then begin
+    t.wp_block <- -1;
+    t.wp_page <- 0
+  end;
+  t.journal <- Phys_erase { block = b; retired = t.retired.(b) } :: t.journal
+
+(* ---------- persistent operations ---------- *)
 
 let garbage_collect t =
   match pick_victim t with
-  | None -> Error No_victim
-  | Some victim ->
+  | -1 -> Error No_victim
+  | victim ->
     (* Move valid pages of the victim through the write point. With at
        least one fully-free block in reserve this always fits: the victim
        holds at most pages_per_block valid pages and GC can consume the
-       reserve block, regaining a full block when the victim is erased. *)
-    let rec move t p =
-      if p >= t.config.pages_per_block then Ok t
-      else
-        match t.pages.(victim).(p) with
-        | Valid lpn ->
-          (match program_page ~gc:true t ~lpn with
-           | Error e -> Error e
-           | Ok t -> move t (p + 1))
-        | Free | Invalid -> move t (p + 1)
-    in
-    (match move t 0 with
-     | Error e -> Error e
-     | Ok t ->
-       let t = erase_block t victim in
-       Ok { t with gc_runs = t.gc_runs + 1 })
+       reserve block, regaining a full block when the victim is erased.
+       The whole run mutates ONE working copy; a part-way failure discards
+       it, leaving the input (and its journal) untouched. *)
+    let t = copy t in
+    let ppb = t.config.pages_per_block in
+    let base = victim * ppb in
+    let err = ref None in
+    let p = ref 0 in
+    while Option.is_none !err && !p < ppb do
+      let s = t.pages.(base + !p) in
+      if s >= 0 then begin
+        match program_page_in ~gc:true t ~lpn:s with
+        | Ok () -> ()
+        | Error e -> err := Some e
+      end;
+      incr p
+    done;
+    (match !err with
+     | Some e -> Error e
+     | None ->
+       erase_block_in t victim;
+       t.gc_runs <- t.gc_runs + 1;
+       Ok t)
 
 (* Maintain the invariant that a spare fully-free block exists before
    accepting a host write (plus the configured free-page low-water mark). *)
@@ -238,24 +276,94 @@ let write t ~lpn =
   else
     match ensure_space t with
     | Error e -> Error e
-    | Ok t ->
-      (match program_page t ~lpn with
+    | Ok t' ->
+      (* ensure_space returns its input unchanged when no GC ran — copy
+         then, and only then, so a host write costs exactly one copy *)
+      let w = if t' == t then copy t else t' in
+      (match program_page_in w ~lpn with
        | Error e -> Error e
-       | Ok t -> Ok { t with host_writes = t.host_writes + 1 })
+       | Ok () ->
+         w.host_writes <- w.host_writes + 1;
+         Ok w)
+
+(* ---------- in-place variants (linear handles, e.g. Service) ---------- *)
+
+let overwrite dst src =
+  Array.blit src.pages 0 dst.pages 0 (Array.length dst.pages);
+  Array.blit src.mapping 0 dst.mapping 0 (Array.length dst.mapping);
+  Array.blit src.erase_counts 0 dst.erase_counts 0 (Array.length dst.erase_counts);
+  Array.blit src.retired 0 dst.retired 0 (Array.length dst.retired);
+  Array.blit src.free_cnt 0 dst.free_cnt 0 (Array.length dst.free_cnt);
+  Array.blit src.invalid_cnt 0 dst.invalid_cnt 0 (Array.length dst.invalid_cnt);
+  dst.wp_block <- src.wp_block;
+  dst.wp_page <- src.wp_page;
+  dst.host_writes <- src.host_writes;
+  dst.device_writes <- src.device_writes;
+  dst.gc_runs <- src.gc_runs;
+  dst.erases <- src.erases;
+  dst.journal <- src.journal
+
+let write_in_place t ~lpn =
+  if lpn < 0 || lpn >= logical_capacity t then Error (Out_of_range lpn)
+  else if fully_free_blocks t >= 1 && free_pages t > t.config.gc_threshold then begin
+    (* fast path, no GC due: program straight into this handle — zero
+       copies, zero allocation beyond the journal entry *)
+    match program_page_in t ~lpn with
+    | Error e -> Error e (* allocate failed before any mutation *)
+    | Ok () ->
+      t.host_writes <- t.host_writes + 1;
+      Ok ()
+  end
+  else
+    (* GC due: run the persistent collector (one working copy per GC run,
+       discarded intact on part-way failure) and adopt the survivor, so
+       the rollback semantics of [write] carry over exactly *)
+    match ensure_space t with
+    | Error e -> Error e
+    | Ok t' ->
+      if t' != t then overwrite t t';
+      (match program_page_in t ~lpn with
+       | Error e -> Error e
+       | Ok () ->
+         t.host_writes <- t.host_writes + 1;
+         Ok ())
+
+let trim_in_place t ~lpn =
+  if lpn >= 0 && lpn < logical_capacity t then begin
+    let loc = t.mapping.(lpn) in
+    if loc >= 0 then begin
+      t.pages.(loc) <- p_invalid;
+      t.invalid_cnt.(loc / t.config.pages_per_block) <-
+        t.invalid_cnt.(loc / t.config.pages_per_block) + 1;
+      t.mapping.(lpn) <- unmapped
+    end
+  end
+
+let take_journal t =
+  let ops = List.rev t.journal in
+  t.journal <- [];
+  ops
 
 let read t ~lpn =
-  if lpn < 0 || lpn >= logical_capacity t then None else t.mapping.(lpn)
+  if lpn < 0 || lpn >= logical_capacity t then None
+  else
+    let loc = t.mapping.(lpn) in
+    if loc < 0 then None
+    else Some (loc / t.config.pages_per_block, loc mod t.config.pages_per_block)
 
 let trim t ~lpn =
   if lpn < 0 || lpn >= logical_capacity t then t
   else
-    match t.mapping.(lpn) with
-    | None -> t
-    | Some (b, p) ->
+    let loc = t.mapping.(lpn) in
+    if loc < 0 then t
+    else begin
       let t = copy t in
-      t.pages.(b).(p) <- Invalid;
-      t.mapping.(lpn) <- None;
+      t.pages.(loc) <- p_invalid;
+      t.invalid_cnt.(loc / t.config.pages_per_block) <-
+        t.invalid_cnt.(loc / t.config.pages_per_block) + 1;
+      t.mapping.(lpn) <- unmapped;
       t
+    end
 
 let drain_journal t = ({ t with journal = [] }, List.rev t.journal)
 
@@ -311,35 +419,46 @@ let check_invariants t =
     (* mapping -> pages *)
     Array.iteri
       (fun lpn loc ->
-         match loc with
-         | None -> ()
-         | Some (b, p) ->
-           check (b >= 0 && b < t.config.blocks && p >= 0 && p < ppb)
-             "lpn %d maps to out-of-range (%d,%d)" lpn b p;
-           check (t.pages.(b).(p) = Valid lpn)
-             "lpn %d maps to (%d,%d) which does not hold it" lpn b p)
+         if loc <> unmapped then begin
+           check (loc >= 0 && loc < t.config.blocks * ppb)
+             "lpn %d maps to out-of-range (%d,%d)" lpn (loc / ppb) (loc mod ppb);
+           check (t.pages.(loc) = lpn)
+             "lpn %d maps to (%d,%d) which does not hold it" lpn (loc / ppb)
+             (loc mod ppb)
+         end)
       t.mapping;
     (* pages -> mapping: no aliasing, every Valid page is the mapped one *)
     Array.iteri
-      (fun b row ->
-         Array.iteri
-           (fun p s ->
-              match s with
-              | Valid lpn ->
-                check (lpn >= 0 && lpn < Array.length t.mapping)
-                  "page (%d,%d) holds out-of-range lpn %d" b p lpn;
-                check (t.mapping.(lpn) = Some (b, p))
-                  "page (%d,%d) holds lpn %d but mapping disagrees" b p lpn
-              | Free | Invalid -> ())
-           row)
+      (fun loc s ->
+         if s >= 0 then begin
+           let b = loc / ppb and p = loc mod ppb in
+           check (s < Array.length t.mapping)
+             "page (%d,%d) holds out-of-range lpn %d" b p s;
+           check (t.mapping.(s) = loc)
+             "page (%d,%d) holds lpn %d but mapping disagrees" b p s
+         end)
       t.pages;
+    (* the incremental per-block populations agree with the page map *)
+    for b = 0 to t.config.blocks - 1 do
+      let free = ref 0 and invalid = ref 0 in
+      for p = 0 to ppb - 1 do
+        let s = t.pages.((b * ppb) + p) in
+        if s = p_free then incr free else if s = p_invalid then incr invalid
+      done;
+      check (t.free_cnt.(b) = !free)
+        "block %d free count %d disagrees with page map (%d)" b t.free_cnt.(b)
+        !free;
+      check (t.invalid_cnt.(b) = !invalid)
+        "block %d invalid count %d disagrees with page map (%d)" b
+        t.invalid_cnt.(b) !invalid
+    done;
     (* write point sanity *)
-    (match t.write_point with
-     | None -> ()
-     | Some (b, p) ->
-       check (b >= 0 && b < t.config.blocks && p >= 0 && p <= ppb)
-         "write point (%d,%d) out of range" b p;
-       check (not t.retired.(b)) "write point on retired block %d" b);
+    if t.wp_block >= 0 then begin
+      check (t.wp_block < t.config.blocks && t.wp_page >= 0 && t.wp_page <= ppb)
+        "write point (%d,%d) out of range" t.wp_block t.wp_page;
+      check (not t.retired.(t.wp_block)) "write point on retired block %d"
+        t.wp_block
+    end;
     (* counters *)
     check (t.device_writes >= t.host_writes)
       "device_writes %d < host_writes %d" t.device_writes t.host_writes;
@@ -373,30 +492,37 @@ module For_testing = struct
         then invalid_arg "Ftl.For_testing.of_state: erase counts";
         Array.copy ec
     in
-    let retired = Array.map (fun c -> c >= cfg.endurance_limit) erase_counts in
-    let erases = Array.fold_left ( + ) 0 erase_counts in
     let t = create cfg in
-    let t =
-      { t with
-        pages = Array.map Array.copy pages;
-        write_point;
-        erase_counts;
-        retired;
-        erases;
-      }
-    in
+    Array.blit erase_counts 0 t.erase_counts 0 cfg.blocks;
+    for b = 0 to cfg.blocks - 1 do
+      t.retired.(b) <- erase_counts.(b) >= cfg.endurance_limit
+    done;
+    t.erases <- Array.fold_left ( + ) 0 erase_counts;
+    (match write_point with
+     | None -> ()
+     | Some (b, p) ->
+       t.wp_block <- b;
+       t.wp_page <- p);
+    let ppb = cfg.pages_per_block in
     Array.iteri
       (fun b row ->
          Array.iteri
            (fun p s ->
+              let loc = (b * ppb) + p in
               match s with
+              | Free -> ()
+              | Invalid ->
+                t.pages.(loc) <- p_invalid;
+                t.free_cnt.(b) <- t.free_cnt.(b) - 1;
+                t.invalid_cnt.(b) <- t.invalid_cnt.(b) + 1
               | Valid lpn ->
                 if lpn < 0 || lpn >= Array.length t.mapping then
                   invalid_arg "Ftl.For_testing.of_state: lpn out of range";
-                if Option.is_some t.mapping.(lpn) then
+                if t.mapping.(lpn) <> unmapped then
                   invalid_arg "Ftl.For_testing.of_state: duplicate lpn";
-                t.mapping.(lpn) <- Some (b, p)
-              | Free | Invalid -> ())
+                t.pages.(loc) <- lpn;
+                t.free_cnt.(b) <- t.free_cnt.(b) - 1;
+                t.mapping.(lpn) <- loc)
            row)
       pages;
     t

@@ -83,6 +83,29 @@ val read : t -> lpn:int -> (int * int) option
 (** Physical [(block, page)] currently holding the logical page, if
     written. *)
 
+(** {2 In-place variants}
+
+    For callers that use an FTL handle {e linearly} — one owner, every
+    update applied to the same handle, no retained snapshots
+    ({!Service}'s hot loop). They observe exactly the semantics of
+    {!write}/{!trim}/{!drain_journal} (same allocation decisions, GC
+    runs, journal streams and rollback on failure — a part-way GC
+    failure leaves the handle untouched) but mutate the handle instead
+    of copying it, so an accepted write without a GC run costs zero
+    copies. Mixing them with retained snapshots of the same handle is
+    unsupported: earlier copies obtained from the persistent functions
+    stay valid, but values sharing state with [t] (e.g. the pre-drain
+    half of {!drain_journal}) are invalidated by an in-place update. *)
+
+val write_in_place : t -> lpn:int -> (unit, error) result
+(** {!write}, mutating [t]. [Error] leaves [t] unchanged. *)
+
+val trim_in_place : t -> lpn:int -> unit
+(** {!trim}, mutating [t]. *)
+
+val take_journal : t -> phys_op list
+(** {!drain_journal}, clearing [t]'s journal in place. *)
+
 val trim : t -> lpn:int -> t
 (** Discard a logical page (marks its physical page invalid). *)
 

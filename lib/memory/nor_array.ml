@@ -1,4 +1,5 @@
 module D = Gnrflash_device
+module S = Cell_store
 module Tel = Gnrflash_telemetry.Telemetry
 module Err = Gnrflash_resilience.Solver_error
 module Q = Gnrflash_quantum
@@ -24,32 +25,33 @@ let default_config =
 
 type t = {
   config : config;
-  cells : Cell.t array;
-  programs : int;
-  total_supply_charge : float;
+  store : S.t; (* one word line, struct-of-arrays *)
+  mutable programs : int;
+  mutable total_supply_charge : float;
 }
 
 let make ?(config = default_config) device ~cells =
   if cells < 1 then invalid_arg "Nor_array.make: cells < 1";
-  {
-    config;
-    cells = Array.init cells (fun _ -> Cell.make device);
-    programs = 0;
-    total_supply_charge = 0.;
-  }
+  { config; store = S.create ~n:cells device; programs = 0; total_supply_charge = 0. }
+
+let length t = S.length t.store
+let cell t i = S.view t.store i
+let programs t = t.programs
+let total_supply_charge t = t.total_supply_charge
 
 let check_index t i =
-  if i < 0 || i >= Array.length t.cells then Error "Nor_array: index out of range"
+  if i < 0 || i >= S.length t.store then Error "Nor_array: index out of range"
   else Ok ()
 
 let program_bit t ~index =
   match check_index t index with
   | Error e -> Error e
   | Ok () ->
-    let c = t.cells.(index) in
-    if c.Cell.wear.D.Reliability.broken then Error "Nor_array: broken cell"
+    if S.broken t.store index then Error "Nor_array: broken cell"
     else begin
       let cfg = t.config in
+      let device = S.device t.store in
+      let q0 = S.qfg t.store index in
       let i_gate =
         Q.Che.gate_current cfg.che ~drain_current:cfg.drain_current
           ~lateral_field:cfg.lateral_field
@@ -59,42 +61,40 @@ let program_bit t ~index =
          potential has collapsed to the word-line saturation point (the
          same fixed point the FN transient relaxes to) *)
       let q_floor =
-        match D.Transient.saturation_charge c.Cell.device ~vgs:cfg.vgs_program with
+        match D.Transient.saturation_charge device ~vgs:cfg.vgs_program with
         | Ok q -> q
         | Error e ->
           Tel.count ("nor_array/saturation_fallback/" ^ Err.label e);
-          c.Cell.qfg -. dose
+          q0 -. dose
       in
-      let qfg = max q_floor (c.Cell.qfg -. dose) in
-      let injected = c.Cell.qfg -. qfg in
+      let qfg = max q_floor (q0 -. dose) in
+      let injected = q0 -. qfg in
       let field =
-        abs_float (D.Fgt.tunnel_field c.Cell.device ~vgs:cfg.vgs_program ~qfg)
+        abs_float (D.Fgt.tunnel_field device ~vgs:cfg.vgs_program ~qfg)
       in
+      let c = S.view t.store index in
       let wear =
         D.Reliability.after_pulse D.Reliability.default c.Cell.wear ~injected
-          ~area:c.Cell.device.D.Fgt.area ~field:(max field 1e6)
+          ~area:device.D.Fgt.area ~field:(max field 1e6)
       in
-      let cells = Array.copy t.cells in
-      cells.(index) <- { c with Cell.qfg; wear };
-      Ok
-        {
-          t with
-          cells;
-          programs = t.programs + 1;
-          total_supply_charge =
-            t.total_supply_charge +. (cfg.drain_current *. cfg.pulse_width);
-        }
+      S.set t.store index { c with Cell.qfg; wear };
+      t.programs <- t.programs + 1;
+      t.total_supply_charge <-
+        t.total_supply_charge +. (cfg.drain_current *. cfg.pulse_width);
+      Ok t
     end
 
 let read_bit t ~index =
   match check_index t index with
   | Error e -> Error e
-  | Ok () -> Ok (Cell.to_bit (Cell.read t.cells.(index)))
+  | Ok () -> Ok (Cell.to_bit (Cell.read (S.view t.store index)))
 
 let erase_all t =
-  (* every cell erases independently; sweep them across the domain pool and
-     report the first (lowest-index) failure for determinism *)
-  let results = Gnrflash_parallel.Sweep.map Cell.erase t.cells in
+  (* every cell erases independently; sweep boxed views across the domain
+     pool and report the first (lowest-index) failure for determinism —
+     the store is written back only on a fully clean sweep *)
+  let views = Array.init (S.length t.store) (S.view t.store) in
+  let results = Gnrflash_parallel.Sweep.map Cell.erase views in
   let error =
     Array.fold_left
       (fun acc r -> match acc, r with None, Error e -> Some e | _ -> acc)
@@ -103,7 +103,13 @@ let erase_all t =
   match error with
   | Some e -> Error e
   | None ->
-    Ok { t with cells = Array.map (function Ok c -> c | Error _ -> assert false) results }
+    Array.iteri
+      (fun i r ->
+         match r with
+         | Ok c -> S.set t.store i c
+         | Error _ -> assert false)
+      results;
+    Ok t
 
 let programming_current t ~simultaneous =
   if simultaneous < 0 then invalid_arg "Nor_array.programming_current: negative count";

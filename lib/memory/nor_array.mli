@@ -17,15 +17,27 @@ val default_config : config
 (** 10 V / 5 V, 0.5 mA, 1 µs, 5×10⁸ V/m, silicon lucky-electron
     parameters. *)
 
-type t = {
-  config : config;
-  cells : Cell.t array;      (** one word line *)
-  programs : int;
-  total_supply_charge : float;  (** coulombs drawn for programming so far *)
-}
+type t
+(** One word line backed by a {!Cell_store} (struct-of-arrays, mutated in
+    place). [program_bit] and [erase_all] update the handle and return it,
+    so existing pipeline-style callers keep working — but the returned
+    value aliases the argument; retained pre-update snapshots are not
+    supported. *)
 
 val make : ?config:config -> Gnrflash_device.Fgt.t -> cells:int -> t
 (** One word line of fresh cells. @raise Invalid_argument if [cells < 1]. *)
+
+val length : t -> int
+(** Cells on the word line. *)
+
+val cell : t -> int -> Cell.t
+(** Boxed view of one cell's current state (a fresh record per call). *)
+
+val programs : t -> int
+(** Program operations accepted so far. *)
+
+val total_supply_charge : t -> float
+(** Coulombs drawn for programming so far. *)
 
 val program_bit : t -> index:int -> (t, string) result
 (** CHE-program one cell: the injected charge is the gate current

@@ -1,3 +1,4 @@
+[@@@gnrflash.hot]
 module D = Gnrflash_device
 module Tel = Gnrflash_telemetry.Telemetry
 
@@ -52,8 +53,9 @@ type report = {
 type t = {
   cfg : config;
   fsm : Command_fsm.t;
-  mutable ftl : Ftl.t;
+  ftl : Ftl.t; (* linear handle, updated through the in-place API *)
   store : int array option array; (* ground truth per logical page *)
+  cw_memo : (int, int) Hashtbl.t; (* packed data bits -> SEC-DED codeword *)
   mutable ops : int;
   mutable reads : int;
   mutable read_hits : int;
@@ -62,7 +64,10 @@ type t = {
   mutable trims : int;
   mutable read_mismatches : int;
   mutable trace : int;
-  mutable lats : float list;
+  (* latency ring: a preallocated grow-by-doubling buffer instead of a
+     cons per op — the hot loop writes one float into a flat array *)
+  mutable lat_buf : float array;
+  mutable lat_len : int;
 }
 
 let word_bits_for strings = strings + Ecc.overhead strings
@@ -87,6 +92,7 @@ let create ?(config = default_config) device =
     fsm = Command_fsm.create ~config:fsm_config device;
     ftl;
     store = Array.make (Ftl.logical_capacity ftl) None;
+    cw_memo = Hashtbl.create 64;
     ops = 0;
     reads = 0;
     read_hits = 0;
@@ -95,7 +101,8 @@ let create ?(config = default_config) device =
     trims = 0;
     read_mismatches = 0;
     trace = Workload.digest_empty;
-    lats = [];
+    lat_buf = Array.make 1024 0.;
+    lat_len = 0;
   }
 
 let logical_pages s = Array.length s.store
@@ -121,11 +128,25 @@ let finish s =
   else Command_fsm.wait_ready s.fsm
 
 let word_of_bits bits =
-  Array.to_list bits
-  |> List.mapi (fun i b -> b lsl i)
-  |> List.fold_left ( lor ) 0
+  let w = ref 0 in
+  for i = 0 to Array.length bits - 1 do
+    w := !w lor (bits.(i) lsl i)
+  done;
+  !w
 
-let codeword_for data = Ecc.encode data |> word_of_bits
+(* One SEC-DED encode per distinct data word per instance; the hot loop
+   replays packed codewords out of the memo. *)
+let codeword_for s data =
+  let key = ref 0 in
+  for i = Array.length data - 1 downto 0 do
+    key := (!key lsl 1) lor data.(i)
+  done;
+  match Hashtbl.find_opt s.cw_memo !key with
+  | Some w -> w
+  | None ->
+    let w = word_of_bits (Ecc.encode data) in
+    Hashtbl.add s.cw_memo !key w;
+    w
 
 let addr_of s ~block ~page =
   (block * s.cfg.ftl.Ftl.pages_per_block) + page
@@ -209,7 +230,7 @@ let mirror s ~host_lpn ~host_data ~suspend phys_ops =
       let rec take n acc = function
         | Ftl.Phys_program { block = b; page; lpn; gc } :: rest
           when b = block && n < buffer_cap ->
-          let word = codeword_for (data_for s ~host_lpn ~host_data ~lpn ~gc) in
+          let word = codeword_for s (data_for s ~host_lpn ~host_data ~lpn ~gc) in
           take (n + 1) ((addr_of s ~block ~page, word) :: acc) rest
         | rest -> (List.rev acc, rest)
       in
@@ -230,7 +251,14 @@ let fold_float x s =
 
 let record_latency s t0 =
   let dt = Command_fsm.now s.fsm -. t0 in
-  s.lats <- dt :: s.lats;
+  let n = Array.length s.lat_buf in
+  if s.lat_len = n then begin
+    let bigger = Array.make (2 * n) 0. in
+    Array.blit s.lat_buf 0 bigger 0 n;
+    s.lat_buf <- bigger
+  end;
+  s.lat_buf.(s.lat_len) <- dt;
+  s.lat_len <- s.lat_len + 1;
   fold_float dt s
 
 let exec_read s ~lpn =
@@ -262,7 +290,7 @@ let exec_read s ~lpn =
 let exec_write s ~lpn ~data ~suspend =
   if Array.length data <> s.cfg.strings then
     invalid_arg "Service.exec: data width does not match [strings]";
-  match Ftl.write s.ftl ~lpn with
+  match Ftl.write_in_place s.ftl ~lpn with
   | Error Ftl.Device_full ->
     s.rejected_full <- s.rejected_full + 1;
     fold 3 s;
@@ -272,9 +300,8 @@ let exec_write s ~lpn ~data ~suspend =
     (* No_free_block / No_victim escaping here is exactly the FTL
        space-accounting bug this PR fixes — fail loudly. *)
     failwith ("Service: FTL internal error escaped: " ^ Ftl.error_to_string e)
-  | Ok ftl' ->
-    let ftl', phys_ops = Ftl.drain_journal ftl' in
-    s.ftl <- ftl';
+  | Ok () ->
+    let phys_ops = Ftl.take_journal s.ftl in
     mirror s ~host_lpn:lpn ~host_data:data ~suspend phys_ops;
     s.store.(lpn) <- Some data;
     s.writes <- s.writes + 1;
@@ -290,7 +317,7 @@ let exec s cmd =
    | Workload.Cmd_trim { lpn } ->
      let lpn = lpn mod logical_pages s in
      s.trims <- s.trims + 1;
-     s.ftl <- Ftl.trim s.ftl ~lpn;
+     Ftl.trim_in_place s.ftl ~lpn;
      s.store.(lpn) <- None;
      fold 4 s;
      fold lpn s
@@ -306,9 +333,31 @@ let percentile sorted p =
   else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
 
 let latencies s =
-  let lats = Array.of_list s.lats in
+  let lats = Array.sub s.lat_buf 0 s.lat_len in
   Array.sort compare lats;
   lats
+
+(* Stable k-way merge of sorted per-instance distributions, walking the
+   inputs in the order given: ties resolve to the earlier instance, so a
+   fleet's merged percentile array is one deterministic sequence rather
+   than whatever an unstable concat-and-sort produced. *)
+let merge_latencies sorted =
+  let arrays = Array.of_list sorted in
+  let k = Array.length arrays in
+  let total = Array.fold_left (fun n a -> n + Array.length a) 0 arrays in
+  let out = Array.make (max total 1) 0. in
+  let pos = Array.make k 0 in
+  for i = 0 to total - 1 do
+    let best = ref (-1) in
+    for j = 0 to k - 1 do
+      if pos.(j) < Array.length arrays.(j) then
+        let v = arrays.(j).(pos.(j)) in
+        if !best < 0 || v < arrays.(!best).(pos.(!best)) then best := j
+    done;
+    out.(i) <- arrays.(!best).(pos.(!best));
+    pos.(!best) <- pos.(!best) + 1
+  done;
+  if total = 0 then [||] else Array.sub out 0 total
 
 let latency_summary s =
   let lats = latencies s in

@@ -91,6 +91,13 @@ val latencies : t -> float array
     lets a fleet driver merge per-instance distributions before taking
     percentiles. *)
 
+val merge_latencies : float array list -> float array
+(** Stable k-way merge of sorted per-instance latency arrays, in the
+    order given (ties resolve to the earlier instance): the one
+    deterministic merged distribution fleet drivers take percentiles
+    over, identical across [--jobs]/[--shards] tiers for a fixed
+    instance order. *)
+
 val report : t -> report
 (** Totals since [create]; computes the final verify scan (every live
     logical page is sensed from the cell array and SEC-DED decoded

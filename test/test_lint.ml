@@ -129,7 +129,7 @@ let test_callgraph () =
 let test_engine_api () =
   check_true "rule_of_string L8" (E.rule_of_string "L8" = Some E.L8);
   check_true "rule_of_string lowercase" (E.rule_of_string "l11" = Some E.L11);
-  check_true "rule_of_string out of range" (E.rule_of_string "L13" = None);
+  check_true "rule_of_string out of range" (E.rule_of_string "L14" = None);
   check_true "rule_of_string junk" (E.rule_of_string "Lx" = None);
   let report = E.run ~config:fixture_config ~root ~subdir:fixtures_subdir () in
   let counts = E.by_rule report in

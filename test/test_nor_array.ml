@@ -6,7 +6,7 @@ let fresh () = N.make F.paper_default ~cells:8
 
 let test_make () =
   let t = fresh () in
-  Alcotest.(check int) "cells" 8 (Array.length t.N.cells);
+  Alcotest.(check int) "cells" 8 (N.length t);
   Alcotest.check_raises "empty" (Invalid_argument "Nor_array.make: cells < 1") (fun () ->
       ignore (N.make F.paper_default ~cells:0))
 
@@ -21,25 +21,25 @@ let test_program_and_random_access_read () =
   let t = check_ok "program" (N.program_bit t ~index:3) in
   Alcotest.(check int) "programmed cell" 0 (check_ok "read" (N.read_bit t ~index:3));
   Alcotest.(check int) "neighbor untouched" 1 (check_ok "read" (N.read_bit t ~index:2));
-  Alcotest.(check int) "programs counted" 1 t.N.programs
+  Alcotest.(check int) "programs counted" 1 (N.programs t)
 
 let test_che_injection_self_limits () =
   let t = fresh () in
   let t = check_ok "p1" (N.program_bit t ~index:0) in
-  let q1 = t.N.cells.(0).Gnrflash_memory.Cell.qfg in
+  let q1 = (N.cell t 0).Gnrflash_memory.Cell.qfg in
   let t = check_ok "p2" (N.program_bit t ~index:0) in
-  let q2 = t.N.cells.(0).Gnrflash_memory.Cell.qfg in
+  let q2 = (N.cell t 0).Gnrflash_memory.Cell.qfg in
   check_true "first pulse stores charge" (q1 < 0.);
   check_true "bounded by saturation" (q2 >= q1 -. abs_float q1);
   (* the stored threshold stays physical *)
-  let dvt = Gnrflash_memory.Cell.dvt t.N.cells.(0) in
+  let dvt = Gnrflash_memory.Cell.dvt (N.cell t 0) in
   check_in "dvt physical" ~lo:0. ~hi:10. dvt
 
 let test_supply_charge_accounting () =
   let t = fresh () in
   let t = check_ok "program" (N.program_bit t ~index:1) in
   (* 0.5 mA for 1 us = 5e-10 C per program *)
-  check_close ~tol:1e-9 "drain charge" 5e-10 t.N.total_supply_charge
+  check_close ~tol:1e-9 "drain charge" 5e-10 (N.total_supply_charge t)
 
 let test_erase_all () =
   let t = fresh () in

@@ -1,0 +1,52 @@
+(* L13 fixture: minor-heap allocations inside loop bodies of a module
+   that opted into the hot-loop rule with [@@@gnrflash.hot]. Cold modules
+   (every other fixture) never fire L13 regardless of loop contents. *)
+[@@@gnrflash.hot]
+
+type acc = { total : float; count : int }
+
+let sum_functional (xs : float array) =
+  let acc = ref { total = 0.; count = 0 } in
+  for i = 0 to Array.length xs - 1 do
+    acc := { !acc with total = !acc.total +. xs.(i) } (* EXPECT L13 *)
+  done;
+  !acc
+
+let sum_closure (xs : float array) =
+  let total = ref 0. in
+  let i = ref 0 in
+  while !i < Array.length xs do
+    let add = fun x -> total := !total +. x in (* EXPECT L13 *)
+    add xs.(!i);
+    incr i
+  done;
+  !total
+
+let sum_suppressed (xs : float array) =
+  let acc = ref { total = 0.; count = 0 } in
+  for i = 0 to Array.length xs - 1 do
+    (* lint: allow L13 — fixture: demonstrating the suppression syntax *)
+    acc := { !acc with count = !acc.count + i } (* EXPECT-SUPPRESSED L13 *)
+  done;
+  !acc
+
+(* blessed shape: mutate a preallocated structure in place *)
+type macc = { mutable m_total : float }
+
+let sum_in_place (xs : float array) =
+  let acc = { m_total = 0. } in
+  for i = 0 to Array.length xs - 1 do
+    acc.m_total <- acc.m_total +. xs.(i)
+  done;
+  acc.m_total
+
+(* blessed shape: the closure is hoisted out of the loop, and a fresh
+   (non-extending) record literal before the loop is not an update *)
+let hoisted (xs : float array) =
+  let f = fun x -> x +. 1. in
+  let acc = ref { total = 0.; count = 0 } in
+  let out = ref 0. in
+  for i = 0 to Array.length xs - 1 do
+    out := !out +. f xs.(i)
+  done;
+  !acc.total +. !out

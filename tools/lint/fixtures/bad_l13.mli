@@ -1,0 +1,10 @@
+type acc = { total : float; count : int }
+
+val sum_functional : float array -> acc
+val sum_closure : float array -> float
+val sum_suppressed : float array -> acc
+
+type macc = { mutable m_total : float }
+
+val sum_in_place : float array -> float
+val hoisted : float array -> float

@@ -1,4 +1,4 @@
-type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12 | L13
 
 let rule_id = function
   | L1 -> "L1"
@@ -13,8 +13,9 @@ let rule_id = function
   | L10 -> "L10"
   | L11 -> "L11"
   | L12 -> "L12"
+  | L13 -> "L13"
 
-let all_rules = [ L1; L2; L3; L4; L5; L6; L7; L8; L9; L10; L11; L12 ]
+let all_rules = [ L1; L2; L3; L4; L5; L6; L7; L8; L9; L10; L11; L12; L13 ]
 
 let rule_of_int = function
   | 1 -> Some L1
@@ -29,6 +30,7 @@ let rule_of_int = function
   | 10 -> Some L10
   | 11 -> Some L11
   | 12 -> Some L12
+  | 13 -> Some L13
   | _ -> None
 
 let rule_of_string s =
@@ -278,6 +280,19 @@ let is_float_type ty =
 
 type raw_finding = { r_rule : rule; r_line : int; r_message : string }
 
+(* L13 scope: a module opts into the hot-loop allocation rule with the
+   floating attribute [[@@@gnrflash.hot]] — the FSM/service modules whose
+   loops the bench's words-per-op budget gates. *)
+let hot_attribute = "gnrflash.hot"
+
+let is_hot_module (str : Typedtree.structure) =
+  List.exists
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_attribute a -> a.Parsetree.attr_name.txt = hot_attribute
+      | _ -> false)
+    str.str_items
+
 let check_structure ~config ~basename (str : Typedtree.structure) =
   let aliases = collect_aliases str in
   let out = ref [] in
@@ -454,14 +469,54 @@ let check_structure ~config ~basename (str : Typedtree.structure) =
                  Gnrflash_units layer (unit laundering)"
           | _ -> ()
   in
+  (* L13 state: [loop_stack] holds, for each enclosing for/while loop,
+     the closure-nesting depth at its entry. An allocation is "directly in
+     a loop body" when the current [fun_depth] equals the innermost loop's
+     recorded depth — allocations inside a nested closure are charged to
+     the (already flagged) closure, not reported again. *)
+  let hot = is_hot_module str in
+  let fun_depth = ref 0 in
+  let loop_stack = ref [] in
   let expr sub (e : Typedtree.expression) =
     (match e.exp_desc with
     | Texp_apply (fn, args) -> check_apply fn args e.exp_loc
     | _ -> ());
+    (* L13: minor-heap allocation directly inside a hot-module loop body *)
+    (if hot then
+       match (e.exp_desc, !loop_stack) with
+       | Texp_record { extended_expression = Some _; _ }, d :: _
+         when !fun_depth = d ->
+           add L13 e.exp_loc
+             "allocating functional record update ({ e with ... }) in a hot \
+              loop — write the mutable fields in place or hoist the fresh \
+              record out of the loop"
+       | Texp_function _, d :: _ when !fun_depth = d ->
+           add L13 e.exp_loc
+             "closure allocated in a hot loop — hoist the function (or the \
+              combinator call capturing it) out of the loop"
+       | _ -> ());
     let in_span = enters_span e and in_quad = enters_quad e in
     if in_span then incr span_depth;
     if in_quad then incr integrand_depth;
-    Tast_iterator.default_iterator.expr sub e;
+    (match e.exp_desc with
+    | Texp_for (_, _, lo, hi, _, body) ->
+        (* bounds evaluate once — only the body is per-iteration *)
+        sub.Tast_iterator.expr sub lo;
+        sub.Tast_iterator.expr sub hi;
+        loop_stack := !fun_depth :: !loop_stack;
+        sub.Tast_iterator.expr sub body;
+        loop_stack := List.tl !loop_stack
+    | Texp_while (cond, body) ->
+        (* the condition re-evaluates every iteration: hot like the body *)
+        loop_stack := !fun_depth :: !loop_stack;
+        sub.Tast_iterator.expr sub cond;
+        sub.Tast_iterator.expr sub body;
+        loop_stack := List.tl !loop_stack
+    | Texp_function _ ->
+        incr fun_depth;
+        Tast_iterator.default_iterator.expr sub e;
+        decr fun_depth
+    | _ -> Tast_iterator.default_iterator.expr sub e);
     if in_quad then decr integrand_depth;
     if in_span then decr span_depth
   in

@@ -37,6 +37,14 @@
     - [L12] [Domain.DLS.new_key] in non-toplevel position (leaks one DLS
       slot per call and defeats the per-domain cache).
 
+    Hot-loop rule (only in modules annotated with the floating attribute
+    [[@@@gnrflash.hot]] — the FSM/service modules whose loops the bench's
+    allocation budget gates):
+    - [L13] a minor-heap allocation inside a [for]/[while] loop body: an
+      allocating functional record update ([{ e with ... }]) or a closure
+      ([fun]/[function]). Hoist the value out of the loop or mutate a
+      preallocated structure instead.
+
     Any rule is suppressible with a comment on the finding's line or the
     line above: [(* lint: allow L<n> — reason *)] ([L5]: anywhere in the
     file). The engine runs over a dune build tree: [root] is the directory
@@ -44,10 +52,10 @@
     dune also copies the sources, so suppression comments are read from
     the same tree the [.cmt]s were built from. *)
 
-type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9 | L10 | L11 | L12 | L13
 
 val rule_id : rule -> string
-(** ["L1"] … ["L12"]. *)
+(** ["L1"] … ["L13"]. *)
 
 val all_rules : rule list
 
